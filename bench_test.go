@@ -1,0 +1,404 @@
+package repro
+
+// Benchmark harness: one benchmark per paper figure (Figures 2 and 4-8;
+// Figures 1 and 3 are diagrams), plus micro-benchmarks of the primitives
+// and ablations of the design choices called out in DESIGN.md.
+//
+// Each figure benchmark executes its experiment at a reduced scale per
+// iteration and reports the headline simulated metrics via ReportMetric:
+//
+//	simMops        simulated throughput at the largest thread count,
+//	               for the tagged variant
+//	speedup        tagged variant vs software baseline at that count
+//	missPct        tagged variant's L1 miss rate
+//
+// Run `go run ./cmd/memtag-bench -full` for the paper-scale sweeps.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/intset"
+	"repro/internal/kcas"
+	"repro/internal/list"
+	"repro/internal/machine"
+	"repro/internal/vtags"
+	"repro/internal/workload"
+)
+
+// benchScale keeps per-iteration cost low; memtag-bench -full is the
+// paper-scale path.
+func benchScale() harness.Scale {
+	return harness.Scale{Threads: []int{1, 8, 32}, OpsPerThread: 120, Trials: 1}
+}
+
+func benchSetExperiment(b *testing.B, e *harness.SetExperiment, tagged, baseline string) {
+	b.Helper()
+	top := e.Threads[len(e.Threads)-1]
+	var mops, speedup, miss float64
+	for i := 0; i < b.N; i++ {
+		points := e.Run()
+		speedup += harness.Speedup(points, tagged, baseline, top)
+		for _, p := range points {
+			if p.Variant == tagged && p.Threads == top {
+				mops += p.ThroughputMops
+				miss += p.MissRatePct
+			}
+		}
+	}
+	n := float64(b.N)
+	b.ReportMetric(mops/n, "simMops")
+	b.ReportMetric(speedup/n, "speedup")
+	b.ReportMetric(miss/n, "missPct")
+}
+
+// BenchmarkFig2_ListThroughput35 regenerates Figure 2: Harris vs VAS vs
+// HoH lists, 35% ins / 35% del, throughput vs threads.
+func BenchmarkFig2_ListThroughput35(b *testing.B) {
+	benchSetExperiment(b, harness.Fig2(benchScale()), "hoh", "harris")
+}
+
+// BenchmarkFig4_List35 regenerates Figure 4 (throughput, miss rate and
+// energy panels for the 35/35 list workload).
+func BenchmarkFig4_List35(b *testing.B) {
+	benchSetExperiment(b, harness.Fig4(benchScale()), "vas", "harris")
+}
+
+// BenchmarkFig5_List15 regenerates Figure 5 (15% ins / 15% del list).
+func BenchmarkFig5_List15(b *testing.B) {
+	benchSetExperiment(b, harness.Fig5(benchScale()), "hoh", "harris")
+}
+
+// BenchmarkFig6_ABTree35 regenerates Figure 6: LLX/SCX vs HoH-tagged
+// (a,b)-tree at 35/35.
+func BenchmarkFig6_ABTree35(b *testing.B) {
+	benchSetExperiment(b, harness.Fig6(benchScale()), "hoh-tag", "llxscx")
+}
+
+// BenchmarkFig7_ABTree15 regenerates Figure 7: the 15/15 tree workload.
+func BenchmarkFig7_ABTree15(b *testing.B) {
+	benchSetExperiment(b, harness.Fig7(benchScale()), "hoh-tag", "llxscx")
+}
+
+// BenchmarkFig8_VacationNOrec regenerates Figure 8: STAMP Vacation on
+// NOrec vs tagged NOrec (-n4 -q60 -u90, tables scaled down per iteration).
+func BenchmarkFig8_VacationNOrec(b *testing.B) {
+	e := harness.Fig8(true)
+	e.Threads = []int{1, 4, 8}
+	e.Params.Relations = 512
+	e.Params.Transactions = 24
+	top := e.Threads[len(e.Threads)-1]
+	var ktx, speedup float64
+	for i := 0; i < b.N; i++ {
+		points := e.Run()
+		var tagged, norec float64
+		for _, p := range points {
+			if p.Threads != top {
+				continue
+			}
+			if p.Variant == "tagged" {
+				tagged = p.ThroughputKtx
+			} else if p.Variant == "norec" {
+				norec = p.ThroughputKtx
+			}
+		}
+		ktx += tagged
+		if norec > 0 {
+			speedup += tagged / norec
+		}
+	}
+	b.ReportMetric(ktx/float64(b.N), "simKtx")
+	b.ReportMetric(speedup/float64(b.N), "speedup")
+}
+
+// BenchmarkExtension_SkipList runs the skip-list extension experiment
+// (CAS vs VAS; the paper claims applicability without reporting a figure).
+func BenchmarkExtension_SkipList(b *testing.B) {
+	sc := benchScale()
+	sc.OpsPerThread = 200
+	benchSetExperiment(b, harness.SkipExperiment(sc), "vas", "cas")
+}
+
+// BenchmarkExtension_BST runs the external-BST extension experiment
+// (LLX/SCX vs HoH tagging on the unbalanced tree).
+func BenchmarkExtension_BST(b *testing.B) {
+	benchSetExperiment(b, harness.BSTExperiment(benchScale()), "hoh-tag", "llxscx")
+}
+
+// BenchmarkExtension_Chromatic runs the chromatic-tree extension
+// experiment (LLX/SCX vs HoH tagging).
+func BenchmarkExtension_Chromatic(b *testing.B) {
+	benchSetExperiment(b, harness.ChromaticExperiment(benchScale()), "hoh-tag", "llxscx")
+}
+
+// BenchmarkExtension_StmSet compares general-purpose STM sets against the
+// purpose-built HoH-tagged tree on the standard workload.
+func BenchmarkExtension_StmSet(b *testing.B) {
+	sc := benchScale()
+	sc.Threads = []int{1, 8}
+	sc.OpsPerThread = 80
+	benchSetExperiment(b, harness.StmSetExperiment(sc), "tagged-set", "norec-set")
+}
+
+// --- Micro-benchmarks of the primitives -----------------------------------
+
+func newBenchMachine(cores int) *machine.Machine {
+	cfg := machine.DefaultConfig(cores)
+	cfg.MemBytes = 16 << 20
+	cfg.SyncWindowCycles = 0 // single-goroutine micro-benchmarks
+	return machine.New(cfg)
+}
+
+// BenchmarkMicro_LoadL1Hit measures the simulator's host cost for the
+// cheapest operation.
+func BenchmarkMicro_LoadL1Hit(b *testing.B) {
+	m := newBenchMachine(1)
+	th := m.Thread(0)
+	a := m.Alloc(1)
+	th.Store(a, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		th.Load(a)
+	}
+}
+
+// BenchmarkMicro_TagValidateCycle measures AddTag+Validate+ClearTagSet.
+func BenchmarkMicro_TagValidateCycle(b *testing.B) {
+	m := newBenchMachine(1)
+	th := m.Thread(0)
+	a := m.Alloc(1)
+	th.Store(a, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		th.AddTag(a, 8)
+		th.Validate()
+		th.ClearTagSet()
+	}
+}
+
+// BenchmarkMicro_VAS measures an uncontended tag+load+VAS increment.
+func BenchmarkMicro_VAS(b *testing.B) {
+	m := newBenchMachine(1)
+	th := m.Thread(0)
+	a := m.Alloc(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		th.AddTag(a, 8)
+		v := th.Load(a)
+		if !th.VAS(a, v+1) {
+			b.Fatal("uncontended VAS failed")
+		}
+		th.ClearTagSet()
+	}
+}
+
+// BenchmarkMicro_KCAS measures k-word CAS for several widths. Every kCAS
+// allocates descriptors in the simulated arena (which never recycles), so
+// the machine is renewed periodically to keep the space bounded.
+func BenchmarkMicro_KCAS(b *testing.B) {
+	for _, k := range []int{2, 4, 8} {
+		b.Run(map[int]string{2: "k2", 4: "k4", 8: "k8"}[k], func(b *testing.B) {
+			setup := func() (*kcas.Manager, core.Thread, []core.Addr) {
+				m := newBenchMachine(1)
+				g := kcas.New(m)
+				th := m.Thread(0)
+				addrs := make([]core.Addr, k)
+				for i := range addrs {
+					addrs[i] = m.Alloc(1)
+				}
+				return g, th, addrs
+			}
+			g, th, addrs := setup()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i%10000 == 9999 {
+					b.StopTimer()
+					g, th, addrs = setup()
+					b.StartTimer()
+				}
+				entries := make([]kcas.Entry, k)
+				for j, a := range addrs {
+					old := g.Read(th, a)
+					entries[j] = kcas.Entry{Addr: a, Old: old, New: old + 1}
+				}
+				if !g.KCAS(th, entries) {
+					b.Fatal("uncontended kCAS failed")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMicro_SnapshotTaggedVsDoubleCollect compares the paper's tagged
+// snapshot against the software double collect on 16 quiet words.
+func BenchmarkMicro_SnapshotTaggedVsDoubleCollect(b *testing.B) {
+	m := newBenchMachine(1)
+	g := kcas.New(m)
+	th := m.Thread(0)
+	addrs := make([]core.Addr, 16)
+	for i := range addrs {
+		addrs[i] = m.Alloc(1)
+	}
+	b.Run("tagged", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, ok := g.Snapshot(th, addrs, 4); !ok {
+				b.Fatal("quiet snapshot failed")
+			}
+		}
+	})
+	b.Run("doublecollect", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g.SnapshotDoubleCollect(th, addrs)
+		}
+	})
+}
+
+// --- Ablations -------------------------------------------------------------
+
+// BenchmarkAblation_MaxTags sweeps the per-core tag budget above the HoH
+// tree's working window (12 lines for a=4,b=8); budgets below it are
+// rejected at construction. Sufficient budgets should perform identically,
+// demonstrating that Max_Tags only needs to cover the D+1-node window.
+func BenchmarkAblation_MaxTags(b *testing.B) {
+	for _, tags := range []int{12, 16, 32} {
+		b.Run(map[int]string{12: "tags12", 16: "tags16", 32: "tags32"}[tags], func(b *testing.B) {
+			e := harness.Fig6(harness.Scale{Threads: []int{8}, OpsPerThread: 100, Trials: 1})
+			e.Config = func(cores int) machine.Config {
+				cfg := machine.DefaultConfig(cores)
+				cfg.MemBytes = 256 << 20
+				cfg.MaxTags = tags
+				return cfg
+			}
+			// Only the tagged variant is sensitive to the budget.
+			e.Variants = e.Variants[1:]
+			var mops float64
+			for i := 0; i < b.N; i++ {
+				points := e.Run()
+				mops += points[0].ThroughputMops
+			}
+			b.ReportMetric(mops/float64(b.N), "simMops")
+		})
+	}
+}
+
+// BenchmarkAblation_L1Size shrinks the L1 until tagged lines suffer
+// capacity (spurious) evictions, probing the paper's claim that spurious
+// invalidations are negligible "for reasonable data structure sizes" — and
+// showing where that stops holding.
+func BenchmarkAblation_L1Size(b *testing.B) {
+	for _, kb := range []int{2, 8, 32} {
+		b.Run(map[int]string{2: "l1_2KB", 8: "l1_8KB", 32: "l1_32KB"}[kb], func(b *testing.B) {
+			e := harness.Fig6(harness.Scale{Threads: []int{8}, OpsPerThread: 100, Trials: 1})
+			e.Config = func(cores int) machine.Config {
+				cfg := machine.DefaultConfig(cores)
+				cfg.MemBytes = 256 << 20
+				cfg.L1Bytes = kb << 10
+				return cfg
+			}
+			e.Variants = e.Variants[1:] // tagged variant only
+			var spurious, fails float64
+			for i := 0; i < b.N; i++ {
+				points := e.Run()
+				spurious += points[0].SpuriousPerMilOps
+				fails += points[0].ValidateFailPct
+			}
+			b.ReportMetric(spurious/float64(b.N), "spurious/Mop")
+			b.ReportMetric(fails/float64(b.N), "vfailPct")
+		})
+	}
+}
+
+// BenchmarkAblation_ValidateCost sweeps the hardware validation latency,
+// quantifying how the HoH list's traversal overhead depends on it (the
+// paper assumes validation is hidden in the load buffer).
+func BenchmarkAblation_ValidateCost(b *testing.B) {
+	for _, vc := range []uint64{0, 1, 4} {
+		b.Run(map[uint64]string{0: "v0", 1: "v1", 4: "v4"}[vc], func(b *testing.B) {
+			e := harness.Fig2(harness.Scale{Threads: []int{8}, OpsPerThread: 120, Trials: 1})
+			e.Config = func(cores int) machine.Config {
+				cfg := machine.DefaultConfig(cores)
+				cfg.MemBytes = 64 << 20
+				cfg.ValidateCycles = vc
+				return cfg
+			}
+			var speedup float64
+			for i := 0; i < b.N; i++ {
+				speedup += harness.Speedup(e.Run(), "hoh", "harris", 8)
+			}
+			b.ReportMetric(speedup/float64(b.N), "speedup")
+		})
+	}
+}
+
+// BenchmarkAblation_SoftwareEmulation compares the versioned software
+// emulation (vtags) against the hardware model in host time, the "what if
+// tags were software" ablation. It reports host ns/op for the same HoH
+// list workload.
+func BenchmarkAblation_SoftwareEmulation(b *testing.B) {
+	run := func(b *testing.B, mem core.Memory, s intset.Set) {
+		cfg := workload.Config{
+			Threads: 4, KeyRange: 256, PrefillSize: 128,
+			OpsPerThread: 100, Mix: workload.Update3535, Seed: 1,
+		}
+		workload.Prefill(mem, s, cfg)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			workload.Run(mem, s, cfg)
+		}
+	}
+	b.Run("machine", func(b *testing.B) {
+		cfg := machine.DefaultConfig(4)
+		cfg.MemBytes = 64 << 20
+		m := machine.New(cfg)
+		run(b, m, list.NewHoH(m))
+	})
+	b.Run("vtags", func(b *testing.B) {
+		m := newVtags(64<<20, 4)
+		run(b, m, list.NewHoH(m))
+	})
+}
+
+// BenchmarkAblation_Protocol compares MESI / MESIF / MOESI pricing on the
+// HoH list workload — the paper's "extension to MOESI/MESIF-style
+// implementations", quantified.
+func BenchmarkAblation_Protocol(b *testing.B) {
+	for _, p := range []machine.Protocol{machine.MESI, machine.MESIF, machine.MOESI} {
+		b.Run(p.String(), func(b *testing.B) {
+			e := harness.Fig2(harness.Scale{Threads: []int{8}, OpsPerThread: 120, Trials: 1})
+			e.Config = func(cores int) machine.Config {
+				cfg := machine.DefaultConfig(cores)
+				cfg.MemBytes = 64 << 20
+				cfg.Protocol = p
+				return cfg
+			}
+			e.Variants = e.Variants[2:] // hoh only
+			var mops float64
+			for i := 0; i < b.N; i++ {
+				mops += e.Run()[0].ThroughputMops
+			}
+			b.ReportMetric(mops/float64(b.N), "simMops")
+		})
+	}
+}
+
+// BenchmarkAblation_FallbackThreshold measures the HLE-style fallback
+// controller's trip rate sensitivity: with a hostile fast path, a lower
+// threshold reaches the slow path sooner.
+func BenchmarkAblation_FallbackThreshold(b *testing.B) {
+	for _, thr := range []int{2, 16} {
+		b.Run(map[int]string{2: "thr2", 16: "thr16"}[thr], func(b *testing.B) {
+			m := newVtags(1<<20, 1)
+			fb := core.NewFallback(m)
+			fb.Threshold = thr
+			th := m.Thread(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				fb.Run(th, func() bool { return false }, func() {})
+			}
+		})
+	}
+}
+
+// newVtags constructs the software-emulation backend.
+func newVtags(bytes, threads int) core.Memory { return vtags.New(bytes, threads) }

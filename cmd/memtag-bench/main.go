@@ -1,0 +1,120 @@
+// Command memtag-bench regenerates the paper's evaluation figures
+// (Section 6) on the machine simulator and prints each figure's series as
+// a table: throughput, L1 miss rate and energy versus thread count for
+// every data-structure variant.
+//
+// Usage:
+//
+//	memtag-bench -fig all            # every figure, quick scale
+//	memtag-bench -fig 6 -full       # Figure 6 at paper scale (1-64 cores)
+//	memtag-bench -fig 2 -threads 1,2,4,8,16 -ops 1000 -trials 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to run: 2, 4, 5, 6, 7, 8, skip, bst, chromatic, stmset, elision, or all")
+	full := flag.Bool("full", false, "paper scale (1-64 simulated cores, more ops, 3 trials)")
+	threads := flag.String("threads", "", "override thread counts, e.g. 1,2,4,8")
+	ops := flag.Int("ops", 0, "override operations per thread")
+	trials := flag.Int("trials", 0, "override trial count")
+	flag.Parse()
+
+	sc := harness.QuickScale()
+	if *full {
+		sc = harness.PaperScale()
+	}
+	if *threads != "" {
+		sc.Threads = parseThreads(*threads)
+	}
+	if *ops > 0 {
+		sc.OpsPerThread = *ops
+	}
+	if *trials > 0 {
+		sc.Trials = *trials
+	}
+
+	figs := strings.Split(*fig, ",")
+	if *fig == "all" {
+		figs = []string{"2", "4", "5", "6", "7", "8", "skip", "bst", "chromatic", "stmset", "elision"}
+	}
+	for _, f := range figs {
+		run(strings.TrimSpace(f), sc, *full)
+	}
+}
+
+func parseThreads(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 || n > 64 {
+			fmt.Fprintf(os.Stderr, "memtag-bench: bad thread count %q\n", part)
+			os.Exit(2)
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+func run(fig string, sc harness.Scale, full bool) {
+	switch fig {
+	case "2":
+		runSet(harness.Fig2(sc))
+	case "4":
+		runSet(harness.Fig4(sc))
+	case "5":
+		runSet(harness.Fig5(sc))
+	case "6":
+		runSet(harness.Fig6(sc))
+	case "7":
+		runSet(harness.Fig7(sc))
+	case "skip":
+		runSet(harness.SkipExperiment(sc))
+	case "bst":
+		runSet(harness.BSTExperiment(sc))
+	case "stmset":
+		runSet(harness.StmSetExperiment(sc))
+	case "chromatic":
+		runSet(harness.ChromaticExperiment(sc))
+	case "elision":
+		e := harness.NewElisionExperiment(!full)
+		fmt.Printf("# %s — fallback ablation\n", e.Name)
+		harness.PrintElision(os.Stdout, e.Title, e.Run())
+		fmt.Println()
+	case "8":
+		e := harness.Fig8(!full)
+		if len(sc.Threads) > 0 {
+			e.Threads = sc.Threads
+		}
+		fmt.Printf("# %s — %s\n", e.Name, "Figure 8")
+		points := e.Run()
+		harness.PrintVacation(os.Stdout, e.Title, points)
+		fmt.Println()
+	default:
+		fmt.Fprintf(os.Stderr, "memtag-bench: unknown figure %q\n", fig)
+		os.Exit(2)
+	}
+}
+
+func runSet(e *harness.SetExperiment) {
+	fmt.Printf("# %s — %s\n", e.Name, e.Figure)
+	points := e.Run()
+	harness.PrintTable(os.Stdout, e.Title, points)
+	// Headline comparisons at the largest thread count.
+	n := e.Threads[len(e.Threads)-1]
+	base := e.Variants[0].Name
+	for _, v := range e.Variants[1:] {
+		if s := harness.Speedup(points, v.Name, base, n); s > 0 {
+			fmt.Printf("speedup %s vs %s @%d threads: %.2fx\n", v.Name, base, n, s)
+		}
+	}
+	fmt.Println()
+}

@@ -1,0 +1,199 @@
+// Command memtag-stress runs randomized concurrent stress over every data
+// structure in the repository, on either memory backend, verifying
+// linearizability bookkeeping (per-key net-success counts) and each
+// structure's own invariants afterwards. Intended for CI soak testing:
+//
+//	memtag-stress                       # one quick round over everything
+//	memtag-stress -rounds 20 -threads 8 -backend machine
+//	memtag-stress -structs hoh-tree,chromatic -ops 2000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/abtree"
+	"repro/internal/bst"
+	"repro/internal/chromatic"
+	"repro/internal/core"
+	"repro/internal/intset"
+	"repro/internal/list"
+	"repro/internal/machine"
+	"repro/internal/skiplist"
+	"repro/internal/stm"
+	"repro/internal/txset"
+	"repro/internal/vtags"
+)
+
+type structDef struct {
+	name  string
+	build func(core.Memory) intset.Set
+	check func(core.Thread, intset.Set) error
+}
+
+func structs() []structDef {
+	treeCheck := func(th core.Thread, s intset.Set) error {
+		type ck interface {
+			Root() core.Addr
+			Layout() (int, int)
+		}
+		if c, ok := s.(ck); ok {
+			return abtree.CheckInvariants(th, c)
+		}
+		return nil
+	}
+	chromCheck := func(th core.Thread, s intset.Set) error {
+		type ck interface {
+			Root() core.Addr
+			S2() core.Addr
+		}
+		if c, ok := s.(ck); ok {
+			return chromatic.CheckInvariants(th, c)
+		}
+		return nil
+	}
+	none := func(core.Thread, intset.Set) error { return nil }
+	return []structDef{
+		{"harris-list", func(m core.Memory) intset.Set { return list.NewHarris(m) }, none},
+		{"vas-list", func(m core.Memory) intset.Set { return list.NewVAS(m) }, none},
+		{"hoh-list", func(m core.Memory) intset.Set { return list.NewHoH(m) }, none},
+		{"lock-list", func(m core.Memory) intset.Set { return list.NewLock(m) }, none},
+		{"elided-list", func(m core.Memory) intset.Set { return list.NewElided(m, 0) }, none},
+		{"llx-tree", func(m core.Memory) intset.Set { return abtree.NewLLX(m, 4, 8) }, treeCheck},
+		{"hoh-tree", func(m core.Memory) intset.Set { return abtree.NewHoH(m, 4, 8) }, treeCheck},
+		{"elided-tree", func(m core.Memory) intset.Set { return abtree.NewElided(m, 4, 8, 0) }, treeCheck},
+		{"llx-bst", func(m core.Memory) intset.Set { return bst.NewLLX(m) }, none},
+		{"hoh-bst", func(m core.Memory) intset.Set { return bst.NewHoH(m) }, none},
+		{"llx-chromatic", func(m core.Memory) intset.Set { return chromatic.NewLLX(m) }, chromCheck},
+		{"hoh-chromatic", func(m core.Memory) intset.Set { return chromatic.NewHoH(m) }, chromCheck},
+		{"skiplist-cas", func(m core.Memory) intset.Set { return skiplist.New(m) }, none},
+		{"skiplist-vas", func(m core.Memory) intset.Set { return skiplist.NewVAS(m) }, none},
+		{"norec-set", func(m core.Memory) intset.Set { return txset.New(m, stm.NewNOrec(m)) }, none},
+		{"tagged-set", func(m core.Memory) intset.Set { return txset.New(m, stm.NewTagged(m)) }, none},
+	}
+}
+
+func main() {
+	rounds := flag.Int("rounds", 1, "stress rounds per structure")
+	threads := flag.Int("threads", 4, "concurrent threads")
+	ops := flag.Int("ops", 500, "operations per thread per round")
+	keyRange := flag.Uint64("range", 48, "key range (small = high contention)")
+	backend := flag.String("backend", "both", "memory backend: machine, vtags, or both")
+	only := flag.String("structs", "", "comma-separated structure names (default all)")
+	seed := flag.Int64("seed", 1, "base random seed")
+	flag.Parse()
+
+	selected := map[string]bool{}
+	for _, n := range strings.Split(*only, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			selected[n] = true
+		}
+	}
+
+	backends := []string{"vtags", "machine"}
+	if *backend != "both" {
+		backends = []string{*backend}
+	}
+
+	failures := 0
+	for _, sd := range structs() {
+		if len(selected) > 0 && !selected[sd.name] {
+			continue
+		}
+		for _, bk := range backends {
+			for round := 0; round < *rounds; round++ {
+				if err := stressOne(sd, bk, *threads, *ops, *keyRange, *seed+int64(round)); err != nil {
+					fmt.Printf("FAIL %-14s %-8s round %d: %v\n", sd.name, bk, round, err)
+					failures++
+				} else {
+					fmt.Printf("ok   %-14s %-8s round %d\n", sd.name, bk, round)
+				}
+			}
+		}
+	}
+	if failures > 0 {
+		fmt.Printf("%d failure(s)\n", failures)
+		os.Exit(1)
+	}
+	fmt.Println("all stress rounds passed")
+}
+
+func newBackend(kind string, threads int) core.Memory {
+	if kind == "vtags" {
+		return vtags.New(256<<20, threads)
+	}
+	cfg := machine.DefaultConfig(threads)
+	cfg.MemBytes = 256 << 20
+	cfg.MaxTags = 128
+	return machine.New(cfg)
+}
+
+// stressOne runs one concurrent mixed round and verifies per-key counts,
+// snapshot order, and structural invariants.
+func stressOne(sd structDef, backend string, threads, ops int, keyRange uint64, seed int64) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	mem := newBackend(backend, threads)
+	s := sd.build(mem)
+
+	type cnt struct{ ins, del int64 }
+	counts := make([][]cnt, threads)
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		counts[w] = make([]cnt, keyRange)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			th := mem.Thread(w)
+			rng := rand.New(rand.NewSource(seed*1000 + int64(w)))
+			for i := 0; i < ops; i++ {
+				idx := rng.Intn(int(keyRange))
+				k := intset.KeyMin + uint64(idx)
+				switch rng.Intn(3) {
+				case 0:
+					if s.Insert(th, k) {
+						counts[w][idx].ins++
+					}
+				case 1:
+					if s.Delete(th, k) {
+						counts[w][idx].del++
+					}
+				default:
+					s.Contains(th, k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	th := mem.Thread(0)
+	for idx := uint64(0); idx < keyRange; idx++ {
+		var ins, del int64
+		for w := 0; w < threads; w++ {
+			ins += counts[w][idx].ins
+			del += counts[w][idx].del
+		}
+		net := ins - del
+		if net != 0 && net != 1 {
+			return fmt.Errorf("key %d: net successes %d", intset.KeyMin+idx, net)
+		}
+		if got, want := s.Contains(th, intset.KeyMin+idx), net == 1; got != want {
+			return fmt.Errorf("key %d: contains=%v want %v", intset.KeyMin+idx, got, want)
+		}
+	}
+	if snap, ok := s.(intset.Snapshotter); ok {
+		keys := snap.Keys(th)
+		if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+			return fmt.Errorf("final enumeration unsorted")
+		}
+	}
+	return sd.check(th, s)
+}

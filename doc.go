@@ -1,0 +1,17 @@
+// Package repro reproduces "Memory Tagging: Minimalist Synchronization for
+// Scalable Concurrent Data Structures" (Alistarh, Brown, Singhal; SPAA
+// 2020) as a Go library.
+//
+// The repository contains a multicore cache simulator with MESI-style
+// directory coherence (internal/machine) implementing the paper's MemTags
+// primitives — AddTag, RemoveTag, Validate, validate-and-swap (VAS) and
+// invalidate-and-swap (IAS) — at the L1 level; every data structure the
+// paper evaluates (Harris-Michael, VAS-based and hand-over-hand-tagged
+// linked lists; LLX/SCX and HoH-tagged (a,b)-trees; NOrec and tagged NOrec
+// STM with the STAMP Vacation workload; tagged kCAS; skip lists; range
+// queries); and a harness that regenerates every figure of the paper's
+// evaluation (cmd/memtag-bench, bench_test.go).
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+package repro

@@ -1,0 +1,61 @@
+// Concurrentset compares the paper's ordered-set designs side by side on
+// the same workload: the Harris-Michael lock-free list, the VAS-based and
+// hand-over-hand-tagged lists (Algorithms 1-2), the LLX/SCX (a,b)-tree and
+// its HoH-tagged fast variant (Algorithms 3-5), printing throughput and
+// coherence behaviour for each.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/abtree"
+	"repro/internal/chromatic"
+	"repro/internal/core"
+	"repro/internal/intset"
+	"repro/internal/list"
+	"repro/internal/machine"
+	"repro/internal/workload"
+)
+
+func main() {
+	const cores = 8
+	structures := []struct {
+		name     string
+		keyRange uint64
+		build    func(core.Memory) intset.Set
+	}{
+		{"harris list", 512, func(m core.Memory) intset.Set { return list.NewHarris(m) }},
+		{"vas list", 512, func(m core.Memory) intset.Set { return list.NewVAS(m) }},
+		{"hoh list", 512, func(m core.Memory) intset.Set { return list.NewHoH(m) }},
+		{"llx/scx tree", 8192, func(m core.Memory) intset.Set { return abtree.NewLLX(m, 4, 8) }},
+		{"hoh-tag tree", 8192, func(m core.Memory) intset.Set { return abtree.NewHoH(m, 4, 8) }},
+		{"llx chromatic", 8192, func(m core.Memory) intset.Set { return chromatic.NewLLX(m) }},
+		{"hoh chromatic", 8192, func(m core.Memory) intset.Set { return chromatic.NewHoH(m) }},
+	}
+
+	fmt.Printf("%-14s %12s %10s %12s %14s\n", "structure", "Mops/s", "miss %", "inval/op", "energy/op")
+	for _, st := range structures {
+		cfg := machine.DefaultConfig(cores)
+		cfg.MemBytes = 256 << 20
+		m := machine.New(cfg)
+		s := st.build(m)
+
+		wl := workload.Config{
+			Threads: cores, KeyRange: st.keyRange, PrefillSize: int(st.keyRange / 2),
+			OpsPerThread: 300, Mix: workload.Update3535, Seed: 7,
+		}
+		workload.Prefill(m, s, wl)
+		before := m.Snapshot()
+		counts := workload.Run(m, s, wl)
+		after := m.Snapshot()
+
+		cycles := after.MaxCycles - before.MaxCycles
+		ops := float64(counts.Ops)
+		fmt.Printf("%-14s %12.3f %10.2f %12.2f %14.1f\n",
+			st.name,
+			ops/(float64(cycles)/cfg.ClockHz)/1e6,
+			100*float64(after.Misses()-before.Misses())/float64(after.Accesses()-before.Accesses()),
+			float64(after.InvalidationsSent-before.InvalidationsSent)/ops,
+			(after.Energy-before.Energy)/ops)
+	}
+}

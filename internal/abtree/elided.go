@@ -1,0 +1,164 @@
+package abtree
+
+import (
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/intset"
+	"repro/internal/llxscx"
+)
+
+// Elided realizes the paper's headline composition (Sections 1, 5.1, 7):
+// "MemTags can serve as a natural and efficient fast-path for marking and
+// LLX/SCX-based implementations". It runs the hand-over-hand-tagged
+// (a,b)-tree as the fast path and the LLX/SCX tree as the slow path — on
+// the *same nodes* (both variants share the node layout, with the LLX/SCX
+// info/marked header words reserved in every node).
+//
+// Safety of the composition:
+//
+//   - Fast-path commits only while no slow operation is in flight: every
+//     fast IAS tags the counting Mode line (core.Fallback), so a slow
+//     entry invalidates all in-flight fast commits, and BeginFast refuses
+//     while the count is non-zero. This keeps IAS from landing inside an
+//     SCX's freeze/finalize/swing sequence.
+//   - Slow-path SCXs remain visible to the fast path's reachability
+//     invariant because freezing writes every dependency's info word —
+//     which invalidates the line at every core holding a tag on it,
+//     exactly like the fast path's own IAS transient marking.
+//   - Nodes created on either path look quiescent to the other (fresh
+//     nodes have info = 0 and marked = 0).
+type Elided struct {
+	hoh *HoHTree
+	llx *LLXTree
+	fb  *core.Fallback
+
+	// FastCommits / SlowCommits count where updates completed.
+	FastCommits atomic.Uint64
+	SlowCommits atomic.Uint64
+}
+
+var _ intset.Set = (*Elided)(nil)
+
+// NewElided creates an empty tree with parameters a, b; threshold is the
+// number of fast-path attempts per operation before falling back (0
+// selects the default).
+func NewElided(mem core.Memory, a, b, threshold int) *Elided {
+	hoh := NewHoH(mem, a, b)
+	llx := &LLXTree{
+		ly:       hoh.ly,
+		mem:      mem,
+		mgr:      llxscx.New(mem),
+		sentinel: hoh.sentinel, // both paths operate on the same tree
+	}
+	fb := core.NewFallback(mem)
+	if threshold > 0 {
+		fb.Threshold = threshold
+	}
+	return &Elided{hoh: hoh, llx: llx, fb: fb}
+}
+
+// guard joins the Mode line to the current tag set and checks no slow
+// operation is in flight, so the attempt's IAS validates the mode together
+// with the data window.
+func (e *Elided) guard(th core.Thread) func() bool {
+	return func() bool {
+		if !th.AddTag(e.fb.ModeAddr(), core.WordSize) {
+			return false
+		}
+		return th.Load(e.fb.ModeAddr()) == core.ModeFast
+	}
+}
+
+func (e *Elided) update(th core.Thread,
+	fast func(guard func() bool) (done, result, needCleanup bool),
+	slow func() bool,
+	key uint64) bool {
+
+	g := e.guard(th)
+	for attempt := 0; attempt < e.fb.Threshold; attempt++ {
+		if th.Load(e.fb.ModeAddr()) != core.ModeFast {
+			break
+		}
+		if done, result, needCleanup := fast(g); done {
+			e.FastCommits.Add(1)
+			if needCleanup {
+				e.cleanup(th, key, g)
+			}
+			return result
+		}
+	}
+	e.fb.EnterSlow(th)
+	result := slow()
+	e.fb.ExitSlow(th)
+	e.SlowCommits.Add(1)
+	return result
+}
+
+// cleanup removes the balance violations an update may have created,
+// preferring guarded fast-path fixes and falling back to the LLX/SCX
+// rebalancer when they keep failing.
+func (e *Elided) cleanup(th core.Thread, key uint64, g func() bool) {
+	for attempt := 0; attempt < 4*e.fb.Threshold; attempt++ {
+		if th.Load(e.fb.ModeAddr()) != core.ModeFast {
+			break
+		}
+		if e.hoh.cleanupPass(th, key, g) {
+			return
+		}
+	}
+	e.fb.EnterSlow(th)
+	e.llx.cleanup(th, key)
+	e.fb.ExitSlow(th)
+}
+
+// Insert adds key, reporting whether it was absent.
+func (e *Elided) Insert(th core.Thread, key uint64) bool {
+	return e.update(th,
+		func(g func() bool) (bool, bool, bool) { return e.hoh.insertOnce(th, key, g) },
+		func() bool { return e.llx.Insert(th, key) },
+		key)
+}
+
+// Delete removes key, reporting whether it was present.
+func (e *Elided) Delete(th core.Thread, key uint64) bool {
+	return e.update(th,
+		func(g func() bool) (bool, bool, bool) { return e.hoh.deleteOnce(th, key, g) },
+		func() bool { return e.llx.Delete(th, key) },
+		key)
+}
+
+// Contains reports whether key is present. The fast search needs no mode
+// check for correctness (it commits nothing; its linearization comes from
+// tag validation, which slow-path writes invalidate like any others), but
+// it falls back to the plain LLX/SCX search when the tagged traversal
+// keeps restarting (tags are advisory; searches too need a fallback for
+// progress).
+func (e *Elided) Contains(th core.Thread, key uint64) bool {
+	_, _, l, _, _, ok := e.hoh.locateBounded(th, key, locateRestartBudget)
+	if ok {
+		_, _, kc := e.hoh.ly.readMeta(th, l)
+		found := false
+		for i := 0; i < kc; i++ {
+			if th.Load(e.hoh.ly.keyAddr(l, i)) == key {
+				found = true
+				break
+			}
+		}
+		th.ClearTagSet()
+		return found
+	}
+	return e.llx.Contains(th, key)
+}
+
+// Keys enumerates the set while quiescent.
+func (e *Elided) Keys(th core.Thread) []uint64 { return e.hoh.Keys(th) }
+
+// Root returns the shared sentinel (for invariant checks).
+func (e *Elided) Root() core.Addr { return e.hoh.sentinel }
+
+// Layout returns the (a,b) parameters (for invariant checks).
+func (e *Elided) Layout() (a, b int) { return e.hoh.ly.a, e.hoh.ly.b }
+
+// ModeAddr exposes the Mode line for tests.
+func (e *Elided) ModeAddr() core.Addr { return e.fb.ModeAddr() }

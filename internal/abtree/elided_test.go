@@ -1,0 +1,123 @@
+package abtree
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/intset"
+	"repro/internal/machine"
+	"repro/internal/vtags"
+)
+
+func TestElidedTreeSequential(t *testing.T) {
+	mem := vtags.New(64<<20, 1)
+	s := NewElided(mem, 2, 4, 0)
+	intset.CheckSequential(t, mem, s, 2500, 128, 31)
+	if err := CheckInvariants(mem.Thread(0), s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestElidedTreeConcurrent(t *testing.T) {
+	mem := vtags.New(128<<20, 4)
+	s := NewElided(mem, 2, 4, 0)
+	intset.CheckMixedConcurrent(t, mem, s, 4, 250, 48)
+	if err := CheckInvariants(mem.Thread(0), s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestElidedTreeOnMachine(t *testing.T) {
+	cfg := machine.DefaultConfig(4)
+	cfg.MemBytes = 128 << 20
+	m := machine.New(cfg)
+	s := NewElided(m, 2, 4, 0)
+	intset.CheckMixedConcurrent(t, m, s, 4, 150, 24)
+	if err := CheckInvariants(m.Thread(0), s); err != nil {
+		t.Fatal(err)
+	}
+	if s.FastCommits.Load() == 0 {
+		t.Fatal("no update committed on the tagged fast path")
+	}
+}
+
+// TestElidedTreeFallsBackUnderSpuriousFailure: with a pathologically small
+// L1, tagged windows are spuriously evicted constantly; the LLX/SCX slow
+// path must carry the operations, and the result must still be a valid
+// tree.
+func TestElidedTreeFallsBackUnderSpuriousFailure(t *testing.T) {
+	cfg := machine.DefaultConfig(1)
+	cfg.MemBytes = 64 << 20
+	cfg.L1Bytes = 4 * core.LineSize // smaller than one tagging window
+	cfg.L1Ways = 1
+	m := machine.New(cfg)
+	s := NewElided(m, 2, 4, 3)
+	th := m.Thread(0)
+	for k := uint64(1); k <= 120; k++ {
+		if !s.Insert(th, k) {
+			t.Fatalf("insert %d failed", k)
+		}
+	}
+	for k := uint64(1); k <= 120; k += 3 {
+		if !s.Delete(th, k) {
+			t.Fatalf("delete %d failed", k)
+		}
+	}
+	for k := uint64(1); k <= 120; k++ {
+		want := k%3 != 1
+		if s.Contains(th, k) != want {
+			t.Fatalf("key %d: membership wrong", k)
+		}
+	}
+	if s.SlowCommits.Load() == 0 {
+		t.Fatal("expected slow-path commits under a 4-line L1")
+	}
+	if err := CheckInvariants(th, s); err != nil {
+		t.Fatalf("tree invalid after mixed-path updates: %v", err)
+	}
+	if th.Load(s.ModeAddr()) != core.ModeFast {
+		t.Fatal("slow count not drained")
+	}
+}
+
+// TestElidedTreeSlowEntryAbortsFastCommit: a slow-path entry between a
+// fast attempt's guard and its IAS must abort the IAS.
+func TestElidedTreeSlowEntryAbortsFastCommit(t *testing.T) {
+	mem := vtags.New(64<<20, 2)
+	s := NewElided(mem, 2, 4, 0)
+	t0, t1 := mem.Thread(0), mem.Thread(1)
+	s.Insert(t0, 10)
+
+	// Hand-roll a fast insert attempt for t1 up to (but excluding) the IAS.
+	_, p, _, _, idxL := s.hoh.locate(t1, 20)
+	if !s.guard(t1)() {
+		t.Fatal("guard failed in FAST mode")
+	}
+	// Slow entry lands before the commit.
+	s.fb.EnterSlow(t0)
+	repl := s.hoh.ly.writeNode(t1, nodeData{leaf: true, keys: []uint64{10, 20}})
+	if t1.IAS(s.hoh.ly.ptrAddr(p, idxL), uint64(repl)) {
+		t.Fatal("fast IAS committed despite in-flight slow operation")
+	}
+	t1.ClearTagSet()
+	s.fb.ExitSlow(t0)
+}
+
+// TestElidedTreeBothPathsInterleaved drives a workload that forces a mix
+// of fast and slow commits on the machine backend and verifies the final
+// structure agrees with a reference, proving path compatibility.
+func TestElidedTreeBothPathsInterleaved(t *testing.T) {
+	cfg := machine.DefaultConfig(4)
+	cfg.MemBytes = 128 << 20
+	cfg.L1Bytes = 16 * core.LineSize // tight: frequent spurious failures
+	cfg.L1Ways = 2
+	m := machine.New(cfg)
+	s := NewElided(m, 2, 4, 2)
+	intset.CheckMixedConcurrent(t, m, s, 4, 120, 16)
+	if s.FastCommits.Load() == 0 || s.SlowCommits.Load() == 0 {
+		t.Skipf("want both paths; fast=%d slow=%d", s.FastCommits.Load(), s.SlowCommits.Load())
+	}
+	if err := CheckInvariants(m.Thread(0), s); err != nil {
+		t.Fatal(err)
+	}
+}

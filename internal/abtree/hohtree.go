@@ -1,0 +1,444 @@
+package abtree
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/intset"
+)
+
+// HoHTree is the paper's hand-over-hand-tagged (a,b)-tree (Algorithms 3-5):
+// searches tag a sliding window of the last three ancestors (untagging the
+// great-grandparent as they descend), and every structural change is one
+// invalidate-and-swap. The IAS validates the window, invalidates the
+// replaced nodes at every other core (the transient marking that simulates
+// SCX's finalizing), and swings a single child pointer.
+//
+// The window size of three follows the paper's observation that no
+// (a,b)-tree operation atomically removes a chain of more than two nodes:
+// for a node to be deleted, a pointer must change in its parent or
+// grandparent, so a traversal holding valid tags on a node's two nearest
+// tagged ancestors would have been invalidated by any such deletion.
+type HoHTree struct {
+	ly       layout
+	mem      core.Memory
+	sentinel core.Addr
+}
+
+var _ intset.Set = (*HoHTree)(nil)
+
+// NewHoH creates an empty tree with parameters a, b (b >= 2a-1).
+func NewHoH(mem core.Memory, a, b int) *HoHTree {
+	ly := layout{a: a, b: b}
+	ly.check()
+	// The HoH window holds up to four nodes at once (gp, p, l and the next
+	// node during extension; likewise gp, p and two siblings during
+	// rebalancing). Below that budget the fast path can never validate.
+	linesPerNode := (ly.nodeBytes() + core.LineSize - 1) / core.LineSize
+	if need := 4 * linesPerNode; mem.MaxTags() < need {
+		panic(fmt.Sprintf("abtree: MaxTags %d below the HoH tagging window (%d lines)", mem.MaxTags(), need))
+	}
+	th := mem.Thread(0)
+	leaf := ly.writeNode(th, nodeData{leaf: true})
+	sentinel := ly.writeNode(th, nodeData{ptrs: []core.Addr{leaf}})
+	return &HoHTree{ly: ly, mem: mem, sentinel: sentinel}
+}
+
+// locate is Algorithm 3's LOCATE: a hand-over-hand tagged descent. On
+// return gp, p and l are tagged (gp may be NilAddr in shallow trees) and
+// were all in the tree at the last successful validation; the caller must
+// eventually ClearTagSet. idxP is p's slot in gp, idxL is l's slot in p.
+func (t *HoHTree) locate(th core.Thread, key uint64) (gp, p, l core.Addr, idxP, idxL int) {
+	gp, p, l, idxP, idxL, _ = t.locateBounded(th, key, -1)
+	return gp, p, l, idxP, idxL
+}
+
+// locateBounded is locate with a restart budget: after budget failed
+// validations it gives up (ok=false, tag set cleared) so a fallback path
+// can take over — without a bound, a tagged descent whose window exceeds
+// the L1 capacity restarts forever (tags are advisory; progress needs the
+// slow path). budget < 0 means unbounded.
+func (t *HoHTree) locateBounded(th core.Thread, key uint64, budget int) (gp, p, l core.Addr, idxP, idxL int, ok bool) {
+	nb := t.ly.nodeBytes()
+	for restarts := 0; budget < 0 || restarts <= budget; restarts++ {
+		th.ClearTagSet()
+		gp, p = core.NilAddr, core.NilAddr
+		idxP, idxL = -1, -1
+		l = t.sentinel
+		th.AddTag(l, nb)
+		if !th.Validate() {
+			continue
+		}
+		restart := false
+		for {
+			leaf, _, kc := t.ly.readMeta(th, l)
+			if leaf {
+				return gp, p, l, idxP, idxL, true
+			}
+			keys := make([]uint64, kc)
+			for i := range keys {
+				keys[i] = th.Load(t.ly.keyAddr(l, i))
+			}
+			i := childIndex(keys, key)
+			next := core.Addr(th.Load(t.ly.ptrAddr(l, i)))
+			th.AddTag(next, nb)
+			// Validate with the window extended: l was unchanged since the
+			// last validation (when it was in the tree), so next — read
+			// from l's pointer array after l was tagged — was l's child
+			// then, hence in the tree. Only now may the oldest tag go.
+			if !th.Validate() {
+				restart = true
+				break
+			}
+			if !gp.IsNil() {
+				th.RemoveTag(gp, nb)
+			}
+			gp, idxP = p, idxL
+			p, idxL = l, i
+			l = next
+		}
+		if restart {
+			continue
+		}
+	}
+	th.ClearTagSet()
+	return core.NilAddr, core.NilAddr, core.NilAddr, -1, -1, false
+}
+
+// Contains reports whether key is present, linearized at locate's last
+// successful validation.
+func (t *HoHTree) Contains(th core.Thread, key uint64) bool {
+	_, _, l, _, _ := t.locate(th, key)
+	_, _, kc := t.ly.readMeta(th, l)
+	found := false
+	for i := 0; i < kc; i++ {
+		if th.Load(t.ly.keyAddr(l, i)) == key {
+			found = true
+			break
+		}
+	}
+	th.ClearTagSet()
+	return found
+}
+
+// Insert adds key, reporting whether it was absent (Algorithm 3).
+func (t *HoHTree) Insert(th core.Thread, key uint64) bool {
+	for {
+		done, result, needCleanup := t.insertOnce(th, key, nil)
+		if done {
+			if needCleanup {
+				t.cleanup(th, key)
+			}
+			return result
+		}
+	}
+}
+
+// insertOnce performs one tagged insert attempt. guard, if non-nil, runs
+// after the window is tagged and may join extra lines (a fallback Mode
+// line) to the commit's tag set; a false return fails the attempt.
+// done=false means the attempt must be retried or abandoned to a slow
+// path; needCleanup reports that the committed change created a balance
+// violation the caller must clean up.
+func (t *HoHTree) insertOnce(th core.Thread, key uint64, guard func() bool) (done, result, needCleanup bool) {
+	p, l, idxL, ok := t.locateForUpdate(th, key, guard)
+	if !ok {
+		return false, false, false
+	}
+	ld := t.ly.readNode(th, l) // tagged: consistent if the IAS commits
+	if leafContains(ld.keys, key) {
+		th.ClearTagSet()
+		return true, false, false
+	}
+	if guard != nil && !guard() {
+		th.ClearTagSet()
+		return false, false, false
+	}
+	var repl core.Addr
+	overflow := len(ld.keys) >= t.ly.b
+	if !overflow {
+		repl = t.ly.writeNode(th, planLeafInsert(ld, key))
+	} else {
+		top, left, right := planLeafSplit(ld, key, p == t.sentinel)
+		top.ptrs[0] = t.ly.writeNode(th, left)
+		top.ptrs[1] = t.ly.writeNode(th, right)
+		repl = t.ly.writeNode(th, top)
+	}
+	// IAS: validates {gp, p, l} (and any guard lines), invalidates them at
+	// other cores (transiently marking the replaced leaf), swings p's
+	// child slot.
+	if th.IAS(t.ly.ptrAddr(p, idxL), uint64(repl)) {
+		th.ClearTagSet()
+		return true, true, overflow
+	}
+	th.ClearTagSet()
+	return false, false, false
+}
+
+// Delete removes key, reporting whether it was present.
+func (t *HoHTree) Delete(th core.Thread, key uint64) bool {
+	for {
+		done, result, needCleanup := t.deleteOnce(th, key, nil)
+		if done {
+			if needCleanup {
+				t.cleanup(th, key)
+			}
+			return result
+		}
+	}
+}
+
+// deleteOnce performs one tagged delete attempt; see insertOnce for the
+// guard contract.
+func (t *HoHTree) deleteOnce(th core.Thread, key uint64, guard func() bool) (done, result, needCleanup bool) {
+	p, l, idxL, ok := t.locateForUpdate(th, key, guard)
+	if !ok {
+		return false, false, false
+	}
+	ld := t.ly.readNode(th, l)
+	if !leafContains(ld.keys, key) {
+		th.ClearTagSet()
+		return true, false, false
+	}
+	if guard != nil && !guard() {
+		th.ClearTagSet()
+		return false, false, false
+	}
+	nd := planLeafDelete(ld, key)
+	repl := t.ly.writeNode(th, nd)
+	if th.IAS(t.ly.ptrAddr(p, idxL), uint64(repl)) {
+		th.ClearTagSet()
+		return true, true, len(nd.keys) < t.ly.a && p != t.sentinel
+	}
+	th.ClearTagSet()
+	return false, false, false
+}
+
+// locateRestartBudget bounds the tagged descent of a guarded (fallback-
+// capable) attempt; unguarded operations search unboundedly, as in the
+// paper's standalone algorithm.
+const locateRestartBudget = 8
+
+// locateForUpdate performs the descent for insertOnce/deleteOnce: bounded
+// when a guard (fallback path) exists, unbounded otherwise.
+func (t *HoHTree) locateForUpdate(th core.Thread, key uint64, guard func() bool) (p, l core.Addr, idxL int, ok bool) {
+	budget := -1
+	if guard != nil {
+		budget = locateRestartBudget
+	}
+	_, p, l, _, idxL, ok = t.locateBounded(th, key, budget)
+	return p, l, idxL, ok
+}
+
+// cleanup is Algorithm 5: repeatedly search toward key with a plain
+// (untagged) descent, fixing the topmost violation found, until the path is
+// clean. Fix steps tag the involved nodes only once they are needed
+// (Algorithm 4); a fix that races with a concurrent restructure either
+// fails its IAS or lands harmlessly on an already-unreachable node, and the
+// violation is rediscovered by the next pass.
+func (t *HoHTree) cleanup(th core.Thread, key uint64) {
+	for {
+		if t.cleanupPass(th, key, nil) {
+			return
+		}
+	}
+}
+
+// cleanupPass walks the path to key; it returns true if the path was
+// clean, false after attempting (successfully or not) to fix one
+// violation. guard follows the insertOnce contract and is threaded into
+// the fix steps' commits.
+func (t *HoHTree) cleanupPass(th core.Thread, key uint64, guard func() bool) bool {
+	gp, p := core.NilAddr, core.NilAddr
+	l := t.sentinel
+	idxP, idxL := -1, -1
+	for {
+		leaf, flagged, kc := t.ly.readMeta(th, l)
+		if l != t.sentinel {
+			if flagged {
+				t.fixFlag(th, gp, p, l, idxP, idxL, guard)
+				return false
+			}
+			deg := kc
+			if !leaf {
+				deg = kc + 1
+			}
+			if deg < t.ly.a {
+				if p == t.sentinel {
+					if !leaf && deg == 1 {
+						t.fixRootAbsorb(th, p, l, guard)
+						return false
+					}
+				} else {
+					t.fixDegree(th, gp, p, l, idxP, idxL, guard)
+					return false
+				}
+			}
+		}
+		if leaf {
+			return true
+		}
+		keys := make([]uint64, kc)
+		for i := range keys {
+			keys[i] = th.Load(t.ly.keyAddr(l, i))
+		}
+		i := childIndex(keys, key)
+		child := core.Addr(th.Load(t.ly.ptrAddr(l, i)))
+		gp, idxP = p, idxL
+		p, idxL = l, i
+		l = child
+	}
+}
+
+// tagAndCheckChild tags parent (if not yet tagged by the caller), then
+// verifies parent's child slot still holds child. Reads happen after the
+// tag, so if the check passes and the final IAS validates, the link held at
+// commit time.
+func (t *HoHTree) checkChild(th core.Thread, parent core.Addr, idx int, child core.Addr) bool {
+	return core.Addr(th.Load(t.ly.ptrAddr(parent, idx))) == child
+}
+
+// fixFlag is the tagged version of RootUntag / AbsorbChild / PropagateFlag.
+func (t *HoHTree) fixFlag(th core.Thread, gp, p, l core.Addr, idxP, idxL int, guard func() bool) {
+	nb := t.ly.nodeBytes()
+	defer th.ClearTagSet()
+	if p == t.sentinel {
+		// RootUntag.
+		th.AddTag(p, nb)
+		if !t.checkChild(th, p, 0, l) {
+			return
+		}
+		th.AddTag(l, nb)
+		ld := t.ly.readNode(th, l)
+		if !ld.flagged || !th.Validate() {
+			return
+		}
+		if guard != nil && !guard() {
+			return
+		}
+		repl := t.ly.writeNode(th, planRootUntag(ld))
+		th.IAS(t.ly.ptrAddr(p, 0), uint64(repl))
+		return
+	}
+	th.AddTag(gp, nb)
+	if !t.checkChild(th, gp, idxP, p) {
+		return
+	}
+	th.AddTag(p, nb)
+	if !t.checkChild(th, p, idxL, l) {
+		return
+	}
+	th.AddTag(l, nb)
+	pd := t.ly.readNode(th, p)
+	ld := t.ly.readNode(th, l)
+	if !ld.flagged || idxL >= len(pd.ptrs) || pd.ptrs[idxL] != l || !th.Validate() {
+		return
+	}
+	if guard != nil && !guard() {
+		return
+	}
+	var repl core.Addr
+	if pd.degree()-1+ld.degree() <= t.ly.b {
+		nd := planAbsorbChild(pd, ld, idxL)
+		assertDegree(t.ly, nd, "AbsorbChild")
+		repl = t.ly.writeNode(th, nd)
+	} else {
+		top, left, right := planPropagateFlag(pd, ld, idxL, gp == t.sentinel)
+		top.ptrs[0] = t.ly.writeNode(th, left)
+		top.ptrs[1] = t.ly.writeNode(th, right)
+		repl = t.ly.writeNode(th, top)
+	}
+	th.IAS(t.ly.ptrAddr(gp, idxP), uint64(repl))
+}
+
+// fixRootAbsorb is the tagged RootAbsorb: an internal root with one child
+// is replaced by that child.
+func (t *HoHTree) fixRootAbsorb(th core.Thread, p, l core.Addr, guard func() bool) {
+	nb := t.ly.nodeBytes()
+	defer th.ClearTagSet()
+	th.AddTag(p, nb)
+	if !t.checkChild(th, p, 0, l) {
+		return
+	}
+	th.AddTag(l, nb)
+	ld := t.ly.readNode(th, l)
+	if ld.leaf || ld.flagged || len(ld.ptrs) != 1 || !th.Validate() {
+		return
+	}
+	if guard != nil && !guard() {
+		return
+	}
+	th.IAS(t.ly.ptrAddr(p, 0), uint64(ld.ptrs[0]))
+}
+
+// fixDegree is the tagged AbsorbSibling / Distribute (Algorithm 4). Nodes
+// gp, p, l were found by the untagged cleanup search and are tagged only
+// here; the explicit pointer re-checks after tagging plus the IAS
+// validation give the same protection the LLX/SCX version gets from
+// finalized-node detection.
+func (t *HoHTree) fixDegree(th core.Thread, gp, p, l core.Addr, idxP, idxL int, guard func() bool) {
+	nb := t.ly.nodeBytes()
+	defer th.ClearTagSet()
+	th.AddTag(gp, nb)
+	if !t.checkChild(th, gp, idxP, p) {
+		return
+	}
+	th.AddTag(p, nb)
+	pd := t.ly.readNode(th, p)
+	if idxL >= len(pd.ptrs) || pd.ptrs[idxL] != l || len(pd.ptrs) < 2 {
+		return
+	}
+	si := idxL + 1
+	if idxL > 0 {
+		si = idxL - 1
+	}
+	s := pd.ptrs[si]
+	_, sFlagged, _ := t.ly.readMeta(th, s)
+	if sFlagged {
+		// Clear our partial tag set before fixing the sibling's flag.
+		th.ClearTagSet()
+		t.fixFlag(th, gp, p, s, idxP, si, guard)
+		return
+	}
+	leftIdx := idxL
+	if si < idxL {
+		leftIdx = si
+	}
+	left, right := pd.ptrs[leftIdx], pd.ptrs[leftIdx+1]
+	th.AddTag(left, nb)
+	th.AddTag(right, nb)
+	leftD := t.ly.readNode(th, left)
+	rightD := t.ly.readNode(th, right)
+	if leftD.leaf != rightD.leaf || !th.Validate() {
+		return
+	}
+	if guard != nil && !guard() {
+		return
+	}
+	var repl core.Addr
+	if leftD.degree()+rightD.degree() <= t.ly.b {
+		pNew, merged := planAbsorbSibling(pd, leftD, rightD, leftIdx)
+		assertDegree(t.ly, merged, "AbsorbSibling")
+		pNew.ptrs[leftIdx] = t.ly.writeNode(th, merged)
+		repl = t.ly.writeNode(th, pNew)
+	} else {
+		pNew, nl, nr := planDistribute(pd, leftD, rightD, leftIdx)
+		assertDegree(t.ly, nl, "Distribute")
+		assertDegree(t.ly, nr, "Distribute")
+		pNew.ptrs[leftIdx] = t.ly.writeNode(th, nl)
+		pNew.ptrs[leftIdx+1] = t.ly.writeNode(th, nr)
+		repl = t.ly.writeNode(th, pNew)
+	}
+	th.IAS(t.ly.ptrAddr(gp, idxP), uint64(repl))
+}
+
+// Keys enumerates the set in order while quiescent.
+func (t *HoHTree) Keys(th core.Thread) []uint64 {
+	return collectKeys(th, t.ly, t.sentinel)
+}
+
+// Root returns the sentinel node address (for invariant checks).
+func (t *HoHTree) Root() core.Addr { return t.sentinel }
+
+// Layout returns the tree's (a,b) parameters (for invariant checks).
+func (t *HoHTree) Layout() (a, b int) { return t.ly.a, t.ly.b }

@@ -1,0 +1,186 @@
+// Package abtree implements the paper's relaxed (a,b)-tree (Section 5.1) in
+// two synchronization flavours over simulated memory:
+//
+//   - LLX: the software baseline of Brown et al., where every structural
+//     change is an SCX that freezes and finalizes the replaced nodes.
+//   - HoH: the paper's hand-over-hand-tagged fast variant (Algorithms 3-5),
+//     where searches tag a sliding window of three ancestors and every
+//     structural change is a single invalidate-and-swap.
+//
+// The tree is leaf-oriented: all set keys live in leaves; internal nodes
+// hold router keys. Balance is relaxed with two violation kinds (following
+// Brown's (a,b)-tree): a *flag violation* at a flagged node (weight 0,
+// created when a leaf or subtree splits) and a *degree violation* at a
+// non-root node with fewer than a children/keys. Rebalancing steps
+// (RootUntag, RootAbsorb, AbsorbChild, PropagateFlag, AbsorbSibling,
+// Distribute) remove violations or move them up the search path; the
+// invariant "all leaves have the same relaxed level" (levels not counting
+// flagged ancestors) holds at every instant.
+//
+// Nodes are immutable except for their child-pointer array: every other
+// change replaces a node with a fresh copy, exactly as in the paper. Both
+// flavours share the node layout and the transformation planning code;
+// they differ only in how a planned change is validated and committed.
+package abtree
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/llxscx"
+)
+
+// Node word layout. The first two words are the LLX/SCX header (unused by
+// the HoH variant but kept so both variants are layout-identical).
+const (
+	fInfo   = llxscx.FInfo
+	fMarked = llxscx.FMarked
+	fMeta   = 2
+	fKeys   = 3 // b key slots, then b child-pointer slots
+)
+
+// Meta word encoding.
+const (
+	metaLeaf    uint64 = 1 << 0
+	metaFlagged uint64 = 1 << 1 // weight 0: a flag violation lives here
+	metaCountSh        = 8
+)
+
+// layout carries the tree's (a,b) parameters and derives node geometry.
+type layout struct {
+	a, b int
+}
+
+func (ly layout) check() {
+	if ly.a < 2 || ly.b < 2*ly.a-1 {
+		panic(fmt.Sprintf("abtree: invalid parameters a=%d b=%d (need a>=2, b>=2a-1)", ly.a, ly.b))
+	}
+}
+
+// nodeWords returns the node footprint in words.
+func (ly layout) nodeWords() int { return fKeys + 2*ly.b }
+
+// nodeBytes returns the node footprint in bytes (what AddTag covers).
+func (ly layout) nodeBytes() int { return ly.nodeWords() * core.WordSize }
+
+func (ly layout) keyAddr(n core.Addr, i int) core.Addr { return n.Plus(fKeys + i) }
+func (ly layout) ptrAddr(n core.Addr, i int) core.Addr { return n.Plus(fKeys + ly.b + i) }
+
+// mutOff/mutWords describe the mutable region (the child pointers) for LLX.
+func (ly layout) mutOff() int   { return fKeys + ly.b }
+func (ly layout) mutWords() int { return ly.b }
+
+// nodeData is an in-Go copy of a node's contents, used to plan
+// transformations before committing them to simulated memory.
+type nodeData struct {
+	leaf    bool
+	flagged bool
+	keys    []uint64
+	ptrs    []core.Addr // internal: len(keys)+1 children; leaf: nil
+}
+
+// degree is the quantity bounded by [a, b]: children for internal nodes,
+// keys for leaves.
+func (nd *nodeData) degree() int {
+	if nd.leaf {
+		return len(nd.keys)
+	}
+	return len(nd.ptrs)
+}
+
+func packMeta(leaf, flagged bool, keyCount int) uint64 {
+	m := uint64(keyCount) << metaCountSh
+	if leaf {
+		m |= metaLeaf
+	}
+	if flagged {
+		m |= metaFlagged
+	}
+	return m
+}
+
+// readMeta decodes a node's meta word (immutable, so a plain load is always
+// consistent).
+func (ly layout) readMeta(th core.Thread, n core.Addr) (leaf, flagged bool, keyCount int) {
+	m := th.Load(n.Plus(fMeta))
+	return m&metaLeaf != 0, m&metaFlagged != 0, int(m >> metaCountSh)
+}
+
+// readNode loads a full node copy. Keys and meta are immutable; pointers
+// are mutable, so the copy is only meaningful under the caller's
+// synchronization (tags, LLX freeze, or quiescence).
+func (ly layout) readNode(th core.Thread, n core.Addr) nodeData {
+	leaf, flagged, kc := ly.readMeta(th, n)
+	nd := nodeData{leaf: leaf, flagged: flagged, keys: make([]uint64, kc)}
+	for i := 0; i < kc; i++ {
+		nd.keys[i] = th.Load(ly.keyAddr(n, i))
+	}
+	if !leaf {
+		nd.ptrs = make([]core.Addr, kc+1)
+		for i := 0; i <= kc; i++ {
+			nd.ptrs[i] = core.Addr(th.Load(ly.ptrAddr(n, i)))
+		}
+	}
+	return nd
+}
+
+// writeNode allocates and initializes a fresh node from nd.
+func (ly layout) writeNode(th core.Thread, nd nodeData) core.Addr {
+	if len(nd.keys) > ly.b || (!nd.leaf && len(nd.ptrs) != len(nd.keys)+1) {
+		panic(fmt.Sprintf("abtree: malformed node leaf=%v keys=%d ptrs=%d b=%d",
+			nd.leaf, len(nd.keys), len(nd.ptrs), ly.b))
+	}
+	n := th.Alloc(ly.nodeWords())
+	th.Store(n.Plus(fMeta), packMeta(nd.leaf, nd.flagged, len(nd.keys)))
+	for i, k := range nd.keys {
+		th.Store(ly.keyAddr(n, i), k)
+	}
+	for i, p := range nd.ptrs {
+		th.Store(ly.ptrAddr(n, i), uint64(p))
+	}
+	return n
+}
+
+// childIndex returns which child of an internal node the search for key
+// descends into: the subtree i covers keys in [keys[i-1], keys[i]).
+func childIndex(keys []uint64, key uint64) int {
+	i := 0
+	for i < len(keys) && key >= keys[i] {
+		i++
+	}
+	return i
+}
+
+// leafContains reports whether a leaf's key slice contains key.
+func leafContains(keys []uint64, key uint64) bool {
+	for _, k := range keys {
+		if k == key {
+			return true
+		}
+	}
+	return false
+}
+
+// insertSorted returns keys with key inserted in order.
+func insertSorted(keys []uint64, key uint64) []uint64 {
+	out := make([]uint64, 0, len(keys)+1)
+	i := 0
+	for i < len(keys) && keys[i] < key {
+		out = append(out, keys[i])
+		i++
+	}
+	out = append(out, key)
+	out = append(out, keys[i:]...)
+	return out
+}
+
+// removeKey returns keys without key.
+func removeKey(keys []uint64, key uint64) []uint64 {
+	out := make([]uint64, 0, len(keys))
+	for _, k := range keys {
+		if k != key {
+			out = append(out, k)
+		}
+	}
+	return out
+}

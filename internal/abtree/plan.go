@@ -1,0 +1,158 @@
+package abtree
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// This file contains the pure planning logic for every structural change:
+// given consistent nodeData copies, it computes the replacement nodes. Both
+// synchronization variants share it; they differ only in how the copies are
+// obtained (LLX snapshots vs tagged reads) and how the plan is committed
+// (SCX vs IAS).
+
+// planLeafInsert returns the replacement for inserting key into a non-full
+// leaf u (Figure 3a).
+func planLeafInsert(u nodeData, key uint64) nodeData {
+	return nodeData{leaf: true, keys: insertSorted(u.keys, key)}
+}
+
+// planLeafSplit returns the replacement subtree for inserting key into a
+// full leaf u (Figure 3b): two fresh leaves under a fresh parent. The
+// parent is flagged — preserving "all leaves have the same relaxed level" —
+// unless it becomes the tree root (parent is the sentinel), where the extra
+// level is legal. The top node's child slots are placeholders the caller
+// fills after materializing left and right.
+func planLeafSplit(u nodeData, key uint64, becomesRoot bool) (top, left, right nodeData) {
+	all := insertSorted(u.keys, key)
+	h := (len(all) + 1) / 2
+	left = nodeData{leaf: true, keys: all[:h]}
+	right = nodeData{leaf: true, keys: all[h:]}
+	top = nodeData{flagged: !becomesRoot, keys: []uint64{all[h]}, ptrs: make([]core.Addr, 2)}
+	return top, left, right
+}
+
+// planLeafDelete returns the replacement for removing key from leaf u.
+func planLeafDelete(u nodeData, key uint64) nodeData {
+	return nodeData{leaf: true, keys: removeKey(u.keys, key)}
+}
+
+// planRootUntag returns an unflagged copy of the root l (RootUntag: the
+// child of the sentinel may not carry a flag violation; dropping the flag
+// makes the extra level permanent, which is legal at the root).
+func planRootUntag(l nodeData) nodeData {
+	return nodeData{leaf: l.leaf, flagged: false, keys: l.keys, ptrs: l.ptrs}
+}
+
+// spliceChild returns p's contents with child l (at index li) replaced by
+// l's own children and keys — the merged material used by AbsorbChild and
+// PropagateFlag.
+func spliceChild(p, l nodeData, li int) nodeData {
+	out := nodeData{flagged: p.flagged}
+	out.keys = append(out.keys, p.keys[:li]...)
+	out.keys = append(out.keys, l.keys...)
+	out.keys = append(out.keys, p.keys[li:]...)
+	out.ptrs = append(out.ptrs, p.ptrs[:li]...)
+	out.ptrs = append(out.ptrs, l.ptrs...)
+	out.ptrs = append(out.ptrs, p.ptrs[li+1:]...)
+	return out
+}
+
+// planAbsorbChild returns the replacement for p when flagged child l (at
+// index li) fits entirely inside it: one node absorbing l's children,
+// eliminating the flag violation.
+func planAbsorbChild(p, l nodeData, li int) nodeData {
+	return spliceChild(p, l, li)
+}
+
+// planPropagateFlag handles a flagged child l that does not fit into p:
+// the merged material is split into two fresh internal nodes under a fresh
+// parent, which carries the flag upward (unless it becomes the root). The
+// top node's child slots are placeholders.
+func planPropagateFlag(p, l nodeData, li int, becomesRoot bool) (top, left, right nodeData) {
+	m := spliceChild(p, l, li)
+	left, right, router := splitInternal(m)
+	top = nodeData{flagged: !becomesRoot, keys: []uint64{router}, ptrs: make([]core.Addr, 2)}
+	return top, left, right
+}
+
+// splitInternal splits an internal node's material into two halves and the
+// router key that separates them.
+func splitInternal(m nodeData) (left, right nodeData, router uint64) {
+	c := len(m.ptrs)
+	h := (c + 1) / 2
+	left = nodeData{
+		keys: append([]uint64(nil), m.keys[:h-1]...),
+		ptrs: append([]core.Addr(nil), m.ptrs[:h]...),
+	}
+	right = nodeData{
+		keys: append([]uint64(nil), m.keys[h:]...),
+		ptrs: append([]core.Addr(nil), m.ptrs[h:]...),
+	}
+	return left, right, m.keys[h-1]
+}
+
+// mergeSiblings combines adjacent siblings left (child li of p) and right
+// (child li+1), pulling down the router key between them for internal
+// nodes.
+func mergeSiblings(p, left, right nodeData, li int) nodeData {
+	if left.leaf != right.leaf {
+		panic("abtree: sibling kind mismatch (relaxed-level invariant broken)")
+	}
+	if left.leaf {
+		keys := append(append([]uint64(nil), left.keys...), right.keys...)
+		return nodeData{leaf: true, keys: keys}
+	}
+	keys := append([]uint64(nil), left.keys...)
+	keys = append(keys, p.keys[li])
+	keys = append(keys, right.keys...)
+	ptrs := append(append([]core.Addr(nil), left.ptrs...), right.ptrs...)
+	return nodeData{keys: keys, ptrs: ptrs}
+}
+
+// planAbsorbSibling returns p's replacement when the merged siblings fit in
+// one node: p loses one child and one key. The merged node's slot in pNew
+// (index li) is a placeholder the caller fills.
+func planAbsorbSibling(p, left, right nodeData, li int) (pNew, merged nodeData) {
+	merged = mergeSiblings(p, left, right, li)
+	pNew = nodeData{flagged: p.flagged}
+	pNew.keys = append(pNew.keys, p.keys[:li]...)
+	pNew.keys = append(pNew.keys, p.keys[li+1:]...)
+	pNew.ptrs = append(pNew.ptrs, p.ptrs[:li]...)
+	pNew.ptrs = append(pNew.ptrs, core.NilAddr) // slot li: merged node
+	pNew.ptrs = append(pNew.ptrs, p.ptrs[li+2:]...)
+	return pNew, merged
+}
+
+// planDistribute returns p's replacement when the merged siblings overflow
+// one node: their material is redistributed evenly into two fresh nodes and
+// the router key in p updated. Child slots li and li+1 of pNew are
+// placeholders.
+func planDistribute(p, left, right nodeData, li int) (pNew, newLeft, newRight nodeData) {
+	m := mergeSiblings(p, left, right, li)
+	var router uint64
+	if m.leaf {
+		h := (len(m.keys) + 1) / 2
+		newLeft = nodeData{leaf: true, keys: append([]uint64(nil), m.keys[:h]...)}
+		newRight = nodeData{leaf: true, keys: append([]uint64(nil), m.keys[h:]...)}
+		router = m.keys[h]
+	} else {
+		newLeft, newRight, router = splitInternal(m)
+	}
+	pNew = nodeData{
+		flagged: p.flagged,
+		keys:    append([]uint64(nil), p.keys...),
+		ptrs:    append([]core.Addr(nil), p.ptrs...),
+	}
+	pNew.keys[li] = router
+	pNew.ptrs[li] = core.NilAddr
+	pNew.ptrs[li+1] = core.NilAddr
+	return pNew, newLeft, newRight
+}
+
+func assertDegree(ly layout, nd nodeData, what string) {
+	if nd.degree() > ly.b {
+		panic(fmt.Sprintf("abtree: %s produced degree %d > b=%d", what, nd.degree(), ly.b))
+	}
+}

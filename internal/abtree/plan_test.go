@@ -1,0 +1,266 @@
+package abtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+// genLeaf builds a sorted, duplicate-free leaf of n keys drawn from rng.
+func genLeaf(rng *rand.Rand, n int) nodeData {
+	seen := map[uint64]bool{}
+	keys := make([]uint64, 0, n)
+	for len(keys) < n {
+		k := uint64(rng.Intn(10000) + 1)
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return nodeData{leaf: true, keys: keys}
+}
+
+// genInternal builds an internal node with n children and synthetic child
+// addresses.
+func genInternal(rng *rand.Rand, n int, base uint64) nodeData {
+	nd := genLeaf(rng, n-1)
+	nd.leaf = false
+	nd.ptrs = make([]core.Addr, n)
+	for i := range nd.ptrs {
+		nd.ptrs[i] = core.Addr((base + uint64(i) + 1) * core.LineSize)
+	}
+	return nd
+}
+
+func sorted(keys []uint64) bool {
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPlanLeafInsertProperty(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		u := genLeaf(rng, int(sz%7)+1)
+		key := uint64(rng.Intn(10000) + 20000) // guaranteed absent
+		n := planLeafInsert(u, key)
+		return n.leaf && len(n.keys) == len(u.keys)+1 && sorted(n.keys)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlanLeafSplitProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := rng.Intn(6) + 3 // b in [3, 8]
+		u := genLeaf(rng, b)
+		key := uint64(rng.Intn(10000) + 20000)
+		top, left, right := planLeafSplit(u, key, false)
+		if !top.flagged || top.leaf || len(top.keys) != 1 {
+			return false
+		}
+		// Keys conserved and partitioned by the router.
+		if len(left.keys)+len(right.keys) != b+1 {
+			return false
+		}
+		if !sorted(left.keys) || !sorted(right.keys) {
+			return false
+		}
+		if right.keys[0] != top.keys[0] {
+			return false
+		}
+		for _, k := range left.keys {
+			if k >= top.keys[0] {
+				return false
+			}
+		}
+		// Halves within one of each other (even split).
+		d := len(left.keys) - len(right.keys)
+		return d >= -1 && d <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlanLeafDeleteProperty(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		u := genLeaf(rng, int(sz%6)+2)
+		victim := u.keys[rng.Intn(len(u.keys))]
+		n := planLeafDelete(u, victim)
+		if len(n.keys) != len(u.keys)-1 || !sorted(n.keys) {
+			return false
+		}
+		for _, k := range n.keys {
+			if k == victim {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpliceChildConservesMaterial(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := genInternal(rng, rng.Intn(4)+2, 100)
+		l := genInternal(rng, rng.Intn(4)+2, 200)
+		li := rng.Intn(len(p.ptrs))
+		m := spliceChild(p, l, li)
+		return len(m.ptrs) == len(p.ptrs)-1+len(l.ptrs) &&
+			len(m.keys) == len(m.ptrs)-1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitInternalPartition(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := genInternal(rng, rng.Intn(8)+4, 300)
+		left, right, router := splitInternal(m)
+		if len(left.ptrs)+len(right.ptrs) != len(m.ptrs) {
+			return false
+		}
+		if len(left.keys) != len(left.ptrs)-1 || len(right.keys) != len(right.ptrs)-1 {
+			return false
+		}
+		for _, k := range left.keys {
+			if k >= router {
+				return false
+			}
+		}
+		for _, k := range right.keys {
+			if k <= router {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeSiblingsConserves(t *testing.T) {
+	f := func(seed int64, leaf bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var left, right nodeData
+		if leaf {
+			left = genLeaf(rng, rng.Intn(3)+1)
+			right = genLeaf(rng, rng.Intn(3)+1)
+			// Shift right's keys above left's.
+			for i := range right.keys {
+				right.keys[i] += 20000
+			}
+		} else {
+			left = genInternal(rng, rng.Intn(3)+2, 400)
+			right = genInternal(rng, rng.Intn(3)+2, 500)
+			for i := range right.keys {
+				right.keys[i] += 20000
+			}
+		}
+		// Parent with the two as children 0,1 and a router between them.
+		p := nodeData{keys: []uint64{15000}, ptrs: []core.Addr{64, 128}}
+		m := mergeSiblings(p, left, right, 0)
+		if leaf {
+			return m.leaf && len(m.keys) == len(left.keys)+len(right.keys) && sorted(m.keys)
+		}
+		return !m.leaf &&
+			len(m.ptrs) == len(left.ptrs)+len(right.ptrs) &&
+			len(m.keys) == len(left.keys)+len(right.keys)+1 &&
+			sorted(m.keys)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlanDistributeBalances(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		left := genLeaf(rng, rng.Intn(3)+1)
+		right := genLeaf(rng, rng.Intn(5)+4)
+		for i := range right.keys {
+			right.keys[i] += 20000
+		}
+		p := nodeData{keys: []uint64{15000}, ptrs: []core.Addr{64, 128}}
+		pNew, nl, nr := planDistribute(p, left, right, 0)
+		total := len(left.keys) + len(right.keys)
+		if len(nl.keys)+len(nr.keys) != total {
+			return false
+		}
+		d := len(nl.keys) - len(nr.keys)
+		if d < -1 || d > 1 {
+			return false
+		}
+		// The router separates the new halves.
+		if pNew.keys[0] != nr.keys[0] {
+			return false
+		}
+		for _, k := range nl.keys {
+			if k >= pNew.keys[0] {
+				return false
+			}
+		}
+		return sorted(nl.keys) && sorted(nr.keys)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlanAbsorbSibling(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	left := genLeaf(rng, 1)
+	right := genLeaf(rng, 2)
+	for i := range right.keys {
+		right.keys[i] += 20000
+	}
+	p := nodeData{keys: []uint64{15000, 30000}, ptrs: []core.Addr{64, 128, 192}}
+	pNew, merged := planAbsorbSibling(p, left, right, 0)
+	if len(pNew.ptrs) != 2 || len(pNew.keys) != 1 {
+		t.Fatalf("pNew shape: %d ptrs %d keys", len(pNew.ptrs), len(pNew.keys))
+	}
+	if pNew.keys[0] != 30000 {
+		t.Fatalf("dropped wrong router: %v", pNew.keys)
+	}
+	if len(merged.keys) != 3 || !sorted(merged.keys) {
+		t.Fatalf("merged = %v", merged.keys)
+	}
+	if pNew.ptrs[1] != 192 {
+		t.Fatal("unrelated sibling pointer lost")
+	}
+}
+
+func TestPlanRootUntag(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	l := genInternal(rng, 3, 600)
+	l.flagged = true
+	n := planRootUntag(l)
+	if n.flagged {
+		t.Fatal("still flagged")
+	}
+	if len(n.keys) != len(l.keys) || len(n.ptrs) != len(l.ptrs) {
+		t.Fatal("contents changed")
+	}
+	for i := range n.ptrs {
+		if n.ptrs[i] != l.ptrs[i] {
+			t.Fatal("children changed")
+		}
+	}
+}

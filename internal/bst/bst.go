@@ -1,0 +1,137 @@
+// Package bst implements the unbalanced, leaf-oriented (external) binary
+// search tree — one of the applications the paper names for general
+// tagging ("lists, binary search trees, balanced search trees...") — in
+// the same two flavours as the (a,b)-tree:
+//
+//   - LLX: the software baseline in the style of Brown's LLX/SCX external
+//     BST (itself the pragmatic form of Ellen et al.'s lock-free BST):
+//     an insert replaces a leaf with a three-node subtree via SCX on
+//     {parent, leaf}; a delete replaces the parent with the leaf's sibling
+//     via SCX on {grandparent, parent, leaf}, finalizing the removed
+//     nodes.
+//   - HoH: hand-over-hand tagging with a three-ancestor window and a
+//     single IAS per update. A delete removes the chain {parent, leaf} —
+//     two nodes, changing a pointer in the leaf's grandparent — so the
+//     same window argument as the (a,b)-tree applies, and the IAS's
+//     transient marking of the removed nodes preserves the reachability
+//     invariant.
+//
+// All set keys live in leaves; internal nodes hold routing keys (left
+// subtree < key <= right subtree... by convention here: left < key,
+// right >= key). Nodes are immutable except the two child pointers of
+// internal nodes.
+package bst
+
+import (
+	"repro/internal/core"
+	"repro/internal/llxscx"
+)
+
+// Node layout (words). The LLX/SCX header is reserved in every node so
+// both flavours are layout-identical.
+const (
+	fInfo   = llxscx.FInfo
+	fMarked = llxscx.FMarked
+	fMeta   = 2 // bit 0: leaf
+	fKey    = 3
+	fLeft   = 4
+	fRight  = 5
+
+	nodeWords = 6
+	nodeBytes = nodeWords * core.WordSize
+)
+
+// Sentinel keys, above every legal set key (intset.KeyMax < inf1 < inf2).
+const (
+	inf1 uint64 = ^uint64(0) - 1
+	inf2 uint64 = ^uint64(0)
+)
+
+// base carries the state shared by both flavours.
+type base struct {
+	mem  core.Memory
+	root core.Addr // sentinel S1; S1.left = S2; the set lives under S2.left
+}
+
+// newBase builds the sentinel structure:
+//
+//	S1(inf2) ── left ─→ S2(inf1) ── left ─→ leaf(inf1)
+//	   └─ right → leaf(inf2)        └─ right → leaf(inf1)
+//
+// Every reachable leaf for a legal key has both a parent and a
+// grandparent, and the sentinels are never modified except S2's left
+// child pointer.
+func newBase(mem core.Memory) base {
+	th := mem.Thread(0)
+	mkLeaf := func(k uint64) core.Addr {
+		n := th.Alloc(nodeWords)
+		th.Store(n.Plus(fMeta), 1)
+		th.Store(n.Plus(fKey), k)
+		return n
+	}
+	mkInternal := func(k uint64, l, r core.Addr) core.Addr {
+		n := th.Alloc(nodeWords)
+		th.Store(n.Plus(fMeta), 0)
+		th.Store(n.Plus(fKey), k)
+		th.Store(n.Plus(fLeft), uint64(l))
+		th.Store(n.Plus(fRight), uint64(r))
+		return n
+	}
+	s2 := mkInternal(inf1, mkLeaf(inf1), mkLeaf(inf1))
+	s1 := mkInternal(inf2, s2, mkLeaf(inf2))
+	return base{mem: mem, root: s1}
+}
+
+func isLeaf(th core.Thread, n core.Addr) bool  { return th.Load(n.Plus(fMeta))&1 != 0 }
+func keyOf(th core.Thread, n core.Addr) uint64 { return th.Load(n.Plus(fKey)) }
+
+// childSlot returns the address of the child pointer the search for key
+// follows from internal node n, and whether it went left.
+func childSlot(th core.Thread, n core.Addr, key uint64) (slot core.Addr, left bool) {
+	if key < keyOf(th, n) {
+		return n.Plus(fLeft), true
+	}
+	return n.Plus(fRight), false
+}
+
+// newLeaf allocates a leaf holding key.
+func newLeaf(th core.Thread, key uint64) core.Addr {
+	n := th.Alloc(nodeWords)
+	th.Store(n.Plus(fMeta), 1)
+	th.Store(n.Plus(fKey), key)
+	return n
+}
+
+// newSubtree builds the three-node replacement for inserting key next to a
+// leaf holding lkey: a fresh internal whose routing key is the larger of
+// the two, with the two leaves ordered.
+func newSubtree(th core.Thread, key, lkey uint64) core.Addr {
+	small, big := key, lkey
+	if small > big {
+		small, big = big, small
+	}
+	n := th.Alloc(nodeWords)
+	th.Store(n.Plus(fMeta), 0)
+	th.Store(n.Plus(fKey), big)
+	th.Store(n.Plus(fLeft), uint64(newLeaf(th, small)))
+	th.Store(n.Plus(fRight), uint64(newLeaf(th, big)))
+	return n
+}
+
+// collect enumerates the set while quiescent (keys below inf1 only).
+func (b *base) collect(th core.Thread) []uint64 {
+	var out []uint64
+	var walk func(n core.Addr)
+	walk = func(n core.Addr) {
+		if isLeaf(th, n) {
+			if k := keyOf(th, n); k < inf1 {
+				out = append(out, k)
+			}
+			return
+		}
+		walk(core.Addr(th.Load(n.Plus(fLeft))))
+		walk(core.Addr(th.Load(n.Plus(fRight))))
+	}
+	walk(b.root)
+	return out
+}

@@ -1,0 +1,126 @@
+package bst
+
+import (
+	"repro/internal/core"
+	"repro/internal/intset"
+)
+
+// HoH is the hand-over-hand-tagged external BST: searches keep a tagged
+// window of the last three nodes on the path (gp, p, l), and updates
+// commit with one IAS that transiently marks the removed nodes. No
+// per-node flags, marks or helping structures are needed — the minimal
+// synchronization the paper advocates.
+type HoH struct {
+	base
+}
+
+var _ intset.Set = (*HoH)(nil)
+
+// NewHoH creates an empty tree.
+func NewHoH(mem core.Memory) *HoH {
+	// Window: gp, p, l plus the next node during extension = 4 nodes.
+	if mem.MaxTags() < 4 {
+		panic("bst: MaxTags below the HoH tagging window (4 lines)")
+	}
+	return &HoH{base: newBase(mem)}
+}
+
+// locate performs the tagged descent. On return gp, p and l are tagged and
+// were all in the tree at the last successful validation; the caller must
+// eventually ClearTagSet. The two sentinel levels guarantee gp and p are
+// valid internal nodes for every legal key.
+func (t *HoH) locate(th core.Thread, key uint64) (gp, p, l core.Addr) {
+	for {
+		th.ClearTagSet()
+		gp, p = core.NilAddr, core.NilAddr
+		l = t.root
+		th.AddTag(l, nodeBytes)
+		if !th.Validate() {
+			continue
+		}
+		restart := false
+		for !isLeaf(th, l) {
+			slot, _ := childSlot(th, l, key)
+			next := core.Addr(th.Load(slot))
+			th.AddTag(next, nodeBytes)
+			// Validate with the window extended before dropping the
+			// oldest tag (the same induction as the list and (a,b)-tree).
+			if !th.Validate() {
+				restart = true
+				break
+			}
+			if !gp.IsNil() {
+				th.RemoveTag(gp, nodeBytes)
+			}
+			gp, p, l = p, l, next
+		}
+		if restart {
+			continue
+		}
+		return gp, p, l
+	}
+}
+
+// Contains reports whether key is present, linearized at locate's last
+// successful validation.
+func (t *HoH) Contains(th core.Thread, key uint64) bool {
+	_, _, l := t.locate(th, key)
+	found := keyOf(th, l) == key
+	th.ClearTagSet()
+	return found
+}
+
+// Insert adds key, reporting whether it was absent: the leaf is replaced
+// by a three-node subtree via IAS on its parent's child slot.
+func (t *HoH) Insert(th core.Thread, key uint64) bool {
+	for {
+		_, p, l := t.locate(th, key)
+		lkey := keyOf(th, l)
+		if lkey == key {
+			th.ClearTagSet()
+			return false
+		}
+		slot, _ := childSlot(th, p, key)
+		repl := newSubtree(th, key, lkey)
+		if th.IAS(slot, uint64(repl)) {
+			th.ClearTagSet()
+			return true
+		}
+		th.ClearTagSet()
+	}
+}
+
+// Delete removes key, reporting whether it was present: the parent is
+// replaced by the leaf's sibling via IAS on the grandparent's child slot.
+// The IAS invalidates the tagged window {gp, p, l} at every other core —
+// in particular the two removed nodes p and l — so any traversal or
+// update holding a tag on them fails its next validation.
+func (t *HoH) Delete(th core.Thread, key uint64) bool {
+	for {
+		gp, p, l := t.locate(th, key)
+		if keyOf(th, l) != key {
+			th.ClearTagSet()
+			return false
+		}
+		// Read the sibling through the tagged parent: if p is unchanged at
+		// commit (the IAS validates it), this is still p's other child.
+		var sibling core.Addr
+		if core.Addr(th.Load(p.Plus(fLeft))) == l {
+			sibling = core.Addr(th.Load(p.Plus(fRight)))
+		} else {
+			sibling = core.Addr(th.Load(p.Plus(fLeft)))
+		}
+		gpSlot, _ := childSlot(th, gp, key)
+		if th.IAS(gpSlot, uint64(sibling)) {
+			th.ClearTagSet()
+			return true
+		}
+		th.ClearTagSet()
+	}
+}
+
+// Keys enumerates the set while quiescent.
+func (t *HoH) Keys(th core.Thread) []uint64 { return t.collect(th) }
+
+// Root returns the top sentinel (for invariant checks).
+func (t *HoH) Root() core.Addr { return t.root }

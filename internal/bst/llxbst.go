@@ -1,0 +1,146 @@
+package bst
+
+import (
+	"repro/internal/core"
+	"repro/internal/intset"
+	"repro/internal/llxscx"
+)
+
+// LLX is the software-baseline external BST built on LLX/SCX.
+type LLX struct {
+	base
+	mgr *llxscx.Manager
+}
+
+var _ intset.Set = (*LLX)(nil)
+
+// NewLLX creates an empty tree.
+func NewLLX(mem core.Memory) *LLX {
+	return &LLX{base: newBase(mem), mgr: llxscx.New(mem)}
+}
+
+// search walks to the leaf covering key, returning the last three nodes.
+func (t *LLX) search(th core.Thread, key uint64) (gp, p, l core.Addr) {
+	gp, p = core.NilAddr, core.NilAddr
+	l = t.root
+	for !isLeaf(th, l) {
+		gp, p = p, l
+		slot, _ := childSlot(th, l, key)
+		l = core.Addr(th.Load(slot))
+	}
+	return gp, p, l
+}
+
+// snapshotNode performs LLX on an internal node, returning its info value
+// and its two children as of the LLX.
+func (t *LLX) snapshotNode(th core.Thread, n core.Addr) (info uint64, left, right core.Addr, ok bool) {
+	snap := make([]uint64, 2)
+	info, st := t.mgr.LLX(th, n, fLeft, 2, snap)
+	if st != llxscx.LLXSuccess {
+		return 0, 0, 0, false
+	}
+	return info, core.Addr(snap[0]), core.Addr(snap[1]), true
+}
+
+// llxLeaf performs LLX on a leaf (no mutable fields, but the freeze/mark
+// protocol still applies to it as an SCX dependency).
+func (t *LLX) llxLeaf(th core.Thread, n core.Addr) (info uint64, ok bool) {
+	info, st := t.mgr.LLX(th, n, fLeft, 0, nil)
+	return info, st == llxscx.LLXSuccess
+}
+
+// Contains reports whether key is present (plain sequential search; leaf
+// keys are immutable).
+func (t *LLX) Contains(th core.Thread, key uint64) bool {
+	_, _, l := t.search(th, key)
+	return keyOf(th, l) == key
+}
+
+// Insert adds key, reporting whether it was absent.
+func (t *LLX) Insert(th core.Thread, key uint64) bool {
+	for {
+		_, p, l := t.search(th, key)
+		lkey := keyOf(th, l)
+		if lkey == key {
+			return false
+		}
+		infoP, left, right, ok := t.snapshotNode(th, p)
+		if !ok {
+			continue
+		}
+		var slot core.Addr
+		switch l {
+		case left:
+			slot = p.Plus(fLeft)
+		case right:
+			slot = p.Plus(fRight)
+		default:
+			continue // p no longer points to l
+		}
+		infoL, ok := t.llxLeaf(th, l)
+		if !ok {
+			continue
+		}
+		repl := newSubtree(th, key, lkey)
+		if t.mgr.SCX(th,
+			[]core.Addr{p, l}, []uint64{infoP, infoL}, []bool{false, true},
+			slot, uint64(l), uint64(repl)) {
+			return true
+		}
+	}
+}
+
+// Delete removes key, reporting whether it was present: the leaf's parent
+// is replaced by the leaf's sibling, finalizing both removed nodes.
+func (t *LLX) Delete(th core.Thread, key uint64) bool {
+	for {
+		gp, p, l := t.search(th, key)
+		if keyOf(th, l) != key {
+			return false
+		}
+		infoGP, gpLeft, gpRight, ok := t.snapshotNode(th, gp)
+		if !ok {
+			continue
+		}
+		var gpSlot core.Addr
+		switch p {
+		case gpLeft:
+			gpSlot = gp.Plus(fLeft)
+		case gpRight:
+			gpSlot = gp.Plus(fRight)
+		default:
+			continue
+		}
+		infoP, pLeft, pRight, ok := t.snapshotNode(th, p)
+		if !ok {
+			continue
+		}
+		var sibling core.Addr
+		switch l {
+		case pLeft:
+			sibling = pRight
+		case pRight:
+			sibling = pLeft
+		default:
+			continue
+		}
+		infoL, ok := t.llxLeaf(th, l)
+		if !ok {
+			continue
+		}
+		// Freezing p protects the sibling: p's child pointers cannot
+		// change while the SCX is in progress, so installing the
+		// snapshot's sibling is safe.
+		if t.mgr.SCX(th,
+			[]core.Addr{gp, p, l}, []uint64{infoGP, infoP, infoL}, []bool{false, true, true},
+			gpSlot, uint64(p), uint64(sibling)) {
+			return true
+		}
+	}
+}
+
+// Keys enumerates the set while quiescent.
+func (t *LLX) Keys(th core.Thread) []uint64 { return t.collect(th) }
+
+// Root returns the top sentinel (for invariant checks).
+func (t *LLX) Root() core.Addr { return t.root }

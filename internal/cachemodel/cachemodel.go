@@ -1,0 +1,141 @@
+// Package cachemodel implements a set-associative cache replacement model
+// with LRU eviction. It models *presence only*: which lines are resident in
+// a private cache level and which victim a fill displaces. Data and
+// coherence authority live elsewhere (in the machine's directory), so a
+// Cache is free of synchronization and must only be used by the goroutine
+// that owns the simulated core.
+package cachemodel
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Cache is a set-associative cache presence model with LRU replacement.
+type Cache struct {
+	sets  [][]entry
+	ways  int
+	clock uint64
+}
+
+type entry struct {
+	line  core.Line
+	valid bool
+	used  uint64
+}
+
+// New creates a cache model of totalBytes capacity with the given
+// associativity. totalBytes must be a multiple of ways*core.LineSize and
+// the resulting number of sets must be a power of two.
+func New(totalBytes, ways int) *Cache {
+	if ways <= 0 {
+		panic("cachemodel: non-positive associativity")
+	}
+	linesTotal := totalBytes / core.LineSize
+	if linesTotal*core.LineSize != totalBytes || linesTotal%ways != 0 {
+		panic(fmt.Sprintf("cachemodel: capacity %dB not divisible into %d-way sets", totalBytes, ways))
+	}
+	nSets := linesTotal / ways
+	if nSets&(nSets-1) != 0 {
+		panic(fmt.Sprintf("cachemodel: number of sets %d is not a power of two", nSets))
+	}
+	sets := make([][]entry, nSets)
+	backing := make([]entry, nSets*ways)
+	for i := range sets {
+		sets[i] = backing[i*ways : (i+1)*ways : (i+1)*ways]
+	}
+	return &Cache{sets: sets, ways: ways}
+}
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return len(c.sets) }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// CapacityLines returns the total number of lines the cache can hold.
+func (c *Cache) CapacityLines() int { return len(c.sets) * c.ways }
+
+func (c *Cache) set(l core.Line) []entry {
+	return c.sets[uint64(l)&uint64(len(c.sets)-1)]
+}
+
+// Lookup reports whether line l is resident, updating its LRU position on a
+// hit.
+func (c *Cache) Lookup(l core.Line) bool {
+	c.clock++
+	set := c.set(l)
+	for i := range set {
+		if set[i].valid && set[i].line == l {
+			set[i].used = c.clock
+			return true
+		}
+	}
+	return false
+}
+
+// Contains reports whether line l is resident without touching LRU state.
+func (c *Cache) Contains(l core.Line) bool {
+	set := c.set(l)
+	for i := range set {
+		if set[i].valid && set[i].line == l {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert makes line l resident. If the set is full, the least recently used
+// entry is displaced and returned with evicted=true. Inserting a line that
+// is already resident only refreshes its LRU position.
+func (c *Cache) Insert(l core.Line) (victim core.Line, evicted bool) {
+	c.clock++
+	set := c.set(l)
+	freeIdx, lruIdx := -1, 0
+	for i := range set {
+		if set[i].valid && set[i].line == l {
+			set[i].used = c.clock
+			return 0, false
+		}
+		if !set[i].valid {
+			if freeIdx < 0 {
+				freeIdx = i
+			}
+		} else if set[i].used < set[lruIdx].used || !set[lruIdx].valid {
+			lruIdx = i
+		}
+	}
+	if freeIdx >= 0 {
+		set[freeIdx] = entry{line: l, valid: true, used: c.clock}
+		return 0, false
+	}
+	victim = set[lruIdx].line
+	set[lruIdx] = entry{line: l, valid: true, used: c.clock}
+	return victim, true
+}
+
+// Remove invalidates line l if resident and reports whether it was.
+func (c *Cache) Remove(l core.Line) bool {
+	set := c.set(l)
+	for i := range set {
+		if set[i].valid && set[i].line == l {
+			set[i].valid = false
+			return true
+		}
+	}
+	return false
+}
+
+// ResidentLines returns the number of currently resident lines (for tests).
+func (c *Cache) ResidentLines() int {
+	n := 0
+	for _, set := range c.sets {
+		for _, e := range set {
+			if e.valid {
+				n++
+			}
+		}
+	}
+	return n
+}

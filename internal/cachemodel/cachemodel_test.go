@@ -1,0 +1,137 @@
+package cachemodel
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+func TestGeometry(t *testing.T) {
+	c := New(32<<10, 8)
+	if c.Sets() != 64 || c.Ways() != 8 || c.CapacityLines() != 512 {
+		t.Fatalf("32KB/8-way: sets=%d ways=%d cap=%d", c.Sets(), c.Ways(), c.CapacityLines())
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	for _, tc := range []struct{ bytes, ways int }{
+		{100, 8},     // not line multiple
+		{3 << 10, 8}, // 48 lines / 8 = 6 sets, not power of two
+		{1 << 10, 0}, // zero ways
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d, %d) did not panic", tc.bytes, tc.ways)
+				}
+			}()
+			New(tc.bytes, tc.ways)
+		}()
+	}
+}
+
+func TestInsertLookup(t *testing.T) {
+	c := New(1<<10, 2) // 16 lines, 8 sets, 2-way
+	if c.Lookup(5) {
+		t.Fatal("hit on empty cache")
+	}
+	if _, ev := c.Insert(5); ev {
+		t.Fatal("eviction on empty set")
+	}
+	if !c.Lookup(5) || !c.Contains(5) {
+		t.Fatal("miss after insert")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(1<<10, 2) // 8 sets, 2-way
+	// Lines 0, 8, 16 map to set 0.
+	c.Insert(0)
+	c.Insert(8)
+	c.Lookup(0) // make 8 the LRU
+	victim, ev := c.Insert(16)
+	if !ev || victim != 8 {
+		t.Fatalf("victim = %d (evicted=%v), want 8", victim, ev)
+	}
+	if !c.Contains(0) || !c.Contains(16) || c.Contains(8) {
+		t.Fatal("post-eviction residency wrong")
+	}
+}
+
+func TestInsertExistingRefreshes(t *testing.T) {
+	c := New(1<<10, 2)
+	c.Insert(0)
+	c.Insert(8)
+	c.Insert(0) // refresh 0; 8 becomes LRU
+	victim, ev := c.Insert(16)
+	if !ev || victim != 8 {
+		t.Fatalf("victim = %d, want 8 after refresh", victim)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	c := New(1<<10, 2)
+	c.Insert(3)
+	if !c.Remove(3) {
+		t.Fatal("Remove of resident line reported false")
+	}
+	if c.Remove(3) {
+		t.Fatal("Remove of absent line reported true")
+	}
+	if c.Contains(3) {
+		t.Fatal("line still resident after Remove")
+	}
+	// The freed way is reused without eviction.
+	c.Insert(11) // same set as 3; set now holds {11} with one free way
+	if _, ev := c.Insert(3); ev {
+		t.Fatal("unexpected eviction with a free way")
+	}
+}
+
+func TestResidencyNeverExceedsCapacity(t *testing.T) {
+	c := New(1<<10, 2)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		c.Insert(core.Line(rng.Intn(1000)))
+		if n := c.ResidentLines(); n > c.CapacityLines() {
+			t.Fatalf("resident %d > capacity %d", n, c.CapacityLines())
+		}
+	}
+}
+
+// Property: after Insert(l), l is resident; the victim (if any) maps to the
+// same set and is no longer resident.
+func TestInsertProperty(t *testing.T) {
+	c := New(1<<12, 4) // 64 lines, 16 sets
+	f := func(raw uint16) bool {
+		l := core.Line(raw % 512)
+		victim, ev := c.Insert(l)
+		if !c.Contains(l) {
+			return false
+		}
+		if ev {
+			sameSet := uint64(victim)%16 == uint64(l)%16
+			return sameSet && (victim == l || !c.Contains(victim))
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWorkingSetFits(t *testing.T) {
+	// A working set within capacity, touched round-robin, stops missing
+	// after the first pass.
+	c := New(32<<10, 8) // 512 lines
+	for l := core.Line(0); l < 512; l++ {
+		c.Insert(l)
+	}
+	for l := core.Line(0); l < 512; l++ {
+		if !c.Lookup(l) {
+			t.Fatalf("line %d missing though working set fits", l)
+		}
+	}
+}

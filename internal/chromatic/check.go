@@ -1,0 +1,84 @@
+package chromatic
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// checkable is satisfied by both variants.
+type checkable interface {
+	Root() core.Addr
+	S2() core.Addr
+}
+
+// CheckInvariants validates a quiescent tree:
+//
+//   - the path-sum rule: every leaf of the real subtree has the same total
+//     weight from the root-child down;
+//   - search order: every real leaf key lies inside the routing range that
+//     reaches it;
+//   - no red-red violations remain;
+//   - no overweight violations remain except the documented residual
+//     (an overweight leaf whose sibling is a red leaf);
+//   - the height is within the red-black bound implied by the path sum.
+func CheckInvariants(th core.Thread, t checkable) error {
+	s2 := t.S2()
+	rc := core.Addr(th.Load(s2.Plus(fLeft)))
+
+	var pathSum uint64
+	havePathSum := false
+	maxDepth := 0
+
+	var walk func(n core.Addr, parentW, sum uint64, depth int, lo, hi uint64, siblingRedLeaf bool) error
+	walk = func(n core.Addr, parentW, sum uint64, depth int, lo, hi uint64, siblingRedLeaf bool) error {
+		nd := readNode(th, n)
+		sum += nd.w
+		if depth > maxDepth {
+			maxDepth = depth
+		}
+		if nd.w == 0 && parentW == 0 {
+			return fmt.Errorf("red-red violation at %#x (depth %d)", uint64(n), depth)
+		}
+		if nd.w >= 2 && depth > 0 && !siblingRedLeaf {
+			return fmt.Errorf("overweight violation at %#x (w=%d, leaf=%v, depth %d)",
+				uint64(n), nd.w, nd.leaf, depth)
+		}
+		if nd.leaf {
+			if nd.key < inf1 && (nd.key < lo || nd.key > hi) {
+				return fmt.Errorf("leaf key %d outside search range [%d, %d]", nd.key, lo, hi)
+			}
+			if !havePathSum {
+				pathSum = sum
+				havePathSum = true
+			} else if sum != pathSum {
+				return fmt.Errorf("path-sum rule broken: leaf %#x sums to %d, expected %d",
+					uint64(n), sum, pathSum)
+			}
+			return nil
+		}
+		lRedLeaf := isLeaf(th, nd.left) && weightOf(th, nd.left) == 0
+		rRedLeaf := isLeaf(th, nd.right) && weightOf(th, nd.right) == 0
+		if err := walk(nd.left, nd.w, sum, depth+1, lo, minU(hi, nd.key-1), rRedLeaf); err != nil {
+			return err
+		}
+		return walk(nd.right, nd.w, sum, depth+1, nd.key, hi, lRedLeaf)
+	}
+	// The root-child is exempt from the weight rules (depth 0).
+	if err := walk(rc, 1, 0, 0, 0, ^uint64(0), false); err != nil {
+		return err
+	}
+	// Red-black height bound: with no red-red, every other node on a path
+	// weighs >= 1, so depth <= 2*pathSum + 1.
+	if havePathSum && uint64(maxDepth) > 2*pathSum+2 {
+		return fmt.Errorf("height %d exceeds the red-black bound for path sum %d", maxDepth, pathSum)
+	}
+	return nil
+}
+
+func minU(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,245 @@
+package chromatic
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/intset"
+	"repro/internal/machine"
+	"repro/internal/vtags"
+)
+
+var chromVariants = []struct {
+	name string
+	mk   func(core.Memory) intset.Set
+}{
+	{"LLX", func(m core.Memory) intset.Set { return NewLLX(m) }},
+	{"HoH", func(m core.Memory) intset.Set { return NewHoH(m) }},
+}
+
+var chromBackends = []struct {
+	name string
+	mk   func(int) core.Memory
+}{
+	{"vtags", func(n int) core.Memory { return vtags.New(64<<20, n) }},
+	{"machine", func(n int) core.Memory {
+		cfg := machine.DefaultConfig(n)
+		cfg.MemBytes = 64 << 20
+		return machine.New(cfg)
+	}},
+}
+
+func forAllChrom(t *testing.T, threads int, f func(t *testing.T, mem core.Memory, s intset.Set)) {
+	for _, b := range chromBackends {
+		for _, v := range chromVariants {
+			t.Run(fmt.Sprintf("%s/%s", b.name, v.name), func(t *testing.T) {
+				mem := b.mk(threads)
+				f(t, mem, v.mk(mem))
+			})
+		}
+	}
+}
+
+func checkTree(t *testing.T, th core.Thread, s intset.Set) {
+	t.Helper()
+	if c, ok := s.(checkable); ok {
+		if err := CheckInvariants(th, c); err != nil {
+			t.Fatalf("invariants: %v", err)
+		}
+	}
+}
+
+func TestChromaticBasic(t *testing.T) {
+	forAllChrom(t, 1, func(t *testing.T, mem core.Memory, s intset.Set) {
+		th := mem.Thread(0)
+		if s.Contains(th, 5) || s.Delete(th, 5) {
+			t.Fatal("empty tree misbehaves")
+		}
+		if !s.Insert(th, 5) || s.Insert(th, 5) {
+			t.Fatal("insert semantics")
+		}
+		if !s.Contains(th, 5) {
+			t.Fatal("key missing")
+		}
+		if !s.Delete(th, 5) || s.Delete(th, 5) || s.Contains(th, 5) {
+			t.Fatal("delete semantics")
+		}
+		checkTree(t, th, s)
+	})
+}
+
+func TestChromaticAscending(t *testing.T) {
+	forAllChrom(t, 1, func(t *testing.T, mem core.Memory, s intset.Set) {
+		th := mem.Thread(0)
+		const n = 300
+		for k := uint64(1); k <= n; k++ {
+			if !s.Insert(th, k) {
+				t.Fatalf("insert %d failed", k)
+			}
+		}
+		checkTree(t, th, s)
+		for k := uint64(1); k <= n; k++ {
+			if !s.Contains(th, k) {
+				t.Fatalf("key %d lost", k)
+			}
+		}
+	})
+}
+
+func TestChromaticDescendingThenDrain(t *testing.T) {
+	forAllChrom(t, 1, func(t *testing.T, mem core.Memory, s intset.Set) {
+		th := mem.Thread(0)
+		for k := uint64(300); k >= 1; k-- {
+			s.Insert(th, k)
+		}
+		checkTree(t, th, s)
+		for k := uint64(1); k <= 300; k++ {
+			if !s.Delete(th, k) {
+				t.Fatalf("delete %d failed", k)
+			}
+		}
+		checkTree(t, th, s)
+		if got := s.(intset.Snapshotter).Keys(th); len(got) != 0 {
+			t.Fatalf("residue: %v", got)
+		}
+	})
+}
+
+func TestChromaticSequentialEquivalence(t *testing.T) {
+	forAllChrom(t, 1, func(t *testing.T, mem core.Memory, s intset.Set) {
+		intset.CheckSequential(t, mem, s, 3000, 128, 11)
+		checkTree(t, mem.Thread(0), s)
+	})
+}
+
+func TestChromaticBalanceUnderChurn(t *testing.T) {
+	forAllChrom(t, 1, func(t *testing.T, mem core.Memory, s intset.Set) {
+		th := mem.Thread(0)
+		rng := rand.New(rand.NewSource(4))
+		for i := 0; i < 4000; i++ {
+			k := uint64(rng.Intn(400) + 1)
+			if rng.Intn(2) == 0 {
+				s.Insert(th, k)
+			} else {
+				s.Delete(th, k)
+			}
+			if i%500 == 499 {
+				checkTree(t, th, s)
+			}
+		}
+		checkTree(t, th, s)
+	})
+}
+
+func TestChromaticDisjointConcurrent(t *testing.T) {
+	forAllChrom(t, 4, func(t *testing.T, mem core.Memory, s intset.Set) {
+		intset.CheckDisjointConcurrent(t, mem, s, 4, 250)
+		checkTree(t, mem.Thread(0), s)
+	})
+}
+
+func TestChromaticMixedConcurrent(t *testing.T) {
+	forAllChrom(t, 4, func(t *testing.T, mem core.Memory, s intset.Set) {
+		intset.CheckMixedConcurrent(t, mem, s, 4, 250, 48)
+		checkTree(t, mem.Thread(0), s)
+	})
+}
+
+func TestChromaticHighContention(t *testing.T) {
+	forAllChrom(t, 4, func(t *testing.T, mem core.Memory, s intset.Set) {
+		intset.CheckMixedConcurrent(t, mem, s, 4, 150, 6)
+		checkTree(t, mem.Thread(0), s)
+	})
+}
+
+// TestChromaticInterVariantAgreement runs one op stream through both.
+func TestChromaticInterVariantAgreement(t *testing.T) {
+	memA := vtags.New(64<<20, 1)
+	memB := vtags.New(64<<20, 1)
+	llx := NewLLX(memA)
+	hoh := NewHoH(memB)
+	thA, thB := memA.Thread(0), memB.Thread(0)
+	ref := intset.Reference{}
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 4000; i++ {
+		k := uint64(rng.Intn(96) + 1)
+		switch rng.Intn(3) {
+		case 0:
+			want := ref.Insert(k)
+			if llx.Insert(thA, k) != want || hoh.Insert(thB, k) != want {
+				t.Fatalf("op %d: Insert(%d) diverged", i, k)
+			}
+		case 1:
+			want := ref.Delete(k)
+			if llx.Delete(thA, k) != want || hoh.Delete(thB, k) != want {
+				t.Fatalf("op %d: Delete(%d) diverged", i, k)
+			}
+		default:
+			want := ref.Contains(k)
+			if llx.Contains(thA, k) != want || hoh.Contains(thB, k) != want {
+				t.Fatalf("op %d: Contains(%d) diverged", i, k)
+			}
+		}
+	}
+	if err := CheckInvariants(thA, llx); err != nil {
+		t.Fatalf("LLX: %v", err)
+	}
+	if err := CheckInvariants(thB, hoh); err != nil {
+		t.Fatalf("HoH: %v", err)
+	}
+}
+
+// TestChromaticHeightLogarithmic: after heavy random churn the tree height
+// must stay near the red-black bound.
+func TestChromaticHeightLogarithmic(t *testing.T) {
+	mem := vtags.New(128<<20, 1)
+	s := NewHoH(mem)
+	th := mem.Thread(0)
+	const n = 4096
+	rng := rand.New(rand.NewSource(6))
+	for _, k := range rng.Perm(n) {
+		s.Insert(th, uint64(k+1))
+	}
+	if err := CheckInvariants(th, s); err != nil {
+		t.Fatal(err)
+	}
+	// Measure depth of the leftmost and a few random search paths.
+	depth := func(key uint64) int {
+		d := 0
+		x := core.Addr(th.Load(s.s2.Plus(fLeft)))
+		for !isLeaf(th, x) {
+			x = core.Addr(th.Load(childSlot(th, x, key)))
+			d++
+		}
+		return d
+	}
+	// 2*log2(4096) = 24; allow generous slack for relaxed balance.
+	for _, k := range []uint64{1, n / 2, n, 17, 1234} {
+		if d := depth(k); d > 36 {
+			t.Fatalf("search path to %d has depth %d (> 36): unbalanced", k, d)
+		}
+	}
+}
+
+// TestHoHChromaticUsesIAS pins the tagged commit path.
+func TestHoHChromaticUsesIAS(t *testing.T) {
+	cfg := machine.DefaultConfig(1)
+	cfg.MemBytes = 64 << 20
+	m := machine.New(cfg)
+	s := NewHoH(m)
+	th := m.Thread(0)
+	for k := uint64(1); k <= 60; k++ {
+		s.Insert(th, k)
+	}
+	snap := m.Snapshot()
+	if snap.IASAttempts == 0 || snap.TagAdds == 0 {
+		t.Fatal("HoH chromatic tree issued no tagged commits")
+	}
+	if snap.Stores != 0 {
+		// Node initialization uses plain stores; just sanity-check the
+		// counter moved.
+		_ = snap
+	}
+}

@@ -1,0 +1,428 @@
+package chromatic
+
+import (
+	"repro/internal/core"
+	"repro/internal/intset"
+)
+
+// HoH is the hand-over-hand-tagged chromatic tree: tagged three-ancestor
+// windows for searches, one IAS per structural step (update or
+// rebalancing), transiently marking every removed node.
+type HoH struct {
+	base
+}
+
+var _ intset.Set = (*HoH)(nil)
+
+// NewHoH creates an empty tree.
+func NewHoH(mem core.Memory) *HoH {
+	// Window: gp, p, l plus the next node during extension = 4 nodes;
+	// rebalancing steps tag up to 6 (PushDown: gp, p, x, s and x's two
+	// children).
+	if mem.MaxTags() < 7 {
+		panic("chromatic: MaxTags below the HoH tagging window")
+	}
+	return &HoH{base: newBase(mem)}
+}
+
+// locate performs the tagged descent (same induction as bst.HoH). On
+// return gp, p, l are tagged; the caller must ClearTagSet.
+func (t *HoH) locate(th core.Thread, key uint64) (gp, p, l core.Addr) {
+	for {
+		th.ClearTagSet()
+		gp, p = core.NilAddr, core.NilAddr
+		l = t.root
+		th.AddTag(l, nodeBytes)
+		if !th.Validate() {
+			continue
+		}
+		restart := false
+		for !isLeaf(th, l) {
+			next := core.Addr(th.Load(childSlot(th, l, key)))
+			th.AddTag(next, nodeBytes)
+			if !th.Validate() {
+				restart = true
+				break
+			}
+			if !gp.IsNil() {
+				th.RemoveTag(gp, nodeBytes)
+			}
+			gp, p, l = p, l, next
+		}
+		if restart {
+			continue
+		}
+		return gp, p, l
+	}
+}
+
+// Contains reports whether key is present.
+func (t *HoH) Contains(th core.Thread, key uint64) bool {
+	_, _, l := t.locate(th, key)
+	found := keyOf(th, l) == key
+	th.ClearTagSet()
+	return found
+}
+
+// Insert adds key, reporting whether it was absent, then rebalances.
+func (t *HoH) Insert(th core.Thread, key uint64) bool {
+	for {
+		_, p, l := t.locate(th, key)
+		ld := readNode(th, l)
+		if ld.key == key {
+			th.ClearTagSet()
+			return false
+		}
+		repl := planInsert(th, ld, key)
+		if th.IAS(childSlot(th, p, key), uint64(repl)) {
+			th.ClearTagSet()
+			t.cleanup(th, key)
+			return true
+		}
+		th.ClearTagSet()
+	}
+}
+
+// Delete removes key, reporting whether it was present, then rebalances.
+// The IAS invalidates the window {gp, p, l} plus the absorbed sibling.
+func (t *HoH) Delete(th core.Thread, key uint64) bool {
+	for {
+		gp, p, l := t.locate(th, key)
+		if keyOf(th, l) != key {
+			th.ClearTagSet()
+			return false
+		}
+		if p == t.s2 {
+			// Rotations can leave a single real leaf as the root-child;
+			// deleting it empties the tree: restore the sentinel leaf.
+			repl := writeNode(th, nodeC{leaf: true, w: 1, key: inf1})
+			if th.IAS(childSlot(th, p, key), uint64(repl)) {
+				th.ClearTagSet()
+				return true
+			}
+			th.ClearTagSet()
+			continue
+		}
+		pd := readNode(th, p)
+		var sAddr core.Addr
+		if pd.left == l {
+			sAddr = pd.right
+		} else {
+			sAddr = pd.left
+		}
+		// The sibling is absorbed into a reweighted copy: it is removed
+		// too, so it joins the tag set (and thus the IAS invalidation).
+		th.AddTag(sAddr, nodeBytes)
+		sd := readNode(th, sAddr)
+		if !th.Validate() {
+			th.ClearTagSet()
+			continue
+		}
+		repl := planDelete(th, pd, sd)
+		if th.IAS(childSlot(th, gp, key), uint64(repl)) {
+			th.ClearTagSet()
+			t.cleanup(th, key)
+			return true
+		}
+		th.ClearTagSet()
+	}
+}
+
+// cleanup repeatedly searches toward key with an untagged descent, fixing
+// the topmost violation, until the path is clean (the same best-effort
+// discipline as the (a,b)-tree: a fix that lands on an unreachable node is
+// vacuous and the violation is rediscovered).
+func (t *HoH) cleanup(th core.Thread, key uint64) {
+	for {
+		if t.cleanupPass(th, key) {
+			return
+		}
+	}
+}
+
+// cleanupPass walks the path to key, returning true if it was clean.
+func (t *HoH) cleanupPass(th core.Thread, key uint64) bool {
+	ggp, gp, p := core.NilAddr, core.NilAddr, t.root
+	x := core.Addr(th.Load(childSlot(th, p, key))) // S2
+	// Descend from S2's real child.
+	ggp, gp, p, x = gp, p, x, core.Addr(th.Load(childSlot(th, x, key)))
+	for {
+		w := weightOf(th, x)
+		if w >= 2 && !t.isResidualOverweight(th, p, x) {
+			if p == t.s2 {
+				t.fixRootWeight(th, p, x, key)
+			} else {
+				t.fixOverweight(th, ggp, gp, p, x, key)
+			}
+			return false
+		}
+		if w == 0 && p != t.s2 && weightOf(th, p) == 0 {
+			if gp == t.s2 {
+				// A red root-child with a red child: fixing the red-red
+				// would rewrite the sentinel; instead promote the
+				// root-child to weight 1 (a uniform shift of every real
+				// path, legal at the root).
+				t.fixRootPromote(th, gp, p, key)
+			} else {
+				t.fixRedRed(th, ggp, gp, p, x, key)
+			}
+			return false
+		}
+		if isLeaf(th, x) {
+			return true
+		}
+		ggp, gp, p = gp, p, x
+		x = core.Addr(th.Load(childSlot(th, x, key)))
+	}
+}
+
+// isResidualOverweight reports the one configuration with no
+// weight-preserving local fix: an overweight node whose sibling is a red
+// leaf. The sibling's path sum pins the parent's weight, so x's excess
+// cannot move up; pushing it down and re-raising it cycles (for weight 2
+// the push-down/push-up pair reproduces the configuration exactly), so it
+// is tolerated: path sums stay equal and no path lengthens.
+func (t *HoH) isResidualOverweight(th core.Thread, p, x core.Addr) bool {
+	if p == t.s2 {
+		return false
+	}
+	pd := readNode(th, p)
+	s := pd.right
+	if pd.left != x {
+		if pd.right != x {
+			return false
+		}
+		s = pd.left
+	}
+	return isLeaf(th, s) && weightOf(th, s) == 0
+}
+
+// fixRootWeight renormalizes the root-child's weight to 1.
+func (t *HoH) fixRootWeight(th core.Thread, p, x core.Addr, key uint64) {
+	defer th.ClearTagSet()
+	th.AddTag(p, nodeBytes)
+	slot := childSlot(th, p, key)
+	if core.Addr(th.Load(slot)) != x {
+		return
+	}
+	th.AddTag(x, nodeBytes)
+	xd := readNode(th, x)
+	if xd.w < 2 || !th.Validate() {
+		return
+	}
+	th.IAS(slot, uint64(planRootWeight(th, xd)))
+}
+
+// fixRootPromote recolours a red root-child to weight 1 (its child is red,
+// so some rebalance is required, and the sentinel above cannot rotate).
+func (t *HoH) fixRootPromote(th core.Thread, s2, rc core.Addr, key uint64) {
+	defer th.ClearTagSet()
+	th.AddTag(s2, nodeBytes)
+	slot := childSlot(th, s2, key)
+	if core.Addr(th.Load(slot)) != rc {
+		return
+	}
+	th.AddTag(rc, nodeBytes)
+	rcd := readNode(th, rc)
+	if rcd.w != 0 || !th.Validate() {
+		return
+	}
+	th.IAS(slot, uint64(planRootWeight(th, rcd)))
+}
+
+// fixRedRed applies BLK / RB1 / RB2 for the topmost red-red at x.
+func (t *HoH) fixRedRed(th core.Thread, ggp, gp, p, x core.Addr, key uint64) {
+	defer th.ClearTagSet()
+	th.AddTag(ggp, nodeBytes)
+	ggpSlot := childSlot(th, ggp, key)
+	if core.Addr(th.Load(ggpSlot)) != gp {
+		return
+	}
+	th.AddTag(gp, nodeBytes)
+	gpd := readNode(th, gp)
+	pIsLeft := gpd.left == p
+	if !pIsLeft && gpd.right != p {
+		return
+	}
+	th.AddTag(p, nodeBytes)
+	pd := readNode(th, p)
+	if pd.left != x && pd.right != x {
+		return
+	}
+	if pd.w != 0 || weightOf(th, x) != 0 || gpd.w < 1 {
+		return // violation gone or not topmost anymore
+	}
+	uAddr := gpd.right
+	if !pIsLeft {
+		uAddr = gpd.left
+	}
+	var repl core.Addr
+	if weightOf(th, uAddr) == 0 {
+		// BLK: recolour; u is replaced, so tag (and invalidate) it too.
+		th.AddTag(uAddr, nodeBytes)
+		ud := readNode(th, uAddr)
+		if !th.Validate() {
+			return
+		}
+		repl = planBLK(th, gpd, pd, ud, pIsLeft)
+	} else if (pd.left == x) == pIsLeft {
+		// Outside grandchild: single rotation.
+		if !th.Validate() {
+			return
+		}
+		repl = planRB1(th, gpd, pd, x, pIsLeft)
+	} else if !isLeaf(th, x) {
+		// Inside grandchild: double rotation; x is replaced.
+		th.AddTag(x, nodeBytes)
+		xd := readNode(th, x)
+		if !th.Validate() {
+			return
+		}
+		repl = planRB2(th, gpd, pd, xd, pIsLeft)
+	} else {
+		// Inside grandchild leaf: no rotation material; push weight into
+		// the uncle instead. u is replaced, so tag (and invalidate) it.
+		th.AddTag(uAddr, nodeBytes)
+		ud := readNode(th, uAddr)
+		if !th.Validate() {
+			return
+		}
+		repl = planPUSH(th, gpd, pd, ud, pIsLeft)
+		if th.IAS(ggpSlot, uint64(repl)) {
+			// The uncle may now be overweight — off this search path, so
+			// chase it with a cleanup routed into its range.
+			th.ClearTagSet()
+			t.cleanup(th, sideKey(gpd.key, !pIsLeft))
+		}
+		return
+	}
+	th.IAS(ggpSlot, uint64(repl))
+}
+
+// sideKey returns a key that routes to the given side of a node with the
+// given router key (left: any key < router; right: any key >= router).
+func sideKey(router uint64, left bool) uint64 {
+	if left {
+		return router - 1
+	}
+	return router
+}
+
+// fixOverweight removes the overweight at x, dispatching on the sibling's
+// shape so that no step creates a red-red the cleanup cannot see:
+//
+//	w_s >= 2, or w_s == 1 with no red child, or s a leaf  -> A1
+//	w_s == 1, near child red, far child black             -> A1c
+//	w_s == 1, near child black, far child red             -> A1b
+//	w_s == 1, both children red                           -> A1e
+//	s red internal (fix the off-path red-red first if p is red too;
+//	  else rotate: near nephew black -> A2, red -> A3)
+//	s red leaf: internal x -> PushDown (chasing the off-path child);
+//	  leaf x -> residual (tolerated; see isResidualOverweight)
+func (t *HoH) fixOverweight(th core.Thread, ggp, gp, p, x core.Addr, key uint64) {
+	defer th.ClearTagSet()
+	th.AddTag(gp, nodeBytes)
+	gpSlot := childSlot(th, gp, key)
+	if core.Addr(th.Load(gpSlot)) != p {
+		return
+	}
+	th.AddTag(p, nodeBytes)
+	pd := readNode(th, p)
+	xIsLeft := pd.left == x
+	if !xIsLeft && pd.right != x {
+		return
+	}
+	if weightOf(th, x) < 2 {
+		return
+	}
+	th.AddTag(x, nodeBytes)
+	xd := readNode(th, x)
+	sAddr := pd.right
+	if !xIsLeft {
+		sAddr = pd.left
+	}
+	th.AddTag(sAddr, nodeBytes)
+	sd := readNode(th, sAddr)
+
+	commit := func(repl core.Addr) {
+		th.IAS(gpSlot, uint64(repl))
+	}
+	switch {
+	case sd.w >= 2 || (sd.w == 1 && sd.leaf):
+		if !th.Validate() {
+			return
+		}
+		commit(planA1(th, pd, xd, sd, xIsLeft))
+	case sd.w == 1:
+		// Internal sibling of weight 1: inspect its children.
+		cAddr, dAddr := sd.left, sd.right
+		if !xIsLeft {
+			cAddr, dAddr = sd.right, sd.left
+		}
+		wc, wd := weightOf(th, cAddr), weightOf(th, dAddr)
+		switch {
+		case wc >= 1 && wd >= 1:
+			if !th.Validate() {
+				return
+			}
+			commit(planA1(th, pd, xd, sd, xIsLeft))
+		case wc == 0 && wd >= 1:
+			th.AddTag(cAddr, nodeBytes)
+			cd := readNode(th, cAddr)
+			if !th.Validate() {
+				return
+			}
+			commit(planA1c(th, pd, xd, sd, cd, xIsLeft))
+		case wc >= 1: // wd == 0
+			if !th.Validate() {
+				return
+			}
+			commit(planA1b(th, pd, xd, sd, xIsLeft))
+		default: // both red
+			th.AddTag(dAddr, nodeBytes)
+			dd := readNode(th, dAddr)
+			if !th.Validate() {
+				return
+			}
+			commit(planA1e(th, pd, xd, sd, dd, xIsLeft))
+		}
+	case !sd.leaf: // red internal sibling
+		if pd.w == 0 {
+			// (s, p) is an off-path red-red; rotating now would bury it.
+			// Fix it first, then rediscover the overweight.
+			th.ClearTagSet()
+			t.fixRedRed(th, ggp, gp, p, sAddr, key)
+			return
+		}
+		cAddr := sd.left
+		if !xIsLeft {
+			cAddr = sd.right
+		}
+		if weightOf(th, cAddr) >= 1 {
+			if !th.Validate() {
+				return
+			}
+			commit(planA2(th, pd, sd, x, xIsLeft))
+		} else {
+			th.RemoveTag(x, nodeBytes)
+			th.AddTag(cAddr, nodeBytes)
+			cd := readNode(th, cAddr)
+			if !th.Validate() {
+				return
+			}
+			commit(planA3(th, pd, sd, cd, x, xIsLeft))
+		}
+	default:
+		// Residual: an overweight node beside a red leaf is locally
+		// irreducible and tolerated (see isResidualOverweight).
+	}
+}
+
+// Keys enumerates the set while quiescent.
+func (t *HoH) Keys(th core.Thread) []uint64 { return t.collect(th) }
+
+// Root returns the top sentinel (for invariant checks).
+func (t *HoH) Root() core.Addr { return t.root }
+
+// S2 returns the second sentinel (for invariant checks).
+func (t *HoH) S2() core.Addr { return t.s2 }

@@ -1,0 +1,382 @@
+package chromatic
+
+import (
+	"repro/internal/core"
+	"repro/internal/intset"
+	"repro/internal/llxscx"
+)
+
+// LLX is the software-baseline chromatic tree built on LLX/SCX: every
+// structural step freezes its dependencies, finalizes the removed nodes
+// and swings one pointer — the discipline of Brown et al.'s chromatic
+// tree, applied to this package's derived rule set.
+type LLX struct {
+	base
+	mgr *llxscx.Manager
+}
+
+var _ intset.Set = (*LLX)(nil)
+
+// NewLLX creates an empty tree.
+func NewLLX(mem core.Memory) *LLX {
+	return &LLX{base: newBase(mem), mgr: llxscx.New(mem)}
+}
+
+// llxNode performs LLX on n, returning its contents (children from the
+// snapshot) and the info value for a later SCX.
+func (t *LLX) llxNode(th core.Thread, n core.Addr) (info uint64, nd nodeC, ok bool) {
+	snap := make([]uint64, 2)
+	info, st := t.mgr.LLX(th, n, fLeft, 2, snap)
+	if st != llxscx.LLXSuccess {
+		return 0, nodeC{}, false
+	}
+	nd = nodeC{leaf: isLeaf(th, n), w: weightOf(th, n), key: keyOf(th, n)}
+	if !nd.leaf {
+		nd.left = core.Addr(snap[0])
+		nd.right = core.Addr(snap[1])
+	}
+	return info, nd, true
+}
+
+// search walks to the leaf covering key with the last three ancestors.
+func (t *LLX) search(th core.Thread, key uint64) (ggp, gp, p, l core.Addr) {
+	ggp, gp, p = core.NilAddr, core.NilAddr, core.NilAddr
+	l = t.root
+	for !isLeaf(th, l) {
+		ggp, gp, p = gp, p, l
+		l = core.Addr(th.Load(childSlot(th, l, key)))
+	}
+	return ggp, gp, p, l
+}
+
+// Contains reports whether key is present.
+func (t *LLX) Contains(th core.Thread, key uint64) bool {
+	_, _, _, l := t.search(th, key)
+	return keyOf(th, l) == key
+}
+
+// scx is a thin wrapper assembling the dependency arrays.
+func (t *LLX) scx(th core.Thread, deps []core.Addr, infos []uint64, fin []bool, slot core.Addr, old, new core.Addr) bool {
+	return t.mgr.SCX(th, deps, infos, fin, slot, uint64(old), uint64(new))
+}
+
+// Insert adds key, reporting whether it was absent, then rebalances.
+func (t *LLX) Insert(th core.Thread, key uint64) bool {
+	for {
+		_, _, p, l := t.search(th, key)
+		infoP, pd, ok := t.llxNode(th, p)
+		if !ok {
+			continue
+		}
+		if pd.left != l && pd.right != l {
+			continue
+		}
+		infoL, ld, ok := t.llxNode(th, l)
+		if !ok {
+			continue
+		}
+		if ld.key == key {
+			return false
+		}
+		repl := planInsert(th, ld, key)
+		if t.scx(th, []core.Addr{p, l}, []uint64{infoP, infoL}, []bool{false, true},
+			childSlot(th, p, key), l, repl) {
+			t.cleanup(th, key)
+			return true
+		}
+	}
+}
+
+// Delete removes key, reporting whether it was present, then rebalances.
+func (t *LLX) Delete(th core.Thread, key uint64) bool {
+	for {
+		_, gp, p, l := t.search(th, key)
+		if keyOf(th, l) != key {
+			return false
+		}
+		if p == t.s2 {
+			// A lone real leaf as root-child: restore the sentinel leaf.
+			infoP, pd, ok := t.llxNode(th, p)
+			if !ok || (pd.left != l && pd.right != l) {
+				continue
+			}
+			infoL, _, ok := t.llxNode(th, l)
+			if !ok {
+				continue
+			}
+			repl := writeNode(th, nodeC{leaf: true, w: 1, key: inf1})
+			if t.scx(th, []core.Addr{p, l}, []uint64{infoP, infoL}, []bool{false, true},
+				childSlot(th, p, key), l, repl) {
+				return true
+			}
+			continue
+		}
+		infoGP, gpd, ok := t.llxNode(th, gp)
+		if !ok || (gpd.left != p && gpd.right != p) {
+			continue
+		}
+		infoP, pd, ok := t.llxNode(th, p)
+		if !ok {
+			continue
+		}
+		var sAddr core.Addr
+		switch l {
+		case pd.left:
+			sAddr = pd.right
+		case pd.right:
+			sAddr = pd.left
+		default:
+			continue
+		}
+		infoL, _, ok := t.llxNode(th, l)
+		if !ok {
+			continue
+		}
+		infoS, sd, ok := t.llxNode(th, sAddr)
+		if !ok {
+			continue
+		}
+		repl := planDelete(th, pd, sd)
+		if t.scx(th,
+			[]core.Addr{gp, p, l, sAddr}, []uint64{infoGP, infoP, infoL, infoS},
+			[]bool{false, true, true, true},
+			childSlot(th, gp, key), p, repl) {
+			t.cleanup(th, key)
+			return true
+		}
+	}
+}
+
+// cleanup mirrors the HoH rebalancer with SCX commits.
+func (t *LLX) cleanup(th core.Thread, key uint64) {
+	for {
+		if t.cleanupPass(th, key) {
+			return
+		}
+	}
+}
+
+func (t *LLX) cleanupPass(th core.Thread, key uint64) bool {
+	ggp, gp, p := core.NilAddr, core.NilAddr, t.root
+	x := core.Addr(th.Load(childSlot(th, p, key))) // S2
+	ggp, gp, p, x = gp, p, x, core.Addr(th.Load(childSlot(th, x, key)))
+	for {
+		w := weightOf(th, x)
+		if w >= 2 && !t.isResidualOverweight(th, p, x) {
+			if p == t.s2 {
+				t.fixRootWeight(th, p, x, key)
+			} else {
+				t.fixOverweight(th, ggp, gp, p, x, key)
+			}
+			return false
+		}
+		if w == 0 && p != t.s2 && weightOf(th, p) == 0 {
+			if gp == t.s2 {
+				t.fixRootPromote(th, gp, p, key)
+			} else {
+				t.fixRedRed(th, ggp, gp, p, x, key)
+			}
+			return false
+		}
+		if isLeaf(th, x) {
+			return true
+		}
+		ggp, gp, p = gp, p, x
+		x = core.Addr(th.Load(childSlot(th, x, key)))
+	}
+}
+
+func (t *LLX) isResidualOverweight(th core.Thread, p, x core.Addr) bool {
+	if p == t.s2 {
+		return false
+	}
+	pd := readNode(th, p)
+	s := pd.right
+	if pd.left != x {
+		if pd.right != x {
+			return false
+		}
+		s = pd.left
+	}
+	return isLeaf(th, s) && weightOf(th, s) == 0
+}
+
+func (t *LLX) fixRootWeight(th core.Thread, p, x core.Addr, key uint64) {
+	infoP, pd, ok := t.llxNode(th, p)
+	if !ok || (pd.left != x && pd.right != x) {
+		return
+	}
+	infoX, xd, ok := t.llxNode(th, x)
+	if !ok || xd.w < 2 {
+		return
+	}
+	t.scx(th, []core.Addr{p, x}, []uint64{infoP, infoX}, []bool{false, true},
+		childSlot(th, p, key), x, planRootWeight(th, xd))
+}
+
+func (t *LLX) fixRootPromote(th core.Thread, s2, rc core.Addr, key uint64) {
+	infoP, pd, ok := t.llxNode(th, s2)
+	if !ok || (pd.left != rc && pd.right != rc) {
+		return
+	}
+	infoX, xd, ok := t.llxNode(th, rc)
+	if !ok || xd.w != 0 {
+		return
+	}
+	t.scx(th, []core.Addr{s2, rc}, []uint64{infoP, infoX}, []bool{false, true},
+		childSlot(th, s2, key), rc, planRootWeight(th, xd))
+}
+
+func (t *LLX) fixRedRed(th core.Thread, ggp, gp, p, x core.Addr, key uint64) {
+	infoGGP, ggpd, ok := t.llxNode(th, ggp)
+	if !ok || (ggpd.left != gp && ggpd.right != gp) {
+		return
+	}
+	infoGP, gpd, ok := t.llxNode(th, gp)
+	if !ok {
+		return
+	}
+	pIsLeft := gpd.left == p
+	if !pIsLeft && gpd.right != p {
+		return
+	}
+	infoP, pd, ok := t.llxNode(th, p)
+	if !ok || (pd.left != x && pd.right != x) {
+		return
+	}
+	if pd.w != 0 || weightOf(th, x) != 0 || gpd.w < 1 {
+		return
+	}
+	uAddr := gpd.right
+	if !pIsLeft {
+		uAddr = gpd.left
+	}
+	slot := childSlot(th, ggp, key)
+	switch {
+	case weightOf(th, uAddr) == 0:
+		infoU, ud, ok := t.llxNode(th, uAddr)
+		if !ok {
+			return
+		}
+		t.scx(th, []core.Addr{ggp, gp, p, uAddr}, []uint64{infoGGP, infoGP, infoP, infoU},
+			[]bool{false, true, true, true}, slot, gp, planBLK(th, gpd, pd, ud, pIsLeft))
+	case (pd.left == x) == pIsLeft:
+		t.scx(th, []core.Addr{ggp, gp, p}, []uint64{infoGGP, infoGP, infoP},
+			[]bool{false, true, true}, slot, gp, planRB1(th, gpd, pd, x, pIsLeft))
+	case !isLeaf(th, x):
+		infoX, xd, ok := t.llxNode(th, x)
+		if !ok {
+			return
+		}
+		t.scx(th, []core.Addr{ggp, gp, p, x}, []uint64{infoGGP, infoGP, infoP, infoX},
+			[]bool{false, true, true, true}, slot, gp, planRB2(th, gpd, pd, xd, pIsLeft))
+	default:
+		infoU, ud, ok := t.llxNode(th, uAddr)
+		if !ok {
+			return
+		}
+		if t.scx(th, []core.Addr{ggp, gp, p, uAddr}, []uint64{infoGGP, infoGP, infoP, infoU},
+			[]bool{false, true, true, true}, slot, gp, planPUSH(th, gpd, pd, ud, pIsLeft)) {
+			// The uncle may now be overweight, off this path: chase it.
+			t.cleanup(th, sideKey(gpd.key, !pIsLeft))
+		}
+	}
+}
+
+func (t *LLX) fixOverweight(th core.Thread, ggp, gp, p, x core.Addr, key uint64) {
+	infoGP, gpd, ok := t.llxNode(th, gp)
+	if !ok || (gpd.left != p && gpd.right != p) {
+		return
+	}
+	infoP, pd, ok := t.llxNode(th, p)
+	if !ok {
+		return
+	}
+	xIsLeft := pd.left == x
+	if !xIsLeft && pd.right != x {
+		return
+	}
+	infoX, xd, ok := t.llxNode(th, x)
+	if !ok || xd.w < 2 {
+		return
+	}
+	sAddr := pd.right
+	if !xIsLeft {
+		sAddr = pd.left
+	}
+	infoS, sd, ok := t.llxNode(th, sAddr)
+	if !ok {
+		return
+	}
+	slot := childSlot(th, gp, key)
+	switch {
+	case sd.w >= 2 || (sd.w == 1 && sd.leaf):
+		t.scx(th, []core.Addr{gp, p, x, sAddr}, []uint64{infoGP, infoP, infoX, infoS},
+			[]bool{false, true, true, true}, slot, p, planA1(th, pd, xd, sd, xIsLeft))
+	case sd.w == 1:
+		cAddr, dAddr := sd.left, sd.right
+		if !xIsLeft {
+			cAddr, dAddr = sd.right, sd.left
+		}
+		wc, wd := weightOf(th, cAddr), weightOf(th, dAddr)
+		switch {
+		case wc >= 1 && wd >= 1:
+			t.scx(th, []core.Addr{gp, p, x, sAddr}, []uint64{infoGP, infoP, infoX, infoS},
+				[]bool{false, true, true, true}, slot, p, planA1(th, pd, xd, sd, xIsLeft))
+		case wc == 0 && wd >= 1:
+			infoC, cd, ok := t.llxNode(th, cAddr)
+			if !ok {
+				return
+			}
+			t.scx(th, []core.Addr{gp, p, x, sAddr, cAddr},
+				[]uint64{infoGP, infoP, infoX, infoS, infoC},
+				[]bool{false, true, true, true, true}, slot, p,
+				planA1c(th, pd, xd, sd, cd, xIsLeft))
+		case wc >= 1: // wd == 0
+			t.scx(th, []core.Addr{gp, p, x, sAddr}, []uint64{infoGP, infoP, infoX, infoS},
+				[]bool{false, true, true, true}, slot, p, planA1b(th, pd, xd, sd, xIsLeft))
+		default:
+			infoD, dd, ok := t.llxNode(th, dAddr)
+			if !ok {
+				return
+			}
+			t.scx(th, []core.Addr{gp, p, x, sAddr, dAddr},
+				[]uint64{infoGP, infoP, infoX, infoS, infoD},
+				[]bool{false, true, true, true, true}, slot, p,
+				planA1e(th, pd, xd, sd, dd, xIsLeft))
+		}
+	case !sd.leaf:
+		if pd.w == 0 {
+			// Off-path red-red (s, p): fix it first.
+			t.fixRedRed(th, ggp, gp, p, sAddr, key)
+			return
+		}
+		cAddr := sd.left
+		if !xIsLeft {
+			cAddr = sd.right
+		}
+		if weightOf(th, cAddr) >= 1 {
+			t.scx(th, []core.Addr{gp, p, sAddr}, []uint64{infoGP, infoP, infoS},
+				[]bool{false, true, true}, slot, p, planA2(th, pd, sd, x, xIsLeft))
+		} else {
+			infoC, cd, ok := t.llxNode(th, cAddr)
+			if !ok {
+				return
+			}
+			t.scx(th, []core.Addr{gp, p, sAddr, cAddr}, []uint64{infoGP, infoP, infoS, infoC},
+				[]bool{false, true, true, true}, slot, p, planA3(th, pd, sd, cd, x, xIsLeft))
+		}
+	default:
+		// Residual: an overweight node beside a red leaf is locally
+		// irreducible and tolerated (see isResidualOverweight).
+	}
+}
+
+// Keys enumerates the set while quiescent.
+func (t *LLX) Keys(th core.Thread) []uint64 { return t.collect(th) }
+
+// Root returns the top sentinel (for invariant checks).
+func (t *LLX) Root() core.Addr { return t.root }
+
+// S2 returns the second sentinel (for invariant checks).
+func (t *LLX) S2() core.Addr { return t.s2 }

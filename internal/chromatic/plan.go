@@ -1,0 +1,392 @@
+package chromatic
+
+import "repro/internal/core"
+
+// The rebalancing planners. Each materializes the replacement subtree for
+// one atomic step and documents its path-sum bookkeeping: for every leaf
+// of the affected region, the sum of weights from above the replaced top
+// to that leaf is unchanged. W denotes the (identical) prefix above the
+// region.
+//
+// Orientation convention: the boolean arguments state whether the relevant
+// node is its parent's LEFT child; mirrors are derived inside.
+
+// planInsert replaces leaf l with a three-node subtree holding both keys.
+//
+//	path sums: old leaf contributes w_l. New: i(w_l-1) + leaf(1) = w_l on
+//	both sides. The new internal routes on the larger key (left < key).
+func planInsert(th core.Thread, l nodeC, key uint64) core.Addr {
+	small, big := key, l.key
+	if small > big {
+		small, big = big, small
+	}
+	return writeNode(th, nodeC{
+		w:     l.w - 1,
+		key:   big,
+		left:  writeNode(th, nodeC{leaf: true, w: 1, key: small}),
+		right: writeNode(th, nodeC{leaf: true, w: 1, key: big}),
+	})
+}
+
+// planDelete promotes the removed leaf's sibling with the parent's weight
+// absorbed.
+//
+//	path sums through s: w_p + w_s before, w_p+w_s after. (The l-side
+//	paths disappear with the key.)
+func planDelete(th core.Thread, p, s nodeC) core.Addr {
+	s.w = p.w + s.w
+	return writeNode(th, s)
+}
+
+// planRootWeight renormalizes the root-child to weight 1. All real leaves
+// are below it, so every path shifts equally — the path-sum rule compares
+// only leaves against each other.
+func planRootWeight(th core.Thread, x nodeC) core.Addr {
+	x.w = 1
+	return writeNode(th, x)
+}
+
+// planBLK is the recolouring for a red-red (x under p) with a red uncle u:
+// blacken p and u, lift the deficit into gp.
+//
+//	sums: p-side: w_gp + 0 -> (w_gp-1) + 1; u-side: w_gp + 0 -> (w_gp-1)+1.
+//	Requires w_gp >= 1 (guaranteed: the red-red at x is the topmost on the
+//	path, so (p, gp) is not itself red-red).
+//
+// Removed nodes: gp, p, u.
+func planBLK(th core.Thread, gp, p, u nodeC, pIsLeft bool) core.Addr {
+	p.w = 1
+	u.w = 1
+	pNew := writeNode(th, p)
+	uNew := writeNode(th, u)
+	gp.w = gp.w - 1
+	if pIsLeft {
+		gp.left, gp.right = pNew, uNew
+	} else {
+		gp.left, gp.right = uNew, pNew
+	}
+	return writeNode(th, gp)
+}
+
+// planRB1 is the single rotation for a red-red with black uncle and x an
+// outside grandchild: p rises to gp's place and weight; gp descends red.
+//
+//	(x = p.left, p = gp.left; mirror symmetric)
+//	sums: x: w_gp+0+0 -> w_gp+0 ... x keeps its node (untouched);
+//	      c3 (p's other child): w_gp+0+w_c3 -> w_gp+0+w_c3;
+//	      u: w_gp+w_u -> w_gp+0+w_u.
+//
+// Removed nodes: gp, p. x is re-pointed, not replaced.
+func planRB1(th core.Thread, gp, p nodeC, xAddr core.Addr, pIsLeft bool) core.Addr {
+	var c3, u core.Addr
+	if pIsLeft {
+		c3, u = p.right, gp.right
+	} else {
+		c3, u = p.left, gp.left
+	}
+	gpDown := gp
+	gpDown.w = 0
+	if pIsLeft {
+		gpDown.left, gpDown.right = c3, u
+	} else {
+		gpDown.left, gpDown.right = u, c3
+	}
+	gpNew := writeNode(th, gpDown)
+	top := p
+	top.w = gp.w
+	if pIsLeft {
+		top.left, top.right = xAddr, gpNew
+	} else {
+		top.left, top.right = gpNew, xAddr
+	}
+	return writeNode(th, top)
+}
+
+// planRB2 is the double rotation for a red-red with black uncle and x an
+// inside grandchild: x rises to gp's place and weight; p and gp descend
+// red.
+//
+//	(p = gp.left, x = p.right with children a, b; mirror symmetric)
+//	sums: c3: w_gp+0+w_c3 -> w_gp+0+w_c3; a: w_gp+0+0+w_a -> w_gp+0+w_a;
+//	      b likewise; u: w_gp+w_u -> w_gp+0+w_u.
+//
+// Removed nodes: gp, p, x.
+func planRB2(th core.Thread, gp, p, x nodeC, pIsLeft bool) core.Addr {
+	var c3, u core.Addr
+	if pIsLeft {
+		c3, u = p.left, gp.right
+	} else {
+		c3, u = p.right, gp.left
+	}
+	a, b := x.left, x.right
+	pDown := p
+	pDown.w = 0
+	gpDown := gp
+	gpDown.w = 0
+	if pIsLeft {
+		pDown.left, pDown.right = c3, a
+		gpDown.left, gpDown.right = b, u
+	} else {
+		gpDown.left, gpDown.right = u, a
+		pDown.left, pDown.right = b, c3
+	}
+	pNew := writeNode(th, pDown)
+	gpNew := writeNode(th, gpDown)
+	top := x
+	top.w = gp.w
+	if pIsLeft {
+		top.left, top.right = pNew, gpNew
+	} else {
+		top.left, top.right = gpNew, pNew
+	}
+	return writeNode(th, top)
+}
+
+// planA1 pushes one unit of weight from both children into the parent,
+// shrinking x's overweight (or eliminating it).
+//
+//	sums: x: w_p+w_x -> (w_p+1)+(w_x-1); s: w_p+w_s -> (w_p+1)+(w_s-1).
+//	Requires w_s >= 1. s' = w_s-1 may become red under p' (w_p+1 >= 1):
+//	no red-red created; p' may become overweight: the violation moves up.
+//
+// Removed nodes: p, x, s.
+func planA1(th core.Thread, p, x, s nodeC, xIsLeft bool) core.Addr {
+	x.w--
+	s.w--
+	xNew := writeNode(th, x)
+	sNew := writeNode(th, s)
+	p.w++
+	if xIsLeft {
+		p.left, p.right = xNew, sNew
+	} else {
+		p.left, p.right = sNew, xNew
+	}
+	return writeNode(th, p)
+}
+
+// planA2 rotates a red sibling up when its near child c is not red,
+// giving x a pushable sibling for the next pass (A1).
+//
+//	(x = p.left, s = p.right red with s{c, d}; mirror symmetric)
+//	sums: x: w_p+w_x -> w_p+0+w_x; c: w_p+0+w_c -> w_p+0+w_c;
+//	      d: w_p+0+w_d -> w_p+w_d.
+//	No new violations: p'(0) sits under s'(w_p >= 1) — w_p >= 1 because a
+//	red p under a red s's... p red with red child s would be a red-red at
+//	s, found before x on the path.
+//
+// Removed nodes: p, s.
+func planA2(th core.Thread, p, s nodeC, xAddr core.Addr, xIsLeft bool) core.Addr {
+	var c, d core.Addr
+	if xIsLeft {
+		c, d = s.left, s.right
+	} else {
+		c, d = s.right, s.left
+	}
+	pDown := p
+	pDown.w = 0
+	if xIsLeft {
+		pDown.left, pDown.right = xAddr, c
+	} else {
+		pDown.left, pDown.right = c, xAddr
+	}
+	pNew := writeNode(th, pDown)
+	top := s
+	top.w = p.w
+	if xIsLeft {
+		top.left, top.right = pNew, d
+	} else {
+		top.left, top.right = d, pNew
+	}
+	return writeNode(th, top)
+}
+
+// planA3 handles a red sibling whose near child c is also red (an existing
+// red-red inside the sibling): double-rotate c to the top, consuming that
+// red-red and strictly shrinking x's sibling subtree.
+//
+//	(x = p.left, s = p.right{c{e, f}, d}; mirror symmetric)
+//	sums: x: w_p+w_x -> w_p+0+w_x; e: w_p+0+0+w_e -> w_p+0+w_e;
+//	      f likewise; d: w_p+0+w_d -> w_p+0+w_d.
+//
+// Removed nodes: p, s, c.
+func planA3(th core.Thread, p, s, c nodeC, xAddr core.Addr, xIsLeft bool) core.Addr {
+	var d core.Addr
+	var e, f core.Addr
+	if xIsLeft {
+		d = s.right
+		e, f = c.left, c.right
+	} else {
+		d = s.left
+		e, f = c.right, c.left
+	}
+	pDown := p
+	pDown.w = 0
+	sDown := s
+	sDown.w = 0
+	if xIsLeft {
+		pDown.left, pDown.right = xAddr, e
+		sDown.left, sDown.right = f, d
+	} else {
+		pDown.left, pDown.right = e, xAddr
+		sDown.left, sDown.right = d, f
+	}
+	pNew := writeNode(th, pDown)
+	sNew := writeNode(th, sDown)
+	top := c
+	top.w = p.w
+	if xIsLeft {
+		top.left, top.right = pNew, sNew
+	} else {
+		top.left, top.right = sNew, pNew
+	}
+	return writeNode(th, top)
+}
+
+// planPUSH resolves a red-red at x when rotations are unavailable (x is an
+// inside-grandchild leaf): blacken p and push the compensating weight into
+// the uncle, lifting one unit out of gp.
+//
+//	sums: p-side: w_gp + 0 -> (w_gp-1) + 1; u-side: w_gp + w_u ->
+//	(w_gp-1) + (w_u+1). Requires w_gp >= 1 (topmost red-red).
+//	u' may become overweight (the violation transforms); gp' may become
+//	red (a red-red may move up).
+//
+// Removed nodes: gp, p, u.
+func planPUSH(th core.Thread, gp, p, u nodeC, pIsLeft bool) core.Addr {
+	p.w = 1
+	u.w = u.w + 1
+	pNew := writeNode(th, p)
+	uNew := writeNode(th, u)
+	gp.w = gp.w - 1
+	if pIsLeft {
+		gp.left, gp.right = pNew, uNew
+	} else {
+		gp.left, gp.right = uNew, pNew
+	}
+	return writeNode(th, gp)
+}
+
+// planA1b absorbs x's excess by rotating its weight-1 sibling s up, when
+// s's near child c is not red (c would otherwise turn red-red under the
+// descending red p').
+//
+//	(x = p.left, s = p.right(w=1){c, d}; mirror symmetric)
+//	sums: x: w_p+w_x -> (w_p+1)+0+(w_x-1); c: w_p+1+w_c -> (w_p+1)+0+w_c;
+//	      d: w_p+1+w_d -> (w_p+1)+w_d.
+//	d may be red: it sits under s'(w_p+1 >= 1). x' = w_x-1 >= 1: no reds
+//	introduced below p'(0).
+//
+// Removed nodes: p, x, s (c, d reused).
+func planA1b(th core.Thread, p, x, s nodeC, xIsLeft bool) core.Addr {
+	var c, d core.Addr
+	if xIsLeft {
+		c, d = s.left, s.right
+	} else {
+		c, d = s.right, s.left
+	}
+	x.w--
+	xNew := writeNode(th, x)
+	pDown := p
+	pDown.w = 0
+	if xIsLeft {
+		pDown.left, pDown.right = xNew, c
+	} else {
+		pDown.left, pDown.right = c, xNew
+	}
+	pNew := writeNode(th, pDown)
+	top := s
+	top.w = p.w + 1
+	if xIsLeft {
+		top.left, top.right = pNew, d
+	} else {
+		top.left, top.right = d, pNew
+	}
+	return writeNode(th, top)
+}
+
+// planA1c handles a weight-1 sibling whose *near* child c is red (far
+// child d is not): double-rotate c to the top.
+//
+//	(x = p.left, s = p.right(1){c(0){e, f}, d}; mirror symmetric)
+//	sums: x: w_p+w_x -> (w_p+1)+0+(w_x-1); e: w_p+1+0+w_e -> (w_p+1)+0+w_e;
+//	      f: w_p+1+0+w_f -> (w_p+1)+0+w_f; d: w_p+1+w_d -> (w_p+1)+0+1+w_d...
+//	d keeps its place under s'(1): w_p+1+w_d -> (w_p+1)+0... see below: s'
+//	keeps weight 1 under the new red top? No: s' drops to 0 and c' rises
+//	with w_p+1; d: (w_p+1)+0+w_d ✓.
+//	Red-reds (e,c)/(f,c), if any, existed before and transform in place.
+//	Guard: w_d >= 1 (else d would turn red-red under s'(0)).
+//
+// Removed nodes: p, x, s, c (e, f, d reused).
+func planA1c(th core.Thread, p, x, s, c nodeC, xIsLeft bool) core.Addr {
+	var d core.Addr
+	var e, f core.Addr
+	if xIsLeft {
+		d = s.right
+		e, f = c.left, c.right
+	} else {
+		d = s.left
+		e, f = c.right, c.left
+	}
+	x.w--
+	xNew := writeNode(th, x)
+	pDown := p
+	pDown.w = 0
+	sDown := s
+	sDown.w = 0
+	if xIsLeft {
+		pDown.left, pDown.right = xNew, e
+		sDown.left, sDown.right = f, d
+	} else {
+		pDown.left, pDown.right = e, xNew
+		sDown.left, sDown.right = d, f
+	}
+	pNew := writeNode(th, pDown)
+	sNew := writeNode(th, sDown)
+	top := c
+	top.w = p.w + 1
+	if xIsLeft {
+		top.left, top.right = pNew, sNew
+	} else {
+		top.left, top.right = sNew, pNew
+	}
+	return writeNode(th, top)
+}
+
+// planA1e handles a weight-1 sibling with *both* children red: blacken the
+// far child, lift s into p's position.
+//
+//	(x = p.left, s = p.right(1){c(0), d(0)}; mirror symmetric)
+//	sums: x: w_p+w_x -> w_p+1+(w_x-1); c: w_p+1+0 -> w_p+1+0 (c reused);
+//	      d: w_p+1+0 -> w_p+1 (d' carries weight 1).
+//	s'(w_p) takes p's exact weight, so nothing changes above; d's red-red
+//	with s (pre-existing, off path) is consumed by d'(1).
+//
+// Removed nodes: p, x, s, d (c reused).
+func planA1e(th core.Thread, p, x, s, d nodeC, xIsLeft bool) core.Addr {
+	var c core.Addr
+	if xIsLeft {
+		c = s.left
+	} else {
+		c = s.right
+	}
+	x.w--
+	xNew := writeNode(th, x)
+	d.w = 1
+	dNew := writeNode(th, d)
+	pDown := p
+	pDown.w = 1
+	if xIsLeft {
+		pDown.left, pDown.right = xNew, c
+	} else {
+		pDown.left, pDown.right = c, xNew
+	}
+	pNew := writeNode(th, pDown)
+	top := s
+	top.w = p.w
+	if xIsLeft {
+		top.left, top.right = pNew, dNew
+	} else {
+		top.left, top.right = dNew, pNew
+	}
+	return writeNode(th, top)
+}

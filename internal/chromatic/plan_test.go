@@ -1,0 +1,282 @@
+package chromatic
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/vtags"
+)
+
+// Planner property tests: every rule must preserve the path sum to each
+// reused leaf/subtree and introduce no red-red among the fresh nodes'
+// immediate relations. Subtrees hanging off the transformed region are
+// represented by synthetic leaves whose weights stand in for arbitrary
+// subtree sums.
+
+// mkLeaf materializes a synthetic leaf.
+func mkLeaf(th core.Thread, w, key uint64) core.Addr {
+	return writeNode(th, nodeC{leaf: true, w: w, key: key})
+}
+
+// pathSums walks the materialized subtree and returns key -> total weight
+// below (and including) the top.
+func pathSums(th core.Thread, top core.Addr) map[uint64]uint64 {
+	sums := map[uint64]uint64{}
+	var walk func(n core.Addr, acc uint64)
+	walk = func(n core.Addr, acc uint64) {
+		nd := readNode(th, n)
+		acc += nd.w
+		if nd.leaf {
+			sums[nd.key] = acc
+			return
+		}
+		walk(nd.left, acc)
+		walk(nd.right, acc)
+	}
+	walk(top, 0)
+	return sums
+}
+
+// checkNoFreshRedRed walks the materialized subtree checking that no node
+// with weight 0 has a weight-0 parent (pre-existing violations are
+// excluded by constructing conflict-free inputs).
+func checkNoFreshRedRed(t *testing.T, th core.Thread, top core.Addr, topParentW uint64) {
+	t.Helper()
+	var walk func(n core.Addr, parentW uint64)
+	walk = func(n core.Addr, parentW uint64) {
+		nd := readNode(th, n)
+		if nd.w == 0 && parentW == 0 {
+			t.Fatalf("rule created red-red at key %d", nd.key)
+		}
+		if nd.leaf {
+			return
+		}
+		walk(nd.left, nd.w)
+		walk(nd.right, nd.w)
+	}
+	walk(top, topParentW)
+}
+
+func TestPlanInsertPathSums(t *testing.T) {
+	mem := vtags.New(1<<20, 1)
+	th := mem.Thread(0)
+	for _, wl := range []uint64{1, 2, 5} {
+		l := nodeC{leaf: true, w: wl, key: 100}
+		top := planInsert(th, l, 50)
+		sums := pathSums(th, top)
+		if sums[50] != wl || sums[100] != wl {
+			t.Fatalf("w_l=%d: sums %v, want both %d", wl, sums, wl)
+		}
+	}
+}
+
+func TestPlanDeletePathSums(t *testing.T) {
+	mem := vtags.New(1<<20, 1)
+	th := mem.Thread(0)
+	p := nodeC{w: 2, key: 10}
+	s := nodeC{leaf: true, w: 3, key: 7}
+	top := readNode(th, planDelete(th, p, s))
+	if !top.leaf || top.w != 5 || top.key != 7 {
+		t.Fatalf("promoted sibling wrong: %+v", top)
+	}
+}
+
+// ruleCase builds a random configuration, applies one rule, and verifies
+// path sums relative to the original configuration.
+func TestRotationRulesPreservePathSums(t *testing.T) {
+	mem := vtags.New(64<<20, 1)
+	th := mem.Thread(0)
+	rng := rand.New(rand.NewSource(9))
+
+	for iter := 0; iter < 400; iter++ {
+		for _, mirror := range []bool{false, true} {
+			// Synthetic grandparent region: gp{p, u} with p{x/c3 or x{a,b}}.
+			wgp := uint64(rng.Intn(3) + 1) // >= 1 (topmost red-red)
+			wu := uint64(rng.Intn(3) + 1)  // black uncle (BLK handles red)
+			wc3 := uint64(rng.Intn(3) + 1) // avoid pre-existing red-reds
+			wa := uint64(rng.Intn(3) + 1)
+			wb := uint64(rng.Intn(3) + 1)
+
+			u := mkLeaf(th, wu, 1000)
+			c3 := mkLeaf(th, wc3, 1001)
+			a := mkLeaf(th, wa, 1002)
+			b := mkLeaf(th, wb, 1003)
+
+			// BLK: gp{p(0){x(0)...}, u(0)}; we model x and c3 as p's leaves.
+			x := mkLeaf(th, 0, 1004)
+			pd := nodeC{w: 0, key: 11, left: x, right: c3}
+			if mirror {
+				pd.left, pd.right = c3, x
+			}
+			gpd := nodeC{w: wgp, key: 22}
+			ud := nodeC{leaf: true, w: 0, key: 1000}
+			top := planBLK(th, gpd, pd, ud, !mirror)
+			sums := pathSums(th, top)
+			if sums[1004] != wgp+0+0 || sums[1001] != wgp+0+wc3 || sums[1000] != wgp+0 {
+				t.Fatalf("BLK sums wrong: %v", sums)
+			}
+
+			// RB1: x outside.
+			pd2 := nodeC{w: 0, key: 11, left: x, right: c3}
+			gp2 := nodeC{w: wgp, key: 22}
+			if mirror {
+				pd2.left, pd2.right = c3, x
+			}
+			// attach u side below via planRB1's gp fields
+			if mirror {
+				gp2.left, gp2.right = u, core.NilAddr
+			} else {
+				gp2.left, gp2.right = core.NilAddr, u
+			}
+			top = planRB1(th, gp2, pd2, x, !mirror)
+			sums = pathSums(th, top)
+			if sums[1004] != wgp || sums[1001] != wgp+0+wc3 || sums[1000] != wgp+0+wu {
+				t.Fatalf("RB1 sums wrong (mirror=%v): %v", mirror, sums)
+			}
+			checkNoFreshRedRed(t, th, top, 1)
+
+			// RB2: x inside, internal with children a, b.
+			xd := nodeC{w: 0, key: 15, left: a, right: b}
+			pd3 := nodeC{w: 0, key: 11}
+			gp3 := nodeC{w: wgp, key: 22}
+			xAddr := writeNode(th, xd)
+			if mirror {
+				pd3.left, pd3.right = xAddr, c3
+				gp3.left, gp3.right = u, writeNode(th, pd3)
+			} else {
+				pd3.left, pd3.right = c3, xAddr
+				gp3.left, gp3.right = writeNode(th, pd3), u
+			}
+			top = planRB2(th, gp3, pd3, xd, !mirror)
+			sums = pathSums(th, top)
+			if sums[1001] != wgp+wc3 || sums[1002] != wgp+wa || sums[1003] != wgp+wb || sums[1000] != wgp+wu {
+				t.Fatalf("RB2 sums wrong (mirror=%v): %v", mirror, sums)
+			}
+			checkNoFreshRedRed(t, th, top, 1)
+
+			// PUSH: gp{p(0){x(0), c3}, u(w_u>=1)}.
+			wub := wu + 1 // ensure black uncle
+			pd4 := nodeC{w: 0, key: 11, left: x, right: c3}
+			if mirror {
+				pd4.left, pd4.right = c3, x
+			}
+			gp4 := nodeC{w: wgp, key: 22}
+			ud4 := nodeC{leaf: true, w: wub, key: 1000}
+			top = planPUSH(th, gp4, pd4, ud4, !mirror)
+			sums = pathSums(th, top)
+			if sums[1004] != wgp-1+1 || sums[1001] != wgp-1+1+wc3 || sums[1000] != wgp-1+wub+1 {
+				t.Fatalf("PUSH sums wrong: %v", sums)
+			}
+		}
+	}
+}
+
+func TestWeightRulesPreservePathSums(t *testing.T) {
+	mem := vtags.New(64<<20, 1)
+	th := mem.Thread(0)
+	rng := rand.New(rand.NewSource(10))
+
+	for iter := 0; iter < 400; iter++ {
+		for _, mirror := range []bool{false, true} {
+			xIsLeft := !mirror
+			wp := uint64(rng.Intn(3))
+			wx := uint64(rng.Intn(3) + 2) // overweight
+
+			x := mkLeaf(th, wx, 2000)
+			xd := readNode(th, x)
+
+			// A1 with heavy sibling.
+			ws := uint64(rng.Intn(3) + 2)
+			sd := nodeC{leaf: true, w: ws, key: 2001}
+			pd := nodeC{w: wp, key: 33}
+			top := planA1(th, pd, xd, sd, xIsLeft)
+			sums := pathSums(th, top)
+			if sums[2000] != wp+wx || sums[2001] != wp+ws {
+				t.Fatalf("A1 sums wrong: %v", sums)
+			}
+
+			// A1b: s(1){c(w>=1), d(0)}.
+			wc := uint64(rng.Intn(2) + 1)
+			c := mkLeaf(th, wc, 2002)
+			d := mkLeaf(th, 0, 2003)
+			s1 := nodeC{w: 1, key: 44, left: c, right: d}
+			if mirror {
+				s1.left, s1.right = d, c
+			}
+			top = planA1b(th, nodeC{w: wp, key: 33}, xd, s1, xIsLeft)
+			sums = pathSums(th, top)
+			if sums[2000] != wp+wx || sums[2002] != wp+1+wc || sums[2003] != wp+1 {
+				t.Fatalf("A1b sums wrong (mirror=%v): %v", mirror, sums)
+			}
+
+			// A1c: s(1){c(0){e, f}, d(w>=1)}.
+			we := uint64(rng.Intn(2) + 1)
+			wf := uint64(rng.Intn(2) + 1)
+			wd := uint64(rng.Intn(2) + 1)
+			e := mkLeaf(th, we, 2004)
+			f := mkLeaf(th, wf, 2005)
+			d2 := mkLeaf(th, wd, 2006)
+			cd := nodeC{w: 0, key: 40, left: e, right: f}
+			if mirror {
+				cd.left, cd.right = f, e
+			}
+			s2 := nodeC{w: 1, key: 44, left: writeNode(th, cd), right: d2}
+			if mirror {
+				s2.left, s2.right = d2, s2.left
+			}
+			top = planA1c(th, nodeC{w: wp, key: 33}, xd, s2, cd, xIsLeft)
+			sums = pathSums(th, top)
+			if sums[2000] != wp+wx || sums[2004] != wp+1+we || sums[2005] != wp+1+wf || sums[2006] != wp+1+wd {
+				t.Fatalf("A1c sums wrong (mirror=%v): %v", mirror, sums)
+			}
+			checkNoFreshRedRed(t, th, top, 1)
+
+			// A1e: s(1){c(0), d(0)}.
+			c3 := mkLeaf(th, 0, 2007)
+			d3 := mkLeaf(th, 0, 2008)
+			s3 := nodeC{w: 1, key: 44, left: c3, right: d3}
+			if mirror {
+				s3.left, s3.right = d3, c3
+			}
+			dd := nodeC{leaf: true, w: 0, key: 2008}
+			top = planA1e(th, nodeC{w: wp, key: 33}, xd, s3, dd, xIsLeft)
+			sums = pathSums(th, top)
+			if sums[2000] != wp+wx || sums[2007] != wp+1 || sums[2008] != wp+1 {
+				t.Fatalf("A1e sums wrong (mirror=%v): %v", mirror, sums)
+			}
+
+			// A2: s(0){c(w>=1), d}.
+			c4 := mkLeaf(th, wc, 2009)
+			d4 := mkLeaf(th, uint64(rng.Intn(3)), 2010)
+			wd4 := readNode(th, d4).w
+			s4 := nodeC{w: 0, key: 44, left: c4, right: d4}
+			if mirror {
+				s4.left, s4.right = d4, c4
+			}
+			top = planA2(th, nodeC{w: wp + 1, key: 33}, s4, x, xIsLeft)
+			sums = pathSums(th, top)
+			if sums[2000] != wp+1+wx || sums[2009] != wp+1+wc || sums[2010] != wp+1+wd4 {
+				t.Fatalf("A2 sums wrong (mirror=%v): %v", mirror, sums)
+			}
+
+			// A3: s(0){c(0){e, f}, d}.
+			e5 := mkLeaf(th, we, 2011)
+			f5 := mkLeaf(th, wf, 2012)
+			d5 := mkLeaf(th, wd, 2013)
+			cd5 := nodeC{w: 0, key: 40, left: e5, right: f5}
+			if mirror {
+				cd5.left, cd5.right = f5, e5
+			}
+			s5 := nodeC{w: 0, key: 44, left: writeNode(th, cd5), right: d5}
+			if mirror {
+				s5.left, s5.right = d5, s5.left
+			}
+			top = planA3(th, nodeC{w: wp + 1, key: 33}, s5, cd5, x, xIsLeft)
+			sums = pathSums(th, top)
+			if sums[2000] != wp+1+wx || sums[2011] != wp+1+we || sums[2012] != wp+1+wf || sums[2013] != wp+1+wd {
+				t.Fatalf("A3 sums wrong (mirror=%v): %v", mirror, sums)
+			}
+		}
+	}
+}

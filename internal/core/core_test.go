@@ -1,0 +1,112 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddrLine(t *testing.T) {
+	cases := []struct {
+		a    Addr
+		line Line
+	}{
+		{0, 0},
+		{8, 0},
+		{63, 0},
+		{64, 1},
+		{127, 1},
+		{128, 2},
+		{64 * 1000, 1000},
+	}
+	for _, c := range cases {
+		if got := c.a.Line(); got != c.line {
+			t.Errorf("Addr(%d).Line() = %d, want %d", c.a, got, c.line)
+		}
+	}
+}
+
+func TestAddrWordOffsetPlus(t *testing.T) {
+	a := Addr(128)
+	if a.Word() != 16 {
+		t.Errorf("Word() = %d, want 16", a.Word())
+	}
+	if a.Offset() != 0 {
+		t.Errorf("Offset() = %d, want 0", a.Offset())
+	}
+	b := a.Plus(3)
+	if b != 152 {
+		t.Errorf("Plus(3) = %d, want 152", b)
+	}
+	if b.Offset() != 24 {
+		t.Errorf("Offset() = %d, want 24", b.Offset())
+	}
+	if !NilAddr.IsNil() || a.IsNil() {
+		t.Error("IsNil misbehaves")
+	}
+}
+
+func TestLinesSpannedSingle(t *testing.T) {
+	lines := LinesSpanned(Addr(64), 64)
+	if len(lines) != 1 || lines[0] != 1 {
+		t.Fatalf("LinesSpanned(64, 64) = %v, want [1]", lines)
+	}
+}
+
+func TestLinesSpannedCrossing(t *testing.T) {
+	// 16 bytes starting 8 bytes before a line boundary spans two lines.
+	lines := LinesSpanned(Addr(120), 16)
+	if len(lines) != 2 || lines[0] != 1 || lines[1] != 2 {
+		t.Fatalf("LinesSpanned(120, 16) = %v, want [1 2]", lines)
+	}
+}
+
+func TestLinesSpannedZeroAndNegative(t *testing.T) {
+	if got := LinesSpanned(Addr(64), 0); got != nil {
+		t.Errorf("size 0: got %v, want nil", got)
+	}
+	if got := LinesSpanned(Addr(64), -8); got != nil {
+		t.Errorf("negative size: got %v, want nil", got)
+	}
+}
+
+func TestLinesSpannedLarge(t *testing.T) {
+	// A 5-line object starting mid-line spans 6 lines.
+	lines := LinesSpanned(Addr(96), 5*LineSize)
+	if len(lines) != 6 {
+		t.Fatalf("got %d lines, want 6 (%v)", len(lines), lines)
+	}
+	for i, l := range lines {
+		if l != Line(1+i) {
+			t.Fatalf("lines[%d] = %d, want %d", i, l, 1+i)
+		}
+	}
+}
+
+// Property: LinesSpanned is contiguous, starts at a.Line(), and covers
+// exactly ceil((offset+size)/LineSize) lines.
+func TestLinesSpannedProperty(t *testing.T) {
+	f := func(rawAddr uint32, rawSize uint16) bool {
+		a := Addr(rawAddr) &^ (WordSize - 1) // word-align
+		size := int(rawSize%2048) + 1
+		lines := LinesSpanned(a, size)
+		if len(lines) == 0 {
+			return false
+		}
+		if lines[0] != a.Line() {
+			return false
+		}
+		want := int((uint64(a)+uint64(size)-1)/LineSize - uint64(a)/LineSize + 1)
+		if len(lines) != want {
+			return false
+		}
+		for i := 1; i < len(lines); i++ {
+			if lines[i] != lines[i-1]+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,125 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/abtree"
+	"repro/internal/intset"
+	"repro/internal/list"
+	"repro/internal/machine"
+	"repro/internal/workload"
+)
+
+// ElisionExperiment measures the fallback-path behaviour (Section 3): how
+// often operations complete on the tagged fast path versus the software
+// slow path as the L1 shrinks and spurious evictions rise.
+type ElisionExperiment struct {
+	Name    string
+	Title   string
+	Threads int
+	// L1Lines sweeps the L1 capacity in cache lines.
+	L1Lines      []int
+	OpsPerThread int
+	KeyRange     uint64
+	Seed         int64
+}
+
+// ElisionPoint is one measured cell.
+type ElisionPoint struct {
+	Structure   string
+	L1Lines     int
+	FastPct     float64 // operations committing on the fast path
+	SpuriousPct float64 // validation failures per validation
+	Mops        float64
+}
+
+// NewElisionExperiment returns the default sweep.
+func NewElisionExperiment(quick bool) *ElisionExperiment {
+	e := &ElisionExperiment{
+		Name:         "elision",
+		Title:        "Fallback trip rate vs L1 size (elided list & tree)",
+		Threads:      4,
+		L1Lines:      []int{8, 32, 128, 512},
+		OpsPerThread: 300,
+		KeyRange:     512,
+		Seed:         42,
+	}
+	if quick {
+		e.OpsPerThread = 120
+		e.L1Lines = []int{8, 64, 512}
+	}
+	return e
+}
+
+// Run executes the sweep for both elided structures.
+func (e *ElisionExperiment) Run() []ElisionPoint {
+	var points []ElisionPoint
+	for _, lines := range e.L1Lines {
+		cfgFor := func() machine.Config {
+			cfg := machine.DefaultConfig(e.Threads)
+			cfg.MemBytes = 256 << 20
+			cfg.L1Bytes = lines * 64
+			if lines < 8 {
+				cfg.L1Ways = 1
+			} else if lines < 64 {
+				cfg.L1Ways = 2
+			}
+			return cfg
+		}
+
+		// Elided list (VAS fast / Harris slow).
+		{
+			m := machine.New(cfgFor())
+			s := list.NewElided(m, 0)
+			points = append(points, e.runOne(m, "list", lines, s, func() (fast, slow uint64) {
+				return s.FastCommits.Load(), s.SlowCommits.Load()
+			}))
+		}
+		// Elided (a,b)-tree (HoH fast / LLX-SCX slow).
+		{
+			m := machine.New(cfgFor())
+			s := abtree.NewElided(m, TreeA, TreeB, 0)
+			points = append(points, e.runOne(m, "abtree", lines, s, func() (fast, slow uint64) {
+				return s.FastCommits.Load(), s.SlowCommits.Load()
+			}))
+		}
+	}
+	return points
+}
+
+func (e *ElisionExperiment) runOne(m *machine.Machine, name string, lines int,
+	s intset.Set, counters func() (fast, slow uint64)) ElisionPoint {
+
+	cfg := workload.Config{
+		Threads: e.Threads, KeyRange: e.KeyRange, PrefillSize: int(e.KeyRange / 2),
+		OpsPerThread: e.OpsPerThread, Mix: workload.Update3535, Seed: e.Seed,
+	}
+	workload.Prefill(m, s, cfg)
+	before := m.Snapshot()
+	counts := workload.Run(m, s, cfg)
+	after := m.Snapshot()
+
+	fast, slow := counters()
+	p := ElisionPoint{Structure: name, L1Lines: lines}
+	if fast+slow > 0 {
+		p.FastPct = 100 * float64(fast) / float64(fast+slow)
+	}
+	if v := after.Validates - before.Validates; v > 0 {
+		p.SpuriousPct = 100 * float64(after.ValidateFails-before.ValidateFails) / float64(v)
+	}
+	if cyc := after.MaxCycles - before.MaxCycles; cyc > 0 {
+		p.Mops = float64(counts.Ops) / (float64(cyc) / m.Config().ClockHz) / 1e6
+	}
+	return p
+}
+
+// PrintElision writes the sweep as a table.
+func PrintElision(w io.Writer, title string, points []ElisionPoint) {
+	fmt.Fprintf(w, "== %s ==\n", title)
+	fmt.Fprintf(w, "%-10s %10s %12s %14s %10s\n", "structure", "L1 lines", "fast-path %", "validate-fail %", "Mops/s")
+	for _, p := range points {
+		fmt.Fprintf(w, "%-10s %10d %12.2f %14.3f %10.3f\n",
+			p.Structure, p.L1Lines, p.FastPct, p.SpuriousPct, p.Mops)
+	}
+}

@@ -1,0 +1,214 @@
+package harness
+
+import (
+	"repro/internal/abtree"
+	"repro/internal/bst"
+	"repro/internal/chromatic"
+	"repro/internal/core"
+	"repro/internal/intset"
+	"repro/internal/list"
+	"repro/internal/machine"
+	"repro/internal/skiplist"
+	"repro/internal/stm"
+	"repro/internal/txset"
+	"repro/internal/workload"
+)
+
+// Scale selects experiment sizing. Quick keeps unit-test and default bench
+// runtimes small; Paper approaches the paper's setup (1-64 simulated
+// cores). Absolute op counts are far below Graphite runs in either case —
+// the simulator is functionally concurrent, so the per-op cost model, not
+// run length, determines the reported rates.
+type Scale struct {
+	Threads      []int
+	OpsPerThread int
+	Trials       int
+}
+
+// QuickScale is small enough for CI.
+func QuickScale() Scale {
+	return Scale{Threads: []int{1, 2, 4, 8}, OpsPerThread: 300, Trials: 1}
+}
+
+// PaperScale sweeps the paper's 1-64 cores and averages over trials.
+func PaperScale() Scale {
+	return Scale{Threads: []int{1, 2, 4, 8, 16, 32, 64}, OpsPerThread: 600, Trials: 3}
+}
+
+// TreeAB are the (a,b)-tree parameters used by the tree experiments.
+const (
+	TreeA = 4
+	TreeB = 8
+)
+
+// ListVariants returns the three list implementations of Figures 2/4/5.
+func ListVariants() []SetVariant {
+	return []SetVariant{
+		{Name: "harris", Build: func(m core.Memory) intset.Set { return list.NewHarris(m) }},
+		{Name: "vas", Build: func(m core.Memory) intset.Set { return list.NewVAS(m) }},
+		{Name: "hoh", Build: func(m core.Memory) intset.Set { return list.NewHoH(m) }},
+	}
+}
+
+// TreeVariants returns the two (a,b)-tree implementations of Figures 6/7.
+func TreeVariants() []SetVariant {
+	return []SetVariant{
+		{Name: "llxscx", Build: func(m core.Memory) intset.Set { return abtree.NewLLX(m, TreeA, TreeB) }},
+		{Name: "hoh-tag", Build: func(m core.Memory) intset.Set { return abtree.NewHoH(m, TreeA, TreeB) }},
+	}
+}
+
+// BSTVariants returns the external BST implementations (extension
+// experiment: the paper names BSTs among tagging's applications).
+func BSTVariants() []SetVariant {
+	return []SetVariant{
+		{Name: "llxscx", Build: func(m core.Memory) intset.Set { return bst.NewLLX(m) }},
+		{Name: "hoh-tag", Build: func(m core.Memory) intset.Set { return bst.NewHoH(m) }},
+	}
+}
+
+// ChromaticVariants returns the chromatic tree implementations (the other
+// balanced tree the paper names).
+func ChromaticVariants() []SetVariant {
+	return []SetVariant{
+		{Name: "llxscx", Build: func(m core.Memory) intset.Set { return chromatic.NewLLX(m) }},
+		{Name: "hoh-tag", Build: func(m core.Memory) intset.Set { return chromatic.NewHoH(m) }},
+	}
+}
+
+// SkipVariants returns the skip list implementations (extension
+// experiment).
+func SkipVariants() []SetVariant {
+	return []SetVariant{
+		{Name: "cas", Build: func(m core.Memory) intset.Set { return skiplist.New(m) }},
+		{Name: "vas", Build: func(m core.Memory) intset.Set { return skiplist.NewVAS(m) }},
+	}
+}
+
+// listExperiment builds a list experiment with the paper's methodology:
+// key range double the initial size, prefilled to half.
+func listExperiment(name, title, figure string, mix workload.Mix, sc Scale) *SetExperiment {
+	return &SetExperiment{
+		Name: name, Title: title, Figure: figure,
+		Threads: sc.Threads, Trials: sc.Trials,
+		KeyRange:     512,
+		OpsPerThread: sc.OpsPerThread,
+		Mix:          mix,
+		Seed:         42,
+		Variants:     ListVariants(),
+		MemBytes:     64 << 20,
+	}
+}
+
+func treeExperiment(name, title, figure string, mix workload.Mix, sc Scale) *SetExperiment {
+	return &SetExperiment{
+		Name: name, Title: title, Figure: figure,
+		Threads: sc.Threads, Trials: sc.Trials,
+		KeyRange:     8192,
+		OpsPerThread: sc.OpsPerThread * 2, // tree ops are O(log n): afford more
+		Mix:          mix,
+		Seed:         42,
+		Variants:     TreeVariants(),
+		MemBytes:     256 << 20,
+	}
+}
+
+// Fig2 reproduces Figure 2: linked-list throughput vs threads at 35%
+// inserts / 35% deletes (the throughput panel of Figure 4).
+func Fig2(sc Scale) *SetExperiment {
+	return listExperiment("fig2", "Linked list, 35% ins / 35% del (throughput)", "Figure 2", workload.Update3535, sc)
+}
+
+// Fig4 reproduces Figure 4: linked-list throughput, miss rate and energy
+// at 35/35.
+func Fig4(sc Scale) *SetExperiment {
+	return listExperiment("fig4", "Linked list, 35% ins / 35% del", "Figure 4", workload.Update3535, sc)
+}
+
+// Fig5 reproduces Figure 5: linked list at 15% inserts / 15% deletes.
+func Fig5(sc Scale) *SetExperiment {
+	return listExperiment("fig5", "Linked list, 15% ins / 15% del", "Figure 5", workload.Update1515, sc)
+}
+
+// Fig6 reproduces Figure 6: (a,b)-tree at 35/35, LLX/SCX vs HoH tagging.
+func Fig6(sc Scale) *SetExperiment {
+	return treeExperiment("fig6", "(a,b)-tree, 35% ins / 35% del", "Figure 6", workload.Update3535, sc)
+}
+
+// Fig7 reproduces Figure 7: (a,b)-tree at 15/15.
+func Fig7(sc Scale) *SetExperiment {
+	return treeExperiment("fig7", "(a,b)-tree, 15% ins / 15% del", "Figure 7", workload.Update1515, sc)
+}
+
+// BSTExperiment is an extension experiment: the unbalanced external BST,
+// LLX/SCX vs HoH tagging, at 35/35.
+func BSTExperiment(sc Scale) *SetExperiment {
+	return &SetExperiment{
+		Name: "bst", Title: "External BST, 35% ins / 35% del (extension)", Figure: "(extension)",
+		Threads: sc.Threads, Trials: sc.Trials,
+		KeyRange:     8192,
+		OpsPerThread: sc.OpsPerThread * 2,
+		Mix:          workload.Update3535,
+		Seed:         42,
+		Variants:     BSTVariants(),
+		MemBytes:     256 << 20,
+	}
+}
+
+// ChromaticExperiment compares the chromatic tree variants at 35/35 (the
+// paper verified its generic transformation on the chromatic tree; it
+// reports no separate figure).
+func ChromaticExperiment(sc Scale) *SetExperiment {
+	return &SetExperiment{
+		Name: "chromatic", Title: "Chromatic tree, 35% ins / 35% del (extension)", Figure: "(extension)",
+		Threads: sc.Threads, Trials: sc.Trials,
+		KeyRange:     8192,
+		OpsPerThread: sc.OpsPerThread * 2,
+		Mix:          workload.Update3535,
+		Seed:         42,
+		Variants:     ChromaticVariants(),
+		MemBytes:     256 << 20,
+	}
+}
+
+// StmSetExperiment compares general-purpose STM ordered sets (NOrec and
+// tagged NOrec over a transactional red-black tree) against the
+// purpose-built HoH-tagged (a,b)-tree — the usability/performance
+// trade-off the paper's conclusions discuss.
+func StmSetExperiment(sc Scale) *SetExperiment {
+	return &SetExperiment{
+		Name: "stmset", Title: "STM RB-set vs HoH (a,b)-tree, 35% ins / 35% del (extension)", Figure: "(extension)",
+		Threads: sc.Threads, Trials: sc.Trials,
+		KeyRange:     2048,
+		OpsPerThread: sc.OpsPerThread,
+		Mix:          workload.Update3535,
+		Seed:         42,
+		Variants: []SetVariant{
+			{Name: "norec-set", Build: func(m core.Memory) intset.Set { return txset.New(m, stm.NewNOrec(m)) }},
+			{Name: "tagged-set", Build: func(m core.Memory) intset.Set { return txset.New(m, stm.NewTagged(m)) }},
+			{Name: "hoh-tree", Build: func(m core.Memory) intset.Set { return abtree.NewHoH(m, TreeA, TreeB) }},
+		},
+		MemBytes: 256 << 20,
+		Config: func(cores int) machine.Config {
+			cfg := machine.DefaultConfig(cores)
+			cfg.MemBytes = 256 << 20
+			cfg.MaxTags = 128 // STM read sets span many lines
+			return cfg
+		},
+	}
+}
+
+// SkipExperiment is the extension experiment: skip list CAS vs VAS at
+// 35/35 (the paper claims applicability but reports no skip-list figure).
+func SkipExperiment(sc Scale) *SetExperiment {
+	return &SetExperiment{
+		Name: "skip", Title: "Skip list, 35% ins / 35% del (extension)", Figure: "(extension)",
+		Threads: sc.Threads, Trials: sc.Trials,
+		KeyRange:     4096,
+		OpsPerThread: sc.OpsPerThread * 2,
+		Mix:          workload.Update3535,
+		Seed:         42,
+		Variants:     SkipVariants(),
+		MemBytes:     256 << 20,
+	}
+}

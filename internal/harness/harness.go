@@ -1,0 +1,255 @@
+// Package harness runs the paper's experiments (Section 6) on the machine
+// simulator and reports the series each figure plots: throughput, L1 cache
+// miss rate and energy versus thread count, for every data-structure
+// variant, plus tag-specific telemetry (validation failures, spurious
+// evictions).
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/intset"
+	"repro/internal/machine"
+	"repro/internal/workload"
+)
+
+// SetVariant names one data-structure implementation under test.
+type SetVariant struct {
+	Name  string
+	Build func(mem core.Memory) intset.Set
+}
+
+// SetExperiment describes one figure's set-structure experiment.
+type SetExperiment struct {
+	Name    string // experiment id, e.g. "fig2"
+	Title   string
+	Figure  string // paper figure it reproduces
+	Threads []int
+	Trials  int
+
+	KeyRange     uint64
+	OpsPerThread int
+	Mix          workload.Mix
+	Seed         int64
+
+	Variants []SetVariant
+	// Config produces the machine configuration for a core count; nil
+	// means machine.DefaultConfig with a memory size scaled to the run.
+	Config func(cores int) machine.Config
+	// MemBytes overrides the simulated memory size when Config is nil.
+	MemBytes int
+}
+
+// Point is one measured datum: a (variant, thread count) cell averaged
+// over trials.
+type Point struct {
+	Variant string
+	Threads int
+
+	// ThroughputMops is completed operations per simulated microsecond
+	// (i.e. millions of ops per simulated second at the configured clock).
+	ThroughputMops float64
+	// MissRatePct is the percentage of cache accesses missing L1.
+	MissRatePct float64
+	// EnergyPerOp is model energy units consumed per completed operation.
+	EnergyPerOp float64
+
+	// Tag telemetry.
+	ValidateFailPct    float64 // failed validations / validations
+	VASFailPct         float64 // failed VAS+IAS / attempts
+	SpuriousPerMilOps  float64 // spurious tag evictions per million ops
+	InvalidationsPerOp float64
+}
+
+func (e *SetExperiment) config(cores int) machine.Config {
+	if e.Config != nil {
+		return e.Config(cores)
+	}
+	cfg := machine.DefaultConfig(cores)
+	if e.MemBytes > 0 {
+		cfg.MemBytes = e.MemBytes
+	} else {
+		cfg.MemBytes = 256 << 20
+	}
+	return cfg
+}
+
+// Run executes the experiment and returns one Point per (variant, thread
+// count), ordered by variant then threads.
+func (e *SetExperiment) Run() []Point {
+	trials := e.Trials
+	if trials <= 0 {
+		trials = 1
+	}
+	var points []Point
+	for _, v := range e.Variants {
+		for _, n := range e.Threads {
+			var acc Point
+			acc.Variant = v.Name
+			acc.Threads = n
+			for trial := 0; trial < trials; trial++ {
+				p := e.runOne(v, n, e.Seed+int64(trial)*104729)
+				acc.ThroughputMops += p.ThroughputMops
+				acc.MissRatePct += p.MissRatePct
+				acc.EnergyPerOp += p.EnergyPerOp
+				acc.ValidateFailPct += p.ValidateFailPct
+				acc.VASFailPct += p.VASFailPct
+				acc.SpuriousPerMilOps += p.SpuriousPerMilOps
+				acc.InvalidationsPerOp += p.InvalidationsPerOp
+			}
+			f := float64(trials)
+			acc.ThroughputMops /= f
+			acc.MissRatePct /= f
+			acc.EnergyPerOp /= f
+			acc.ValidateFailPct /= f
+			acc.VASFailPct /= f
+			acc.SpuriousPerMilOps /= f
+			acc.InvalidationsPerOp /= f
+			points = append(points, acc)
+		}
+	}
+	return points
+}
+
+func (e *SetExperiment) runOne(v SetVariant, threads int, seed int64) Point {
+	m := machine.New(e.config(threads))
+	s := v.Build(m)
+	cfg := workload.Config{
+		Threads:      threads,
+		KeyRange:     e.KeyRange,
+		PrefillSize:  int(e.KeyRange / 2),
+		OpsPerThread: e.OpsPerThread,
+		Mix:          e.Mix,
+		Seed:         seed,
+	}
+	workload.Prefill(m, s, cfg)
+	// Measure only the timed phase: snapshot after prefill.
+	before := m.Snapshot()
+	counts := workload.Run(m, s, cfg)
+	after := m.Snapshot()
+	return diffToPoint(v.Name, threads, before, after, counts.Ops, m.Config().ClockHz)
+}
+
+func diffToPoint(name string, threads int, before, after machine.Stats, ops uint64, clockHz float64) Point {
+	cycles := after.MaxCycles - before.MaxCycles
+	accesses := after.Accesses() - before.Accesses()
+	misses := after.Misses() - before.Misses()
+	energy := after.Energy - before.Energy
+	validates := after.Validates - before.Validates
+	vfails := after.ValidateFails - before.ValidateFails
+	attempts := (after.VASAttempts + after.IASAttempts) - (before.VASAttempts + before.IASAttempts)
+	afails := (after.VASFails + after.IASFails) - (before.VASFails + before.IASFails)
+	spurious := after.SpuriousEvictions - before.SpuriousEvictions
+	invs := after.InvalidationsSent - before.InvalidationsSent
+
+	p := Point{Variant: name, Threads: threads}
+	if cycles > 0 {
+		simSeconds := float64(cycles) / clockHz
+		p.ThroughputMops = float64(ops) / simSeconds / 1e6
+	}
+	if accesses > 0 {
+		p.MissRatePct = 100 * float64(misses) / float64(accesses)
+	}
+	if ops > 0 {
+		p.EnergyPerOp = energy / float64(ops)
+		p.SpuriousPerMilOps = 1e6 * float64(spurious) / float64(ops)
+		p.InvalidationsPerOp = float64(invs) / float64(ops)
+	}
+	if validates > 0 {
+		p.ValidateFailPct = 100 * float64(vfails) / float64(validates)
+	}
+	if attempts > 0 {
+		p.VASFailPct = 100 * float64(afails) / float64(attempts)
+	}
+	return p
+}
+
+// PrintTable writes the points as the figure's table: one block per
+// metric, thread counts as columns, variants as rows.
+func PrintTable(w io.Writer, title string, points []Point) {
+	threads := uniqueThreads(points)
+	variants := uniqueVariants(points)
+	idx := map[string]map[int]Point{}
+	for _, p := range points {
+		if idx[p.Variant] == nil {
+			idx[p.Variant] = map[int]Point{}
+		}
+		idx[p.Variant][p.Threads] = p
+	}
+	fmt.Fprintf(w, "== %s ==\n", title)
+	metrics := []struct {
+		name string
+		get  func(Point) float64
+	}{
+		{"throughput (Mops/s)", func(p Point) float64 { return p.ThroughputMops }},
+		{"L1 miss rate (%)", func(p Point) float64 { return p.MissRatePct }},
+		{"energy/op (units)", func(p Point) float64 { return p.EnergyPerOp }},
+		{"validate fails (%)", func(p Point) float64 { return p.ValidateFailPct }},
+		{"VAS/IAS fails (%)", func(p Point) float64 { return p.VASFailPct }},
+		{"invalidations/op", func(p Point) float64 { return p.InvalidationsPerOp }},
+	}
+	for _, met := range metrics {
+		fmt.Fprintf(w, "-- %s --\n", met.name)
+		fmt.Fprintf(w, "%-14s", "threads")
+		for _, t := range threads {
+			fmt.Fprintf(w, "%10d", t)
+		}
+		fmt.Fprintln(w)
+		for _, v := range variants {
+			fmt.Fprintf(w, "%-14s", v)
+			for _, t := range threads {
+				fmt.Fprintf(w, "%10.3f", met.get(idx[v][t]))
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+func uniqueThreads(points []Point) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, p := range points {
+		if !seen[p.Threads] {
+			seen[p.Threads] = true
+			out = append(out, p.Threads)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func uniqueVariants(points []Point) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, p := range points {
+		if !seen[p.Variant] {
+			seen[p.Variant] = true
+			out = append(out, p.Variant)
+		}
+	}
+	return out
+}
+
+// Speedup returns variant a's throughput relative to variant b at the
+// given thread count (e.g. 1.4 = 40% faster), or 0 if missing data.
+func Speedup(points []Point, a, b string, threads int) float64 {
+	var ta, tb float64
+	for _, p := range points {
+		if p.Threads != threads {
+			continue
+		}
+		if p.Variant == a {
+			ta = p.ThroughputMops
+		}
+		if p.Variant == b {
+			tb = p.ThroughputMops
+		}
+	}
+	if tb == 0 {
+		return 0
+	}
+	return ta / tb
+}

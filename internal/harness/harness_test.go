@@ -1,0 +1,139 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/vacation"
+	"repro/internal/workload"
+)
+
+func tinyScale() Scale {
+	return Scale{Threads: []int{1, 2}, OpsPerThread: 60, Trials: 1}
+}
+
+func TestListExperimentProducesPoints(t *testing.T) {
+	e := Fig2(tinyScale())
+	e.KeyRange = 64
+	points := e.Run()
+	if len(points) != 3*2 {
+		t.Fatalf("got %d points, want 6", len(points))
+	}
+	for _, p := range points {
+		if p.ThroughputMops <= 0 {
+			t.Fatalf("%s@%d: non-positive throughput", p.Variant, p.Threads)
+		}
+		if p.MissRatePct < 0 || p.MissRatePct > 100 {
+			t.Fatalf("%s@%d: miss rate %f", p.Variant, p.Threads, p.MissRatePct)
+		}
+		if p.EnergyPerOp <= 0 {
+			t.Fatalf("%s@%d: non-positive energy", p.Variant, p.Threads)
+		}
+	}
+}
+
+func TestTreeExperimentProducesPoints(t *testing.T) {
+	e := Fig6(tinyScale())
+	e.KeyRange = 256
+	e.OpsPerThread = 80
+	points := e.Run()
+	if len(points) != 2*2 {
+		t.Fatalf("got %d points, want 4", len(points))
+	}
+	for _, p := range points {
+		if p.ThroughputMops <= 0 {
+			t.Fatalf("%s@%d: non-positive throughput", p.Variant, p.Threads)
+		}
+	}
+}
+
+func TestPrintTable(t *testing.T) {
+	points := []Point{
+		{Variant: "a", Threads: 1, ThroughputMops: 1.5, MissRatePct: 10, EnergyPerOp: 100},
+		{Variant: "a", Threads: 2, ThroughputMops: 2.5, MissRatePct: 11, EnergyPerOp: 101},
+		{Variant: "b", Threads: 1, ThroughputMops: 0.5, MissRatePct: 12, EnergyPerOp: 102},
+		{Variant: "b", Threads: 2, ThroughputMops: 0.6, MissRatePct: 13, EnergyPerOp: 103},
+	}
+	var buf bytes.Buffer
+	PrintTable(&buf, "test", points)
+	out := buf.String()
+	for _, want := range []string{"throughput", "miss rate", "energy", "a", "b", "1.500"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	points := []Point{
+		{Variant: "fast", Threads: 4, ThroughputMops: 3},
+		{Variant: "slow", Threads: 4, ThroughputMops: 2},
+	}
+	if s := Speedup(points, "fast", "slow", 4); s < 1.49 || s > 1.51 {
+		t.Fatalf("speedup = %f, want 1.5", s)
+	}
+	if s := Speedup(points, "fast", "missing", 4); s != 0 {
+		t.Fatalf("missing baseline: %f", s)
+	}
+}
+
+func TestVacationExperimentQuick(t *testing.T) {
+	e := Fig8(true)
+	e.Threads = []int{1, 2}
+	e.Params.Relations = 128
+	e.Params.Transactions = 16
+	points := e.Run()
+	if len(points) != 4 {
+		t.Fatalf("got %d points, want 4", len(points))
+	}
+	for _, p := range points {
+		if p.ThroughputKtx <= 0 {
+			t.Fatalf("%s@%d: non-positive throughput", p.Variant, p.Threads)
+		}
+	}
+	var buf bytes.Buffer
+	PrintVacation(&buf, e.Title, points)
+	if !strings.Contains(buf.String(), "aborts/tx") {
+		t.Fatal("vacation table missing abort metric")
+	}
+}
+
+func TestAllFigureDefinitionsConstruct(t *testing.T) {
+	sc := QuickScale()
+	for _, e := range []*SetExperiment{Fig2(sc), Fig4(sc), Fig5(sc), Fig6(sc), Fig7(sc), SkipExperiment(sc)} {
+		if e.Name == "" || e.Title == "" || len(e.Variants) < 2 || len(e.Threads) == 0 {
+			t.Fatalf("experiment %q badly formed", e.Name)
+		}
+	}
+	if e := Fig8(true); e.Params.PercentUser != 90 || e.Params.QueriesPerTx != 4 {
+		t.Fatal("Fig8 parameters drifted from the paper")
+	}
+	if p := vacation.PaperParams(); p.Relations != 16384 || p.Transactions != 4096 {
+		t.Fatal("paper parameters drifted")
+	}
+}
+
+func TestDiffToPoint(t *testing.T) {
+	before := machine.Stats{}
+	after := machine.Stats{
+		MaxCycles: 1_000_000, Loads: 1000, Stores: 100,
+		L2Hits: 50, MemFills: 50, Energy: 5000,
+		Validates: 100, ValidateFails: 10,
+		VASAttempts: 40, VASFails: 4,
+	}
+	p := diffToPoint("x", 2, before, after, 500, 1e9)
+	if p.ThroughputMops <= 0 || p.MissRatePct <= 0 || p.EnergyPerOp != 10 {
+		t.Fatalf("point = %+v", p)
+	}
+	if p.ValidateFailPct != 10 || p.VASFailPct != 10 {
+		t.Fatalf("failure percentages wrong: %+v", p)
+	}
+}
+
+func TestWorkloadMixes(t *testing.T) {
+	if workload.Update3535.InsertPct != 35 || workload.Update1515.DeletePct != 15 {
+		t.Fatal("paper mixes drifted")
+	}
+}

@@ -1,0 +1,200 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/stm"
+	"repro/internal/vacation"
+)
+
+// VacationExperiment reproduces Figure 8: STAMP Vacation on NOrec vs
+// tagged NOrec.
+type VacationExperiment struct {
+	Name    string
+	Title   string
+	Threads []int
+	Trials  int
+	Params  vacation.Params
+	// MemBytes sizes the simulated space (transaction retries allocate).
+	MemBytes int
+}
+
+// VacationPoint is one measured (variant, threads) cell.
+type VacationPoint struct {
+	Variant string
+	Threads int
+
+	// ThroughputKtx is committed transactions per simulated millisecond
+	// (thousands of transactions per simulated second).
+	ThroughputKtx float64
+	MissRatePct   float64
+	EnergyPerTx   float64
+	AbortsPerTx   float64
+}
+
+// Fig8 returns the Figure 8 experiment. When quick is true, the tables and
+// transaction counts are scaled down from the paper's -r16384 -t4096 so the
+// experiment finishes in seconds; the mix parameters (-n4 -q60 -u90) are
+// identical either way.
+func Fig8(quick bool) *VacationExperiment {
+	p := vacation.PaperParams()
+	threads := []int{1, 2, 4, 8, 16, 32, 64}
+	mem := 512 << 20
+	if quick {
+		p.Relations = 1024
+		p.Transactions = 64
+		threads = []int{1, 2, 4, 8}
+		mem = 128 << 20
+	} else {
+		// Keep the paper's tables; bound per-client transactions so the
+		// 64-core sweep stays tractable in a functional simulator.
+		p.Transactions = 256
+	}
+	return &VacationExperiment{
+		Name: "fig8",
+		Title: fmt.Sprintf("STAMP Vacation (-n%d -q%d -u%d -r%d -t%d), NOrec vs tagged",
+			p.QueriesPerTx, p.PercentQuery, p.PercentUser, p.Relations, p.Transactions),
+		Threads:  threads,
+		Trials:   1,
+		Params:   p,
+		MemBytes: mem,
+	}
+}
+
+// Run executes the experiment for both STM variants.
+func (e *VacationExperiment) Run() []VacationPoint {
+	variants := []struct {
+		name string
+		mk   func(core.Memory) *stm.TM
+	}{
+		{"norec", stm.NewNOrec},
+		{"tagged", stm.NewTagged},
+	}
+	trials := e.Trials
+	if trials <= 0 {
+		trials = 1
+	}
+	var points []VacationPoint
+	for _, v := range variants {
+		for _, n := range e.Threads {
+			var acc VacationPoint
+			acc.Variant, acc.Threads = v.name, n
+			for trial := 0; trial < trials; trial++ {
+				p := e.runOne(v.mk, v.name, n, int64(trial))
+				acc.ThroughputKtx += p.ThroughputKtx
+				acc.MissRatePct += p.MissRatePct
+				acc.EnergyPerTx += p.EnergyPerTx
+				acc.AbortsPerTx += p.AbortsPerTx
+			}
+			f := float64(trials)
+			acc.ThroughputKtx /= f
+			acc.MissRatePct /= f
+			acc.EnergyPerTx /= f
+			acc.AbortsPerTx /= f
+			points = append(points, acc)
+		}
+	}
+	return points
+}
+
+func (e *VacationExperiment) runOne(mk func(core.Memory) *stm.TM, name string, threads int, trial int64) VacationPoint {
+	cfg := machine.DefaultConfig(threads)
+	cfg.MemBytes = e.MemBytes
+	// Transactional read sets span tens of cache lines (red-black tree
+	// paths across several tables); the STM experiment models a larger
+	// Max_Tags so the tagged fast path covers typical transactions.
+	cfg.MaxTags = 256
+	m := machine.New(cfg)
+	tm := mk(m)
+	mgr := vacation.NewManager(m, tm)
+	vacation.Populate(mgr, m.Thread(0), e.Params, 1+trial)
+
+	m.BeginEpoch()
+	before := m.Snapshot()
+	abortsBefore := tm.Aborts.Load()
+	var ready, wg sync.WaitGroup
+	start := make(chan struct{})
+	ready.Add(threads)
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			th := m.Thread(w).(*machine.Thread)
+			th.SetActive(true)
+			defer th.SetActive(false)
+			ready.Done()
+			<-start
+			vacation.Client(mgr, th, e.Params, int64(1000+w)+trial*131)
+		}(w)
+	}
+	ready.Wait()
+	close(start)
+	wg.Wait()
+	after := m.Snapshot()
+
+	tx := uint64(threads * e.Params.Transactions)
+	cycles := after.MaxCycles - before.MaxCycles
+	p := VacationPoint{Variant: name, Threads: threads}
+	if cycles > 0 {
+		simSeconds := float64(cycles) / cfg.ClockHz
+		p.ThroughputKtx = float64(tx) / simSeconds / 1e3
+	}
+	if acc := after.Accesses() - before.Accesses(); acc > 0 {
+		p.MissRatePct = 100 * float64(after.Misses()-before.Misses()) / float64(acc)
+	}
+	if tx > 0 {
+		p.EnergyPerTx = (after.Energy - before.Energy) / float64(tx)
+		p.AbortsPerTx = float64(tm.Aborts.Load()-abortsBefore) / float64(tx)
+	}
+	return p
+}
+
+// PrintVacation writes the Figure 8 table.
+func PrintVacation(w io.Writer, title string, points []VacationPoint) {
+	threadSet := map[int]bool{}
+	var threads []int
+	for _, p := range points {
+		if !threadSet[p.Threads] {
+			threadSet[p.Threads] = true
+			threads = append(threads, p.Threads)
+		}
+	}
+	idx := map[string]map[int]VacationPoint{}
+	var variants []string
+	for _, p := range points {
+		if idx[p.Variant] == nil {
+			idx[p.Variant] = map[int]VacationPoint{}
+			variants = append(variants, p.Variant)
+		}
+		idx[p.Variant][p.Threads] = p
+	}
+	fmt.Fprintf(w, "== %s ==\n", title)
+	metrics := []struct {
+		name string
+		get  func(VacationPoint) float64
+	}{
+		{"throughput (Ktx/s)", func(p VacationPoint) float64 { return p.ThroughputKtx }},
+		{"L1 miss rate (%)", func(p VacationPoint) float64 { return p.MissRatePct }},
+		{"energy/tx (units)", func(p VacationPoint) float64 { return p.EnergyPerTx }},
+		{"aborts/tx", func(p VacationPoint) float64 { return p.AbortsPerTx }},
+	}
+	for _, met := range metrics {
+		fmt.Fprintf(w, "-- %s --\n", met.name)
+		fmt.Fprintf(w, "%-14s", "threads")
+		for _, t := range threads {
+			fmt.Fprintf(w, "%10d", t)
+		}
+		fmt.Fprintln(w)
+		for _, v := range variants {
+			fmt.Fprintf(w, "%-14s", v)
+			for _, t := range threads {
+				fmt.Fprintf(w, "%10.3f", met.get(idx[v][t]))
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}

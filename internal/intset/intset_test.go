@@ -1,0 +1,137 @@
+package intset
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/vtags"
+)
+
+func TestReferenceModel(t *testing.T) {
+	r := Reference{}
+	if !r.Insert(1) || r.Insert(1) {
+		t.Fatal("insert semantics")
+	}
+	if !r.Contains(1) || r.Contains(2) {
+		t.Fatal("contains semantics")
+	}
+	if !r.Delete(1) || r.Delete(1) || r.Contains(1) {
+		t.Fatal("delete semantics")
+	}
+}
+
+// trivialSet is a map-backed Set for harness self-tests.
+type trivialSet struct{ m map[uint64]bool }
+
+func (s *trivialSet) Insert(_ core.Thread, k uint64) bool {
+	if s.m[k] {
+		return false
+	}
+	s.m[k] = true
+	return true
+}
+func (s *trivialSet) Delete(_ core.Thread, k uint64) bool {
+	if !s.m[k] {
+		return false
+	}
+	delete(s.m, k)
+	return true
+}
+func (s *trivialSet) Contains(_ core.Thread, k uint64) bool { return s.m[k] }
+
+func TestPrefillDistinctAndSized(t *testing.T) {
+	mem := vtags.New(1<<16, 1)
+	s := &trivialSet{m: map[uint64]bool{}}
+	keys := Prefill(mem.Thread(0), s, 50, 1000, 7)
+	if len(keys) != 50 || len(s.m) != 50 {
+		t.Fatalf("prefill produced %d keys, set has %d", len(keys), len(s.m))
+	}
+	for _, k := range keys {
+		if k < KeyMin || k > KeyMin+1000 {
+			t.Fatalf("key %d outside range", k)
+		}
+	}
+}
+
+func TestPrefillDeterministic(t *testing.T) {
+	mem := vtags.New(1<<16, 1)
+	a := Prefill(mem.Thread(0), &trivialSet{m: map[uint64]bool{}}, 20, 100, 3)
+	b := Prefill(mem.Thread(0), &trivialSet{m: map[uint64]bool{}}, 20, 100, 3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("prefill not deterministic in seed")
+		}
+	}
+}
+
+func TestCheckSequentialPassesOnCorrectSet(t *testing.T) {
+	mem := vtags.New(1<<16, 1)
+	CheckSequential(t, mem, &trivialSet{m: map[uint64]bool{}}, 500, 32, 1)
+}
+
+// lockedSet wraps trivialSet with a mutex so the concurrent harnesses can
+// be exercised in-package.
+type lockedSet struct {
+	mu sync.Mutex
+	m  map[uint64]bool
+}
+
+func (s *lockedSet) Insert(_ core.Thread, k uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.m[k] {
+		return false
+	}
+	s.m[k] = true
+	return true
+}
+
+func (s *lockedSet) Delete(_ core.Thread, k uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.m[k] {
+		return false
+	}
+	delete(s.m, k)
+	return true
+}
+
+func (s *lockedSet) Contains(_ core.Thread, k uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m[k]
+}
+
+func (s *lockedSet) Keys(_ core.Thread) []uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]uint64, 0, len(s.m))
+	for k := range s.m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func TestCheckDisjointConcurrentHarness(t *testing.T) {
+	mem := vtags.New(1<<20, 4)
+	CheckDisjointConcurrent(t, mem, &lockedSet{m: map[uint64]bool{}}, 4, 200)
+}
+
+func TestCheckMixedConcurrentHarness(t *testing.T) {
+	mem := vtags.New(1<<20, 4)
+	CheckMixedConcurrent(t, mem, &lockedSet{m: map[uint64]bool{}}, 4, 200, 16)
+}
+
+func TestVerifyAgainstReferenceSnapshotter(t *testing.T) {
+	mem := vtags.New(1<<20, 1)
+	s := &lockedSet{m: map[uint64]bool{}}
+	ref := Reference{}
+	for _, k := range []uint64{5, 9, 2} {
+		s.Insert(mem.Thread(0), k)
+		ref.Insert(k)
+	}
+	VerifyAgainstReference(t, mem.Thread(0), s, ref, 16)
+}

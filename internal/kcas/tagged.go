@@ -1,0 +1,99 @@
+package kcas
+
+import "repro/internal/core"
+
+// This file implements the paper's tag-accelerated kCAS extensions:
+// fail-fast pre-validation of the target set and lock-free multi-word
+// snapshots ("a thread can tag the set of locations, and then validate. If
+// validation succeeds, the snapshot is valid... can be extended to speed up
+// kCAS implementations").
+
+// TaggedKCAS first tags every target line and checks the expected values.
+// If any word already differs, the operation fails immediately — before a
+// descriptor is allocated or any shared location written, so a doomed kCAS
+// generates no coherence traffic (contrast OPTIK-style version locks, which
+// acquire locks before discovering failure). Only if the tagged pre-check
+// validates does it run the software kCAS.
+//
+// It reports whether the kCAS committed. The thread's tag set is consumed.
+func (g *Manager) TaggedKCAS(th core.Thread, entries []Entry) bool {
+	th.ClearTagSet()
+	ok := true
+	for _, e := range entries {
+		if !th.AddTag(e.Addr, core.WordSize) {
+			ok = false
+			break
+		}
+		if g.Read(th, e.Addr) != e.Old {
+			ok = false
+			break
+		}
+	}
+	if ok {
+		ok = th.Validate()
+	}
+	th.ClearTagSet()
+	if !ok {
+		return false // fail fast: no writes, no descriptor
+	}
+	return g.KCAS(th, entries)
+}
+
+// Snapshot returns an atomic snapshot of the logical values at addrs, taken
+// by tagging every line, reading all values, and validating once: if no
+// tagged line was invalidated, the reads happened at a common instant (the
+// validation). It retries until validation succeeds or maxTries is
+// exhausted, in which case ok is false (callers fall back to a software
+// snapshot, e.g. a double-collect).
+func (g *Manager) Snapshot(th core.Thread, addrs []core.Addr, maxTries int) (vals []uint64, ok bool) {
+	vals = make([]uint64, len(addrs))
+	for try := 0; try < maxTries; try++ {
+		th.ClearTagSet()
+		tagged := true
+		for _, a := range addrs {
+			if !th.AddTag(a, core.WordSize) {
+				tagged = false
+				break
+			}
+		}
+		if !tagged {
+			th.ClearTagSet()
+			return nil, false // tag set cannot hold the request
+		}
+		for i, a := range addrs {
+			vals[i] = g.Read(th, a)
+		}
+		if th.Validate() {
+			th.ClearTagSet()
+			return vals, true
+		}
+	}
+	th.ClearTagSet()
+	return nil, false
+}
+
+// SnapshotDoubleCollect is the software fallback snapshot: read the set
+// twice and retry until both passes agree. It is the baseline the tagged
+// snapshot is measured against; unlike Snapshot it can return a snapshot
+// that was never instantaneously current under concurrent ABA writes, but
+// for monotonic or descriptor-protected words it is the standard technique.
+func (g *Manager) SnapshotDoubleCollect(th core.Thread, addrs []core.Addr) []uint64 {
+	prev := make([]uint64, len(addrs))
+	curr := make([]uint64, len(addrs))
+	for i, a := range addrs {
+		prev[i] = g.Read(th, a)
+	}
+	for {
+		same := true
+		for i, a := range addrs {
+			curr[i] = g.Read(th, a)
+			if curr[i] != prev[i] {
+				same = false
+			}
+		}
+		if same {
+			return curr
+		}
+		prev, curr = curr, prev
+	}
+}

@@ -1,0 +1,116 @@
+package list
+
+import (
+	"repro/internal/core"
+	"repro/internal/intset"
+)
+
+// Harris is the lock-free Harris-Michael linked list with pointer marking:
+// a node is logically deleted by CASing the mark bit into its next pointer,
+// then physically unlinked (by the deleter or by helping traversals). This
+// is the paper's software baseline and the natural fallback path for the
+// tagged variants.
+type Harris struct {
+	mem  core.Memory
+	head core.Addr
+}
+
+var _ intset.Set = (*Harris)(nil)
+
+// NewHarris creates an empty list.
+func NewHarris(mem core.Memory) *Harris {
+	return &Harris{mem: mem, head: newSentinels(mem.Thread(0), nodeWords)}
+}
+
+// locate returns adjacent unmarked nodes pred, curr with
+// pred.key < key <= curr.key, physically unlinking marked nodes it passes
+// (Michael's helping).
+func (s *Harris) locate(th core.Thread, key uint64) (pred, curr core.Addr) {
+	return harrisLocate(th, s.head, key)
+}
+
+// harrisLocate is the CAS-based locate over any marked list rooted at
+// head; it is shared with the Elided list's slow path.
+func harrisLocate(th core.Thread, head core.Addr, key uint64) (pred, curr core.Addr) {
+retry:
+	for {
+		pred = head
+		curr = core.Addr(clearMark(th.Load(nextAddr(pred))))
+		for {
+			nextW := th.Load(nextAddr(curr))
+			for isMarked(nextW) {
+				// curr is logically deleted: help unlink it.
+				succ := clearMark(nextW)
+				if !th.CAS(nextAddr(pred), uint64(curr), succ) {
+					continue retry
+				}
+				curr = core.Addr(succ)
+				nextW = th.Load(nextAddr(curr))
+			}
+			if th.Load(keyAddr(curr)) >= key {
+				return pred, curr
+			}
+			pred = curr
+			curr = core.Addr(clearMark(nextW))
+		}
+	}
+}
+
+// Insert adds key, reporting whether it was absent.
+func (s *Harris) Insert(th core.Thread, key uint64) bool {
+	return harrisInsert(th, s.head, key)
+}
+
+// harrisInsert is the CAS-based insert shared with the Elided slow path.
+func harrisInsert(th core.Thread, head core.Addr, key uint64) bool {
+	for {
+		pred, curr := harrisLocate(th, head, key)
+		if th.Load(keyAddr(curr)) == key {
+			return false
+		}
+		node := newNode(th, nodeWords, key, curr)
+		if th.CAS(nextAddr(pred), uint64(curr), uint64(node)) {
+			return true
+		}
+	}
+}
+
+// Delete removes key, reporting whether it was present.
+func (s *Harris) Delete(th core.Thread, key uint64) bool {
+	return harrisDelete(th, s.head, key)
+}
+
+// harrisDelete is the CAS-based delete shared with the Elided slow path.
+func harrisDelete(th core.Thread, head core.Addr, key uint64) bool {
+	for {
+		pred, curr := harrisLocate(th, head, key)
+		if th.Load(keyAddr(curr)) != key {
+			return false
+		}
+		nextW := th.Load(nextAddr(curr))
+		if isMarked(nextW) {
+			// Concurrently deleted; retry to settle who logically removed it.
+			continue
+		}
+		// Logical delete: set the mark bit.
+		if !th.CAS(nextAddr(curr), nextW, withMark(nextW)) {
+			continue
+		}
+		// Physical unlink (best effort; helping will finish otherwise).
+		th.CAS(nextAddr(pred), uint64(curr), clearMark(nextW))
+		return true
+	}
+}
+
+// Contains reports whether key is present (wait-free traversal, no
+// helping).
+func (s *Harris) Contains(th core.Thread, key uint64) bool {
+	curr := core.Addr(clearMark(th.Load(nextAddr(s.head))))
+	for th.Load(keyAddr(curr)) < key {
+		curr = core.Addr(clearMark(th.Load(nextAddr(curr))))
+	}
+	return th.Load(keyAddr(curr)) == key && !isMarked(th.Load(nextAddr(curr)))
+}
+
+// Keys enumerates the set while quiescent.
+func (s *Harris) Keys(th core.Thread) []uint64 { return keysFrom(th, s.head) }

@@ -1,0 +1,125 @@
+package list
+
+import (
+	"repro/internal/core"
+	"repro/internal/intset"
+)
+
+// HoH is Algorithm 2 of the paper: hand-over-hand *tagging*. Traversals
+// keep a sliding window of tags over the last two nodes, validating as they
+// go, so readers never write (unlike hand-over-hand locking) and nodes need
+// no mark bits. Correctness rests on the synchronization rule that a delete
+// is performed by invalidate-and-swap, which invalidates the removed node
+// at every core: any traversal holding a tag on it fails its next
+// validation and restarts (transient marking). Without the invalidation,
+// the design is incorrect — see Figure 1 of the paper and
+// TestHoHWhyIASIsNeeded.
+type HoH struct {
+	mem  core.Memory
+	head core.Addr
+}
+
+var _ intset.Set = (*HoH)(nil)
+
+// NewHoH creates an empty list.
+func NewHoH(mem core.Memory) *HoH {
+	// The traversal window holds three nodes (pred, curr, succ).
+	if mem.MaxTags() < 3 {
+		panic("list: MaxTags below the HoH tagging window (3 lines)")
+	}
+	return &HoH{mem: mem, head: newSentinels(mem.Thread(0), nodeWords)}
+}
+
+// locate traverses hand-over-hand and returns pred, curr with
+// pred.key < key <= curr.key. On return, pred and curr are tagged and were
+// both present in the list at the last successful validation; the caller
+// must eventually ClearTagSet.
+func (s *HoH) locate(th core.Thread, key uint64) (pred, curr core.Addr) {
+	for {
+		th.ClearTagSet()
+		pred = s.head
+		th.AddTag(pred, nodeBytes)
+		curr = core.Addr(th.Load(nextAddr(pred)))
+		th.AddTag(curr, nodeBytes)
+		if !th.Validate() {
+			continue
+		}
+		restart := false
+		for th.Load(keyAddr(curr)) < key {
+			succ := core.Addr(th.Load(nextAddr(curr)))
+			th.AddTag(succ, nodeBytes)
+			// Validate with all three tagged: pred and curr are unchanged
+			// since the last validation (when they were in the list), so
+			// succ — read from curr.next after tagging curr — was curr's
+			// successor and hence in the list too. The invariant extends
+			// to succ, and only then may the oldest tag be dropped.
+			if !th.Validate() {
+				restart = true
+				break
+			}
+			th.RemoveTag(pred, nodeBytes)
+			pred = curr
+			curr = succ
+		}
+		if restart {
+			continue
+		}
+		// A final validation covers the key read that ended the loop.
+		if !th.Validate() {
+			continue
+		}
+		return pred, curr
+	}
+}
+
+// Insert adds key, reporting whether it was absent.
+func (s *HoH) Insert(th core.Thread, key uint64) bool {
+	for {
+		pred, curr := s.locate(th, key)
+		if th.Load(keyAddr(curr)) == key {
+			th.ClearTagSet()
+			return false
+		}
+		node := newNode(th, nodeWords, key, curr)
+		// Insert deletes nothing, so plain VAS suffices (Algorithm 2).
+		if th.VAS(nextAddr(pred), uint64(node)) {
+			th.ClearTagSet()
+			return true
+		}
+		th.ClearTagSet()
+	}
+}
+
+// Delete removes key, reporting whether it was present.
+func (s *HoH) Delete(th core.Thread, key uint64) bool {
+	for {
+		pred, curr := s.locate(th, key)
+		if th.Load(keyAddr(curr)) != key {
+			th.ClearTagSet()
+			return false
+		}
+		succ := th.Load(nextAddr(curr))
+		// IAS: atomically validate {pred, curr}, invalidate them at every
+		// other core — the transient marking that aborts concurrent
+		// traversals and updates holding a tag on curr — and swing
+		// pred.next to succ.
+		if th.IAS(nextAddr(pred), succ) {
+			th.ClearTagSet()
+			return true
+		}
+		th.ClearTagSet()
+	}
+}
+
+// Contains reports whether key is present. The hand-over-hand tagging
+// inside locate established a moment at which curr was in the list, which
+// is the linearization point (last successful validate).
+func (s *HoH) Contains(th core.Thread, key uint64) bool {
+	_, curr := s.locate(th, key)
+	found := th.Load(keyAddr(curr)) == key
+	th.ClearTagSet()
+	return found
+}
+
+// Keys enumerates the set while quiescent.
+func (s *HoH) Keys(th core.Thread) []uint64 { return keysFrom(th, s.head) }

@@ -1,0 +1,96 @@
+package list
+
+import (
+	"runtime"
+
+	"repro/internal/core"
+	"repro/internal/intset"
+)
+
+// Lock is classical hand-over-hand (lock-coupling) locking: a traversal
+// holds locks on two adjacent nodes at all times, so readers must write
+// (lock acquisition), the synchronization cost the paper's hand-over-hand
+// *tagging* removes. Included as the historical baseline and as a valid
+// slow path for the tagged variants.
+type Lock struct {
+	mem  core.Memory
+	head core.Addr
+}
+
+var _ intset.Set = (*Lock)(nil)
+
+// NewLock creates an empty list.
+func NewLock(mem core.Memory) *Lock {
+	return &Lock{mem: mem, head: newSentinels(mem.Thread(0), lockNodeWords)}
+}
+
+// acquire spins until the node's lock word is owned by th.
+func acquire(th core.Thread, n core.Addr) {
+	owner := uint64(th.ID()) + 1
+	for spins := 0; ; spins++ {
+		if th.CAS(lockAddr(n), 0, owner) {
+			return
+		}
+		if spins%32 == 31 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// release unlocks the node; the caller must own it.
+func release(th core.Thread, n core.Addr) {
+	th.Store(lockAddr(n), 0)
+}
+
+// locate returns adjacent nodes pred, curr with pred.key < key <= curr.key,
+// holding both locks. The caller must release them.
+func (s *Lock) locate(th core.Thread, key uint64) (pred, curr core.Addr) {
+	pred = s.head
+	acquire(th, pred)
+	curr = core.Addr(th.Load(nextAddr(pred)))
+	acquire(th, curr)
+	for th.Load(keyAddr(curr)) < key {
+		release(th, pred)
+		pred = curr
+		curr = core.Addr(th.Load(nextAddr(curr)))
+		acquire(th, curr)
+	}
+	return pred, curr
+}
+
+// Insert adds key, reporting whether it was absent.
+func (s *Lock) Insert(th core.Thread, key uint64) bool {
+	pred, curr := s.locate(th, key)
+	defer release(th, pred)
+	defer release(th, curr)
+	if th.Load(keyAddr(curr)) == key {
+		return false
+	}
+	node := newNode(th, lockNodeWords, key, curr)
+	th.Store(nextAddr(pred), uint64(node))
+	return true
+}
+
+// Delete removes key, reporting whether it was present.
+func (s *Lock) Delete(th core.Thread, key uint64) bool {
+	pred, curr := s.locate(th, key)
+	defer release(th, pred)
+	defer release(th, curr)
+	if th.Load(keyAddr(curr)) != key {
+		return false
+	}
+	th.Store(nextAddr(pred), th.Load(nextAddr(curr)))
+	return true
+}
+
+// Contains reports whether key is present.
+func (s *Lock) Contains(th core.Thread, key uint64) bool {
+	pred, curr := s.locate(th, key)
+	found := th.Load(keyAddr(curr)) == key
+	release(th, pred)
+	release(th, curr)
+	return found
+}
+
+// Keys enumerates the set while quiescent.
+func (s *Lock) Keys(th core.Thread) []uint64 { return keysFrom(th, s.head) }

@@ -1,0 +1,84 @@
+// Package list implements the paper's concurrent singly-linked ordered
+// sets over simulated tagged memory (Section 4):
+//
+//   - Harris: the lock-free Harris-Michael list with pointer marking — the
+//     paper's software baseline.
+//   - VAS: Algorithm 1, marking complemented by tag validation, with every
+//     pointer swing done by validate-and-swap.
+//   - HoH: Algorithm 2, hand-over-hand tagging with no mark bits; deletes
+//     use invalidate-and-swap (transient marking).
+//   - Lock: classical hand-over-hand locking, the historical comparison
+//     point (readers must write).
+//
+// Nodes are two words (key, next) placed on private cache lines; the mark
+// bit of the Harris/VAS variants lives in bit 0 of the next pointer, which
+// is always line-aligned. Simulated memory is an arena that never recycles
+// addresses, so the classical ABA hazards of reclamation do not arise (the
+// paper's simulator runs likewise never free nodes).
+package list
+
+import (
+	"repro/internal/core"
+	"repro/internal/intset"
+)
+
+// Node field offsets, in words.
+const (
+	fKey  = 0
+	fNext = 1
+	fLock = 2 // used only by the locking variant
+
+	nodeWords = 2
+	nodeBytes = nodeWords * core.WordSize
+
+	lockNodeWords = 3
+	lockNodeBytes = lockNodeWords * core.WordSize
+)
+
+// Sentinel keys. Head holds the smallest, tail the largest possible key;
+// user keys must lie in [intset.KeyMin, intset.KeyMax].
+const (
+	headKey uint64 = 0
+	tailKey uint64 = ^uint64(0)
+)
+
+// Mark-bit helpers: bit 0 of a next pointer marks the *containing* node as
+// logically deleted (Harris/VAS variants).
+func isMarked(w uint64) bool    { return w&1 != 0 }
+func withMark(w uint64) uint64  { return w | 1 }
+func clearMark(w uint64) uint64 { return w &^ 1 }
+
+func keyAddr(n core.Addr) core.Addr  { return n.Plus(fKey) }
+func nextAddr(n core.Addr) core.Addr { return n.Plus(fNext) }
+func lockAddr(n core.Addr) core.Addr { return n.Plus(fLock) }
+
+// newNode allocates and initializes a (key, next) node of the given size in
+// words.
+func newNode(th core.Thread, words int, key uint64, next core.Addr) core.Addr {
+	n := th.Alloc(words)
+	th.Store(keyAddr(n), key)
+	th.Store(nextAddr(n), uint64(next))
+	return n
+}
+
+// newSentinels builds head -> tail and returns the head address.
+func newSentinels(th core.Thread, words int) core.Addr {
+	tail := newNode(th, words, tailKey, core.NilAddr)
+	return newNode(th, words, headKey, tail)
+}
+
+// keysFrom walks the list from head while quiescent, skipping marked nodes,
+// and returns user keys in order. Shared by all variants' Keys methods.
+func keysFrom(th core.Thread, head core.Addr) []uint64 {
+	var keys []uint64
+	curr := core.Addr(clearMark(th.Load(nextAddr(head))))
+	for !curr.IsNil() {
+		k := th.Load(keyAddr(curr))
+		next := th.Load(nextAddr(curr))
+		if k != tailKey && !isMarked(next) && k >= intset.KeyMin {
+			keys = append(keys, k)
+		}
+		curr = core.Addr(clearMark(next))
+	}
+	return keys
+}

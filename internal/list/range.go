@@ -1,0 +1,93 @@
+package list
+
+import (
+	"repro/internal/core"
+)
+
+// RangeQuery returns an atomic snapshot of the keys in [lo, hi], using the
+// paper's cheap lock-free snapshot idea: the traversal tags every node from
+// the predecessor of lo through the successor of hi *without untagging*, so
+// one final validation proves the whole range was simultaneously in the
+// list. ok is false when the range exceeds the tag budget or validation
+// kept failing for maxTries attempts — callers then fall back to a non-
+// atomic scan or a coarse-grained technique.
+func (s *HoH) RangeQuery(th core.Thread, lo, hi uint64, maxTries int) (keys []uint64, ok bool) {
+	if lo > hi {
+		return nil, true
+	}
+attempt:
+	for try := 0; try < maxTries; try++ {
+		keys = keys[:0]
+		th.ClearTagSet()
+
+		// Hand-over-hand prefix: slide a two-node window up to the
+		// predecessor of lo (same invariant as locate).
+		pred := s.head
+		if !th.AddTag(pred, nodeBytes) {
+			th.ClearTagSet()
+			return nil, false
+		}
+		curr := core.Addr(th.Load(nextAddr(pred)))
+		if !th.AddTag(curr, nodeBytes) || !th.Validate() {
+			th.ClearTagSet()
+			continue attempt
+		}
+		for th.Load(keyAddr(curr)) < lo {
+			succ := core.Addr(th.Load(nextAddr(curr)))
+			if !th.AddTag(succ, nodeBytes) || !th.Validate() {
+				th.ClearTagSet()
+				continue attempt
+			}
+			th.RemoveTag(pred, nodeBytes)
+			pred = curr
+			curr = succ
+		}
+
+		// Range body: keep every node tagged until the final validation.
+		for {
+			k := th.Load(keyAddr(curr))
+			if k > hi || k == tailKey {
+				break
+			}
+			keys = append(keys, k)
+			succ := core.Addr(th.Load(nextAddr(curr)))
+			if !th.AddTag(succ, nodeBytes) {
+				// Tag budget exhausted: this range cannot be snapshotted.
+				th.ClearTagSet()
+				return nil, false
+			}
+			if !th.Validate() {
+				th.ClearTagSet()
+				continue attempt
+			}
+			curr = succ
+		}
+		// Every node from pred-of-lo through succ-of-hi is tagged; one
+		// validation linearizes the whole snapshot.
+		if th.Validate() {
+			th.ClearTagSet()
+			return keys, true
+		}
+		th.ClearTagSet()
+	}
+	return nil, false
+}
+
+// RangeScan is the non-atomic fallback: a plain traversal of [lo, hi]. It
+// is linearizable per-key but not as a whole (concurrent updates may be
+// partially observed), matching what a baseline list offers without
+// tagging.
+func (s *HoH) RangeScan(th core.Thread, lo, hi uint64) []uint64 {
+	var keys []uint64
+	curr := core.Addr(th.Load(nextAddr(s.head)))
+	for {
+		k := th.Load(keyAddr(curr))
+		if k > hi || k == tailKey {
+			return keys
+		}
+		if k >= lo {
+			keys = append(keys, k)
+		}
+		curr = core.Addr(th.Load(nextAddr(curr)))
+	}
+}

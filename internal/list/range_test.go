@@ -1,0 +1,142 @@
+package list
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/vtags"
+)
+
+func TestRangeQueryBasic(t *testing.T) {
+	mem := vtags.New(1<<20, 1)
+	s := NewHoH(mem)
+	th := mem.Thread(0)
+	for _, k := range []uint64{10, 20, 30, 40, 50} {
+		s.Insert(th, k)
+	}
+	keys, ok := s.RangeQuery(th, 15, 45, 8)
+	if !ok {
+		t.Fatal("uncontended range query failed")
+	}
+	want := []uint64{20, 30, 40}
+	if len(keys) != len(want) {
+		t.Fatalf("keys = %v, want %v", keys, want)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("keys = %v, want %v", keys, want)
+		}
+	}
+	if th.TagCount() != 0 {
+		t.Fatal("range query leaked tags")
+	}
+}
+
+func TestRangeQueryEdges(t *testing.T) {
+	mem := vtags.New(1<<20, 1)
+	s := NewHoH(mem)
+	th := mem.Thread(0)
+	for _, k := range []uint64{10, 20, 30} {
+		s.Insert(th, k)
+	}
+	if keys, ok := s.RangeQuery(th, 31, 99, 8); !ok || len(keys) != 0 {
+		t.Fatalf("empty range: %v ok=%v", keys, ok)
+	}
+	if keys, ok := s.RangeQuery(th, 50, 40, 8); !ok || len(keys) != 0 {
+		t.Fatalf("inverted range: %v ok=%v", keys, ok)
+	}
+	if keys, ok := s.RangeQuery(th, 10, 30, 8); !ok || len(keys) != 3 {
+		t.Fatalf("inclusive bounds: %v ok=%v", keys, ok)
+	}
+	// Whole key space including beyond the largest key.
+	if keys, ok := s.RangeQuery(th, 1, ^uint64(0)-1, 8); !ok || len(keys) != 3 {
+		t.Fatalf("full range: %v ok=%v", keys, ok)
+	}
+}
+
+func TestRangeQueryTagBudget(t *testing.T) {
+	cfg := machine.DefaultConfig(1)
+	cfg.MemBytes = 4 << 20
+	cfg.MaxTags = 8
+	m := machine.New(cfg)
+	s := NewHoH(m)
+	th := m.Thread(0)
+	for k := uint64(1); k <= 30; k++ {
+		s.Insert(th, k)
+	}
+	if _, ok := s.RangeQuery(th, 1, 30, 4); ok {
+		t.Fatal("range beyond tag budget reported atomic success")
+	}
+	if keys, ok := s.RangeQuery(th, 1, 4, 8); !ok || len(keys) != 4 {
+		t.Fatalf("small range failed under tight budget: %v ok=%v", keys, ok)
+	}
+	// The fallback scan still works for the big range.
+	if keys := s.RangeScan(th, 1, 30); len(keys) != 30 {
+		t.Fatalf("fallback scan returned %d keys", len(keys))
+	}
+}
+
+// Writers keep pairs (k, k+1) inserted/deleted together; an atomic range
+// snapshot must never see one without the other.
+func TestRangeQueryAtomicity(t *testing.T) {
+	const pairs = 4
+	mem := vtags.New(8<<20, 3)
+	s := NewHoH(mem)
+	t0 := mem.Thread(0)
+	for i := 0; i < pairs; i++ {
+		s.Insert(t0, uint64(10*i+1))
+		s.Insert(t0, uint64(10*i+2))
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 1; w <= 2; w++ {
+		wg.Add(1)
+		go func(th core.Thread, base uint64) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s.Delete(th, base+1)
+				s.Delete(th, base+2)
+				s.Insert(th, base+1)
+				s.Insert(th, base+2)
+			}
+		}(mem.Thread(w), uint64(10*(w-1)))
+	}
+	reader := mem.Thread(0)
+	checked := 0
+	for i := 0; i < 3000 && checked < 50; i++ {
+		keys, ok := s.RangeQuery(reader, 1, 100, 4)
+		if !ok {
+			continue
+		}
+		checked++
+		seen := map[uint64]bool{}
+		for _, k := range keys {
+			seen[k] = true
+		}
+		// Writers remove pair element 1 first and reinsert it first...
+		// deletion order is (base+1, base+2), insertion order (base+1,
+		// base+2): the invariant a snapshot must respect is that element 2
+		// present implies element 1 present OR element 1 is mid-cycle —
+		// too weak. Instead check the strong invariant on the untouched
+		// pairs (bases 20, 30): always fully present.
+		for _, base := range []uint64{21, 22, 31, 32} {
+			if !seen[base] {
+				close(stop)
+				wg.Wait()
+				t.Fatalf("snapshot lost stable key %d: %v", base, keys)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if checked == 0 {
+		t.Fatal("no range query ever validated under contention")
+	}
+}

@@ -1,0 +1,162 @@
+package list
+
+import (
+	"repro/internal/core"
+	"repro/internal/intset"
+)
+
+// VAS is Algorithm 1 of the paper: the Harris-Michael marked list where
+// value-based validation is complemented by tag validation and every
+// pointer swing is a validate-and-swap. Failed updates are detected locally
+// at the core (the tag was invalidated) instead of through extra coherence
+// traffic, which is where the speedup over the CAS baseline comes from.
+type VAS struct {
+	mem  core.Memory
+	head core.Addr
+}
+
+var _ intset.Set = (*VAS)(nil)
+
+// NewVAS creates an empty list.
+func NewVAS(mem core.Memory) *VAS {
+	return &VAS{mem: mem, head: newSentinels(mem.Thread(0), nodeWords)}
+}
+
+// helpUnlink unlinks the marked node curr from pred using tags + VAS
+// (Algorithm 1, HelpIfNeeded); locate restarts afterwards.
+func (s *VAS) helpUnlink(th core.Thread, pred, curr core.Addr) {
+	th.AddTag(pred, nodeBytes)
+	predNext := th.Load(nextAddr(pred))
+	if isMarked(predNext) || core.Addr(clearMark(predNext)) != curr {
+		th.ClearTagSet()
+		return
+	}
+	th.AddTag(curr, nodeBytes)
+	// Marked nodes never change, so succ is the same for all helpers.
+	succ := clearMark(th.Load(nextAddr(curr)))
+	th.VAS(nextAddr(pred), succ)
+	th.ClearTagSet()
+}
+
+// locate returns pred, curr with pred.key < key <= curr.key. It performs no
+// tagging itself (Algorithm 1's LOCATE), but helps unlink marked nodes via
+// tags + VAS.
+func (s *VAS) locate(th core.Thread, key uint64) (pred, curr core.Addr) {
+retry:
+	for {
+		pred = s.head
+		curr = core.Addr(clearMark(th.Load(nextAddr(pred))))
+		for {
+			nextW := th.Load(nextAddr(curr))
+			if isMarked(nextW) {
+				s.helpUnlink(th, pred, curr)
+				continue retry
+			}
+			if th.Load(keyAddr(curr)) >= key {
+				return pred, curr
+			}
+			pred = curr
+			curr = core.Addr(clearMark(nextW))
+		}
+	}
+}
+
+// validateUnmarkedLink checks, after tagging pred and curr, that neither is
+// marked and pred still points to curr (the value-based part of Algorithm
+// 1's validation; the tag part happens inside the final VAS).
+func validateUnmarkedLink(th core.Thread, pred, curr core.Addr) bool {
+	predNext := th.Load(nextAddr(pred))
+	if isMarked(predNext) || core.Addr(clearMark(predNext)) != curr {
+		return false
+	}
+	return !isMarked(th.Load(nextAddr(curr)))
+}
+
+// Insert adds key, reporting whether it was absent.
+func (s *VAS) Insert(th core.Thread, key uint64) bool {
+	for {
+		if done, result := s.insertOnce(th, key, nil); done {
+			return result
+		}
+	}
+}
+
+// insertOnce performs one tagged insert attempt. guard, if non-nil, runs
+// after the data tags are placed and may join extra lines (the fallback
+// Mode line) to the commit's tag set; a false return fails the attempt.
+// done=false means the attempt must be retried (or abandoned to a slow
+// path).
+func (s *VAS) insertOnce(th core.Thread, key uint64, guard func() bool) (done, result bool) {
+	pred, curr := s.locate(th, key)
+	if th.Load(keyAddr(curr)) == key {
+		return true, false
+	}
+	th.AddTag(pred, nodeBytes)
+	th.AddTag(curr, nodeBytes)
+	if guard != nil && !guard() {
+		th.ClearTagSet()
+		return false, false
+	}
+	if !validateUnmarkedLink(th, pred, curr) {
+		th.ClearTagSet()
+		return false, false
+	}
+	node := newNode(th, nodeWords, key, curr)
+	if th.VAS(nextAddr(pred), uint64(node)) {
+		th.ClearTagSet()
+		return true, true
+	}
+	th.ClearTagSet()
+	return false, false
+}
+
+// Delete removes key, reporting whether it was present.
+func (s *VAS) Delete(th core.Thread, key uint64) bool {
+	for {
+		if done, result := s.deleteOnce(th, key, nil); done {
+			return result
+		}
+	}
+}
+
+// deleteOnce performs one tagged delete attempt; see insertOnce for the
+// guard contract.
+func (s *VAS) deleteOnce(th core.Thread, key uint64, guard func() bool) (done, result bool) {
+	pred, curr := s.locate(th, key)
+	if th.Load(keyAddr(curr)) != key {
+		return true, false
+	}
+	th.AddTag(pred, nodeBytes)
+	th.AddTag(curr, nodeBytes)
+	if guard != nil && !guard() {
+		th.ClearTagSet()
+		return false, false
+	}
+	succ := th.Load(nextAddr(curr))
+	if isMarked(succ) || !validateUnmarkedLink(th, pred, curr) {
+		th.ClearTagSet()
+		return false, false
+	}
+	// Logical delete via VAS (tag validation subsumes the CAS check:
+	// curr was read after being tagged).
+	if !th.VAS(nextAddr(curr), withMark(succ)) {
+		th.ClearTagSet()
+		return false, false
+	}
+	// Unlinking step, best effort.
+	th.VAS(nextAddr(pred), clearMark(succ))
+	th.ClearTagSet()
+	return true, true
+}
+
+// Contains reports whether key is present.
+func (s *VAS) Contains(th core.Thread, key uint64) bool {
+	curr := core.Addr(clearMark(th.Load(nextAddr(s.head))))
+	for th.Load(keyAddr(curr)) < key {
+		curr = core.Addr(clearMark(th.Load(nextAddr(curr))))
+	}
+	return th.Load(keyAddr(curr)) == key && !isMarked(th.Load(nextAddr(curr)))
+}
+
+// Keys enumerates the set while quiescent.
+func (s *VAS) Keys(th core.Thread) []uint64 { return keysFrom(th, s.head) }

@@ -1,0 +1,206 @@
+// Package llxscx implements the load-link-extended / store-conditional-
+// extended / validate-extended primitives of Brown, Ellen and Ruppert
+// ("Pragmatic primitives for non-blocking data structures", PODC 2013) over
+// simulated memory. They are the software baseline the paper's tagged
+// (a,b)-tree is measured against, and a correct fallback path for tagged
+// data structures.
+//
+// A Data-record is any object in simulated memory that reserves two header
+// words: an info pointer (to the SCX-record of the last SCX that froze it)
+// and a marked flag (finalization). Mutable fields live in a contiguous
+// region of the record; immutable fields may be read directly at any time.
+//
+// An SCX-record (descriptor) lives in simulated memory as well, so helping
+// threads coordinate exclusively through the simulated coherence protocol —
+// faithfully reproducing the synchronization cost the paper attributes to
+// LLX/SCX ("marking each node prior to its removal... and a sort of
+// collaborative operation-locking protocol").
+package llxscx
+
+import (
+	"repro/internal/core"
+)
+
+// Data-record header offsets (in words, from the record base).
+const (
+	FInfo   = 0 // SCX-record pointer that last froze this record (0 = none)
+	FMarked = 1 // non-zero once the record is finalized
+	// HeaderWords is the number of words a Data-record must reserve at its
+	// base for LLX/SCX state.
+	HeaderWords = 2
+)
+
+// SCX-record states.
+const (
+	stInProgress uint64 = 0
+	stCommitted  uint64 = 1
+	stAborted    uint64 = 2
+)
+
+// MaxV is the maximum number of Data-records one SCX may depend on.
+const MaxV = 5
+
+// SCX-record layout (in words).
+const (
+	dState     = 0
+	dAllFrozen = 1
+	dFld       = 2
+	dOld       = 3
+	dNew       = 4
+	dNumV      = 5
+	dEntries   = 6 // numV entries of entryWords each
+	entryWords = 3 // record address, expected info, finalize flag
+	descWords  = dEntries + MaxV*entryWords
+)
+
+// LLXStatus is the outcome of an LLX.
+type LLXStatus int
+
+const (
+	// LLXSuccess: the record was unfrozen and unmarked; the snapshot and
+	// info value are valid.
+	LLXSuccess LLXStatus = iota
+	// LLXFinalized: the record is finalized (removed from the structure).
+	LLXFinalized
+	// LLXFail: a conflicting SCX was in progress (it has been helped).
+	LLXFail
+)
+
+// Manager issues LLX/SCX operations against one simulated memory.
+type Manager struct {
+	mem core.Memory
+}
+
+// New creates a manager.
+func New(mem core.Memory) *Manager { return &Manager{mem: mem} }
+
+// stateOf reads the state of the SCX-record referenced by an info value;
+// a zero info pointer denotes a committed (quiescent) record.
+func (g *Manager) stateOf(th core.Thread, info uint64) uint64 {
+	if info == 0 {
+		return stCommitted
+	}
+	return th.Load(core.Addr(info).Plus(dState))
+}
+
+// LLX performs a load-link-extended on the record at rec. On success it
+// copies mutWords words starting at mutOff (the record's mutable region)
+// into snap (which must have length >= mutWords) and returns the observed
+// info value to pass to a later SCX or VLX.
+func (g *Manager) LLX(th core.Thread, rec core.Addr, mutOff, mutWords int, snap []uint64) (info uint64, status LLXStatus) {
+	marked := th.Load(rec.Plus(FMarked)) != 0
+	info = th.Load(rec.Plus(FInfo))
+	state := g.stateOf(th, info)
+
+	if state == stAborted || (state == stCommitted && !marked) {
+		for i := 0; i < mutWords; i++ {
+			snap[i] = th.Load(rec.Plus(mutOff + i))
+		}
+		if th.Load(rec.Plus(FInfo)) == info {
+			// Re-read the marked flag now that info and state are known
+			// (Brown et al.'s second marked read). The first read can be
+			// stale: a finalizing SCX marks its records *before* moving to
+			// Committed, so the interleaving "read marked=0; SCX marks and
+			// commits; read state=Committed" would otherwise return
+			// success on a finalized record — whose frozen info never
+			// changes again, making the stale success repeatable and
+			// wedging every operation that reaches the record.
+			if th.Load(rec.Plus(FMarked)) != 0 {
+				return 0, LLXFinalized
+			}
+			return info, LLXSuccess
+		}
+	}
+	// A conflicting SCX holds (or held) the record frozen: help it along,
+	// then report the conflict.
+	if state == stInProgress {
+		g.help(th, core.Addr(info))
+	}
+	if marked {
+		return 0, LLXFinalized
+	}
+	return 0, LLXFail
+}
+
+// VLX validates that each record still has the info value returned by the
+// caller's earlier LLX (no SCX has frozen it since).
+func (g *Manager) VLX(th core.Thread, recs []core.Addr, infos []uint64) bool {
+	for i, r := range recs {
+		if th.Load(r.Plus(FInfo)) != infos[i] {
+			return false
+		}
+		if th.Load(r.Plus(FMarked)) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// SCX atomically: verifies that no record in deps changed since the
+// caller's LLX on it (infos are the LLX return values), finalizes the
+// records whose finalize flag is set, and stores new into the word at fld
+// (whose current value must be old; fld must be a mutable field of one of
+// the dependencies). It reports whether the operation committed.
+//
+// new must differ from old (node replacements always install fresh
+// addresses, so this holds by construction).
+func (g *Manager) SCX(th core.Thread, deps []core.Addr, infos []uint64, finalize []bool, fld core.Addr, old, new uint64) bool {
+	if len(deps) == 0 || len(deps) > MaxV {
+		panic("llxscx: SCX dependency count out of range")
+	}
+	if old == new {
+		panic("llxscx: SCX old == new")
+	}
+	desc := th.Alloc(descWords)
+	th.Store(desc.Plus(dState), stInProgress)
+	th.Store(desc.Plus(dAllFrozen), 0)
+	th.Store(desc.Plus(dFld), uint64(fld))
+	th.Store(desc.Plus(dOld), old)
+	th.Store(desc.Plus(dNew), new)
+	th.Store(desc.Plus(dNumV), uint64(len(deps)))
+	for i, r := range deps {
+		base := dEntries + i*entryWords
+		th.Store(desc.Plus(base+0), uint64(r))
+		th.Store(desc.Plus(base+1), infos[i])
+		fin := uint64(0)
+		if finalize[i] {
+			fin = 1
+		}
+		th.Store(desc.Plus(base+2), fin)
+	}
+	return g.help(th, desc)
+}
+
+// help drives the SCX-record at desc to completion (freeze all, finalize
+// subset, swing the field, commit — or abort). Any thread may help; all
+// steps are idempotent.
+func (g *Manager) help(th core.Thread, desc core.Addr) bool {
+	numV := int(th.Load(desc.Plus(dNumV)))
+	for i := 0; i < numV; i++ {
+		base := dEntries + i*entryWords
+		rec := core.Addr(th.Load(desc.Plus(base + 0)))
+		exp := th.Load(desc.Plus(base + 1))
+		th.CAS(rec.Plus(FInfo), exp, uint64(desc))
+		if th.Load(rec.Plus(FInfo)) != uint64(desc) {
+			// Failed to freeze rec. If the operation already reached the
+			// all-frozen point it is destined to commit; otherwise abort.
+			if th.Load(desc.Plus(dAllFrozen)) == 0 {
+				th.CAS(desc.Plus(dState), stInProgress, stAborted)
+				return th.Load(desc.Plus(dState)) == stCommitted
+			}
+			break
+		}
+	}
+	th.Store(desc.Plus(dAllFrozen), 1)
+	for i := 0; i < numV; i++ {
+		base := dEntries + i*entryWords
+		if th.Load(desc.Plus(base+2)) != 0 {
+			rec := core.Addr(th.Load(desc.Plus(base + 0)))
+			th.Store(rec.Plus(FMarked), 1)
+		}
+	}
+	fld := core.Addr(th.Load(desc.Plus(dFld)))
+	th.CAS(fld, th.Load(desc.Plus(dOld)), th.Load(desc.Plus(dNew)))
+	th.CAS(desc.Plus(dState), stInProgress, stCommitted)
+	return th.Load(desc.Plus(dState)) == stCommitted
+}

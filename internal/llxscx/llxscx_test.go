@@ -1,0 +1,206 @@
+package llxscx
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/vtags"
+)
+
+// A test record: 2 header words + 2 mutable words.
+const (
+	recMut   = HeaderWords
+	recWords = HeaderWords + 2
+)
+
+func newRec(th core.Thread, v0, v1 uint64) core.Addr {
+	r := th.Alloc(recWords)
+	th.Store(r.Plus(recMut), v0)
+	th.Store(r.Plus(recMut+1), v1)
+	return r
+}
+
+func TestLLXSnapshotAndSCX(t *testing.T) {
+	mem := vtags.New(1<<20, 1)
+	g := New(mem)
+	th := mem.Thread(0)
+	r := newRec(th, 10, 20)
+
+	snap := make([]uint64, 2)
+	info, st := g.LLX(th, r, recMut, 2, snap)
+	if st != LLXSuccess {
+		t.Fatalf("LLX status = %v", st)
+	}
+	if snap[0] != 10 || snap[1] != 20 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	ok := g.SCX(th, []core.Addr{r}, []uint64{info}, []bool{false}, r.Plus(recMut), 10, 11)
+	if !ok {
+		t.Fatal("uncontended SCX failed")
+	}
+	if th.Load(r.Plus(recMut)) != 11 {
+		t.Fatal("SCX did not write")
+	}
+}
+
+func TestSCXFailsOnStaleInfo(t *testing.T) {
+	mem := vtags.New(1<<20, 1)
+	g := New(mem)
+	th := mem.Thread(0)
+	r := newRec(th, 1, 2)
+	snap := make([]uint64, 2)
+	info, _ := g.LLX(th, r, recMut, 2, snap)
+
+	// A successful SCX invalidates the earlier link.
+	if !g.SCX(th, []core.Addr{r}, []uint64{info}, []bool{false}, r.Plus(recMut), 1, 5) {
+		t.Fatal("first SCX failed")
+	}
+	if g.SCX(th, []core.Addr{r}, []uint64{info}, []bool{false}, r.Plus(recMut), 5, 9) {
+		t.Fatal("SCX with stale info succeeded")
+	}
+	if th.Load(r.Plus(recMut)) != 5 {
+		t.Fatal("stale SCX wrote")
+	}
+}
+
+func TestFinalizedRecordRejectsLLXAndSCX(t *testing.T) {
+	mem := vtags.New(1<<20, 1)
+	g := New(mem)
+	th := mem.Thread(0)
+	r := newRec(th, 1, 2)
+	snap := make([]uint64, 2)
+	info, _ := g.LLX(th, r, recMut, 2, snap)
+	if !g.SCX(th, []core.Addr{r}, []uint64{info}, []bool{true}, r.Plus(recMut), 1, 3) {
+		t.Fatal("finalizing SCX failed")
+	}
+	if _, st := g.LLX(th, r, recMut, 2, snap); st != LLXFinalized {
+		t.Fatalf("LLX on finalized record = %v, want LLXFinalized", st)
+	}
+}
+
+func TestVLX(t *testing.T) {
+	mem := vtags.New(1<<20, 1)
+	g := New(mem)
+	th := mem.Thread(0)
+	r1 := newRec(th, 1, 0)
+	r2 := newRec(th, 2, 0)
+	snap := make([]uint64, 2)
+	i1, _ := g.LLX(th, r1, recMut, 2, snap)
+	i2, _ := g.LLX(th, r2, recMut, 2, snap)
+	if !g.VLX(th, []core.Addr{r1, r2}, []uint64{i1, i2}) {
+		t.Fatal("VLX failed without conflict")
+	}
+	if !g.SCX(th, []core.Addr{r2}, []uint64{i2}, []bool{false}, r2.Plus(recMut), 2, 7) {
+		t.Fatal("SCX failed")
+	}
+	if g.VLX(th, []core.Addr{r1, r2}, []uint64{i1, i2}) {
+		t.Fatal("VLX succeeded after conflicting SCX")
+	}
+}
+
+func TestSCXMultiRecordAtomicity(t *testing.T) {
+	// Two records; SCX depends on both. A change to the *other* record
+	// between LLX and SCX must abort the SCX.
+	mem := vtags.New(1<<20, 1)
+	g := New(mem)
+	th := mem.Thread(0)
+	r1 := newRec(th, 1, 0)
+	r2 := newRec(th, 2, 0)
+	snap := make([]uint64, 2)
+	i1, _ := g.LLX(th, r1, recMut, 2, snap)
+	i2, _ := g.LLX(th, r2, recMut, 2, snap)
+
+	// Interfering SCX on r2 alone.
+	if !g.SCX(th, []core.Addr{r2}, []uint64{i2}, []bool{false}, r2.Plus(recMut), 2, 3) {
+		t.Fatal("interfering SCX failed")
+	}
+	if g.SCX(th, []core.Addr{r1, r2}, []uint64{i1, i2}, []bool{false, false}, r1.Plus(recMut), 1, 4) {
+		t.Fatal("SCX committed despite changed dependency")
+	}
+	if th.Load(r1.Plus(recMut)) != 1 {
+		t.Fatal("aborted SCX wrote")
+	}
+}
+
+// Concurrent counter via LLX/SCX: total must be exact.
+func TestConcurrentSCXCounter(t *testing.T) {
+	const workers, per = 8, 300
+	mem := vtags.New(8<<20, workers)
+	g := New(mem)
+	r := newRec(mem.Thread(0), 0, 0)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(th core.Thread) {
+			defer wg.Done()
+			snap := make([]uint64, 2)
+			for i := 0; i < per; i++ {
+				for {
+					info, st := g.LLX(th, r, recMut, 2, snap)
+					if st != LLXSuccess {
+						continue
+					}
+					if g.SCX(th, []core.Addr{r}, []uint64{info}, []bool{false}, r.Plus(recMut), snap[0], snap[0]+1) {
+						break
+					}
+				}
+			}
+		}(mem.Thread(w))
+	}
+	wg.Wait()
+	if got := mem.Thread(0).Load(r.Plus(recMut)); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+}
+
+// Concurrent two-record transfers preserve the sum (multi-record SCX
+// atomicity under contention).
+func TestConcurrentSCXTransfers(t *testing.T) {
+	const workers, per = 6, 200
+	mem := vtags.New(8<<20, workers)
+	g := New(mem)
+	th0 := mem.Thread(0)
+	r1 := newRec(th0, 1000, 0)
+	r2 := newRec(th0, 1000, 0)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(th core.Thread, w int) {
+			defer wg.Done()
+			snap1 := make([]uint64, 2)
+			snap2 := make([]uint64, 2)
+			src, dst := r1, r2
+			if w%2 == 1 {
+				src, dst = r2, r1
+			}
+			for i := 0; i < per; i++ {
+				for {
+					is, st := g.LLX(th, src, recMut, 2, snap1)
+					if st != LLXSuccess {
+						continue
+					}
+					id, st := g.LLX(th, dst, recMut, 2, snap2)
+					if st != LLXSuccess {
+						continue
+					}
+					// Move one unit src -> dst, writing only src; dst's
+					// balance is implied (we validate it was unchanged and
+					// rewrite src to old-1... to keep a single-field write,
+					// encode the transfer as src -= 1 only when dst
+					// unchanged; the sum check still catches lost updates).
+					if g.SCX(th, []core.Addr{src, dst}, []uint64{is, id}, []bool{false, false},
+						src.Plus(recMut), snap1[0], snap1[0]-1) {
+						break
+					}
+				}
+			}
+		}(mem.Thread(w), w)
+	}
+	wg.Wait()
+	got := th0.Load(r1.Plus(recMut)) + th0.Load(r2.Plus(recMut))
+	want := uint64(2000 - workers*per)
+	if got != want {
+		t.Fatalf("sum = %d, want %d", got, want)
+	}
+}

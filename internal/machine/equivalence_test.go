@@ -1,0 +1,116 @@
+package machine_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/vtags"
+)
+
+// TestBackendEquivalence runs identical random single-threaded operation
+// sequences against the machine and the vtags emulation. Functional
+// results (loaded values, CAS outcomes, committed VAS/IAS effects) must
+// agree exactly. Validation outcomes may diverge only in one direction:
+// the machine may fail where vtags succeeds (spurious evictions exist only
+// in hardware), never the reverse — and with a working set far below L1
+// capacity even that should not occur.
+func TestBackendEquivalence(t *testing.T) {
+	const words = 32
+	for seed := int64(0); seed < 20; seed++ {
+		cfg := machine.DefaultConfig(1)
+		cfg.MemBytes = 1 << 20
+		hw := machine.New(cfg)
+		sw := vtags.New(1<<20, 1)
+		hwT, swT := hw.Thread(0), sw.Thread(0)
+
+		hwA := make([]core.Addr, words)
+		swA := make([]core.Addr, words)
+		for i := 0; i < words; i++ {
+			hwA[i] = hw.Alloc(1)
+			swA[i] = sw.Alloc(1)
+		}
+
+		rng := rand.New(rand.NewSource(seed))
+		for op := 0; op < 400; op++ {
+			i := rng.Intn(words)
+			v := uint64(rng.Intn(1000))
+			switch rng.Intn(8) {
+			case 0, 1:
+				hwT.Store(hwA[i], v)
+				swT.Store(swA[i], v)
+			case 2:
+				a := hwT.Load(hwA[i])
+				b := swT.Load(swA[i])
+				if a != b {
+					t.Fatalf("seed %d op %d: Load diverged: %d vs %d", seed, op, a, b)
+				}
+			case 3:
+				old := uint64(rng.Intn(1000))
+				a := hwT.CAS(hwA[i], old, v)
+				b := swT.CAS(swA[i], old, v)
+				if a != b {
+					t.Fatalf("seed %d op %d: CAS diverged: %v vs %v", seed, op, a, b)
+				}
+			case 4:
+				hwT.AddTag(hwA[i], 8)
+				swT.AddTag(swA[i], 8)
+			case 5:
+				hwT.RemoveTag(hwA[i], 8)
+				swT.RemoveTag(swA[i], 8)
+			case 6:
+				a := hwT.Validate()
+				b := swT.Validate()
+				if a && !b {
+					t.Fatalf("seed %d op %d: machine validated where vtags refused", seed, op)
+				}
+				if a != b {
+					// Spurious hardware failure: resynchronize both sides.
+					hwT.ClearTagSet()
+					swT.ClearTagSet()
+				}
+			default:
+				a := hwT.VAS(hwA[i], v)
+				b := swT.VAS(swA[i], v)
+				if a && !b {
+					t.Fatalf("seed %d op %d: machine VAS committed where vtags failed", seed, op)
+				}
+				if a != b {
+					hwT.ClearTagSet()
+					swT.ClearTagSet()
+					// Align values: vtags committed, machine did not.
+					hwT.Store(hwA[i], v)
+				}
+			}
+		}
+		// Final memory images must agree.
+		for i := 0; i < words; i++ {
+			if a, b := hwT.Load(hwA[i]), swT.Load(swA[i]); a != b {
+				t.Fatalf("seed %d: final word %d diverged: %d vs %d", seed, i, a, b)
+			}
+		}
+	}
+}
+
+// TestOwnWriteSemanticsAgree pins the subtle rule both backends must share:
+// a thread's own store does not evict its own tag, and VAS on a tagged
+// target keeps the tag valid.
+func TestOwnWriteSemanticsAgree(t *testing.T) {
+	cfg := machine.DefaultConfig(1)
+	cfg.MemBytes = 1 << 20
+	backends := []core.Memory{machine.New(cfg), vtags.New(1<<20, 1)}
+	for i, mem := range backends {
+		th := mem.Thread(0)
+		a := mem.Alloc(1)
+		th.AddTag(a, 8)
+		th.Store(a, 1)
+		if !th.Validate() {
+			t.Fatalf("backend %d: own store evicted own tag", i)
+		}
+		if !th.VAS(a, 2) || !th.Validate() {
+			t.Fatalf("backend %d: VAS on own tagged target broke the tag", i)
+		}
+		th.ClearTagSet()
+	}
+}

@@ -1,0 +1,110 @@
+// Package machine implements the paper's hardware proposal: a multicore
+// cache simulator with MESI-style directory coherence and memory tags kept
+// at each core's L1, including validate-and-swap (VAS) and
+// invalidate-and-swap (IAS).
+//
+// The simulator is functionally concurrent and timing-sampled: one real
+// goroutine drives each simulated core, a per-line directory entry (with a
+// mutex) is the coherence authority, and every event is priced by the
+// Config cost model into per-core cycle and energy counters. The atomicity
+// the paper obtains by "temporarily pausing the serving of new coherence
+// requests" during validation is obtained here by locking the directory
+// entries of all tagged lines (plus the VAS/IAS target) in address order.
+//
+// Presence in a core's cache hierarchy is authoritative in the directory's
+// sharer mask; the per-core L1/L2 set-associative models decide only at
+// which level an access hits and which victim a fill displaces. Remote
+// invalidations therefore never touch a foreign cache model — they clear
+// the directory bit, and the stale model entry is simply refilled on the
+// owning core's next access.
+package machine
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+)
+
+// dirEntry is the coherence authority for one cache line.
+type dirEntry struct {
+	mu sync.Mutex
+	// sharers is the bitmask of cores holding the line anywhere in their
+	// private hierarchy (L1 or L2).
+	sharers uint64
+	// owner is the core holding the line in Modified/Exclusive state, or
+	// -1. Invariant: owner >= 0 implies sharers == 1<<owner.
+	owner int8
+	// taggers is the bitmask of cores currently tagging this line.
+	taggers uint64
+}
+
+// Machine is a simulated multicore with memory tagging.
+type Machine struct {
+	cfg     Config
+	space   *mem.Space
+	dir     []dirEntry
+	threads []*Thread
+	clock   clockSync
+	tracer  Tracer
+}
+
+var _ core.Memory = (*Machine)(nil)
+
+// New creates a machine. It panics on an invalid configuration, since
+// configurations are experiment constants.
+func New(cfg Config) *Machine {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	space := mem.NewSpace(cfg.MemBytes)
+	m := &Machine{
+		cfg:   cfg,
+		space: space,
+		dir:   make([]dirEntry, space.NumLines()),
+	}
+	for i := range m.dir {
+		m.dir[i].owner = -1
+	}
+	m.clock.init()
+	m.threads = make([]*Thread, cfg.Cores)
+	for i := range m.threads {
+		m.threads[i] = newThread(m, i)
+	}
+	return m
+}
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// NumThreads returns the number of simulated cores.
+func (m *Machine) NumThreads() int { return len(m.threads) }
+
+// Thread returns the handle for simulated core id.
+func (m *Machine) Thread(id int) core.Thread { return m.threads[id] }
+
+// Alloc allocates line-aligned words from the simulated space.
+func (m *Machine) Alloc(words int) core.Addr { return m.space.Alloc(words) }
+
+// MaxTags returns the per-core tag budget.
+func (m *Machine) MaxTags() int { return m.cfg.MaxTags }
+
+// AllocatedBytes reports how much simulated memory has been handed out.
+func (m *Machine) AllocatedBytes() int { return m.space.AllocatedBytes() }
+
+func (m *Machine) dirAt(l core.Line) *dirEntry {
+	if uint64(l) >= uint64(len(m.dir)) {
+		panic(fmt.Sprintf("machine: line %d out of range (%d lines)", l, len(m.dir)))
+	}
+	return &m.dir[l]
+}
+
+// DebugLine returns the directory state of a line for tests: the sharer
+// mask, owner core (or -1), and tagger mask.
+func (m *Machine) DebugLine(l core.Line) (sharers uint64, owner int, taggers uint64) {
+	d := m.dirAt(l)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.sharers, int(d.owner), d.taggers
+}

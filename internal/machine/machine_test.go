@@ -1,0 +1,494 @@
+package machine
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func testMachine(cores int) *Machine {
+	cfg := DefaultConfig(cores)
+	cfg.MemBytes = 1 << 20
+	return New(cfg)
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Cores = 0 },
+		func(c *Config) { c.Cores = 65 },
+		func(c *Config) { c.MemBytes = 0 },
+		func(c *Config) { c.L1Bytes = 0 },
+		func(c *Config) { c.L2Bytes = c.L1Bytes / 2 },
+		func(c *Config) { c.MaxTags = 0 },
+		func(c *Config) { c.ClockHz = 0 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultConfig(2)
+		mutate(&cfg)
+		if err := cfg.validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+	cfg := DefaultConfig(2)
+	if err := cfg.validate(); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+func TestLoadStoreSingleThread(t *testing.T) {
+	m := testMachine(1)
+	th := m.Thread(0)
+	a := m.Alloc(4)
+	th.Store(a, 42)
+	th.Store(a.Plus(1), 43)
+	if th.Load(a) != 42 || th.Load(a.Plus(1)) != 43 {
+		t.Fatal("load does not return stored values")
+	}
+}
+
+func TestCAS(t *testing.T) {
+	m := testMachine(1)
+	th := m.Thread(0)
+	a := m.Alloc(1)
+	th.Store(a, 5)
+	if th.CAS(a, 4, 9) {
+		t.Fatal("CAS with wrong expected succeeded")
+	}
+	if th.Load(a) != 5 {
+		t.Fatal("failed CAS modified memory")
+	}
+	if !th.CAS(a, 5, 9) {
+		t.Fatal("CAS with correct expected failed")
+	}
+	if th.Load(a) != 9 {
+		t.Fatal("successful CAS did not write")
+	}
+}
+
+func TestCoherenceVisibility(t *testing.T) {
+	m := testMachine(2)
+	t0, t1 := m.Thread(0), m.Thread(1)
+	a := m.Alloc(1)
+	t0.Store(a, 1)
+	if t1.Load(a) != 1 {
+		t.Fatal("remote store not visible")
+	}
+	t1.Store(a, 2)
+	if t0.Load(a) != 2 {
+		t.Fatal("second remote store not visible")
+	}
+}
+
+func TestStoreInvalidatesSharers(t *testing.T) {
+	m := testMachine(2)
+	t0, t1 := m.Thread(0), m.Thread(1)
+	a := m.Alloc(1)
+	t0.Store(a, 1)
+	t1.Load(a) // both cores now share the line
+
+	sharers, _, _ := m.DebugLine(a.Line())
+	if sharers != 0b11 {
+		t.Fatalf("sharers = %b, want 11", sharers)
+	}
+
+	t0.Store(a, 2)
+	sharers, owner, _ := m.DebugLine(a.Line())
+	if sharers != 0b01 || owner != 0 {
+		t.Fatalf("after store: sharers=%b owner=%d, want 01/0", sharers, owner)
+	}
+	if m.CoreStatsOf(1).InvalidationsReceived.Load() == 0 {
+		t.Fatal("core 1 received no invalidation")
+	}
+}
+
+func TestValidateAfterRemoteWriteFails(t *testing.T) {
+	m := testMachine(2)
+	t0, t1 := m.Thread(0), m.Thread(1)
+	a := m.Alloc(1)
+	t0.Store(a, 1)
+
+	if !t1.AddTag(a, 8) {
+		t.Fatal("AddTag failed")
+	}
+	if !t1.Validate() {
+		t.Fatal("validate should succeed with no conflicting write")
+	}
+	t0.Store(a, 2)
+	if t1.Validate() {
+		t.Fatal("validate should fail after remote write to tagged line")
+	}
+	t1.ClearTagSet()
+	if !t1.AddTag(a, 8) || !t1.Validate() {
+		t.Fatal("validate should succeed after ClearTagSet and retag")
+	}
+}
+
+func TestOwnWriteDoesNotEvictOwnTag(t *testing.T) {
+	m := testMachine(2)
+	t0 := m.Thread(0)
+	a := m.Alloc(1)
+	t0.AddTag(a, 8)
+	t0.Store(a, 7)
+	if !t0.Validate() {
+		t.Fatal("own store evicted own tag")
+	}
+}
+
+func TestRemoveTagStopsTracking(t *testing.T) {
+	m := testMachine(2)
+	t0, t1 := m.Thread(0), m.Thread(1)
+	a := m.Alloc(1)
+	b := m.Alloc(1)
+	t1.AddTag(a, 8)
+	t1.AddTag(b, 8)
+	t1.RemoveTag(a, 8)
+	t0.Store(a, 1) // write to the untagged line
+	if !t1.Validate() {
+		t.Fatal("validate failed though conflicting line was untagged")
+	}
+	t0.Store(b, 1)
+	if t1.Validate() {
+		t.Fatal("validate succeeded though tagged line was written")
+	}
+}
+
+func TestEvictionLatchSurvivesRemoveTag(t *testing.T) {
+	m := testMachine(2)
+	t0, t1 := m.Thread(0), m.Thread(1)
+	a := m.Alloc(1)
+	t1.AddTag(a, 8)
+	t0.Store(a, 1) // evicts t1's tag
+	t1.RemoveTag(a, 8)
+	if t1.Validate() {
+		t.Fatal("recorded eviction forgotten by RemoveTag")
+	}
+	t1.ClearTagSet()
+	if !t1.Validate() {
+		t.Fatal("ClearTagSet did not reset eviction state")
+	}
+}
+
+func TestVASSuccessAndFailure(t *testing.T) {
+	m := testMachine(2)
+	t0, t1 := m.Thread(0), m.Thread(1)
+	a := m.Alloc(1)
+	target := m.Alloc(1)
+	t0.Store(a, 1)
+
+	t1.AddTag(a, 8)
+	t1.Load(a)
+	if !t1.VAS(target, 99) {
+		t.Fatal("VAS failed without conflict")
+	}
+	if t1.Load(target) != 99 {
+		t.Fatal("VAS did not write")
+	}
+	t1.ClearTagSet()
+
+	t1.AddTag(a, 8)
+	t0.Store(a, 2) // conflict
+	if t1.VAS(target, 100) {
+		t.Fatal("VAS succeeded despite evicted tag")
+	}
+	if t1.Load(target) != 99 {
+		t.Fatal("failed VAS wrote memory")
+	}
+}
+
+func TestVASOnTaggedTarget(t *testing.T) {
+	m := testMachine(1)
+	th := m.Thread(0)
+	a := m.Alloc(1)
+	th.Store(a, 1)
+	th.AddTag(a, 8)
+	if !th.VAS(a, 2) {
+		t.Fatal("VAS on own tagged target failed")
+	}
+	if th.Load(a) != 2 {
+		t.Fatal("VAS write lost")
+	}
+	// Our own VAS write must not evict our own tag.
+	if !th.Validate() {
+		t.Fatal("own VAS evicted own tag")
+	}
+}
+
+func TestIASInvalidatesRemoteTags(t *testing.T) {
+	m := testMachine(2)
+	t0, t1 := m.Thread(0), m.Thread(1)
+	node := m.Alloc(1)
+	target := m.Alloc(1)
+	t0.Store(node, 1)
+
+	// Both threads tag the same node.
+	t0.AddTag(node, 8)
+	t1.AddTag(node, 8)
+	if !t0.Validate() || !t1.Validate() {
+		t.Fatal("initial validations failed")
+	}
+
+	// t0 IASes: its own tags stay valid, t1's tag on node is invalidated.
+	if !t0.IAS(target, 7) {
+		t.Fatal("IAS failed")
+	}
+	if !t0.Validate() {
+		t.Fatal("IAS evicted issuer's own tags")
+	}
+	if t1.Validate() {
+		t.Fatal("IAS did not invalidate remote tag")
+	}
+	if t1.Load(target) != 7 {
+		t.Fatal("IAS write not visible")
+	}
+}
+
+func TestVASDoesNotInvalidateRemoteTagsOnOtherLines(t *testing.T) {
+	m := testMachine(2)
+	t0, t1 := m.Thread(0), m.Thread(1)
+	node := m.Alloc(1)
+	target := m.Alloc(1)
+	t0.Store(node, 1)
+	t1.Load(node)
+
+	t0.AddTag(node, 8)
+	t1.AddTag(node, 8)
+	if !t0.VAS(target, 7) {
+		t.Fatal("VAS failed")
+	}
+	// Unlike IAS, VAS only writes the target: t1's tag on node survives.
+	if !t1.Validate() {
+		t.Fatal("VAS invalidated a remote tag on a non-target line")
+	}
+}
+
+func TestMaxTagsOverflow(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.MemBytes = 1 << 20
+	cfg.MaxTags = 4
+	m := New(cfg)
+	th := m.Thread(0)
+	addrs := make([]core.Addr, 5)
+	for i := range addrs {
+		addrs[i] = m.Alloc(1)
+	}
+	for i := 0; i < 4; i++ {
+		if !th.AddTag(addrs[i], 8) {
+			t.Fatalf("AddTag %d failed below MaxTags", i)
+		}
+	}
+	if th.AddTag(addrs[4], 8) {
+		t.Fatal("AddTag beyond MaxTags succeeded")
+	}
+	if th.Validate() {
+		t.Fatal("validate succeeded after overflow")
+	}
+	if th.VAS(addrs[0], 1) {
+		t.Fatal("VAS succeeded after overflow")
+	}
+	th.ClearTagSet()
+	if !th.AddTag(addrs[4], 8) || !th.Validate() {
+		t.Fatal("overflow not reset by ClearTagSet")
+	}
+}
+
+func TestMultiLineTag(t *testing.T) {
+	m := testMachine(2)
+	t0, t1 := m.Thread(0), m.Thread(1)
+	// A 3-line object.
+	obj := m.Alloc(3 * core.WordsPerLine)
+	t1.AddTag(obj, 3*core.LineSize)
+	if t1.TagCount() != 3 {
+		t.Fatalf("TagCount = %d, want 3", t1.TagCount())
+	}
+	// Write to the middle line: validation must fail.
+	t0.Store(obj.Plus(core.WordsPerLine+1), 5)
+	if t1.Validate() {
+		t.Fatal("write to middle line of tagged object not detected")
+	}
+}
+
+func TestSpuriousEvictionByCapacity(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.MemBytes = 4 << 20
+	// Tiny L1: 4 sets x 2 ways = 8 lines; big L2 so only L1 thrashes.
+	cfg.L1Bytes = 8 * core.LineSize
+	cfg.L1Ways = 2
+	m := New(cfg)
+	th := m.Thread(0)
+
+	tagged := m.Alloc(1)
+	th.AddTag(tagged, 8)
+	if !th.Validate() {
+		t.Fatal("fresh tag invalid")
+	}
+	// Thrash the L1 with conflicting lines until the tagged line is
+	// displaced (every line maps somewhere in 4 sets; 200 distinct lines
+	// guarantee displacement).
+	for i := 0; i < 200; i++ {
+		th.Load(m.Alloc(1))
+	}
+	if th.Validate() {
+		t.Fatal("tag survived L1 thrashing (spurious eviction not modeled)")
+	}
+	if m.CoreStatsOf(0).SpuriousEvictions == 0 {
+		t.Fatal("spurious eviction not counted")
+	}
+}
+
+func TestStatsLevels(t *testing.T) {
+	m := testMachine(1)
+	th := m.Thread(0)
+	a := m.Alloc(1)
+	th.Load(a) // DRAM fill
+	th.Load(a) // L1 hit
+	cs := m.CoreStatsOf(0)
+	if cs.MemFills != 1 {
+		t.Fatalf("MemFills = %d, want 1", cs.MemFills)
+	}
+	if cs.L1Hits != 1 {
+		t.Fatalf("L1Hits = %d, want 1", cs.L1Hits)
+	}
+	if cs.Cycles == 0 || cs.Energy == 0 {
+		t.Fatal("cycles/energy not charged")
+	}
+}
+
+func TestRemoteFillCounted(t *testing.T) {
+	m := testMachine(2)
+	t0, t1 := m.Thread(0), m.Thread(1)
+	a := m.Alloc(1)
+	t0.Store(a, 1)
+	t1.Load(a)
+	if m.CoreStatsOf(1).RemoteFills != 1 {
+		t.Fatalf("RemoteFills = %d, want 1", m.CoreStatsOf(1).RemoteFills)
+	}
+}
+
+func TestValidateIsLocal(t *testing.T) {
+	m := testMachine(2)
+	t1 := m.Thread(1)
+	a := m.Alloc(1)
+	t1.AddTag(a, 8)
+	before := m.CoreStatsOf(1).InvalidationsSent
+	loads := m.CoreStatsOf(1).Loads
+	for i := 0; i < 100; i++ {
+		t1.Validate()
+	}
+	cs := m.CoreStatsOf(1)
+	// The key property: validation generates no coherence traffic and no
+	// memory accesses.
+	if cs.InvalidationsSent != before || cs.Loads != loads {
+		t.Fatal("Validate generated coherence traffic or loads")
+	}
+}
+
+func TestSnapshotAggregates(t *testing.T) {
+	m := testMachine(2)
+	t0, t1 := m.Thread(0), m.Thread(1)
+	a := m.Alloc(1)
+	t0.Store(a, 1)
+	t1.Load(a)
+	s := m.Snapshot()
+	if s.Loads != 1 || s.Stores != 1 {
+		t.Fatalf("snapshot loads=%d stores=%d", s.Loads, s.Stores)
+	}
+	if s.Accesses() != 2 {
+		t.Fatalf("Accesses = %d", s.Accesses())
+	}
+	if s.MaxCycles == 0 || s.TotalCycles < s.MaxCycles {
+		t.Fatal("cycle aggregation wrong")
+	}
+	if s.MissRate() <= 0 || s.MissRate() > 1 {
+		t.Fatalf("MissRate = %f", s.MissRate())
+	}
+}
+
+// Concurrent atomic-increment via tag+load+VAS: the total must be exact,
+// proving VAS linearizes against concurrent VAS on the same line.
+func TestConcurrentVASCounter(t *testing.T) {
+	const workers, perWorker = 8, 200
+	m := testMachine(workers)
+	ctr := m.Alloc(1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(th core.Thread) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				for {
+					th.ClearTagSet()
+					th.AddTag(ctr, 8)
+					v := th.Load(ctr)
+					if th.VAS(ctr, v+1) {
+						break
+					}
+				}
+			}
+			th.ClearTagSet()
+		}(m.Thread(w))
+	}
+	wg.Wait()
+	if got := m.Thread(0).Load(ctr); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+}
+
+// Same with plain CAS as a sanity check of the baseline primitive.
+func TestConcurrentCASCounter(t *testing.T) {
+	const workers, perWorker = 8, 200
+	m := testMachine(workers)
+	ctr := m.Alloc(1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(th core.Thread) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				for {
+					v := th.Load(ctr)
+					if th.CAS(ctr, v, v+1) {
+						break
+					}
+				}
+			}
+		}(m.Thread(w))
+	}
+	wg.Wait()
+	if got := m.Thread(0).Load(ctr); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+}
+
+// IAS-based increments interleaved with plain stores on a second line:
+// exercises multi-line commits under concurrency (race detector checks the
+// locking discipline).
+func TestConcurrentIASStress(t *testing.T) {
+	const workers, perWorker = 4, 100
+	m := testMachine(workers)
+	ctr := m.Alloc(1)
+	aux := m.Alloc(1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(th core.Thread) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				for {
+					th.ClearTagSet()
+					th.AddTag(ctr, 8)
+					th.AddTag(aux, 8)
+					v := th.Load(ctr)
+					if th.IAS(ctr, v+1) {
+						break
+					}
+				}
+			}
+			th.ClearTagSet()
+		}(m.Thread(w))
+	}
+	wg.Wait()
+	if got := m.Thread(0).Load(ctr); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+}

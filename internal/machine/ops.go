@@ -1,0 +1,234 @@
+package machine
+
+import (
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Load reads the word at a, performing the MESI read transaction for its
+// line.
+func (t *Thread) Load(a core.Addr) uint64 {
+	t.throttle()
+	t.stats.Loads++
+	t.charge(t.m.cfg.ComputeCycles, 0)
+	l := a.Line()
+	d := t.m.dirAt(l)
+	d.mu.Lock()
+	t.touchLineLocked(l, d, false)
+	v := t.m.space.Read(a)
+	d.mu.Unlock()
+	t.drainEvictions()
+	return v
+}
+
+// Store writes v at a, invalidating all remote copies of the line (which
+// evicts remote tags on it).
+func (t *Thread) Store(a core.Addr, v uint64) {
+	t.throttle()
+	t.stats.Stores++
+	t.charge(t.m.cfg.ComputeCycles, 0)
+	l := a.Line()
+	d := t.m.dirAt(l)
+	d.mu.Lock()
+	t.touchLineLocked(l, d, true)
+	t.m.space.Write(a, v)
+	d.mu.Unlock()
+	t.drainEvictions()
+}
+
+// CAS atomically compares-and-swaps the word at a. Like hardware CAS, it
+// acquires the line exclusively whether or not the comparison succeeds.
+func (t *Thread) CAS(a core.Addr, old, new uint64) bool {
+	t.throttle()
+	t.stats.CASes++
+	t.charge(t.m.cfg.ComputeCycles, 0)
+	l := a.Line()
+	d := t.m.dirAt(l)
+	d.mu.Lock()
+	t.touchLineLocked(l, d, true)
+	t.charge(t.m.cfg.CASExtraCycles, 0)
+	ok := t.m.space.Read(a) == old
+	if ok {
+		t.m.space.Write(a, new)
+	}
+	d.mu.Unlock()
+	t.drainEvictions()
+	return ok
+}
+
+// hasTag reports whether line l is in the tag set.
+func (t *Thread) hasTag(l core.Line) bool {
+	for _, tl := range t.tags {
+		if tl == l {
+			return true
+		}
+	}
+	return false
+}
+
+// AddTag tags every line of [a, a+size): each line is brought into the
+// local hierarchy (transition-to-tagged, then tagged once the fill is
+// served) and recorded in both the per-core tag set and the line's
+// directory tagger mask. Exceeding MaxTags sets the overflow condition and
+// reports false; all validations then fail until ClearTagSet.
+func (t *Thread) AddTag(a core.Addr, size int) bool {
+	t.throttle()
+	cfg := &t.m.cfg
+	for _, l := range core.LinesSpanned(a, size) {
+		if t.hasTag(l) {
+			continue
+		}
+		if len(t.tags) >= cfg.MaxTags {
+			t.overflow = true
+			t.stats.TagOverflows++
+			return false
+		}
+		d := t.m.dirAt(l)
+		d.mu.Lock()
+		t.touchForTagLocked(l, d)
+		d.taggers |= t.bit
+		d.mu.Unlock()
+		t.tags = append(t.tags, l)
+		t.stats.TagAdds++
+		t.emit(EvTagAdd, -1, l)
+		t.charge(cfg.TagOpCycles, 0)
+		t.drainEvictions()
+	}
+	return true
+}
+
+// RemoveTag untags every line of [a, a+size) that is currently tagged. A
+// previously recorded eviction is not forgotten.
+func (t *Thread) RemoveTag(a core.Addr, size int) {
+	cfg := &t.m.cfg
+	for _, l := range core.LinesSpanned(a, size) {
+		idx := -1
+		for i, tl := range t.tags {
+			if tl == l {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			continue
+		}
+		d := t.m.dirAt(l)
+		d.mu.Lock()
+		d.taggers &^= t.bit
+		d.mu.Unlock()
+		t.tags = append(t.tags[:idx], t.tags[idx+1:]...)
+		t.stats.TagRemoves++
+		t.charge(cfg.TagOpCycles, 0)
+		t.emit(EvTagRemove, -1, l)
+	}
+}
+
+// Validate reports whether no tagged line has been invalidated or evicted
+// since tagging, and the tag set never overflowed. It is purely local: no
+// coherence traffic is generated (the key property of MemTags). The tag set
+// is retained so hand-over-hand traversals can validate repeatedly.
+func (t *Thread) Validate() bool {
+	t.throttle()
+	t.stats.Validates++
+	t.charge(t.m.cfg.ValidateCycles, 0)
+	if t.overflow || t.evicted.Load() {
+		t.stats.ValidateFails++
+		t.emit(EvValidateFail, -1, 0)
+		return false
+	}
+	t.emit(EvValidateOK, -1, 0)
+	return true
+}
+
+// TagCount returns the number of currently tagged lines.
+func (t *Thread) TagCount() int { return len(t.tags) }
+
+// ClearTagSet empties the tag set and resets eviction/overflow state.
+func (t *Thread) ClearTagSet() {
+	for _, l := range t.tags {
+		d := t.m.dirAt(l)
+		d.mu.Lock()
+		d.taggers &^= t.bit
+		d.mu.Unlock()
+	}
+	t.tags = t.tags[:0]
+	t.overflow = false
+	t.evicted.Store(false)
+}
+
+// buildLockSet fills t.lockSet with the sorted, deduplicated union of the
+// tag set and the target line.
+func (t *Thread) buildLockSet(target core.Line) {
+	t.lockSet = t.lockSet[:0]
+	t.lockSet = append(t.lockSet, t.tags...)
+	if !t.hasTag(target) {
+		t.lockSet = append(t.lockSet, target)
+	}
+	sort.Slice(t.lockSet, func(i, j int) bool { return t.lockSet[i] < t.lockSet[j] })
+}
+
+// VAS validates the tag set and, on success, stores v at a — atomically.
+// Atomicity comes from holding the directory locks of every tagged line
+// plus the target while checking and committing, the software analogue of
+// the paper's "pause coherence requests during validation".
+func (t *Thread) VAS(a core.Addr, v uint64) bool {
+	t.throttle()
+	t.stats.VASAttempts++
+	return t.commit(a, v, false)
+}
+
+// IAS validates the tag set, invalidates every tagged line at all other
+// cores (transient marking: their future validations on those lines fail),
+// and stores v at a — atomically.
+func (t *Thread) IAS(a core.Addr, v uint64) bool {
+	t.throttle()
+	t.stats.IASAttempts++
+	return t.commit(a, v, true)
+}
+
+func (t *Thread) commit(a core.Addr, v uint64, invalidateTags bool) bool {
+	cfg := &t.m.cfg
+	target := a.Line()
+	t.buildLockSet(target)
+	for _, l := range t.lockSet {
+		t.m.dirAt(l).mu.Lock()
+	}
+	t.charge(cfg.ValidateCycles, 0)
+	if t.overflow || t.evicted.Load() {
+		for i := len(t.lockSet) - 1; i >= 0; i-- {
+			t.m.dirAt(t.lockSet[i]).mu.Unlock()
+		}
+		if invalidateTags {
+			t.stats.IASFails++
+		} else {
+			t.stats.VASFails++
+		}
+		return false
+	}
+	if invalidateTags {
+		// Elevate every tagged line to exclusive at this core, evicting all
+		// remote copies (and thus remote tags): the transient marking.
+		for _, l := range t.tags {
+			if l == target {
+				continue // handled below with the write
+			}
+			d := t.m.dirAt(l)
+			t.invalidateOthersLocked(d, l)
+		}
+	}
+	// Acquire the target exclusively and perform the single-word update.
+	d := t.m.dirAt(target)
+	t.touchLineLocked(target, d, true)
+	t.m.space.Write(a, v)
+	for i := len(t.lockSet) - 1; i >= 0; i-- {
+		t.m.dirAt(t.lockSet[i]).mu.Unlock()
+	}
+	t.drainEvictions()
+	if invalidateTags {
+		t.emit(EvCommitIAS, -1, target)
+	} else {
+		t.emit(EvCommitVAS, -1, target)
+	}
+	return true
+}

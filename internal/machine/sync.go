@@ -1,0 +1,126 @@
+package machine
+
+import (
+	"sync"
+)
+
+// Lax clock synchronization, after Graphite: worker threads that run ahead
+// of the slowest active core by more than SyncWindowCycles park (in host
+// time) until it catches up. This keeps the interleaving density of
+// simulated cores proportional to simulated time rather than to host
+// parallelism, so contention effects scale with the simulated core count
+// even when the host has fewer CPUs.
+//
+// Ahead-threads park on a condition variable instead of spin-yielding:
+// with dozens of simulated cores multiplexed onto few host CPUs, spinning
+// waiters would steal exactly the host cycles the laggard needs (an
+// O(cores²) tax). Progressing threads broadcast every half window, so
+// waiters wake a bounded number of times per window.
+//
+// Only *active* threads participate: a thread must call SetActive(true)
+// before issuing measured work and SetActive(false) after (the workload
+// harness does this). Inactive threads neither stall nor hold others back.
+
+type clockSync struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+}
+
+func (cs *clockSync) init() { cs.cond = sync.NewCond(&cs.mu) }
+
+// BeginEpoch aligns every core's simulated clock to the current maximum
+// (as if all cores idled at a barrier) and must be called, quiescent,
+// before a measured parallel phase. Without alignment, a core that did
+// setup work (e.g. prefilling) would start the phase far ahead of the
+// others and the lax synchronization would serialize the epoch's start.
+func (m *Machine) BeginEpoch() {
+	var maxC uint64
+	for _, t := range m.threads {
+		if t.stats.Cycles > maxC {
+			maxC = t.stats.Cycles
+		}
+	}
+	for _, t := range m.threads {
+		t.stats.Cycles = maxC
+		t.pubCycles.Store(maxC)
+		t.minCache = 0
+		t.lastBcast = maxC
+	}
+}
+
+// SetActive enrols or withdraws this thread from lax clock
+// synchronization. While active, the thread's simulated clock is kept
+// within Config.SyncWindowCycles of the slowest active core.
+func (t *Thread) SetActive(on bool) {
+	if on {
+		t.pubCycles.Store(t.stats.Cycles)
+	}
+	t.active.Store(on)
+	// Waiters blocked on this thread's clock must re-evaluate: withdrawal
+	// removes it from the minimum; enrolment can only lower the minimum.
+	t.m.clock.mu.Lock()
+	t.m.clock.cond.Broadcast()
+	t.m.clock.mu.Unlock()
+}
+
+// throttle stalls the calling thread while it is too far ahead of the
+// slowest active core. Called at the top of every memory/tag operation,
+// outside all directory locks.
+func (t *Thread) throttle() {
+	window := t.m.cfg.SyncWindowCycles
+	if window == 0 || !t.active.Load() {
+		return
+	}
+	my := t.stats.Cycles
+	t.pubCycles.Store(my)
+	// Progress notification: wake waiters every half window of our own
+	// advancement (they may be blocked on us being the minimum).
+	if my-t.lastBcast >= window/2 {
+		t.lastBcast = my
+		t.m.clock.mu.Lock()
+		t.m.clock.cond.Broadcast()
+		t.m.clock.mu.Unlock()
+	}
+	// Fast path: the cached minimum only ever grows, so if we are within
+	// the window of the last minimum we saw, we are within it now.
+	if my <= t.minCache+window {
+		return
+	}
+	min := t.scanMin()
+	t.minCache = min
+	if my <= min+window {
+		return
+	}
+	// Park until the minimum catches up. Broadcast once first: this
+	// thread's own clock publication above may be exactly what another
+	// parked thread is waiting for, and without a broadcast here a cycle
+	// of threads can park right after publishing and deadlock (each
+	// holding the advance the next one needs).
+	cs := &t.m.clock
+	cs.mu.Lock()
+	cs.cond.Broadcast()
+	for {
+		min := t.scanMin()
+		t.minCache = min
+		if my <= min+window {
+			break
+		}
+		cs.cond.Wait()
+	}
+	cs.mu.Unlock()
+}
+
+// scanMin returns the minimum published clock over active threads (or this
+// thread's own clock when it is the only active one).
+func (t *Thread) scanMin() uint64 {
+	min := t.stats.Cycles
+	for _, o := range t.m.threads {
+		if o == t || !o.active.Load() {
+			continue
+		}
+		if c := o.pubCycles.Load(); c < min {
+			min = c
+		}
+	}
+	return min
+}

@@ -1,0 +1,304 @@
+package machine
+
+import (
+	"sync/atomic"
+
+	"repro/internal/cachemodel"
+	"repro/internal/core"
+)
+
+// Thread is one simulated core. All methods must be called from a single
+// goroutine; cross-core effects (invalidations, tag evictions) are applied
+// by other cores under the relevant directory locks.
+type Thread struct {
+	m   *Machine
+	id  int
+	bit uint64
+
+	l1 *cachemodel.Cache
+	l2 *cachemodel.Cache
+
+	// tags holds the currently tagged lines in insertion order. Bounded by
+	// Config.MaxTags, so linear scans are cheap.
+	tags []core.Line
+	// evicted is set when any tagged line of this core is invalidated by a
+	// remote write or displaced from L1 (the paper's "evicted set" is
+	// non-empty). Remote cores set it under the line's directory lock.
+	evicted atomic.Bool
+	// overflow is set when AddTag exceeded MaxTags; only this goroutine
+	// touches it.
+	overflow bool
+
+	stats CoreStats
+
+	// pendingEvicts holds L2 victims whose directory bits must be cleared
+	// after the current access releases its directory lock (lock-order
+	// discipline: at most one directory entry is locked at a time outside
+	// VAS/IAS commits).
+	pendingEvicts []core.Line
+	// lockSet is scratch for the sorted line set locked by VAS/IAS.
+	lockSet []core.Line
+
+	// Lax clock synchronization state (see sync.go).
+	active    atomic.Bool
+	pubCycles atomic.Uint64
+	minCache  uint64
+	lastBcast uint64
+}
+
+var _ core.Thread = (*Thread)(nil)
+
+func newThread(m *Machine, id int) *Thread {
+	return &Thread{
+		m:   m,
+		id:  id,
+		bit: 1 << uint(id),
+		l1:  cachemodel.New(m.cfg.L1Bytes, m.cfg.L1Ways),
+		l2:  cachemodel.New(m.cfg.L2Bytes, m.cfg.L2Ways),
+	}
+}
+
+// ID returns the simulated core id.
+func (t *Thread) ID() int { return t.id }
+
+// Alloc allocates line-aligned words from the shared space.
+func (t *Thread) Alloc(words int) core.Addr { return t.m.space.Alloc(words) }
+
+func (t *Thread) charge(cycles uint64, energy float64) {
+	t.stats.Cycles += cycles
+	t.stats.Energy += energy
+}
+
+// sendInvalidationLocked removes core c from the line's sharers, evicting
+// any tag c holds on it. The caller holds d.mu and charges message costs.
+func (t *Thread) sendInvalidationLocked(d *dirEntry, c int, l core.Line) {
+	cbit := uint64(1) << uint(c)
+	d.sharers &^= cbit
+	if int(d.owner) == c {
+		d.owner = -1
+	}
+	other := t.m.threads[c]
+	if d.taggers&cbit != 0 {
+		d.taggers &^= cbit
+		other.evicted.Store(true)
+		other.stats.RemoteTagEvictions.Add(1)
+		t.emit(EvTagEvicted, c, l)
+	}
+	other.stats.InvalidationsReceived.Add(1)
+	t.stats.InvalidationsSent++
+	t.charge(t.m.cfg.InvMsgCycles, t.m.cfg.EnergyInvMsg)
+	t.emit(EvInvalidation, c, l)
+}
+
+// chargeInvRound prices one invalidation round's base latency; the
+// messages themselves fan out in parallel, so sendInvalidationLocked only
+// adds a small per-sharer increment.
+func (t *Thread) chargeInvRound(hadSharers bool) {
+	if hadSharers {
+		t.charge(t.m.cfg.InvBaseCycles, 0)
+	}
+}
+
+// invalidateOthersLocked makes this core the exclusive owner of the line,
+// invalidating every other sharer. The caller holds d.mu.
+func (t *Thread) invalidateOthersLocked(d *dirEntry, l core.Line) {
+	others := d.sharers &^ t.bit
+	t.chargeInvRound(others != 0)
+	for others != 0 {
+		c := trailingCore(others)
+		others &^= 1 << uint(c)
+		t.sendInvalidationLocked(d, c, l)
+	}
+	d.sharers = t.bit
+	d.owner = int8(t.id)
+}
+
+func trailingCore(mask uint64) int {
+	// mask is non-zero.
+	n := 0
+	for mask&1 == 0 {
+		mask >>= 1
+		n++
+	}
+	return n
+}
+
+// fillLocal inserts line l into the private hierarchy models, recording L2
+// victims for deferred directory cleanup and evicting tags displaced from
+// L1 (spurious eviction). Safe to call with or without directory locks
+// held: it touches only this core's state.
+func (t *Thread) fillLocal(l core.Line) {
+	if v, evicted := t.l2.Insert(l); evicted {
+		// Inclusive hierarchy: an L2 victim must leave L1 too.
+		if t.l1.Remove(v) {
+			t.tagEvictSelf(v)
+		}
+		if v != l {
+			t.pendingEvicts = append(t.pendingEvicts, v)
+		}
+	}
+	if v, evicted := t.l1.Insert(l); evicted {
+		// Victim stays resident in L2, but tags live at L1: displacing a
+		// tagged line from L1 evicts the tag (spurious eviction).
+		t.tagEvictSelf(v)
+		_ = v
+	}
+}
+
+// tagEvictSelf marks a capacity eviction of one of this core's own tagged
+// lines, if l is tagged.
+func (t *Thread) tagEvictSelf(l core.Line) {
+	for _, tl := range t.tags {
+		if tl == l {
+			t.evicted.Store(true)
+			t.stats.SpuriousEvictions++
+			t.emit(EvTagEvicted, -1, l)
+			return
+		}
+	}
+}
+
+// drainEvictions clears directory presence for lines displaced from L2.
+// Called with no directory locks held.
+func (t *Thread) drainEvictions() {
+	for len(t.pendingEvicts) > 0 {
+		l := t.pendingEvicts[len(t.pendingEvicts)-1]
+		t.pendingEvicts = t.pendingEvicts[:len(t.pendingEvicts)-1]
+		d := t.m.dirAt(l)
+		d.mu.Lock()
+		if d.sharers&t.bit != 0 {
+			d.sharers &^= t.bit
+			if int(d.owner) == t.id {
+				d.owner = -1
+				t.stats.Writebacks++
+			}
+		}
+		if d.taggers&t.bit != 0 {
+			// The local tag check already failed validation; just keep the
+			// directory consistent.
+			d.taggers &^= t.bit
+		}
+		d.mu.Unlock()
+	}
+}
+
+// touchLineLocked performs the coherence transaction for one access to line
+// l and charges its cost. The caller holds d.mu.
+func (t *Thread) touchLineLocked(l core.Line, d *dirEntry, write bool) {
+	cfg := &t.m.cfg
+	present := d.sharers&t.bit != 0
+
+	if write {
+		if int(d.owner) == t.id {
+			t.chargeLocalHit(l)
+			return
+		}
+		// Need exclusivity: invalidate every other sharer.
+		othersHadIt := d.sharers&^t.bit != 0
+		t.invalidateOthersLocked(d, l)
+		if present {
+			// Upgrade from Shared: data already local.
+			t.chargeLocalHit(l)
+		} else if othersHadIt {
+			// Write miss served by a remote cache (plus the invalidations
+			// already charged).
+			t.stats.RemoteFills++
+			t.charge(cfg.RemoteCycles, cfg.EnergyRemote)
+			t.emit(EvRemoteFill, -1, l)
+			t.fillLocal(l)
+		} else {
+			t.stats.MemFills++
+			t.charge(cfg.MemCycles, cfg.EnergyMem)
+			t.emit(EvMemFill, -1, l)
+			t.fillLocal(l)
+		}
+		return
+	}
+
+	// Read.
+	if present {
+		t.chargeLocalHit(l)
+		return
+	}
+	if d.owner >= 0 {
+		// The modified/exclusive owner forwards the line and downgrades.
+		// Under MESI/MESIF the downgrade writes the dirty data back; under
+		// MOESI the owner moves to Owned and the writeback is deferred to
+		// eviction (modeled as: no downgrade writeback).
+		d.owner = -1
+		t.stats.RemoteFills++
+		t.charge(cfg.RemoteCycles, cfg.EnergyRemote)
+		if cfg.Protocol != MOESI {
+			t.stats.Writebacks++
+			t.charge(cfg.WritebackCycles, cfg.EnergyWriteback)
+		}
+	} else if d.sharers != 0 && cfg.Protocol != MESI {
+		// Clean cache-to-cache transfer from the Forward-state sharer
+		// (MESIF) or the Owned sharer (MOESI).
+		t.stats.RemoteFills++
+		t.charge(cfg.RemoteCycles, cfg.EnergyRemote)
+	} else {
+		// Strict MESI serves clean lines from memory.
+		t.stats.MemFills++
+		t.charge(cfg.MemCycles, cfg.EnergyMem)
+	}
+	d.sharers |= t.bit
+	t.fillLocal(l)
+}
+
+// touchForTagLocked performs the coherence transaction for AddTag: the tag
+// is load-buffer metadata that rides on the line, so tagging a line that is
+// already in L1 is free (the paper implements tags "by adding extra state
+// to each core's load buffer"). A line that is not resident is fetched like
+// a normal read (the transition-to-tagged state serves the miss), and that
+// fill is charged.
+func (t *Thread) touchForTagLocked(l core.Line, d *dirEntry) {
+	cfg := &t.m.cfg
+	if d.sharers&t.bit != 0 {
+		if t.l1.Lookup(l) {
+			return // resident in L1: tagging is free
+		}
+		// Present only in L2: the tagging access promotes it.
+		t.l2.Lookup(l)
+		t.stats.L2Hits++
+		t.charge(cfg.L2HitCycles, cfg.EnergyL2)
+		t.fillLocal(l)
+		return
+	}
+	if d.owner >= 0 {
+		d.owner = -1
+		t.stats.RemoteFills++
+		t.charge(cfg.RemoteCycles, cfg.EnergyRemote)
+		if cfg.Protocol != MOESI {
+			t.stats.Writebacks++
+			t.charge(cfg.WritebackCycles, cfg.EnergyWriteback)
+		}
+	} else if d.sharers != 0 && cfg.Protocol != MESI {
+		t.stats.RemoteFills++
+		t.charge(cfg.RemoteCycles, cfg.EnergyRemote)
+	} else {
+		t.stats.MemFills++
+		t.charge(cfg.MemCycles, cfg.EnergyMem)
+	}
+	d.sharers |= t.bit
+	t.fillLocal(l)
+}
+
+// chargeLocalHit prices an access whose data is already somewhere in the
+// local hierarchy, determining the level from the cache models.
+func (t *Thread) chargeLocalHit(l core.Line) {
+	cfg := &t.m.cfg
+	if t.l1.Lookup(l) {
+		t.stats.L1Hits++
+		t.charge(cfg.L1HitCycles, cfg.EnergyL1)
+		t.emit(EvL1Hit, -1, l)
+		return
+	}
+	// By inclusion the line is in L2 (or the model lost it to staleness;
+	// either way price it as an L2 hit and promote to L1).
+	t.l2.Lookup(l)
+	t.stats.L2Hits++
+	t.charge(cfg.L2HitCycles, cfg.EnergyL2)
+	t.emit(EvL2Hit, -1, l)
+	t.fillLocal(l)
+}

@@ -1,0 +1,89 @@
+package machine
+
+import "repro/internal/core"
+
+// Event tracing: the paper validates its claims by examining simulator
+// traces ("Examination of the simulator traces confirms that this
+// performance improvement comes because of reduced coherence messaging").
+// A Tracer receives every coherence-relevant event; it costs nothing when
+// unset.
+
+// EventKind enumerates traced events.
+type EventKind int
+
+const (
+	// EvL1Hit: an access served by the core's L1.
+	EvL1Hit EventKind = iota
+	// EvL2Hit: an access served by the core's L2.
+	EvL2Hit
+	// EvRemoteFill: a miss served by another core's cache.
+	EvRemoteFill
+	// EvMemFill: a miss served by simulated DRAM.
+	EvMemFill
+	// EvInvalidation: an invalidation message (core = sender; Target =
+	// receiver).
+	EvInvalidation
+	// EvTagAdd: a line was tagged.
+	EvTagAdd
+	// EvTagRemove: a line was untagged.
+	EvTagRemove
+	// EvTagEvicted: a tagged line was invalidated or displaced (Target =
+	// -1 for self-inflicted capacity evictions).
+	EvTagEvicted
+	// EvValidateOK / EvValidateFail: outcome of a validation.
+	EvValidateOK
+	// EvValidateFail is a failed validation.
+	EvValidateFail
+	// EvCommitVAS / EvCommitIAS: successful VAS/IAS commits.
+	EvCommitVAS
+	// EvCommitIAS is a successful IAS.
+	EvCommitIAS
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	names := [...]string{
+		"L1Hit", "L2Hit", "RemoteFill", "MemFill", "Invalidation",
+		"TagAdd", "TagRemove", "TagEvicted", "ValidateOK", "ValidateFail",
+		"CommitVAS", "CommitIAS",
+	}
+	if int(k) < len(names) {
+		return names[k]
+	}
+	return "Unknown"
+}
+
+// Event is one traced occurrence.
+type Event struct {
+	Kind   EventKind
+	Core   int
+	Target int // receiving core for invalidations/tag evictions, else -1
+	Line   uint64
+	Cycle  uint64 // issuing core's simulated clock
+}
+
+// Tracer receives events synchronously from simulated cores. It must be
+// safe for concurrent use (cores run on separate goroutines) and fast —
+// it executes inside the coherence critical sections.
+type Tracer interface {
+	Trace(Event)
+}
+
+// SetTracer installs (or removes, with nil) the machine's tracer. Only
+// call while quiescent.
+func (m *Machine) SetTracer(tr Tracer) { m.tracer = tr }
+
+// emit delivers an event if a tracer is installed.
+func (t *Thread) emit(kind EventKind, target int, line core.Line) {
+	tr := t.m.tracer
+	if tr == nil {
+		return
+	}
+	tr.Trace(Event{
+		Kind:   kind,
+		Core:   t.id,
+		Target: target,
+		Line:   uint64(line),
+		Cycle:  t.stats.Cycles,
+	})
+}

@@ -1,0 +1,86 @@
+package machine
+
+import (
+	"sync"
+	"testing"
+)
+
+// recordingTracer captures events for assertions.
+type recordingTracer struct {
+	mu     sync.Mutex
+	counts map[EventKind]int
+}
+
+func newRecordingTracer() *recordingTracer {
+	return &recordingTracer{counts: map[EventKind]int{}}
+}
+
+func (r *recordingTracer) Trace(e Event) {
+	r.mu.Lock()
+	r.counts[e.Kind]++
+	r.mu.Unlock()
+}
+
+func (r *recordingTracer) count(k EventKind) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counts[k]
+}
+
+func TestTracerSeesCoherenceStory(t *testing.T) {
+	m := testMachine(2)
+	tr := newRecordingTracer()
+	m.SetTracer(tr)
+	t0, t1 := m.Thread(0), m.Thread(1)
+	a := m.Alloc(1)
+
+	t0.Store(a, 1) // MemFill
+	t1.AddTag(a, 8)
+	t1.Load(a)
+	t1.Validate()  // ValidateOK
+	t0.Store(a, 2) // Invalidation + TagEvicted at core 1
+	t1.Validate()  // ValidateFail
+	t1.ClearTagSet()
+	t1.AddTag(a, 8)
+	t1.Load(a)
+	if !t1.VAS(a, 3) { // CommitVAS
+		t.Fatal("VAS failed")
+	}
+	t1.ClearTagSet()
+
+	wants := map[EventKind]int{
+		EvMemFill:      1,
+		EvTagAdd:       2,
+		EvValidateOK:   1,
+		EvValidateFail: 1,
+		EvTagEvicted:   1,
+		EvCommitVAS:    1,
+	}
+	for k, min := range wants {
+		if got := tr.count(k); got < min {
+			t.Errorf("%v: %d events, want >= %d", k, got, min)
+		}
+	}
+	if tr.count(EvInvalidation) == 0 {
+		t.Error("no invalidation events recorded")
+	}
+
+	// Removing the tracer stops delivery.
+	m.SetTracer(nil)
+	before := tr.count(EvL1Hit)
+	t0.Load(a)
+	if tr.count(EvL1Hit) != before {
+		t.Error("events delivered after tracer removal")
+	}
+}
+
+func TestEventKindNames(t *testing.T) {
+	for k := EvL1Hit; k <= EvCommitIAS; k++ {
+		if k.String() == "Unknown" {
+			t.Fatalf("event kind %d unnamed", k)
+		}
+	}
+	if EventKind(99).String() != "Unknown" {
+		t.Fatal("out-of-range kind not Unknown")
+	}
+}

@@ -1,0 +1,105 @@
+// Package mem provides the flat simulated address space shared by the
+// MemTags backends: a fixed-size array of 64-bit words plus a thread-safe
+// bump allocator that hands out cache-line-aligned blocks.
+//
+// The space itself enforces no synchronization on word access; each backend
+// layers its own coherence discipline on top (the machine backend accesses
+// words under per-line directory locks, the vtags backend uses atomics).
+package mem
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// Space is a simulated physical address space.
+type Space struct {
+	words []uint64
+
+	mu   sync.Mutex
+	next core.Addr // next free byte, always line-aligned
+}
+
+// NewSpace creates a space of the given size in bytes, rounded up to a
+// whole number of cache lines. The first line is reserved so that address 0
+// can serve as the nil pointer.
+func NewSpace(bytes int) *Space {
+	if bytes < 2*core.LineSize {
+		bytes = 2 * core.LineSize
+	}
+	lines := (bytes + core.LineSize - 1) / core.LineSize
+	return &Space{
+		words: make([]uint64, lines*core.WordsPerLine),
+		next:  core.LineSize, // reserve line 0 (nil)
+	}
+}
+
+// SizeBytes returns the total size of the space in bytes.
+func (s *Space) SizeBytes() int { return len(s.words) * core.WordSize }
+
+// NumLines returns the number of cache lines in the space.
+func (s *Space) NumLines() int { return len(s.words) / core.WordsPerLine }
+
+// Alloc allocates nWords words aligned to a cache-line boundary. Each
+// allocation starts on its own line, so distinct objects never share a line
+// (the paper maps every node to a unique line to avoid false sharing).
+// Alloc panics if the space is exhausted: simulated memory is sized up
+// front by the experiment configuration, and exhaustion is a setup bug.
+func (s *Space) Alloc(nWords int) core.Addr {
+	if nWords <= 0 {
+		panic("mem: Alloc of non-positive size")
+	}
+	bytes := nWords * core.WordSize
+	lines := (bytes + core.LineSize - 1) / core.LineSize
+
+	s.mu.Lock()
+	a := s.next
+	s.next += core.Addr(lines * core.LineSize)
+	end := s.next
+	s.mu.Unlock()
+
+	if int(end) > s.SizeBytes() {
+		panic(fmt.Sprintf("mem: address space exhausted (%d bytes)", s.SizeBytes()))
+	}
+	return a
+}
+
+// AllocatedBytes returns the number of bytes handed out so far, including
+// the reserved nil line.
+func (s *Space) AllocatedBytes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return int(s.next)
+}
+
+// Word returns a pointer to the word at address a. a must be word-aligned
+// and in range.
+func (s *Space) Word(a core.Addr) *uint64 {
+	if a%core.WordSize != 0 {
+		panic(fmt.Sprintf("mem: unaligned access at %#x", uint64(a)))
+	}
+	return &s.words[a.Word()]
+}
+
+// Read returns the word at a without synchronization. Callers must hold
+// whatever lock their backend associates with a's line.
+func (s *Space) Read(a core.Addr) uint64 { return *s.Word(a) }
+
+// Write stores v at a without synchronization. Callers must hold whatever
+// lock their backend associates with a's line.
+func (s *Space) Write(a core.Addr, v uint64) { *s.Word(a) = v }
+
+// AtomicRead returns the word at a using an atomic load, for backends that
+// do not serialize readers against writers.
+func (s *Space) AtomicRead(a core.Addr) uint64 { return atomic.LoadUint64(s.Word(a)) }
+
+// AtomicWrite stores v at a using an atomic store.
+func (s *Space) AtomicWrite(a core.Addr, v uint64) { atomic.StoreUint64(s.Word(a), v) }
+
+// AtomicCAS performs a compare-and-swap on the word at a.
+func (s *Space) AtomicCAS(a core.Addr, old, new uint64) bool {
+	return atomic.CompareAndSwapUint64(s.Word(a), old, new)
+}

@@ -1,0 +1,148 @@
+package mem
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+func TestAllocLineAligned(t *testing.T) {
+	s := NewSpace(1 << 16)
+	for i := 0; i < 20; i++ {
+		a := s.Alloc(1 + i%7)
+		if uint64(a)%core.LineSize != 0 {
+			t.Fatalf("allocation %d at %#x not line-aligned", i, uint64(a))
+		}
+		if a == core.NilAddr {
+			t.Fatal("allocator handed out the nil line")
+		}
+	}
+}
+
+func TestAllocDistinctLines(t *testing.T) {
+	s := NewSpace(1 << 16)
+	a := s.Alloc(2)
+	b := s.Alloc(2)
+	if a.Line() == b.Line() {
+		t.Fatalf("objects share line: %#x and %#x", uint64(a), uint64(b))
+	}
+}
+
+func TestAllocMultiLine(t *testing.T) {
+	s := NewSpace(1 << 16)
+	a := s.Alloc(core.WordsPerLine + 1) // needs 2 lines
+	b := s.Alloc(1)
+	if b.Line() != a.Line()+2 {
+		t.Fatalf("multi-line allocation not accounted: a=%d b=%d", a.Line(), b.Line())
+	}
+}
+
+func TestAllocExhaustionPanics(t *testing.T) {
+	s := NewSpace(4 * core.LineSize)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on exhaustion")
+		}
+	}()
+	for i := 0; i < 10; i++ {
+		s.Alloc(core.WordsPerLine)
+	}
+}
+
+func TestAllocNonPositivePanics(t *testing.T) {
+	s := NewSpace(1 << 12)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on Alloc(0)")
+		}
+	}()
+	s.Alloc(0)
+}
+
+func TestReadWrite(t *testing.T) {
+	s := NewSpace(1 << 12)
+	a := s.Alloc(4)
+	s.Write(a.Plus(2), 0xdeadbeef)
+	if got := s.Read(a.Plus(2)); got != 0xdeadbeef {
+		t.Fatalf("Read = %#x, want 0xdeadbeef", got)
+	}
+	if got := s.Read(a); got != 0 {
+		t.Fatalf("fresh word = %#x, want 0", got)
+	}
+}
+
+func TestUnalignedPanics(t *testing.T) {
+	s := NewSpace(1 << 12)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on unaligned access")
+		}
+	}()
+	s.Read(core.Addr(core.LineSize + 3))
+}
+
+func TestConcurrentAlloc(t *testing.T) {
+	s := NewSpace(1 << 20)
+	const workers, per = 8, 100
+	got := make([][]core.Addr, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				got[w] = append(got[w], s.Alloc(3))
+			}
+		}(w)
+	}
+	wg.Wait()
+	seen := map[core.Line]bool{}
+	for _, as := range got {
+		for _, a := range as {
+			if seen[a.Line()] {
+				t.Fatalf("line %d allocated twice", a.Line())
+			}
+			seen[a.Line()] = true
+		}
+	}
+	if len(seen) != workers*per {
+		t.Fatalf("got %d distinct lines, want %d", len(seen), workers*per)
+	}
+}
+
+// Property: written values read back, and writes to one word never clobber
+// neighbouring words.
+func TestReadWriteProperty(t *testing.T) {
+	s := NewSpace(1 << 16)
+	base := s.Alloc(64)
+	f := func(idx uint8, v uint64) bool {
+		i := int(idx % 62)
+		a := base.Plus(i + 1)
+		before := s.Read(base.Plus(i))
+		s.Write(a, v)
+		return s.Read(a) == v && s.Read(base.Plus(i)) == before
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAtomicOps(t *testing.T) {
+	s := NewSpace(1 << 12)
+	a := s.Alloc(1)
+	s.AtomicWrite(a, 7)
+	if s.AtomicRead(a) != 7 {
+		t.Fatal("AtomicRead after AtomicWrite")
+	}
+	if !s.AtomicCAS(a, 7, 9) {
+		t.Fatal("CAS with matching old failed")
+	}
+	if s.AtomicCAS(a, 7, 11) {
+		t.Fatal("CAS with stale old succeeded")
+	}
+	if s.AtomicRead(a) != 9 {
+		t.Fatalf("value = %d, want 9", s.AtomicRead(a))
+	}
+}

@@ -1,0 +1,285 @@
+// Package stm implements the NOrec software transactional memory of
+// Dalessandro, Spear and Scott (PPoPP 2010) over simulated memory, plus the
+// paper's tagged variant (Section 5.2).
+//
+// NOrec has no ownership records: a single global sequence lock protects
+// the commit protocol, writes are buffered in an indexed write set, and
+// conflicts are detected by value-based validation (VBV) of the read set.
+//
+// The tagged variant tags every read-set line. A successful local tag
+// validation proves the whole read set is unchanged, so readers stay
+// consistent with zero coherence traffic — and, crucially, do not care
+// about commits that touched none of their lines, where baseline NOrec
+// must re-read its entire read set whenever the sequence lock moves. A
+// failed tag validation aborts immediately (fail-fast, as the paper
+// describes: "it would not need to perform value-based validation in order
+// to simply fail"). Writers acquire the global lock with
+// invalidate-and-swap on the lock line, so a doomed acquisition fails
+// locally instead of stealing the line. Because tags are advisory
+// (spurious evictions), a transaction that keeps failing its tag
+// validation retries in value-based mode — the fallback path.
+package stm
+
+import (
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// tagAbortLimit is the number of consecutive tag-validation aborts after
+// which a transaction retries in value-based (untagged) mode.
+const tagAbortLimit = 3
+
+// commitIASLimit bounds tagged lock-acquisition attempts before falling
+// back to the CAS path.
+const commitIASLimit = 4
+
+// TM is one transactional memory instance (one global sequence lock).
+type TM struct {
+	mem    core.Memory
+	seq    core.Addr
+	tagged bool
+
+	// Aborts counts transaction attempt aborts, for experiment reporting.
+	Aborts atomic.Uint64
+	// TagAborts counts the subset of aborts triggered by a failed tag
+	// validation (real conflicts and spurious evictions alike).
+	TagAborts atomic.Uint64
+	// Commits counts committed transactions.
+	Commits atomic.Uint64
+}
+
+// NewNOrec creates a baseline NOrec instance.
+func NewNOrec(mem core.Memory) *TM {
+	return &TM{mem: mem, seq: mem.Alloc(1)}
+}
+
+// NewTagged creates a tagged NOrec instance.
+func NewTagged(mem core.Memory) *TM {
+	return &TM{mem: mem, seq: mem.Alloc(1), tagged: true}
+}
+
+// Tagged reports whether this instance uses memory tagging.
+func (tm *TM) Tagged() bool { return tm.tagged }
+
+// SeqAddr returns the global sequence lock's address (for tests).
+func (tm *TM) SeqAddr() core.Addr { return tm.seq }
+
+type writeEntry struct {
+	addr core.Addr
+	val  uint64
+}
+
+type readEntry struct {
+	addr core.Addr
+	val  uint64
+}
+
+// Tx is one transaction attempt. It must only be used inside the function
+// passed to Run, on the thread Run was given.
+type Tx struct {
+	tm *TM
+	th core.Thread
+
+	v       uint64 // sequence number at which the read set is consistent
+	reads   []readEntry
+	writes  []writeEntry
+	wIndex  map[core.Addr]int
+	useTags bool
+
+	// consecutive tag-validation aborts; survives across attempts so a
+	// pathological tag set degrades to value-based mode.
+	tagAborts int
+}
+
+// abortSentinel unwinds an aborted transaction attempt back to Run.
+type abortSentinel struct{ fromTags bool }
+
+// Run executes fn transactionally, retrying on conflict until it commits.
+// fn may be invoked multiple times; it must touch shared state only through
+// tx.Read and tx.Write.
+func (tm *TM) Run(th core.Thread, fn func(tx *Tx)) {
+	tx := &Tx{tm: tm, th: th}
+	for {
+		if tm.runOnce(tx, fn) {
+			tm.Commits.Add(1)
+			return
+		}
+		tm.Aborts.Add(1)
+	}
+}
+
+// runOnce runs a single attempt, reporting whether it committed.
+func (tm *TM) runOnce(tx *Tx, fn func(tx *Tx)) (committed bool) {
+	tx.begin()
+	defer func() {
+		tx.th.ClearTagSet()
+		if r := recover(); r != nil {
+			if a, ok := r.(abortSentinel); ok {
+				if a.fromTags {
+					tx.tagAborts++
+					tm.TagAborts.Add(1)
+				} else {
+					tx.tagAborts = 0
+				}
+				committed = false
+				return
+			}
+			panic(r)
+		}
+		tx.tagAborts = 0
+	}()
+	fn(tx)
+	tx.commit()
+	return true
+}
+
+// begin is TXBegin: record the sequence number at which we start. The
+// tagged variant begins tagging its read set as it grows; after repeated
+// tag-validation aborts the attempt runs in value-based mode (the
+// advisory-tags fallback).
+func (tx *Tx) begin() {
+	tx.reads = tx.reads[:0]
+	tx.writes = tx.writes[:0]
+	tx.wIndex = nil
+	tx.useTags = tx.tm.tagged && tx.tagAborts < tagAbortLimit
+	tx.th.ClearTagSet()
+	tx.v = tx.spinSeq()
+}
+
+// dropTags downgrades the attempt to value-based validation only
+// (tag-set overflow: the hardware's graceful degradation path).
+func (tx *Tx) dropTags() {
+	tx.th.ClearTagSet()
+	tx.useTags = false
+	// The sequence lock may have moved while tags covered consistency;
+	// re-establish the value-based invariant.
+	if tx.th.Load(tx.tm.seq) != tx.v {
+		tx.validate()
+	}
+}
+
+// spinSeq is ReadSequence: wait until the global lock is unlocked (even)
+// and return it.
+func (tx *Tx) spinSeq() uint64 {
+	for {
+		v := tx.th.Load(tx.tm.seq)
+		if v%2 == 0 {
+			return v
+		}
+	}
+}
+
+// Read is TXRead: return the transactionally consistent value at a.
+func (tx *Tx) Read(a core.Addr) uint64 {
+	if i, ok := tx.wIndex[a]; ok {
+		return tx.writes[i].val
+	}
+	if tx.useTags {
+		if !tx.th.AddTag(a, core.WordSize) {
+			tx.dropTags()
+		}
+	}
+	v := tx.th.Load(a)
+	if tx.useTags {
+		// Fast path: every read-set line (including a's) is tagged. If
+		// none was invalidated, every recorded value — and v — is current
+		// at this instant, regardless of the sequence lock: commits that
+		// did not touch our lines are irrelevant. A failed validation
+		// aborts immediately, with no value-based re-validation.
+		if tx.th.Validate() {
+			tx.reads = append(tx.reads, readEntry{addr: a, val: v})
+			return v
+		}
+		panic(abortSentinel{fromTags: true})
+	}
+	for tx.th.Load(tx.tm.seq) != tx.v {
+		tx.validate()
+		v = tx.th.Load(a)
+	}
+	tx.reads = append(tx.reads, readEntry{addr: a, val: v})
+	return v
+}
+
+// validate is TXValidate's value-based validation: establish a new
+// sequence number at which the entire read set is consistent, or abort.
+func (tx *Tx) validate() {
+	for {
+		time := tx.spinSeq()
+		for i := range tx.reads {
+			e := &tx.reads[i]
+			if tx.th.Load(e.addr) != e.val {
+				panic(abortSentinel{})
+			}
+		}
+		if tx.th.Load(tx.tm.seq) == time {
+			tx.v = time
+			return
+		}
+	}
+}
+
+// Write is TXWrite: buffer the store in the indexed write set.
+func (tx *Tx) Write(a core.Addr, v uint64) {
+	if tx.wIndex == nil {
+		tx.wIndex = make(map[core.Addr]int, 8)
+	}
+	if i, ok := tx.wIndex[a]; ok {
+		tx.writes[i].val = v
+		return
+	}
+	tx.wIndex[a] = len(tx.writes)
+	tx.writes = append(tx.writes, writeEntry{addr: a, val: v})
+}
+
+// commit is TXCommit. Read-only transactions commit immediately (their
+// consistency was maintained read-by-read). Writers acquire the sequence
+// lock, replay the write buffer, and release.
+//
+// The tagged acquisition: clear the read-set tags (their job is done — the
+// set is known consistent as of sequence number tx.v), tag the lock line,
+// check it still holds tx.v, and IAS it to tx.v+1. Success proves no other
+// writer committed since tx.v, which is exactly NOrec's commit condition —
+// with the difference that a failed acquisition is detected locally
+// instead of through a coherence round trip.
+func (tx *Tx) commit() {
+	if len(tx.writes) == 0 {
+		return
+	}
+	th, tm := tx.th, tx.tm
+	if tx.useTags {
+		// The fast path above kept the read set consistent, but tx.v may
+		// be stale (commits that didn't touch us moved the lock). Settle
+		// the value-based invariant once before acquiring.
+		th.ClearTagSet()
+		if th.Load(tm.seq) != tx.v {
+			tx.validate()
+		}
+		for attempt := 0; attempt < commitIASLimit; attempt++ {
+			if !th.AddTag(tm.seq, core.WordSize) {
+				break
+			}
+			if th.Load(tm.seq) == tx.v && th.IAS(tm.seq, tx.v+1) {
+				th.ClearTagSet()
+				tx.writeBack()
+				return
+			}
+			th.ClearTagSet()
+			tx.validate()
+		}
+		// Advisory-tags fallback: finish with the software protocol.
+	}
+	for !th.CAS(tm.seq, tx.v, tx.v+1) {
+		tx.validate()
+	}
+	tx.writeBack()
+}
+
+// writeBack replays the write buffer and releases the lock; the caller has
+// acquired the sequence lock at tx.v+1.
+func (tx *Tx) writeBack() {
+	for i := range tx.writes {
+		tx.th.Store(tx.writes[i].addr, tx.writes[i].val)
+	}
+	tx.th.Store(tx.tm.seq, tx.v+2)
+}

@@ -1,0 +1,152 @@
+package stm
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/vtags"
+)
+
+// TestTaggedFailFastAborts pins the tagged variant's fail-fast behaviour:
+// a reader whose tagged line is written by a concurrent committer aborts
+// (TagAborts) instead of re-reading its read set, and the retry succeeds.
+func TestTaggedFailFastAborts(t *testing.T) {
+	mem := vtags.New(1<<20, 2)
+	tm := NewTagged(mem)
+	t0, t1 := mem.Thread(0), mem.Thread(1)
+	a, b := mem.Alloc(1), mem.Alloc(1)
+
+	first := true
+	tm.Run(t0, func(tx *Tx) {
+		_ = tx.Read(a)
+		if first {
+			first = false
+			// A conflicting commit lands between t0's two reads.
+			tm.Run(t1, func(tx2 *Tx) { tx2.Write(a, 9) })
+		}
+		_ = tx.Read(b)
+		tx.Write(b, tx.Read(a)+1)
+	})
+	if tm.TagAborts.Load() == 0 {
+		t.Fatal("conflicting write did not trigger a tag abort")
+	}
+	if got := t0.Load(b); got != 10 {
+		t.Fatalf("retried transaction saw stale data: b = %d, want 10", got)
+	}
+}
+
+// TestTaggedReaderIgnoresUnrelatedCommits is the tagged variant's key win
+// over baseline NOrec: a committing writer that touches none of a reader's
+// lines does not force the reader to re-validate its read set.
+func TestTaggedReaderIgnoresUnrelatedCommits(t *testing.T) {
+	cfg := machine.DefaultConfig(2)
+	cfg.MemBytes = 8 << 20
+	m := machine.New(cfg)
+	tm := NewTagged(m)
+	t0, t1 := m.Thread(0), m.Thread(1)
+
+	mine := make([]core.Addr, 8)
+	for i := range mine {
+		mine[i] = m.Alloc(1)
+	}
+	other := m.Alloc(1)
+
+	loadsBefore := m.Snapshot().Loads
+	tm.Run(t0, func(tx *Tx) {
+		for i, a := range mine {
+			tx.Read(a)
+			if i == 4 {
+				// Unrelated commit mid-transaction.
+				tm.Run(t1, func(tx2 *Tx) { tx2.Write(other, 1) })
+			}
+		}
+	})
+	// Reader loads: ~1 per Read + begin; writer adds a handful. Baseline
+	// NOrec would re-read the growing read set after the commit.
+	readerLoads := m.Snapshot().Loads - loadsBefore
+	if readerLoads > 25 {
+		t.Fatalf("reader issued %d loads; unrelated commit forced re-validation", readerLoads)
+	}
+	if tm.Aborts.Load() != 0 {
+		t.Fatalf("unrelated commit aborted the reader (%d aborts)", tm.Aborts.Load())
+	}
+}
+
+// TestTaggedDegradesAfterRepeatedTagAborts: with an adversarial tiny L1,
+// tagged transactions suffer spurious evictions; after tagAbortLimit
+// consecutive tag aborts the attempt must run value-based and commit.
+func TestTaggedDegradesAfterRepeatedTagAborts(t *testing.T) {
+	cfg := machine.DefaultConfig(1)
+	cfg.MemBytes = 8 << 20
+	cfg.L1Bytes = 2 * core.LineSize
+	cfg.L1Ways = 1
+	m := machine.New(cfg)
+	tm := NewTagged(m)
+	th := m.Thread(0)
+	addrs := make([]core.Addr, 16)
+	for i := range addrs {
+		addrs[i] = m.Alloc(1)
+		th.Store(addrs[i], uint64(i))
+	}
+	var sum uint64
+	tm.Run(th, func(tx *Tx) {
+		sum = 0
+		for _, a := range addrs {
+			sum += tx.Read(a)
+		}
+		tx.Write(addrs[0], sum)
+	})
+	if sum != 120 {
+		t.Fatalf("sum = %d, want 120", sum)
+	}
+	if th.Load(addrs[0]) != 120 {
+		t.Fatal("degraded transaction did not commit")
+	}
+}
+
+// TestTaggedWriterSerialization: concurrent tagged writers on the same
+// word never lose increments (IAS lock acquisition is exclusive).
+func TestTaggedWriterSerialization(t *testing.T) {
+	const workers, per = 4, 200
+	mem := vtags.New(8<<20, workers)
+	tm := NewTagged(mem)
+	ctr := mem.Alloc(1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(th core.Thread) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tm.Run(th, func(tx *Tx) {
+					tx.Write(ctr, tx.Read(ctr)+1)
+				})
+			}
+		}(mem.Thread(w))
+	}
+	wg.Wait()
+	if got := mem.Thread(0).Load(ctr); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+	if tm.Commits.Load() != workers*per {
+		t.Fatalf("commits = %d", tm.Commits.Load())
+	}
+}
+
+// TestSequenceLockParity: the lock word is always even while quiescent and
+// advances by exactly 2 per writing commit.
+func TestSequenceLockParity(t *testing.T) {
+	for _, mk := range []func(core.Memory) *TM{NewNOrec, NewTagged} {
+		mem := vtags.New(1<<20, 1)
+		tm := mk(mem)
+		th := mem.Thread(0)
+		a := mem.Alloc(1)
+		for i := 0; i < 10; i++ {
+			tm.Run(th, func(tx *Tx) { tx.Write(a, uint64(i)) })
+		}
+		if got := th.Load(tm.SeqAddr()); got != 20 {
+			t.Fatalf("seq = %d, want 20", got)
+		}
+	}
+}

@@ -1,0 +1,353 @@
+// Package txmap implements a transactional ordered map — a red-black tree
+// whose every field access goes through an STM transaction — over simulated
+// memory. It is the Go equivalent of STAMP's rbtree-backed MAP_T, the table
+// substrate of the Vacation benchmark the paper evaluates NOrec on.
+//
+// The tree is a classic CLRS red-black tree with parent pointers and a
+// shared NIL sentinel. Under NOrec this is faithful to STAMP: writers are
+// serialized by the global sequence lock anyway, so sentinel writes during
+// delete fixup cost no more than any other write.
+package txmap
+
+import (
+	"repro/internal/core"
+	"repro/internal/stm"
+)
+
+// Node layout (words).
+const (
+	nKey    = 0
+	nVal    = 1
+	nLeft   = 2
+	nRight  = 3
+	nParent = 4
+	nColor  = 5
+	nWords  = 6
+)
+
+const (
+	red   uint64 = 0
+	black uint64 = 1
+)
+
+// Map is a transactional ordered map from uint64 keys to uint64 values.
+type Map struct {
+	mem  core.Memory
+	root core.Addr // one word holding the root node address
+	nil_ core.Addr // shared NIL sentinel (black)
+}
+
+// New creates an empty map. The creating thread performs the (non-
+// transactional) initialization.
+func New(mem core.Memory) *Map {
+	th := mem.Thread(0)
+	m := &Map{mem: mem, root: mem.Alloc(1)}
+	m.nil_ = th.Alloc(nWords)
+	th.Store(m.nil_.Plus(nColor), black)
+	th.Store(m.root, uint64(m.nil_))
+	return m
+}
+
+func (m *Map) node(tx *stm.Tx, n core.Addr, f int) uint64   { return tx.Read(n.Plus(f)) }
+func (m *Map) set(tx *stm.Tx, n core.Addr, f int, v uint64) { tx.Write(n.Plus(f), v) }
+
+func (m *Map) left(tx *stm.Tx, n core.Addr) core.Addr   { return core.Addr(m.node(tx, n, nLeft)) }
+func (m *Map) right(tx *stm.Tx, n core.Addr) core.Addr  { return core.Addr(m.node(tx, n, nRight)) }
+func (m *Map) parent(tx *stm.Tx, n core.Addr) core.Addr { return core.Addr(m.node(tx, n, nParent)) }
+func (m *Map) color(tx *stm.Tx, n core.Addr) uint64     { return m.node(tx, n, nColor) }
+func (m *Map) rootNode(tx *stm.Tx) core.Addr            { return core.Addr(tx.Read(m.root)) }
+
+// Get returns the value for key and whether it is present.
+func (m *Map) Get(tx *stm.Tx, key uint64) (uint64, bool) {
+	n := m.rootNode(tx)
+	for n != m.nil_ {
+		k := m.node(tx, n, nKey)
+		switch {
+		case key < k:
+			n = m.left(tx, n)
+		case key > k:
+			n = m.right(tx, n)
+		default:
+			return m.node(tx, n, nVal), true
+		}
+	}
+	return 0, false
+}
+
+// Put inserts key with value, or updates the value if present. It reports
+// whether the key was newly inserted.
+func (m *Map) Put(tx *stm.Tx, key, val uint64, th core.Thread) bool {
+	y := m.nil_
+	x := m.rootNode(tx)
+	for x != m.nil_ {
+		y = x
+		k := m.node(tx, x, nKey)
+		switch {
+		case key < k:
+			x = m.left(tx, x)
+		case key > k:
+			x = m.right(tx, x)
+		default:
+			m.set(tx, x, nVal, val)
+			return false
+		}
+	}
+	z := th.Alloc(nWords)
+	// Fresh node: initialize through the transaction so an abort is
+	// harmless (the node is simply garbage) and the commit publishes it.
+	m.set(tx, z, nKey, key)
+	m.set(tx, z, nVal, val)
+	m.set(tx, z, nLeft, uint64(m.nil_))
+	m.set(tx, z, nRight, uint64(m.nil_))
+	m.set(tx, z, nParent, uint64(y))
+	m.set(tx, z, nColor, red)
+	if y == m.nil_ {
+		tx.Write(m.root, uint64(z))
+	} else if key < m.node(tx, y, nKey) {
+		m.set(tx, y, nLeft, uint64(z))
+	} else {
+		m.set(tx, y, nRight, uint64(z))
+	}
+	m.insertFixup(tx, z)
+	return true
+}
+
+func (m *Map) rotateLeft(tx *stm.Tx, x core.Addr) {
+	y := m.right(tx, x)
+	yl := m.left(tx, y)
+	m.set(tx, x, nRight, uint64(yl))
+	if yl != m.nil_ {
+		m.set(tx, yl, nParent, uint64(x))
+	}
+	xp := m.parent(tx, x)
+	m.set(tx, y, nParent, uint64(xp))
+	if xp == m.nil_ {
+		tx.Write(m.root, uint64(y))
+	} else if x == m.left(tx, xp) {
+		m.set(tx, xp, nLeft, uint64(y))
+	} else {
+		m.set(tx, xp, nRight, uint64(y))
+	}
+	m.set(tx, y, nLeft, uint64(x))
+	m.set(tx, x, nParent, uint64(y))
+}
+
+func (m *Map) rotateRight(tx *stm.Tx, x core.Addr) {
+	y := m.left(tx, x)
+	yr := m.right(tx, y)
+	m.set(tx, x, nLeft, uint64(yr))
+	if yr != m.nil_ {
+		m.set(tx, yr, nParent, uint64(x))
+	}
+	xp := m.parent(tx, x)
+	m.set(tx, y, nParent, uint64(xp))
+	if xp == m.nil_ {
+		tx.Write(m.root, uint64(y))
+	} else if x == m.right(tx, xp) {
+		m.set(tx, xp, nRight, uint64(y))
+	} else {
+		m.set(tx, xp, nLeft, uint64(y))
+	}
+	m.set(tx, y, nRight, uint64(x))
+	m.set(tx, x, nParent, uint64(y))
+}
+
+func (m *Map) insertFixup(tx *stm.Tx, z core.Addr) {
+	for m.color(tx, m.parent(tx, z)) == red {
+		zp := m.parent(tx, z)
+		zpp := m.parent(tx, zp)
+		if zp == m.left(tx, zpp) {
+			y := m.right(tx, zpp)
+			if m.color(tx, y) == red {
+				m.set(tx, zp, nColor, black)
+				m.set(tx, y, nColor, black)
+				m.set(tx, zpp, nColor, red)
+				z = zpp
+			} else {
+				if z == m.right(tx, zp) {
+					z = zp
+					m.rotateLeft(tx, z)
+					zp = m.parent(tx, z)
+					zpp = m.parent(tx, zp)
+				}
+				m.set(tx, zp, nColor, black)
+				m.set(tx, zpp, nColor, red)
+				m.rotateRight(tx, zpp)
+			}
+		} else {
+			y := m.left(tx, zpp)
+			if m.color(tx, y) == red {
+				m.set(tx, zp, nColor, black)
+				m.set(tx, y, nColor, black)
+				m.set(tx, zpp, nColor, red)
+				z = zpp
+			} else {
+				if z == m.left(tx, zp) {
+					z = zp
+					m.rotateRight(tx, z)
+					zp = m.parent(tx, z)
+					zpp = m.parent(tx, zp)
+				}
+				m.set(tx, zp, nColor, black)
+				m.set(tx, zpp, nColor, red)
+				m.rotateLeft(tx, zpp)
+			}
+		}
+	}
+	m.set(tx, m.rootNode(tx), nColor, black)
+}
+
+// Delete removes key, reporting whether it was present.
+func (m *Map) Delete(tx *stm.Tx, key uint64) bool {
+	z := m.rootNode(tx)
+	for z != m.nil_ {
+		k := m.node(tx, z, nKey)
+		switch {
+		case key < k:
+			z = m.left(tx, z)
+		case key > k:
+			z = m.right(tx, z)
+		default:
+			m.deleteNode(tx, z)
+			return true
+		}
+	}
+	return false
+}
+
+func (m *Map) transplant(tx *stm.Tx, u, v core.Addr) {
+	up := m.parent(tx, u)
+	if up == m.nil_ {
+		tx.Write(m.root, uint64(v))
+	} else if u == m.left(tx, up) {
+		m.set(tx, up, nLeft, uint64(v))
+	} else {
+		m.set(tx, up, nRight, uint64(v))
+	}
+	m.set(tx, v, nParent, uint64(up))
+}
+
+func (m *Map) minimum(tx *stm.Tx, n core.Addr) core.Addr {
+	for {
+		l := m.left(tx, n)
+		if l == m.nil_ {
+			return n
+		}
+		n = l
+	}
+}
+
+func (m *Map) deleteNode(tx *stm.Tx, z core.Addr) {
+	y := z
+	yColor := m.color(tx, y)
+	var x core.Addr
+	if m.left(tx, z) == m.nil_ {
+		x = m.right(tx, z)
+		m.transplant(tx, z, x)
+	} else if m.right(tx, z) == m.nil_ {
+		x = m.left(tx, z)
+		m.transplant(tx, z, x)
+	} else {
+		y = m.minimum(tx, m.right(tx, z))
+		yColor = m.color(tx, y)
+		x = m.right(tx, y)
+		if m.parent(tx, y) == z {
+			m.set(tx, x, nParent, uint64(y))
+		} else {
+			m.transplant(tx, y, x)
+			zr := m.right(tx, z)
+			m.set(tx, y, nRight, uint64(zr))
+			m.set(tx, zr, nParent, uint64(y))
+		}
+		m.transplant(tx, z, y)
+		zl := m.left(tx, z)
+		m.set(tx, y, nLeft, uint64(zl))
+		m.set(tx, zl, nParent, uint64(y))
+		m.set(tx, y, nColor, m.color(tx, z))
+	}
+	if yColor == black {
+		m.deleteFixup(tx, x)
+	}
+}
+
+func (m *Map) deleteFixup(tx *stm.Tx, x core.Addr) {
+	for x != m.rootNode(tx) && m.color(tx, x) == black {
+		xp := m.parent(tx, x)
+		if x == m.left(tx, xp) {
+			w := m.right(tx, xp)
+			if m.color(tx, w) == red {
+				m.set(tx, w, nColor, black)
+				m.set(tx, xp, nColor, red)
+				m.rotateLeft(tx, xp)
+				xp = m.parent(tx, x)
+				w = m.right(tx, xp)
+			}
+			if m.color(tx, m.left(tx, w)) == black && m.color(tx, m.right(tx, w)) == black {
+				m.set(tx, w, nColor, red)
+				x = xp
+			} else {
+				if m.color(tx, m.right(tx, w)) == black {
+					m.set(tx, m.left(tx, w), nColor, black)
+					m.set(tx, w, nColor, red)
+					m.rotateRight(tx, w)
+					xp = m.parent(tx, x)
+					w = m.right(tx, xp)
+				}
+				m.set(tx, w, nColor, m.color(tx, xp))
+				m.set(tx, xp, nColor, black)
+				m.set(tx, m.right(tx, w), nColor, black)
+				m.rotateLeft(tx, xp)
+				x = m.rootNode(tx)
+			}
+		} else {
+			w := m.left(tx, xp)
+			if m.color(tx, w) == red {
+				m.set(tx, w, nColor, black)
+				m.set(tx, xp, nColor, red)
+				m.rotateRight(tx, xp)
+				xp = m.parent(tx, x)
+				w = m.left(tx, xp)
+			}
+			if m.color(tx, m.right(tx, w)) == black && m.color(tx, m.left(tx, w)) == black {
+				m.set(tx, w, nColor, red)
+				x = xp
+			} else {
+				if m.color(tx, m.left(tx, w)) == black {
+					m.set(tx, m.right(tx, w), nColor, black)
+					m.set(tx, w, nColor, red)
+					m.rotateLeft(tx, w)
+					xp = m.parent(tx, x)
+					w = m.left(tx, xp)
+				}
+				m.set(tx, w, nColor, m.color(tx, xp))
+				m.set(tx, xp, nColor, black)
+				m.set(tx, m.left(tx, w), nColor, black)
+				m.rotateRight(tx, xp)
+				x = m.rootNode(tx)
+			}
+		}
+	}
+	m.set(tx, x, nColor, black)
+}
+
+// ForEach calls fn for every key/value pair in ascending order within the
+// transaction.
+func (m *Map) ForEach(tx *stm.Tx, fn func(key, val uint64)) {
+	var walk func(n core.Addr)
+	walk = func(n core.Addr) {
+		if n == m.nil_ {
+			return
+		}
+		walk(m.left(tx, n))
+		fn(m.node(tx, n, nKey), m.node(tx, n, nVal))
+		walk(m.right(tx, n))
+	}
+	walk(m.rootNode(tx))
+}
+
+// Size counts the entries within the transaction.
+func (m *Map) Size(tx *stm.Tx) int {
+	n := 0
+	m.ForEach(tx, func(_, _ uint64) { n++ })
+	return n
+}

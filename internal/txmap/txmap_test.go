@@ -1,0 +1,222 @@
+package txmap
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/stm"
+	"repro/internal/vtags"
+)
+
+// checkRB verifies red-black and BST invariants inside a transaction,
+// returning the black height.
+func (m *Map) checkRB(tx *stm.Tx) error {
+	var walk func(n core.Addr, lo, hi uint64) (int, error)
+	walk = func(n core.Addr, lo, hi uint64) (int, error) {
+		if n == m.nil_ {
+			return 1, nil
+		}
+		k := m.node(tx, n, nKey)
+		if k < lo || k >= hi {
+			return 0, fmt.Errorf("BST order violated at key %d", k)
+		}
+		c := m.color(tx, n)
+		if c == red {
+			if m.color(tx, m.left(tx, n)) == red || m.color(tx, m.right(tx, n)) == red {
+				return 0, fmt.Errorf("red-red violation at key %d", k)
+			}
+		}
+		lh, err := walk(m.left(tx, n), lo, k)
+		if err != nil {
+			return 0, err
+		}
+		rh, err := walk(m.right(tx, n), k+1, hi)
+		if err != nil {
+			return 0, err
+		}
+		if lh != rh {
+			return 0, fmt.Errorf("black height mismatch at key %d: %d vs %d", k, lh, rh)
+		}
+		if c == black {
+			lh++
+		}
+		return lh, nil
+	}
+	root := m.rootNode(tx)
+	if root != m.nil_ && m.color(tx, root) != black {
+		return fmt.Errorf("root is not black")
+	}
+	_, err := walk(root, 0, ^uint64(0))
+	return err
+}
+
+func TestMapSequentialEquivalence(t *testing.T) {
+	mem := vtags.New(32<<20, 1)
+	tm := stm.NewNOrec(mem)
+	m := New(mem)
+	th := mem.Thread(0)
+	ref := map[uint64]uint64{}
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 3000; i++ {
+		k := uint64(rng.Intn(200) + 1)
+		v := uint64(rng.Intn(1000))
+		switch rng.Intn(4) {
+		case 0, 1:
+			var fresh bool
+			tm.Run(th, func(tx *stm.Tx) { fresh = m.Put(tx, k, v, th) })
+			_, existed := ref[k]
+			if fresh == existed {
+				t.Fatalf("op %d: Put(%d) fresh=%v, existed=%v", i, k, fresh, existed)
+			}
+			ref[k] = v
+		case 2:
+			var ok bool
+			tm.Run(th, func(tx *stm.Tx) { ok = m.Delete(tx, k) })
+			_, existed := ref[k]
+			if ok != existed {
+				t.Fatalf("op %d: Delete(%d) = %v, want %v", i, k, ok, existed)
+			}
+			delete(ref, k)
+		default:
+			var got uint64
+			var ok bool
+			tm.Run(th, func(tx *stm.Tx) { got, ok = m.Get(tx, k) })
+			want, existed := ref[k]
+			if ok != existed || (ok && got != want) {
+				t.Fatalf("op %d: Get(%d) = (%d,%v), want (%d,%v)", i, k, got, ok, want, existed)
+			}
+		}
+		if i%250 == 0 {
+			tm.Run(th, func(tx *stm.Tx) {
+				if err := m.checkRB(tx); err != nil {
+					t.Fatalf("op %d: %v", i, err)
+				}
+			})
+		}
+	}
+	tm.Run(th, func(tx *stm.Tx) {
+		if err := m.checkRB(tx); err != nil {
+			t.Fatal(err)
+		}
+		if m.Size(tx) != len(ref) {
+			t.Fatalf("size %d, want %d", m.Size(tx), len(ref))
+		}
+		last := uint64(0)
+		m.ForEach(tx, func(k, v uint64) {
+			if k <= last && last != 0 {
+				t.Fatalf("ForEach out of order at %d", k)
+			}
+			if ref[k] != v {
+				t.Fatalf("ForEach value mismatch at %d", k)
+			}
+			last = k
+		})
+	})
+}
+
+func TestMapConcurrentDisjoint(t *testing.T) {
+	const workers = 4
+	mem := vtags.New(64<<20, workers)
+	tm := stm.NewTagged(mem)
+	m := New(mem)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			th := mem.Thread(w)
+			base := uint64(w * 1000)
+			for i := 0; i < 150; i++ {
+				k := base + uint64(i) + 1
+				tm.Run(th, func(tx *stm.Tx) { m.Put(tx, k, k*2, th) })
+			}
+			for i := 0; i < 150; i += 2 {
+				k := base + uint64(i) + 1
+				tm.Run(th, func(tx *stm.Tx) { m.Delete(tx, k) })
+			}
+		}(w)
+	}
+	wg.Wait()
+	th := mem.Thread(0)
+	tm.Run(th, func(tx *stm.Tx) {
+		if err := m.checkRB(tx); err != nil {
+			t.Fatal(err)
+		}
+	})
+	for w := 0; w < workers; w++ {
+		base := uint64(w * 1000)
+		for i := 0; i < 150; i++ {
+			k := base + uint64(i) + 1
+			var ok bool
+			tm.Run(th, func(tx *stm.Tx) { _, ok = m.Get(tx, k) })
+			if want := i%2 == 1; ok != want {
+				t.Fatalf("key %d present=%v, want %v", k, ok, want)
+			}
+		}
+	}
+}
+
+func TestMapConcurrentMixedContended(t *testing.T) {
+	const workers = 4
+	for _, mk := range []func(core.Memory) *stm.TM{stm.NewNOrec, stm.NewTagged} {
+		mem := vtags.New(64<<20, workers)
+		tm := mk(mem)
+		m := New(mem)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				th := mem.Thread(w)
+				rng := rand.New(rand.NewSource(int64(w + 5)))
+				for i := 0; i < 200; i++ {
+					k := uint64(rng.Intn(40) + 1)
+					switch rng.Intn(3) {
+					case 0:
+						tm.Run(th, func(tx *stm.Tx) { m.Put(tx, k, uint64(w), th) })
+					case 1:
+						tm.Run(th, func(tx *stm.Tx) { m.Delete(tx, k) })
+					default:
+						tm.Run(th, func(tx *stm.Tx) { m.Get(tx, k) })
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		th := mem.Thread(0)
+		tm.Run(th, func(tx *stm.Tx) {
+			if err := m.checkRB(tx); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestMapLargeAscendingStaysBalanced(t *testing.T) {
+	mem := vtags.New(64<<20, 1)
+	tm := stm.NewNOrec(mem)
+	m := New(mem)
+	th := mem.Thread(0)
+	const n = 2000
+	for k := uint64(1); k <= n; k++ {
+		tm.Run(th, func(tx *stm.Tx) { m.Put(tx, k, k, th) })
+	}
+	// A red-black tree of n nodes has height <= 2*log2(n+1) ~ 22.
+	tm.Run(th, func(tx *stm.Tx) {
+		if err := m.checkRB(tx); err != nil {
+			t.Fatal(err)
+		}
+		depth := 0
+		n := m.rootNode(tx)
+		for n != m.nil_ {
+			depth++
+			n = m.left(tx, n)
+		}
+		if depth > 25 {
+			t.Fatalf("leftmost depth %d: tree unbalanced", depth)
+		}
+	})
+}

@@ -1,0 +1,76 @@
+package txset
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/intset"
+	"repro/internal/machine"
+	"repro/internal/stm"
+	"repro/internal/vtags"
+)
+
+func forAllTxSets(t *testing.T, threads int, f func(t *testing.T, mem core.Memory, s *Set)) {
+	backends := []struct {
+		name string
+		mk   func(int) core.Memory
+	}{
+		{"vtags", func(n int) core.Memory { return vtags.New(64<<20, n) }},
+		{"machine", func(n int) core.Memory {
+			cfg := machine.DefaultConfig(n)
+			cfg.MemBytes = 64 << 20
+			cfg.MaxTags = 128
+			return machine.New(cfg)
+		}},
+	}
+	tms := []struct {
+		name string
+		mk   func(core.Memory) *stm.TM
+	}{
+		{"NOrec", stm.NewNOrec},
+		{"Tagged", stm.NewTagged},
+	}
+	for _, b := range backends {
+		for _, v := range tms {
+			t.Run(fmt.Sprintf("%s/%s", b.name, v.name), func(t *testing.T) {
+				mem := b.mk(threads)
+				f(t, mem, New(mem, v.mk(mem)))
+			})
+		}
+	}
+}
+
+func TestTxSetSequential(t *testing.T) {
+	forAllTxSets(t, 1, func(t *testing.T, mem core.Memory, s *Set) {
+		intset.CheckSequential(t, mem, s, 1500, 96, 3)
+	})
+}
+
+func TestTxSetConcurrentDisjoint(t *testing.T) {
+	forAllTxSets(t, 4, func(t *testing.T, mem core.Memory, s *Set) {
+		intset.CheckDisjointConcurrent(t, mem, s, 4, 150)
+	})
+}
+
+func TestTxSetConcurrentMixed(t *testing.T) {
+	forAllTxSets(t, 4, func(t *testing.T, mem core.Memory, s *Set) {
+		intset.CheckMixedConcurrent(t, mem, s, 4, 150, 24)
+	})
+}
+
+func TestTxSetKeysSorted(t *testing.T) {
+	mem := vtags.New(16<<20, 1)
+	s := New(mem, stm.NewNOrec(mem))
+	th := mem.Thread(0)
+	for _, k := range []uint64{9, 1, 5, 3} {
+		s.Insert(th, k)
+	}
+	keys := s.Keys(th)
+	want := []uint64{1, 3, 5, 9}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("Keys = %v", keys)
+		}
+	}
+}

@@ -1,0 +1,271 @@
+// Package vtags is a software emulation of memory tagging based on
+// per-line version numbers, in the spirit of OPTIK versioned locks.
+//
+// The paper notes there is "no immediate way to simulate MemTags in
+// software"; this backend emulates the *semantics* (not the cost) so the
+// data structures in this repository can be stress-tested at native speed
+// and so the cost of a software emulation can be compared against the
+// hardware model as an ablation.
+//
+// Every cache line has a 64-bit version; writers bump it under a per-line
+// spin mutex. AddTag records (line, version); Validate compares. VAS/IAS
+// lock the tagged lines plus the target in address order, re-check the
+// versions, and commit — IAS additionally bumps the version of every
+// tagged line, which is exactly the "invalidate all tagged lines at other
+// cores" semantics (any other thread's tag on those lines now fails).
+//
+// Unlike hardware tags there are no spurious evictions, so validation here
+// fails only on real conflicts. There is also no ABA window: a line whose
+// value was restored still fails validation because its version moved.
+package vtags
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+)
+
+// Memory is the versioned-emulation address space.
+type Memory struct {
+	space    *mem.Space
+	versions []uint64     // per line; even = unlocked, odd = write in progress
+	locks    []sync.Mutex // per line
+	threads  []*Thread
+	maxTags  int
+}
+
+var _ core.Memory = (*Memory)(nil)
+
+// Option configures a Memory.
+type Option func(*Memory)
+
+// WithMaxTags bounds the per-thread tag set, mirroring the hardware
+// MaxTags constant. The default is 32.
+func WithMaxTags(n int) Option { return func(m *Memory) { m.maxTags = n } }
+
+// New creates an emulated space of the given size with one handle per
+// thread.
+func New(bytes, threads int, opts ...Option) *Memory {
+	space := mem.NewSpace(bytes)
+	m := &Memory{
+		space:    space,
+		versions: make([]uint64, space.NumLines()),
+		locks:    make([]sync.Mutex, space.NumLines()),
+		maxTags:  32,
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	m.threads = make([]*Thread, threads)
+	for i := range m.threads {
+		m.threads[i] = &Thread{m: m, id: i}
+	}
+	return m
+}
+
+// NumThreads returns the number of thread handles.
+func (m *Memory) NumThreads() int { return len(m.threads) }
+
+// Thread returns handle id.
+func (m *Memory) Thread(id int) core.Thread { return m.threads[id] }
+
+// Alloc allocates line-aligned words.
+func (m *Memory) Alloc(words int) core.Addr { return m.space.Alloc(words) }
+
+// MaxTags returns the per-thread tag budget.
+func (m *Memory) MaxTags() int { return m.maxTags }
+
+// lineVersion reads a line's version with acquire semantics.
+func (m *Memory) lineVersion(l core.Line) uint64 {
+	return atomic.LoadUint64(&m.versions[l])
+}
+
+// bumpLineLocked advances a line's version; the caller holds the line lock.
+func (m *Memory) bumpLineLocked(l core.Line) {
+	atomic.AddUint64(&m.versions[l], 1)
+}
+
+// Thread is one emulated core's handle.
+type Thread struct {
+	m  *Memory
+	id int
+
+	tags     []tagEntry
+	overflow bool
+}
+
+type tagEntry struct {
+	line    core.Line
+	version uint64
+}
+
+var _ core.Thread = (*Thread)(nil)
+
+// ID returns the thread id.
+func (t *Thread) ID() int { return t.id }
+
+// Alloc allocates line-aligned words.
+func (t *Thread) Alloc(words int) core.Addr { return t.m.space.Alloc(words) }
+
+// Load reads the word at a.
+func (t *Thread) Load(a core.Addr) uint64 { return t.m.space.AtomicRead(a) }
+
+// Store writes v at a and bumps the line version (invalidating tags).
+func (t *Thread) Store(a core.Addr, v uint64) {
+	l := a.Line()
+	t.m.locks[l].Lock()
+	t.m.space.AtomicWrite(a, v)
+	t.m.bumpLineLocked(l)
+	t.retagLocked(l)
+	t.m.locks[l].Unlock()
+}
+
+// CAS compares-and-swaps the word at a, bumping the version on success.
+func (t *Thread) CAS(a core.Addr, old, new uint64) bool {
+	l := a.Line()
+	t.m.locks[l].Lock()
+	ok := t.m.space.Read(a) == old
+	if ok {
+		t.m.space.AtomicWrite(a, new)
+		t.m.bumpLineLocked(l)
+		t.retagLocked(l)
+	}
+	t.m.locks[l].Unlock()
+	return ok
+}
+
+// AddTag records the current version of every line of [a, a+size).
+func (t *Thread) AddTag(a core.Addr, size int) bool {
+	for _, l := range core.LinesSpanned(a, size) {
+		if t.tagged(l) {
+			continue
+		}
+		if len(t.tags) >= t.m.maxTags {
+			t.overflow = true
+			return false
+		}
+		t.tags = append(t.tags, tagEntry{line: l, version: t.m.lineVersion(l)})
+	}
+	return true
+}
+
+// RemoveTag drops tags on lines of [a, a+size). A conflict already
+// observed is not forgotten (matching hardware semantics): RemoveTag checks
+// the line's version before dropping it and latches a failure.
+func (t *Thread) RemoveTag(a core.Addr, size int) {
+	for _, l := range core.LinesSpanned(a, size) {
+		for i, e := range t.tags {
+			if e.line == l {
+				if t.m.lineVersion(l) != e.version {
+					t.overflow = true // latch failure like an eviction
+				}
+				t.tags = append(t.tags[:i], t.tags[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+func (t *Thread) tagged(l core.Line) bool {
+	for _, e := range t.tags {
+		if e.line == l {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate reports whether every tagged line still has its recorded
+// version.
+func (t *Thread) Validate() bool {
+	if t.overflow {
+		return false
+	}
+	for _, e := range t.tags {
+		if t.m.lineVersion(e.line) != e.version {
+			return false
+		}
+	}
+	return true
+}
+
+// TagCount returns the number of tagged lines.
+func (t *Thread) TagCount() int { return len(t.tags) }
+
+// ClearTagSet drops all tags and the overflow latch.
+func (t *Thread) ClearTagSet() {
+	t.tags = t.tags[:0]
+	t.overflow = false
+}
+
+// VAS validates under the tagged lines' locks and stores v at a.
+func (t *Thread) VAS(a core.Addr, v uint64) bool { return t.commit(a, v, false) }
+
+// IAS validates, bumps every tagged line's version (invalidating all other
+// threads' tags on them), and stores v at a.
+func (t *Thread) IAS(a core.Addr, v uint64) bool { return t.commit(a, v, true) }
+
+func (t *Thread) commit(a core.Addr, v uint64, invalidateTags bool) bool {
+	if t.overflow {
+		return false
+	}
+	target := a.Line()
+	lines := make([]core.Line, 0, len(t.tags)+1)
+	for _, e := range t.tags {
+		lines = append(lines, e.line)
+	}
+	if !t.tagged(target) {
+		lines = append(lines, target)
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	for _, l := range lines {
+		t.m.locks[l].Lock()
+	}
+	ok := true
+	for _, e := range t.tags {
+		if t.m.lineVersion(e.line) != e.version {
+			ok = false
+			break
+		}
+	}
+	if ok {
+		t.m.space.AtomicWrite(a, v)
+		if invalidateTags {
+			for i := range t.tags {
+				t.m.bumpLineLocked(t.tags[i].line)
+				t.tags[i].version = t.m.lineVersion(t.tags[i].line)
+			}
+			if !t.tagged(target) {
+				t.m.bumpLineLocked(target)
+			}
+		} else {
+			t.m.bumpLineLocked(target)
+			// Our own tag on the target (if any) tracks the new version so
+			// our later validations don't fail on our own write.
+			for i := range t.tags {
+				if t.tags[i].line == target {
+					t.tags[i].version = t.m.lineVersion(target)
+				}
+			}
+		}
+	}
+	for i := len(lines) - 1; i >= 0; i-- {
+		t.m.locks[lines[i]].Unlock()
+	}
+	return ok
+}
+
+// retagLocked re-records the current version for this thread's own tag on
+// line l, if any: like hardware, a core's own write does not invalidate its
+// own tag. The caller holds l's lock.
+func (t *Thread) retagLocked(l core.Line) {
+	for i := range t.tags {
+		if t.tags[i].line == l {
+			t.tags[i].version = t.m.lineVersion(l)
+			return
+		}
+	}
+}

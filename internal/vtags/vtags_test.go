@@ -1,0 +1,184 @@
+package vtags
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestLoadStoreCAS(t *testing.T) {
+	m := New(1<<16, 2)
+	th := m.Thread(0)
+	a := m.Alloc(2)
+	th.Store(a, 11)
+	if th.Load(a) != 11 {
+		t.Fatal("load after store")
+	}
+	if th.CAS(a, 10, 12) || th.Load(a) != 11 {
+		t.Fatal("failed CAS semantics wrong")
+	}
+	if !th.CAS(a, 11, 12) || th.Load(a) != 12 {
+		t.Fatal("successful CAS semantics wrong")
+	}
+}
+
+func TestTagValidate(t *testing.T) {
+	m := New(1<<16, 2)
+	t0, t1 := m.Thread(0), m.Thread(1)
+	a := m.Alloc(1)
+	t1.AddTag(a, 8)
+	if !t1.Validate() {
+		t.Fatal("fresh tag invalid")
+	}
+	t0.Store(a, 1)
+	if t1.Validate() {
+		t.Fatal("remote store not detected")
+	}
+	t1.ClearTagSet()
+	t1.AddTag(a, 8)
+	if !t1.Validate() {
+		t.Fatal("retag after clear invalid")
+	}
+}
+
+func TestOwnWriteKeepsOwnTag(t *testing.T) {
+	m := New(1<<16, 1)
+	th := m.Thread(0)
+	a := m.Alloc(1)
+	th.AddTag(a, 8)
+	th.Store(a, 3)
+	if !th.Validate() {
+		t.Fatal("own store invalidated own tag")
+	}
+}
+
+func TestVASIAS(t *testing.T) {
+	m := New(1<<16, 2)
+	t0, t1 := m.Thread(0), m.Thread(1)
+	node := m.Alloc(1)
+	target := m.Alloc(1)
+
+	t0.AddTag(node, 8)
+	t1.AddTag(node, 8)
+	if !t0.VAS(target, 5) {
+		t.Fatal("VAS failed")
+	}
+	if !t1.Validate() {
+		t.Fatal("VAS invalidated remote tag on non-target line")
+	}
+	if !t0.IAS(target, 6) {
+		t.Fatal("IAS failed")
+	}
+	if t1.Validate() {
+		t.Fatal("IAS did not invalidate remote tag")
+	}
+	if !t0.Validate() {
+		t.Fatal("IAS invalidated issuer's tags")
+	}
+	if t1.Load(target) != 6 {
+		t.Fatal("IAS value lost")
+	}
+}
+
+func TestVASFailsAfterConflict(t *testing.T) {
+	m := New(1<<16, 2)
+	t0, t1 := m.Thread(0), m.Thread(1)
+	node := m.Alloc(1)
+	target := m.Alloc(1)
+	t1.AddTag(node, 8)
+	t0.Store(node, 9)
+	if t1.VAS(target, 1) {
+		t.Fatal("VAS succeeded despite conflict")
+	}
+	if t1.Load(target) != 0 {
+		t.Fatal("failed VAS wrote")
+	}
+}
+
+func TestMaxTags(t *testing.T) {
+	m := New(1<<16, 1, WithMaxTags(2))
+	th := m.Thread(0)
+	a, b, c := m.Alloc(1), m.Alloc(1), m.Alloc(1)
+	if !th.AddTag(a, 8) || !th.AddTag(b, 8) {
+		t.Fatal("tags below limit rejected")
+	}
+	if th.AddTag(c, 8) {
+		t.Fatal("tag beyond limit accepted")
+	}
+	if th.Validate() {
+		t.Fatal("validate after overflow succeeded")
+	}
+	th.ClearTagSet()
+	if !th.AddTag(c, 8) || !th.Validate() {
+		t.Fatal("overflow latch survives ClearTagSet")
+	}
+}
+
+func TestRemoveTagLatchesConflict(t *testing.T) {
+	m := New(1<<16, 2)
+	t0, t1 := m.Thread(0), m.Thread(1)
+	a := m.Alloc(1)
+	t1.AddTag(a, 8)
+	t0.Store(a, 1)
+	t1.RemoveTag(a, 8)
+	if t1.Validate() {
+		t.Fatal("conflict forgotten by RemoveTag")
+	}
+}
+
+func TestConcurrentVASCounter(t *testing.T) {
+	const workers, per = 8, 500
+	m := New(1<<16, workers)
+	ctr := m.Alloc(1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(th core.Thread) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				for {
+					th.ClearTagSet()
+					th.AddTag(ctr, 8)
+					v := th.Load(ctr)
+					if th.VAS(ctr, v+1) {
+						break
+					}
+				}
+			}
+		}(m.Thread(w))
+	}
+	wg.Wait()
+	if got := m.Thread(0).Load(ctr); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+}
+
+func TestConcurrentIASCounter(t *testing.T) {
+	const workers, per = 8, 300
+	m := New(1<<16, workers)
+	ctr := m.Alloc(1)
+	aux := m.Alloc(1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(th core.Thread) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				for {
+					th.ClearTagSet()
+					th.AddTag(ctr, 8)
+					th.AddTag(aux, 8)
+					v := th.Load(ctr)
+					if th.IAS(ctr, v+1) {
+						break
+					}
+				}
+			}
+		}(m.Thread(w))
+	}
+	wg.Wait()
+	if got := m.Thread(0).Load(ctr); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+}

@@ -1,0 +1,124 @@
+// Package workload generates the paper's standard search-data-structure
+// workloads (Section 6): every thread draws uniform random keys from a
+// fixed range and performs a mix of inserts, deletes and searches; the
+// structure is prefilled to half the key range so its size stays roughly
+// constant and about half of the updates return false.
+package workload
+
+import (
+	"math/rand"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/intset"
+)
+
+// Mix is an operation mix in percent; the remainder are searches.
+type Mix struct {
+	InsertPct int
+	DeletePct int
+}
+
+// Update3535 is the paper's high-update workload: 35% inserts, 35%
+// deletes, 30% searches.
+var Update3535 = Mix{InsertPct: 35, DeletePct: 35}
+
+// Update1515 is the paper's moderate workload: 15% inserts, 15% deletes,
+// 70% searches.
+var Update1515 = Mix{InsertPct: 15, DeletePct: 15}
+
+// Config describes one run.
+type Config struct {
+	Threads      int
+	KeyRange     uint64 // keys drawn from [KeyMin, KeyMin+KeyRange)
+	PrefillSize  int    // initial structure size (typically KeyRange/2)
+	OpsPerThread int
+	Mix          Mix
+	Seed         int64
+}
+
+// activatable is implemented by machine threads supporting lax clock
+// synchronization; the workload enrols its workers so simulated-core
+// interleaving scales with simulated time.
+type activatable interface{ SetActive(bool) }
+
+// epochAligner is implemented by the machine backend: clocks are aligned
+// before a measured parallel phase.
+type epochAligner interface{ BeginEpoch() }
+
+// Counts aggregates what the threads did.
+type Counts struct {
+	Ops       uint64
+	Inserts   uint64 // successful inserts
+	Deletes   uint64 // successful deletes
+	Hits      uint64 // successful searches
+	TotalFill int    // keys prefilled
+}
+
+// Prefill populates the structure with cfg.PrefillSize distinct random
+// keys using thread 0.
+func Prefill(mem core.Memory, s intset.Set, cfg Config) Counts {
+	keys := intset.Prefill(mem.Thread(0), s, cfg.PrefillSize, cfg.KeyRange, cfg.Seed)
+	return Counts{TotalFill: len(keys)}
+}
+
+// Run executes the workload with one goroutine per thread and returns the
+// aggregated counts. The caller is responsible for prefilling and for
+// snapshotting machine statistics before/after.
+func Run(mem core.Memory, s intset.Set, cfg Config) Counts {
+	results := make([]Counts, cfg.Threads)
+	if be, ok := mem.(epochAligner); ok {
+		be.BeginEpoch()
+	}
+	// All workers enrol in lax clock synchronization before any of them
+	// issues an operation, so no thread can race ahead while others have
+	// not yet been scheduled (critical on hosts with few CPUs).
+	var ready, wg sync.WaitGroup
+	start := make(chan struct{})
+	ready.Add(cfg.Threads)
+	for w := 0; w < cfg.Threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			th := mem.Thread(w)
+			if a, ok := th.(activatable); ok {
+				a.SetActive(true)
+				defer a.SetActive(false)
+			}
+			ready.Done()
+			<-start
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*7919 + 1))
+			c := &results[w]
+			for i := 0; i < cfg.OpsPerThread; i++ {
+				k := intset.KeyMin + uint64(rng.Int63n(int64(cfg.KeyRange)))
+				op := rng.Intn(100)
+				switch {
+				case op < cfg.Mix.InsertPct:
+					if s.Insert(th, k) {
+						c.Inserts++
+					}
+				case op < cfg.Mix.InsertPct+cfg.Mix.DeletePct:
+					if s.Delete(th, k) {
+						c.Deletes++
+					}
+				default:
+					if s.Contains(th, k) {
+						c.Hits++
+					}
+				}
+				c.Ops++
+			}
+		}(w)
+	}
+	ready.Wait()
+	close(start)
+	wg.Wait()
+	var total Counts
+	for _, c := range results {
+		total.Ops += c.Ops
+		total.Inserts += c.Inserts
+		total.Deletes += c.Deletes
+		total.Hits += c.Hits
+	}
+	return total
+}

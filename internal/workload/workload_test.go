@@ -1,0 +1,88 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/intset"
+	"repro/internal/list"
+	"repro/internal/vtags"
+)
+
+func TestPrefillSize(t *testing.T) {
+	mem := vtags.New(8<<20, 1)
+	s := list.NewHoH(mem)
+	cfg := Config{Threads: 1, KeyRange: 256, PrefillSize: 128, Seed: 1}
+	c := Prefill(mem, s, cfg)
+	if c.TotalFill != 128 {
+		t.Fatalf("prefilled %d, want 128", c.TotalFill)
+	}
+	keys := s.Keys(mem.Thread(0))
+	if len(keys) != 128 {
+		t.Fatalf("structure has %d keys, want 128", len(keys))
+	}
+}
+
+func TestRunCountsAndDeterminism(t *testing.T) {
+	run := func() Counts {
+		mem := vtags.New(8<<20, 2)
+		s := list.NewHoH(mem)
+		cfg := Config{
+			Threads: 2, KeyRange: 128, PrefillSize: 64,
+			OpsPerThread: 300, Mix: Update3535, Seed: 9,
+		}
+		Prefill(mem, s, cfg)
+		return Run(mem, s, cfg)
+	}
+	c := run()
+	if c.Ops != 600 {
+		t.Fatalf("ops = %d, want 600", c.Ops)
+	}
+	if c.Inserts == 0 || c.Deletes == 0 || c.Hits == 0 {
+		t.Fatalf("degenerate counts: %+v", c)
+	}
+	// The structure size stays roughly constant: successful inserts and
+	// deletes should be within a factor of ~2 of each other.
+	if c.Inserts > 3*c.Deletes+50 || c.Deletes > 3*c.Inserts+50 {
+		t.Fatalf("unbalanced updates: %+v", c)
+	}
+}
+
+func TestRunSingleThreadMatchesReference(t *testing.T) {
+	// With one thread the op outcomes must be reproducible across backends
+	// and structures; verify final membership parity per key.
+	mem := vtags.New(8<<20, 1)
+	s := list.NewHarris(mem)
+	cfg := Config{Threads: 1, KeyRange: 64, PrefillSize: 32, OpsPerThread: 500, Mix: Update3535, Seed: 5}
+	Prefill(mem, s, cfg)
+	c := Run(mem, s, cfg)
+	net := int(c.Inserts) - int(c.Deletes)
+	keys := s.Keys(mem.Thread(0))
+	if len(keys) != 32+net {
+		t.Fatalf("final size %d, want %d", len(keys), 32+net)
+	}
+}
+
+func TestMixBoundaries(t *testing.T) {
+	// A 100% insert mix only inserts; a 0/0 mix only searches.
+	mem := vtags.New(8<<20, 1)
+	s := list.NewHoH(mem)
+	cfg := Config{Threads: 1, KeyRange: 1 << 30, PrefillSize: 4, OpsPerThread: 100,
+		Mix: Mix{InsertPct: 100}, Seed: 3}
+	Prefill(mem, s, cfg)
+	c := Run(mem, s, cfg)
+	if c.Deletes != 0 || c.Hits != 0 {
+		t.Fatalf("pure-insert mix performed other ops: %+v", c)
+	}
+	if c.Inserts < 95 { // huge key range: collisions vanishingly rare
+		t.Fatalf("inserts = %d, want ~100", c.Inserts)
+	}
+
+	cfg.Mix = Mix{}
+	before := s.Keys(mem.Thread(0))
+	Run(mem, s, cfg)
+	after := s.Keys(mem.Thread(0))
+	if len(before) != len(after) {
+		t.Fatal("search-only mix changed the structure")
+	}
+	_ = intset.KeyMin
+}
