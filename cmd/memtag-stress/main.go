@@ -24,6 +24,7 @@ import (
 	"repro/internal/intset"
 	"repro/internal/list"
 	"repro/internal/machine"
+	"repro/internal/schedfuzz"
 	"repro/internal/skiplist"
 	"repro/internal/stm"
 	"repro/internal/txset"
@@ -86,17 +87,40 @@ func main() {
 	backend := flag.String("backend", "both", "memory backend: machine, vtags, or both")
 	only := flag.String("structs", "", "comma-separated structure names (default all)")
 	seed := flag.Int64("seed", 1, "base random seed")
+	linearize := flag.Bool("linearize", false,
+		"record every operation and check the history with the linearizability checker, under schedule fuzzing (slower per op)")
 	flag.Parse()
 
+	if *threads < 1 {
+		fmt.Fprintln(os.Stderr, "memtag-stress: -threads must be at least 1")
+		os.Exit(2)
+	}
+
+	known := map[string]bool{}
+	for _, sd := range structs() {
+		known[sd.name] = true
+	}
 	selected := map[string]bool{}
 	for _, n := range strings.Split(*only, ",") {
 		if n = strings.TrimSpace(n); n != "" {
+			if !known[n] {
+				names := make([]string, 0, len(known))
+				for _, sd := range structs() {
+					names = append(names, sd.name)
+				}
+				fmt.Fprintf(os.Stderr, "memtag-stress: unknown structure %q (valid: %s)\n", n, strings.Join(names, ", "))
+				os.Exit(2)
+			}
 			selected[n] = true
 		}
 	}
 
 	backends := []string{"vtags", "machine"}
 	if *backend != "both" {
+		if *backend != "vtags" && *backend != "machine" {
+			fmt.Fprintf(os.Stderr, "memtag-stress: unknown backend %q (valid: vtags, machine, both)\n", *backend)
+			os.Exit(2)
+		}
 		backends = []string{*backend}
 	}
 
@@ -107,7 +131,11 @@ func main() {
 		}
 		for _, bk := range backends {
 			for round := 0; round < *rounds; round++ {
-				if err := stressOne(sd, bk, *threads, *ops, *keyRange, *seed+int64(round)); err != nil {
+				run := stressOne
+				if *linearize {
+					run = linearizeOne
+				}
+				if err := run(sd, bk, *threads, *ops, *keyRange, *seed+int64(round)); err != nil {
 					fmt.Printf("FAIL %-14s %-8s round %d: %v\n", sd.name, bk, round, err)
 					failures++
 				} else {
@@ -131,6 +159,36 @@ func newBackend(kind string, threads int) core.Memory {
 	cfg.MemBytes = 256 << 20
 	cfg.MaxTags = 128
 	return machine.New(cfg)
+}
+
+// linearizeOne runs one recorded round under schedule fuzzing and checks
+// the operation history against the sequential set model.
+func linearizeOne(sd structDef, backend string, threads, ops int, keyRange uint64, seed int64) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	fuzz := schedfuzz.Default(seed)
+	out := intset.RunLinearize(
+		func(t int) core.Memory { return newBackend(backend, t) },
+		sd.build,
+		intset.LinearizeConfig{
+			Threads:      threads,
+			OpsPerThread: ops,
+			KeyRange:     keyRange,
+			Prefill:      int(keyRange / 2),
+			Seed:         seed,
+			Fuzz:         &fuzz,
+			FlipMode:     true,
+		})
+	if out.Inconclusive {
+		return fmt.Errorf("linearizability checker inconclusive after %d ops", out.Ops)
+	}
+	if !out.OK {
+		return fmt.Errorf("history not linearizable:\n%s", out.Explain())
+	}
+	return nil
 }
 
 // stressOne runs one concurrent mixed round and verifies per-key counts,

@@ -1,0 +1,41 @@
+package chromatic
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/intset"
+	"repro/internal/schedfuzz"
+	"repro/internal/vtags"
+)
+
+// TestLinearizableVTags checks both chromatic-tree flavours (LLX/SCX
+// baseline and hand-over-hand tagged) under schedule fuzzing with forced
+// spurious evictions.
+func TestLinearizableVTags(t *testing.T) {
+	variants := []struct {
+		name  string
+		build func(core.Memory) intset.Set
+	}{
+		{"llx", func(m core.Memory) intset.Set { return NewLLX(m) }},
+		{"hoh", func(m core.Memory) intset.Set { return NewHoH(m) }},
+	}
+	newMem := func(threads int) core.Memory { return vtags.New(16<<20, threads) }
+	for _, v := range variants {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(1); seed <= 2; seed++ {
+				fuzz := schedfuzz.Default(seed)
+				intset.CheckLinearizable(t, newMem, v.build, intset.LinearizeConfig{
+					Threads:      4,
+					OpsPerThread: intset.LinearizeOps(250),
+					KeyRange:     16,
+					Prefill:      8,
+					Seed:         seed,
+					Fuzz:         &fuzz,
+				})
+			}
+		})
+	}
+}

@@ -1,0 +1,74 @@
+package history
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestTimestampsOrderOperations(t *testing.T) {
+	r := NewRecorder(1, 4)
+	sh := r.Shard(0)
+	i1 := sh.Begin(OpInsert, 7, 0)
+	sh.End(i1, true, 0)
+	i2 := sh.Begin(OpContains, 7, 0)
+	sh.End(i2, true, 0)
+
+	evs := r.Events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2", len(evs))
+	}
+	a, b := evs[0], evs[1]
+	if a.Pending() || b.Pending() {
+		t.Fatalf("completed events reported pending: %+v %+v", a, b)
+	}
+	if !(a.Inv < a.Ret && a.Ret < b.Inv && b.Inv < b.Ret) {
+		t.Fatalf("timestamps not ordered: %+v %+v", a, b)
+	}
+	if a.Op != OpInsert || a.Key != 7 || !a.OK {
+		t.Fatalf("event fields wrong: %+v", a)
+	}
+}
+
+func TestPendingEvent(t *testing.T) {
+	r := NewRecorder(1, 1)
+	sh := r.Shard(0)
+	sh.Begin(OpDelete, 3, 0)
+	evs := r.Events()
+	if len(evs) != 1 || !evs[0].Pending() {
+		t.Fatalf("expected one pending event, got %+v", evs)
+	}
+}
+
+func TestConcurrentShardsDisjointTimestamps(t *testing.T) {
+	const workers, ops = 8, 200
+	r := NewRecorder(workers, ops)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sh := r.Shard(w)
+			for i := 0; i < ops; i++ {
+				idx := sh.Begin(OpInsert, uint64(i), 0)
+				sh.End(idx, true, 0)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	evs := r.Events()
+	if len(evs) != workers*ops {
+		t.Fatalf("got %d events, want %d", len(evs), workers*ops)
+	}
+	seen := make(map[uint64]bool, 2*len(evs))
+	for _, e := range evs {
+		if e.Inv >= e.Ret {
+			t.Fatalf("event inverted: %+v", e)
+		}
+		if seen[e.Inv] || seen[e.Ret] {
+			t.Fatalf("duplicate timestamp in %+v", e)
+		}
+		seen[e.Inv] = true
+		seen[e.Ret] = true
+	}
+}

@@ -1,0 +1,156 @@
+package intset
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/history"
+	"repro/internal/linearizability"
+	"repro/internal/schedfuzz"
+)
+
+// LinearizeConfig describes one linearizability stress run: concurrent
+// workers hammer a shared key range while every invocation/response is
+// recorded (internal/history), optionally under schedule fuzzing
+// (internal/schedfuzz), and the resulting history is checked against the
+// sequential set model (internal/linearizability).
+type LinearizeConfig struct {
+	Threads      int
+	OpsPerThread int
+	KeyRange     uint64
+	Prefill      int   // keys inserted (and recorded) before the parallel phase
+	Seed         int64 // derives op streams, fuzz injections and the mode flipper
+	// Fuzz, when non-nil, wraps the backend with schedule fuzzing.
+	Fuzz *schedfuzz.Config
+	// FlipMode drives randomized fallback Mode-line transitions from a
+	// spare thread while the workers run, when the structure exposes a
+	// Mode line (ModeAddr).
+	FlipMode bool
+	// MaxIters overrides the checker's per-partition search budget.
+	MaxIters uint64
+}
+
+// modeAddresser is implemented by fallback-path structures (elided list,
+// elided (a,b)-tree) that expose their Mode line.
+type modeAddresser interface{ ModeAddr() core.Addr }
+
+// epochAligner mirrors the machine backend's epoch alignment.
+type epochAligner interface{ BeginEpoch() }
+
+// activatable mirrors the machine backend's lax-clock enrolment.
+type activatable interface{ SetActive(bool) }
+
+// RunLinearize executes one recorded stress run and checks the history.
+// newMem must allocate a backend with the requested number of thread
+// handles — it is called with Threads+1 so a spare handle is available for
+// the Mode-line flipper. The build callback constructs the structure on
+// the (possibly fuzz-wrapped) memory.
+func RunLinearize(newMem func(threads int) core.Memory, build func(core.Memory) Set, cfg LinearizeConfig) linearizability.Outcome {
+	var mem core.Memory = newMem(cfg.Threads + 1)
+	if cfg.Fuzz != nil {
+		mem = schedfuzz.Wrap(mem, *cfg.Fuzz)
+	}
+	s := build(mem)
+
+	rec := history.NewRecorder(cfg.Threads, cfg.OpsPerThread+cfg.Prefill+8)
+
+	// Prefill on thread 0, recorded like any other operations (the checker
+	// must see every effect on the structure).
+	if cfg.Prefill > 0 {
+		th := mem.Thread(0)
+		sh := rec.Shard(0)
+		rng := rand.New(rand.NewSource(cfg.Seed ^ 0x9e3779b9))
+		inserted := 0
+		for inserted < cfg.Prefill {
+			k := KeyMin + uint64(rng.Int63n(int64(cfg.KeyRange)))
+			idx := sh.Begin(history.OpInsert, k, 0)
+			ok := s.Insert(th, k)
+			sh.End(idx, ok, 0)
+			if ok {
+				inserted++
+			}
+		}
+	}
+
+	// Epoch alignment must precede the flipper: BeginEpoch rewrites every
+	// thread's clock, and the flipper drives a thread handle of its own.
+	if ea, ok := mem.(epochAligner); ok {
+		ea.BeginEpoch()
+	}
+
+	var stopFlipper func()
+	if cfg.FlipMode {
+		if ma, ok := s.(modeAddresser); ok {
+			stopFlipper = schedfuzz.StartModeFlipper(mem.Thread(cfg.Threads), ma.ModeAddr(), cfg.Seed)
+		}
+	}
+	var ready, wg sync.WaitGroup
+	start := make(chan struct{})
+	ready.Add(cfg.Threads)
+	for w := 0; w < cfg.Threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			th := mem.Thread(w)
+			if a, ok := th.(activatable); ok {
+				a.SetActive(true)
+				defer a.SetActive(false)
+			}
+			ready.Done()
+			<-start
+			sh := rec.Shard(w)
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*7919 + 1))
+			for i := 0; i < cfg.OpsPerThread; i++ {
+				k := KeyMin + uint64(rng.Int63n(int64(cfg.KeyRange)))
+				switch rng.Intn(3) {
+				case 0:
+					idx := sh.Begin(history.OpInsert, k, 0)
+					sh.End(idx, s.Insert(th, k), 0)
+				case 1:
+					idx := sh.Begin(history.OpDelete, k, 0)
+					sh.End(idx, s.Delete(th, k), 0)
+				default:
+					idx := sh.Begin(history.OpContains, k, 0)
+					sh.End(idx, s.Contains(th, k), 0)
+				}
+			}
+		}(w)
+	}
+	ready.Wait()
+	close(start)
+	wg.Wait()
+	if stopFlipper != nil {
+		stopFlipper()
+	}
+
+	var opts []linearizability.Option
+	if cfg.MaxIters > 0 {
+		opts = append(opts, linearizability.WithMaxIters(cfg.MaxIters))
+	}
+	return linearizability.CheckSet(rec.Events(), opts...)
+}
+
+// CheckLinearizable runs RunLinearize and fails the test on a
+// non-linearizable history (printing the minimal counterexample) or an
+// inconclusive verdict.
+func CheckLinearizable(t *testing.T, newMem func(threads int) core.Memory, build func(core.Memory) Set, cfg LinearizeConfig) {
+	t.Helper()
+	out := RunLinearize(newMem, build, cfg)
+	if out.Inconclusive {
+		t.Fatalf("linearizability verdict inconclusive (seed %d): shrink the run or raise MaxIters\n%s", cfg.Seed, out.Explain())
+	}
+	if !out.OK {
+		t.Fatalf("seed %d: %s", cfg.Seed, out.Explain())
+	}
+}
+
+// LinearizeOps scales an op count down under -short so the fuzzed suites
+// stay fast in the race-enabled CI lane.
+func LinearizeOps(n int) int {
+	if testing.Short() {
+		return n / 3
+	}
+	return n
+}

@@ -1,0 +1,144 @@
+package intset_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/intset"
+	"repro/internal/list"
+	"repro/internal/machine"
+	"repro/internal/vtags"
+)
+
+// withWatchdog fails the test if fn does not finish within the deadline —
+// the failure mode of interest for starved tag budgets is livelock, which
+// would otherwise hang the suite. fn runs on its own goroutine, so it must
+// report failures via t.Error, not t.Fatal.
+func withWatchdog(t *testing.T, d time.Duration, fn func()) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		fn()
+	}()
+	select {
+	case <-done:
+	case <-time.After(d):
+		t.Fatalf("watchdog: run did not finish within %v (livelock under tag starvation?)", d)
+	}
+}
+
+// TestOverflowStarvedTagBudget runs tag-hungry structures on backends with
+// MaxTags squeezed to the documented minimum and checks that operations
+// still complete correctly: tags are advisory, so overflow must degrade to
+// retry or fallback, never to a wrong answer or a livelock.
+//
+// The minima are part of each structure's contract: the VAS list tags
+// pred+curr during unlink helping, so it needs 2; the elided list's guard
+// overflows on its 3rd tag at MaxTags 2 and bounces to the Harris slow
+// path, which needs none.
+func TestOverflowStarvedTagBudget(t *testing.T) {
+	cases := []struct {
+		name    string
+		maxTags int
+		build   func(core.Memory) intset.Set
+	}{
+		{"vas-list-2", 2, func(m core.Memory) intset.Set { return list.NewVAS(m) }},
+		{"elided-list-2", 2, func(m core.Memory) intset.Set { return list.NewElided(m, 4) }},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			mem := vtags.New(1<<20, 4, vtags.WithMaxTags(c.maxTags))
+			s := c.build(mem)
+			withWatchdog(t, 30*time.Second, func() {
+				var wg sync.WaitGroup
+				for w := 0; w < 4; w++ {
+					w := w
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						th := mem.Thread(w)
+						for i := 0; i < 300; i++ {
+							k := intset.KeyMin + uint64((i*7+w)%16)
+							s.Insert(th, k)
+							s.Contains(th, k)
+							s.Delete(th, k)
+						}
+					}()
+				}
+				wg.Wait()
+			})
+			if keys := s.(intset.Snapshotter).Keys(mem.Thread(0)); len(keys) != 0 {
+				t.Errorf("every insert was paired with a delete, yet keys remain: %v", keys)
+			}
+		})
+	}
+}
+
+// TestOverflowHoHRefusesStarvedBudget pins the documented contract that
+// hand-over-hand structures refuse construction below their tagging
+// window instead of livelocking at runtime.
+func TestOverflowHoHRefusesStarvedBudget(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewHoH accepted MaxTags 2, below its 3-line window")
+		}
+	}()
+	list.NewHoH(vtags.New(1<<20, 1, vtags.WithMaxTags(2)))
+}
+
+// TestOverflowValidateFailsAfterEviction checks the failure latch on both
+// backends: once a tagged line leaves the tag set — forced directly on
+// vtags, via genuine L1 capacity pressure on the machine — Validate and
+// VAS must fail until ClearTagSet resets the thread.
+func TestOverflowValidateFailsAfterEviction(t *testing.T) {
+	t.Run("vtags-forced", func(t *testing.T) {
+		mem := vtags.New(1<<20, 1)
+		th := mem.Thread(0)
+		a := mem.Alloc(1)
+		if !th.AddTag(a, core.WordSize) || !th.Validate() {
+			t.Fatal("tag+validate must succeed before eviction")
+		}
+		th.(interface{ ForceTagEviction() }).ForceTagEviction()
+		if th.Validate() {
+			t.Fatal("Validate succeeded after forced eviction")
+		}
+		if th.VAS(a, 1) {
+			t.Fatal("VAS succeeded after forced eviction")
+		}
+		th.ClearTagSet()
+		if !th.AddTag(a, core.WordSize) || !th.Validate() {
+			t.Fatal("ClearTagSet must reset the failure latch")
+		}
+	})
+
+	t.Run("machine-capacity", func(t *testing.T) {
+		cfg := machine.DefaultConfig(1)
+		cfg.MemBytes = 1 << 20
+		cfg.L1Bytes = 2 << 10 // 32 lines
+		cfg.L1Ways = 2
+		cfg.L2Bytes = 8 << 10
+		mem := machine.New(cfg)
+		th := mem.Thread(0)
+		tagged := mem.Alloc(1)
+		if !th.AddTag(tagged, core.WordSize) {
+			t.Fatal("AddTag failed on a fresh thread")
+		}
+		// Touch far more distinct lines than the L1 holds; the tagged
+		// line must eventually fall victim to capacity replacement.
+		for i := 0; i < 4096; i++ {
+			th.Load(mem.Alloc(1))
+		}
+		if th.Validate() {
+			t.Fatal("Validate succeeded after the tagged line was evicted by capacity pressure")
+		}
+		th.ClearTagSet()
+		if !th.AddTag(tagged, core.WordSize) {
+			t.Fatal("ClearTagSet must reset the failure latch")
+		}
+	})
+}

@@ -187,6 +187,16 @@ func (g *Manager) rdcss(th core.Thread, a1 core.Addr, o1 uint64, a2 core.Addr, o
 			g.completeRDCSS(th, core.Addr(v&^rdcssMark))
 			continue
 		}
+		if v == o2 {
+			// The CAS lost a race (another descriptor was installed and
+			// resolved in between) but the word holds o2 again, e.g. after a
+			// failed operation's rollback. Returning o2 here would be
+			// indistinguishable from the success path above, and helpKCAS
+			// would treat the entry as installed without any descriptor in
+			// place — committing a k-CAS that skips this word. Retry instead,
+			// so a returned value always differs from o2.
+			continue
+		}
 		return v
 	}
 }

@@ -1,0 +1,88 @@
+package linearizability
+
+import (
+	"fmt"
+
+	"repro/internal/history"
+)
+
+// SetModel is the per-key sequential specification of an ordered set: the
+// state is one bit of membership, and Insert/Delete/Contains report
+// success against it. Used with CheckPartitioned (operations on distinct
+// keys commute), it is the model for every intset.Set in this repository.
+func SetModel() Model {
+	return Model{
+		Name: "set",
+		Init: 0,
+		Step: func(s uint64, e *history.Event) (uint64, bool) {
+			switch e.Op {
+			case history.OpInsert:
+				return 1, e.OK == (s == 0)
+			case history.OpDelete:
+				return 0, e.OK == (s == 1)
+			case history.OpContains:
+				return s, e.OK == (s == 1)
+			}
+			return s, false
+		},
+		Format: func(e *history.Event) string {
+			name := [...]string{"Insert", "Delete", "Contains"}[e.Op]
+			return fmt.Sprintf("w%d %s(%d) = %v  [inv %d, ret %d]", e.Worker, name, e.Key, e.OK, e.Inv, e.Ret)
+		},
+	}
+}
+
+// RegisterModel is a single uint64 register with reads and CAS: OpRead
+// must observe the current value (Out), and OpCAS (Arg = expected old,
+// Out = new value) must succeed exactly when the state equals Arg. Use
+// with Check (one partition) or CheckPartitioned when Key indexes
+// independent registers.
+func RegisterModel(init uint64) Model {
+	return Model{
+		Name: "register",
+		Init: init,
+		Step: func(s uint64, e *history.Event) (uint64, bool) {
+			switch e.Op {
+			case history.OpRead:
+				return s, e.Out == s
+			case history.OpCAS:
+				if e.OK {
+					return e.Out, s == e.Arg
+				}
+				return s, s != e.Arg
+			}
+			return s, false
+		},
+		Format: func(e *history.Event) string {
+			if e.Op == history.OpRead {
+				return fmt.Sprintf("w%d Read(r%d) = %d  [inv %d, ret %d]", e.Worker, e.Key, e.Out, e.Inv, e.Ret)
+			}
+			return fmt.Sprintf("w%d CAS(r%d, %d -> %d) = %v  [inv %d, ret %d]", e.Worker, e.Key, e.Arg, e.Out, e.OK, e.Inv, e.Ret)
+		},
+	}
+}
+
+// CounterModel is a fetch-and-increment counter: OpIncGet returns the
+// value before the increment, OpRead observes the current value. It is the
+// model for the tagged-NOrec transactional counter.
+func CounterModel(init uint64) Model {
+	return Model{
+		Name: "counter",
+		Init: init,
+		Step: func(s uint64, e *history.Event) (uint64, bool) {
+			switch e.Op {
+			case history.OpIncGet:
+				return s + 1, e.Out == s
+			case history.OpRead:
+				return s, e.Out == s
+			}
+			return s, false
+		},
+		Format: func(e *history.Event) string {
+			if e.Op == history.OpIncGet {
+				return fmt.Sprintf("w%d IncGet() = %d  [inv %d, ret %d]", e.Worker, e.Out, e.Inv, e.Ret)
+			}
+			return fmt.Sprintf("w%d Read() = %d  [inv %d, ret %d]", e.Worker, e.Out, e.Inv, e.Ret)
+		},
+	}
+}

@@ -158,6 +158,21 @@ func (t *Thread) tagEvictSelf(l core.Line) {
 	}
 }
 
+// ForceTagEviction simulates a spurious capacity eviction of one of this
+// core's tagged lines, for adversarial harnesses (internal/schedfuzz) that
+// want eviction pressure beyond what the cache geometry produces
+// naturally. It follows the same path as a real displacement: the evicted
+// latch is set and validation fails until ClearTagSet. A no-op when no
+// tags are held.
+func (t *Thread) ForceTagEviction() {
+	if len(t.tags) == 0 {
+		return
+	}
+	t.evicted.Store(true)
+	t.stats.SpuriousEvictions++
+	t.emit(EvTagEvicted, -1, t.tags[0])
+}
+
 // drainEvictions clears directory presence for lines displaced from L2.
 // Called with no directory locks held.
 func (t *Thread) drainEvictions() {

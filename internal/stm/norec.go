@@ -184,9 +184,18 @@ func (tx *Tx) Read(a core.Addr) uint64 {
 	if tx.useTags {
 		// Fast path: every read-set line (including a's) is tagged. If
 		// none was invalidated, every recorded value — and v — is current
-		// at this instant, regardless of the sequence lock: commits that
-		// did not touch our lines are irrelevant. A failed validation
-		// aborts immediately, with no value-based re-validation.
+		// at this instant: commits that did not touch our lines are
+		// irrelevant, so (unlike baseline NOrec) the lock moving to a new
+		// even value costs nothing. The lock being *held* is different:
+		// values read while a writer is mid-writeBack can span its
+		// partial commit, and tag validation alone cannot rule that out
+		// (a line tagged after the writer stored it validates fine). Wait
+		// until the lock is free, then validate — any of our lines the
+		// writer touched shows up as an invalidated tag. A failed
+		// validation aborts immediately, with no value-based
+		// re-validation.
+		for tx.th.Load(tx.tm.seq)%2 != 0 {
+		}
 		if tx.th.Validate() {
 			tx.reads = append(tx.reads, readEntry{addr: a, val: v})
 			return v

@@ -1,0 +1,69 @@
+package txmap
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/intset"
+	"repro/internal/schedfuzz"
+	"repro/internal/stm"
+	"repro/internal/vtags"
+)
+
+// mapSet drives the transactional red-black map directly through the
+// set-history harness: Put/Delete/Get, one transaction per operation. This
+// checks the tree rebalancing itself (rotations, fixup, sentinel writes)
+// rather than the txset adapter layer.
+type mapSet struct {
+	tm *stm.TM
+	m  *Map
+}
+
+func (s *mapSet) Insert(th core.Thread, key uint64) bool {
+	var added bool
+	s.tm.Run(th, func(tx *stm.Tx) { added = s.m.Put(tx, key, key+1, th) })
+	return added
+}
+
+func (s *mapSet) Delete(th core.Thread, key uint64) bool {
+	var removed bool
+	s.tm.Run(th, func(tx *stm.Tx) { removed = s.m.Delete(tx, key) })
+	return removed
+}
+
+func (s *mapSet) Contains(th core.Thread, key uint64) bool {
+	var found bool
+	s.tm.Run(th, func(tx *stm.Tx) { _, found = s.m.Get(tx, key) })
+	return found
+}
+
+// TestLinearizableVTags checks the red-black tree under baseline and
+// tagged NOrec with schedule fuzzing.
+func TestLinearizableVTags(t *testing.T) {
+	variants := []struct {
+		name  string
+		newTM func(core.Memory) *stm.TM
+	}{
+		{"norec", stm.NewNOrec},
+		{"tagged", stm.NewTagged},
+	}
+	newMem := func(threads int) core.Memory { return vtags.New(16<<20, threads) }
+	for _, v := range variants {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(1); seed <= 2; seed++ {
+				fuzz := schedfuzz.Default(seed)
+				build := func(m core.Memory) intset.Set { return &mapSet{tm: v.newTM(m), m: New(m)} }
+				intset.CheckLinearizable(t, newMem, build, intset.LinearizeConfig{
+					Threads:      4,
+					OpsPerThread: intset.LinearizeOps(200),
+					KeyRange:     16,
+					Prefill:      8,
+					Seed:         seed,
+					Fuzz:         &fuzz,
+				})
+			}
+		})
+	}
+}

@@ -1,0 +1,42 @@
+package txset
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/intset"
+	"repro/internal/schedfuzz"
+	"repro/internal/stm"
+	"repro/internal/vtags"
+)
+
+// TestLinearizableVTags checks the STM-backed set under both baseline
+// NOrec and tagged NOrec. Forced spurious evictions drive the tagged
+// variant through its tag-abort and value-based-validation fallback paths.
+func TestLinearizableVTags(t *testing.T) {
+	variants := []struct {
+		name  string
+		build func(core.Memory) intset.Set
+	}{
+		{"norec", func(m core.Memory) intset.Set { return New(m, stm.NewNOrec(m)) }},
+		{"tagged", func(m core.Memory) intset.Set { return New(m, stm.NewTagged(m)) }},
+	}
+	newMem := func(threads int) core.Memory { return vtags.New(16<<20, threads) }
+	for _, v := range variants {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(1); seed <= 2; seed++ {
+				fuzz := schedfuzz.Default(seed)
+				intset.CheckLinearizable(t, newMem, v.build, intset.LinearizeConfig{
+					Threads:      4,
+					OpsPerThread: intset.LinearizeOps(200),
+					KeyRange:     16,
+					Prefill:      8,
+					Seed:         seed,
+					Fuzz:         &fuzz,
+				})
+			}
+		})
+	}
+}

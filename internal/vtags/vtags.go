@@ -195,6 +195,20 @@ func (t *Thread) Validate() bool {
 // TagCount returns the number of tagged lines.
 func (t *Thread) TagCount() int { return len(t.tags) }
 
+// ForceTagEviction simulates a spurious capacity eviction of a tagged
+// line: validation fails until ClearTagSet, exactly as when hardware
+// displaces a tagged line from L1. The emulation has no real capacity
+// pressure, so this hook is how adversarial harnesses (internal/schedfuzz)
+// exercise the advisory-tag failure paths on this backend. It must be
+// called from the goroutine owning the handle. A no-op when no tags are
+// held.
+func (t *Thread) ForceTagEviction() {
+	if len(t.tags) == 0 {
+		return
+	}
+	t.overflow = true // latch failure, like a recorded eviction
+}
+
 // ClearTagSet drops all tags and the overflow latch.
 func (t *Thread) ClearTagSet() {
 	t.tags = t.tags[:0]

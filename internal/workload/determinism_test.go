@@ -1,0 +1,105 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/history"
+	"repro/internal/list"
+	"repro/internal/vtags"
+)
+
+// TestPrefillDeterministic guards the prefill key derivation: the same
+// seed must produce the same key sequence (experiments and the recorded
+// prefill path both depend on it), and the recorded Prefill path must
+// issue exactly the same insert attempts as the unrecorded one.
+func TestPrefillDeterministic(t *testing.T) {
+	cfg := Config{KeyRange: 64, PrefillSize: 24, Seed: 42}
+
+	snapshot := func(c Config) ([]uint64, Counts) {
+		mem := vtags.New(1<<20, 1)
+		s := list.NewHarris(mem)
+		n := Prefill(mem, s, c)
+		return s.Keys(mem.Thread(0)), n
+	}
+
+	k1, n1 := snapshot(cfg)
+	k2, n2 := snapshot(cfg)
+	if !reflect.DeepEqual(k1, k2) || n1 != n2 {
+		t.Fatalf("same seed, different prefill: %v vs %v", k1, k2)
+	}
+
+	recorded := cfg
+	recorded.History = history.NewRecorder(1, cfg.PrefillSize)
+	k3, n3 := snapshot(recorded)
+	if !reflect.DeepEqual(k1, k3) || n1.TotalFill != n3.TotalFill {
+		t.Fatalf("recorded prefill diverged: %v vs %v", k1, k3)
+	}
+	for _, e := range recorded.History.Events() {
+		if e.Op != history.OpInsert || e.Pending() {
+			t.Fatalf("unexpected prefill event %+v", e)
+		}
+	}
+
+	k4, _ := snapshot(Config{KeyRange: 64, PrefillSize: 24, Seed: 43})
+	if reflect.DeepEqual(k1, k4) {
+		t.Fatal("different seeds produced identical prefill")
+	}
+}
+
+// TestRunDeterministic guards the per-worker stream derivation
+// (Seed + w*7919 + 1): with one thread the full run is deterministic, and
+// with several threads each worker's recorded (op, key) stream is
+// seed-stable even though the interleaving is not.
+func TestRunDeterministic(t *testing.T) {
+	run := func(threads int, seed int64) (*history.Recorder, []uint64) {
+		mem := vtags.New(1<<20, threads)
+		s := list.NewHarris(mem)
+		rec := history.NewRecorder(threads, 64)
+		cfg := Config{
+			Threads: threads, KeyRange: 32, OpsPerThread: 50,
+			Mix: Update3535, Seed: seed, History: rec,
+		}
+		Run(mem, s, cfg)
+		return rec, s.Keys(mem.Thread(0))
+	}
+
+	type opKey struct {
+		Op  uint8
+		Key uint64
+	}
+	streams := func(rec *history.Recorder, threads int) [][]opKey {
+		out := make([][]opKey, threads)
+		for _, e := range rec.Events() {
+			out[e.Worker] = append(out[e.Worker], opKey{e.Op, e.Key})
+		}
+		return out
+	}
+
+	// Single thread: everything, including the final snapshot, is a pure
+	// function of the seed.
+	r1, s1 := run(1, 7)
+	r2, s2 := run(1, 7)
+	if !reflect.DeepEqual(streams(r1, 1), streams(r2, 1)) {
+		t.Fatal("single-thread op streams diverged for equal seeds")
+	}
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatalf("single-thread snapshots diverged: %v vs %v", s1, s2)
+	}
+
+	// Multi-thread: per-worker streams are seed-stable; distinct workers
+	// draw distinct streams.
+	r3, _ := run(2, 7)
+	r4, _ := run(2, 7)
+	st3, st4 := streams(r3, 2), streams(r4, 2)
+	if !reflect.DeepEqual(st3, st4) {
+		t.Fatal("per-worker op streams diverged for equal seeds")
+	}
+	if reflect.DeepEqual(st3[0], st3[1]) {
+		t.Fatal("workers 0 and 1 drew identical streams")
+	}
+	r5, _ := run(2, 8)
+	if reflect.DeepEqual(st3, streams(r5, 2)) {
+		t.Fatal("different seeds produced identical op streams")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/history"
 	"repro/internal/intset"
 )
 
@@ -35,6 +36,13 @@ type Config struct {
 	OpsPerThread int
 	Mix          Mix
 	Seed         int64
+
+	// History, when non-nil, records every operation's invocation and
+	// response (worker w uses shard w; Prefill records on shard 0) so the
+	// run can be checked with internal/linearizability. It must have at
+	// least Threads shards. Recording costs one slice append and two
+	// atomic increments per operation; leave it nil for measured runs.
+	History *history.Recorder
 }
 
 // activatable is implemented by machine threads supporting lax clock
@@ -56,10 +64,28 @@ type Counts struct {
 }
 
 // Prefill populates the structure with cfg.PrefillSize distinct random
-// keys using thread 0.
+// keys using thread 0. With cfg.History set, every insert attempt
+// (including duplicates that return false) is recorded on shard 0; the key
+// sequence is identical to the unrecorded path.
 func Prefill(mem core.Memory, s intset.Set, cfg Config) Counts {
-	keys := intset.Prefill(mem.Thread(0), s, cfg.PrefillSize, cfg.KeyRange, cfg.Seed)
-	return Counts{TotalFill: len(keys)}
+	if cfg.History == nil {
+		keys := intset.Prefill(mem.Thread(0), s, cfg.PrefillSize, cfg.KeyRange, cfg.Seed)
+		return Counts{TotalFill: len(keys)}
+	}
+	th := mem.Thread(0)
+	sh := cfg.History.Shard(0)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	filled := 0
+	for filled < cfg.PrefillSize {
+		k := intset.KeyMin + uint64(rng.Int63n(int64(cfg.KeyRange)))
+		idx := sh.Begin(history.OpInsert, k, 0)
+		ok := s.Insert(th, k)
+		sh.End(idx, ok, 0)
+		if ok {
+			filled++
+		}
+	}
+	return Counts{TotalFill: filled}
 }
 
 // Run executes the workload with one goroutine per thread and returns the
@@ -88,21 +114,36 @@ func Run(mem core.Memory, s intset.Set, cfg Config) Counts {
 			ready.Done()
 			<-start
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*7919 + 1))
+			var sh *history.Shard
+			if cfg.History != nil {
+				sh = cfg.History.Shard(w)
+			}
+			// do runs one structure operation, recorded when a history
+			// shard is attached.
+			do := func(op uint8, k uint64, exec func() bool) bool {
+				if sh == nil {
+					return exec()
+				}
+				idx := sh.Begin(op, k, 0)
+				ok := exec()
+				sh.End(idx, ok, 0)
+				return ok
+			}
 			c := &results[w]
 			for i := 0; i < cfg.OpsPerThread; i++ {
 				k := intset.KeyMin + uint64(rng.Int63n(int64(cfg.KeyRange)))
 				op := rng.Intn(100)
 				switch {
 				case op < cfg.Mix.InsertPct:
-					if s.Insert(th, k) {
+					if do(history.OpInsert, k, func() bool { return s.Insert(th, k) }) {
 						c.Inserts++
 					}
 				case op < cfg.Mix.InsertPct+cfg.Mix.DeletePct:
-					if s.Delete(th, k) {
+					if do(history.OpDelete, k, func() bool { return s.Delete(th, k) }) {
 						c.Deletes++
 					}
 				default:
-					if s.Contains(th, k) {
+					if do(history.OpContains, k, func() bool { return s.Contains(th, k) }) {
 						c.Hits++
 					}
 				}
