@@ -24,6 +24,7 @@ import (
 	"repro/internal/intset"
 	"repro/internal/list"
 	"repro/internal/machine"
+	"repro/internal/schedexplore"
 	"repro/internal/schedfuzz"
 	"repro/internal/skiplist"
 	"repro/internal/stm"
@@ -89,6 +90,11 @@ func main() {
 	seed := flag.Int64("seed", 1, "base random seed")
 	linearize := flag.Bool("linearize", false,
 		"record every operation and check the history with the linearizability checker, under schedule fuzzing (slower per op)")
+	explore := flag.Bool("explore", false,
+		"drive the cycle-level schedule explorer (machine backend only): serialize the cores, enumerate interleavings derived from -seed — including intra-operation directory-locking windows — and check every execution's history; a violation prints the schedule and machine trace, and re-running with the same -seed replays it exactly")
+	exploreExecs := flag.Int("explore-execs", 8, "schedule-explorer executions per structure per round")
+	exploreMode := flag.String("explore-mode", "random",
+		"schedule exploration strategy: random, pct, or exhaustive (use small -ops/-threads with exhaustive)")
 	flag.Parse()
 
 	if *threads < 1 {
@@ -124,6 +130,30 @@ func main() {
 		backends = []string{*backend}
 	}
 
+	run := stressOne
+	if *linearize {
+		run = linearizeOne
+	}
+	if *explore {
+		var mode schedexplore.Mode
+		switch *exploreMode {
+		case "random":
+			mode = schedexplore.RandomWalk
+		case "pct":
+			mode = schedexplore.PCT
+		case "exhaustive":
+			mode = schedexplore.Exhaustive
+		default:
+			fmt.Fprintf(os.Stderr, "memtag-stress: unknown explore mode %q (valid: random, pct, exhaustive)\n", *exploreMode)
+			os.Exit(2)
+		}
+		backends = []string{"machine"} // the explorer gates simulated cores
+		execs := *exploreExecs
+		run = func(sd structDef, bk string, threads, ops int, keyRange uint64, seed int64) error {
+			return exploreOne(sd, threads, ops, keyRange, seed, mode, execs)
+		}
+	}
+
 	failures := 0
 	for _, sd := range structs() {
 		if len(selected) > 0 && !selected[sd.name] {
@@ -131,10 +161,6 @@ func main() {
 		}
 		for _, bk := range backends {
 			for round := 0; round < *rounds; round++ {
-				run := stressOne
-				if *linearize {
-					run = linearizeOne
-				}
 				if err := run(sd, bk, *threads, *ops, *keyRange, *seed+int64(round)); err != nil {
 					fmt.Printf("FAIL %-14s %-8s round %d: %v\n", sd.name, bk, round, err)
 					failures++
@@ -187,6 +213,40 @@ func linearizeOne(sd structDef, backend string, threads, ops int, keyRange uint6
 	}
 	if !out.OK {
 		return fmt.Errorf("history not linearizable:\n%s", out.Explain())
+	}
+	return nil
+}
+
+// exploreOne runs one schedule-explored round on the machine backend: the
+// explorer serializes the simulated cores, enumerates interleavings — op
+// boundaries plus the intra-operation directory-locking windows — with
+// targeted tag evictions, and checks every execution's history. The whole
+// round is a pure function of the seed, so a reported violation is
+// reproduced exactly by re-running with the same flags.
+func exploreOne(sd structDef, threads, ops int, keyRange uint64, seed int64, mode schedexplore.Mode, execs int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	newMachine := func(t int) *machine.Machine {
+		cfg := machine.DefaultConfig(t)
+		cfg.MemBytes = 256 << 20
+		cfg.MaxTags = 128
+		return machine.New(cfg)
+	}
+	res := intset.RunExplore(newMachine, sd.build, intset.ExploreConfig{
+		Threads:      threads,
+		OpsPerThread: ops,
+		KeyRange:     keyRange,
+		Prefill:      int(keyRange / 2),
+		Seed:         seed,
+		Mode:         mode,
+		Executions:   execs,
+		EvictPerMil:  100,
+	})
+	if res.Failure != nil {
+		return fmt.Errorf("schedule explorer found a violation (replay with the same -seed %d):\n%s", seed, res.Failure)
 	}
 	return nil
 }

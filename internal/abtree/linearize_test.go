@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/intset"
 	"repro/internal/machine"
+	"repro/internal/schedexplore"
 	"repro/internal/schedfuzz"
 	"repro/internal/vtags"
 )
@@ -55,6 +56,33 @@ func TestLinearizableVTags(t *testing.T) {
 // but a cache so small that *every* locate self-evicts its window would
 // livelock the pure HoH tree, which by design has no fallback path (that
 // is the elided variant's job).
+// TestExploreLinearizableMachine drives the HoH (a,b)-tree through the
+// cycle-level schedule explorer: every execution serializes the cores,
+// enumerates interleavings at op boundaries and intra-operation
+// directory-locking windows, injects targeted tag evictions, and checks
+// the recorded history. A violation fails with the replayable choice
+// sequence and machine trace.
+func TestExploreLinearizableMachine(t *testing.T) {
+	newMachine := func(threads int) *machine.Machine {
+		cfg := machine.DefaultConfig(threads)
+		cfg.MemBytes = 8 << 20
+		return machine.New(cfg)
+	}
+	build := func(m core.Memory) intset.Set { return NewHoH(m, 2, 4) }
+	for _, mode := range []schedexplore.Mode{schedexplore.RandomWalk, schedexplore.PCT} {
+		intset.CheckExploreLinearizable(t, newMachine, build, intset.ExploreConfig{
+			Threads:      3,
+			OpsPerThread: 10,
+			KeyRange:     8,
+			Prefill:      4,
+			Seed:         22,
+			Mode:         mode,
+			Executions:   5,
+			EvictPerMil:  100,
+		})
+	}
+}
+
 func TestLinearizableMachinePressure(t *testing.T) {
 	newMem := func(seed int64) func(threads int) core.Memory {
 		return func(threads int) core.Memory {

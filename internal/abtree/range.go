@@ -1,0 +1,85 @@
+package abtree
+
+import "repro/internal/core"
+
+// Outcomes of one tagged descent in RangeQuery.
+const (
+	rqOK = iota
+	rqOverflow
+	rqInvalid
+)
+
+// RangeQuery returns an atomic snapshot of the keys in [lo, hi]: a tagged
+// depth-first descent into every subtree whose router interval intersects
+// the range, keeping all visited nodes tagged, so the single final
+// validation proves the whole fringe was simultaneously reachable. Any
+// concurrent IAS replacing a visited node invalidates our tags and the
+// attempt restarts; a replaced-but-unvisited sibling cannot affect the
+// result because its subtree is disjoint from the range.
+//
+// ok is false when the covered subtrees exceed the tag budget or
+// validation kept failing for maxTries attempts — callers then fall back
+// to a non-atomic scan. Keys are returned in ascending order.
+func (t *HoHTree) RangeQuery(th core.Thread, lo, hi uint64, maxTries int) (keys []uint64, ok bool) {
+	if lo > hi {
+		return nil, true
+	}
+	nb := t.ly.nodeBytes()
+	for try := 0; try < maxTries; try++ {
+		keys = keys[:0]
+		th.ClearTagSet()
+		var walk func(n core.Addr) int
+		walk = func(n core.Addr) int {
+			if !th.AddTag(n, nb) {
+				return rqOverflow
+			}
+			// Validate with n joined to the window: n was read from a
+			// still-tagged parent's pointer array, so success proves n was
+			// that parent's child — reachable from the root — at this
+			// instant.
+			if !th.Validate() {
+				return rqInvalid
+			}
+			leaf, _, kc := t.ly.readMeta(th, n)
+			if leaf {
+				for i := 0; i < kc; i++ {
+					if k := th.Load(t.ly.keyAddr(n, i)); lo <= k && k <= hi {
+						keys = append(keys, k)
+					}
+				}
+				return rqOK
+			}
+			ks := make([]uint64, kc)
+			for i := range ks {
+				ks[i] = th.Load(t.ly.keyAddr(n, i))
+			}
+			for i := 0; i <= kc; i++ {
+				// Child i covers [ks[i-1], ks[i]); skip subtrees disjoint
+				// from [lo, hi]. The sentinel (kc == 0) always descends.
+				if (i > 0 && ks[i-1] > hi) || (i < kc && ks[i] <= lo) {
+					continue
+				}
+				child := core.Addr(th.Load(t.ly.ptrAddr(n, i)))
+				if st := walk(child); st != rqOK {
+					return st
+				}
+			}
+			return rqOK
+		}
+		switch walk(t.sentinel) {
+		case rqOverflow:
+			th.ClearTagSet()
+			return nil, false
+		case rqInvalid:
+			continue
+		}
+		// Leaves are visited left to right and store sorted keys, so the
+		// collected snapshot is already in ascending order.
+		if th.Validate() {
+			th.ClearTagSet()
+			return keys, true
+		}
+	}
+	th.ClearTagSet()
+	return nil, false
+}

@@ -1,0 +1,104 @@
+package abtree
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/intset"
+	"repro/internal/schedfuzz"
+	"repro/internal/vtags"
+)
+
+func TestRangeQueryBasic(t *testing.T) {
+	mem := vtags.New(1<<20, 1, vtags.WithMaxTags(64))
+	s := NewHoH(mem, 2, 4)
+	th := mem.Thread(0)
+	for _, k := range []uint64{10, 20, 30, 40, 50, 60, 70} {
+		s.Insert(th, k)
+	}
+	keys, ok := s.RangeQuery(th, 15, 55, 8)
+	if !ok {
+		t.Fatal("uncontended range query failed")
+	}
+	want := []uint64{20, 30, 40, 50}
+	if len(keys) != len(want) {
+		t.Fatalf("keys = %v, want %v", keys, want)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("keys = %v, want %v", keys, want)
+		}
+	}
+	if th.TagCount() != 0 {
+		t.Fatal("range query leaked tags")
+	}
+}
+
+func TestRangeQueryEdges(t *testing.T) {
+	mem := vtags.New(1<<20, 1, vtags.WithMaxTags(64))
+	s := NewHoH(mem, 2, 4)
+	th := mem.Thread(0)
+	for _, k := range []uint64{10, 20, 30} {
+		s.Insert(th, k)
+	}
+	if keys, ok := s.RangeQuery(th, 31, 99, 8); !ok || len(keys) != 0 {
+		t.Fatalf("empty range: %v ok=%v", keys, ok)
+	}
+	if keys, ok := s.RangeQuery(th, 50, 40, 8); !ok || len(keys) != 0 {
+		t.Fatalf("inverted range: %v ok=%v", keys, ok)
+	}
+	if keys, ok := s.RangeQuery(th, 10, 30, 8); !ok || len(keys) != 3 {
+		t.Fatalf("inclusive bounds: %v ok=%v", keys, ok)
+	}
+	if keys, ok := s.RangeQuery(th, 1, ^uint64(0)-1, 8); !ok || len(keys) != 3 {
+		t.Fatalf("full range: %v ok=%v", keys, ok)
+	}
+	// Pruning: a range covering one subtree must not tag the whole tree.
+	for k := uint64(1); k <= 40; k++ {
+		s.Insert(th, k)
+	}
+	keys, ok := s.RangeQuery(th, 7, 9, 8)
+	if !ok || len(keys) != 3 {
+		t.Fatalf("narrow range in a deep tree: %v ok=%v", keys, ok)
+	}
+}
+
+func TestRangeQueryTagBudget(t *testing.T) {
+	// MaxTags just above the HoH window (the NewHoH minimum): whole-tree
+	// scans must overflow and report ok=false rather than spin.
+	mem := vtags.New(1<<20, 1, vtags.WithMaxTags(8))
+	s := NewHoH(mem, 2, 4)
+	th := mem.Thread(0)
+	for k := uint64(1); k <= 30; k++ {
+		s.Insert(th, k)
+	}
+	if _, ok := s.RangeQuery(th, 1, 30, 4); ok {
+		t.Fatal("range beyond tag budget reported atomic success")
+	}
+	if th.TagCount() != 0 {
+		t.Fatal("failed range query leaked tags")
+	}
+}
+
+// TestSnapshotLinearizable checks HoH-tree histories mixing point ops with
+// atomic range scans and whole-set snapshots against the whole-set
+// sequential model, under schedule fuzzing with forced spurious evictions.
+func TestSnapshotLinearizable(t *testing.T) {
+	newMem := func(threads int) core.Memory {
+		// A whole-universe scan tags every node on the covered fringe; with
+		// (2,4) nodes spanning 2 lines and 16 keys this stays well under 64.
+		return vtags.New(16<<20, threads, vtags.WithMaxTags(64))
+	}
+	build := func(m core.Memory) intset.Set { return NewHoH(m, 2, 4) }
+	for seed := int64(1); seed <= 2; seed++ {
+		fuzz := schedfuzz.Default(seed)
+		intset.CheckSnapshotLinearizable(t, newMem, build, intset.SnapshotConfig{
+			Threads:      3,
+			OpsPerThread: intset.LinearizeOps(90),
+			KeyRange:     16,
+			Prefill:      6,
+			Seed:         seed,
+			Fuzz:         &fuzz,
+		})
+	}
+}

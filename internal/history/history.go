@@ -30,6 +30,13 @@ const (
 	OpCAS
 	// OpIncGet is a fetch-and-increment (Out = value before the increment).
 	OpIncGet
+	// OpRange is an atomic range scan over set keys (Key = low bound,
+	// Arg = high bound, Out = observed membership encoded by the model,
+	// OK = whether a snapshot was obtained at all).
+	OpRange
+	// OpKeys is an atomic whole-set snapshot (Out = observed membership
+	// encoded by the model, OK as for OpRange).
+	OpKeys
 )
 
 // pending marks an event whose response has not been recorded.
@@ -127,6 +134,12 @@ func (s *Shard) End(idx int, ok bool, out uint64) {
 	e.Out = out
 	e.Ret = s.rec.clock.Add(1)
 }
+
+// SetArg rewrites the Arg of a recorded operation. Some attributes — e.g.
+// which internal path an operation committed through — are only known once
+// the operation returns, but the invocation timestamp must still come from
+// Begin; record those by Begin/SetArg/End.
+func (s *Shard) SetArg(idx int, arg uint64) { s.events[idx].Arg = arg }
 
 // Len returns the number of events recorded in this shard.
 func (s *Shard) Len() int { return len(s.events) }

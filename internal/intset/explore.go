@@ -1,0 +1,123 @@
+package intset
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/history"
+	"repro/internal/linearizability"
+	"repro/internal/machine"
+	"repro/internal/schedexplore"
+)
+
+// ExploreConfig describes one schedule-explored linearizability run on the
+// machine backend: the cycle-level explorer (internal/schedexplore)
+// serializes the simulated cores and enumerates interleavings — including
+// the intra-operation directory-locking windows — while every operation is
+// recorded and each execution's history is checked against the sequential
+// set model.
+type ExploreConfig struct {
+	Threads      int
+	OpsPerThread int
+	KeyRange     uint64
+	Prefill      int // keys inserted (and recorded) before exploration
+	Seed         int64
+	// Mode, Executions, WindowCycles, EvictPerMil and MaxDecisions are
+	// passed through to schedexplore.Config.
+	Mode         schedexplore.Mode
+	Executions   int
+	WindowCycles uint64
+	EvictPerMil  int
+	MaxDecisions int
+	// MaxIters overrides the checker's per-partition search budget.
+	MaxIters uint64
+	// OnHistory, when non-nil, receives each execution's recorded history
+	// (determinism tests compare histories across identically seeded runs).
+	OnHistory func(events []history.Event)
+}
+
+// RunExplore explores schedules of one recorded workload per execution and
+// checks every execution's history. newMachine must build the backend
+// deterministically (same config for the same thread count).
+func RunExplore(newMachine func(threads int) *machine.Machine, build func(core.Memory) Set, cfg ExploreConfig) schedexplore.Result {
+	newSetup := func() schedexplore.Setup {
+		m := newMachine(cfg.Threads)
+		s := build(m)
+		rec := history.NewRecorder(cfg.Threads, cfg.OpsPerThread+cfg.Prefill+8)
+		if cfg.Prefill > 0 {
+			th := m.Thread(0)
+			sh := rec.Shard(0)
+			rng := rand.New(rand.NewSource(cfg.Seed ^ 0x9e3779b9))
+			inserted := 0
+			for inserted < cfg.Prefill {
+				k := KeyMin + uint64(rng.Int63n(int64(cfg.KeyRange)))
+				idx := sh.Begin(history.OpInsert, k, 0)
+				ok := s.Insert(th, k)
+				sh.End(idx, ok, 0)
+				if ok {
+					inserted++
+				}
+			}
+		}
+		return schedexplore.Setup{
+			Machine: m,
+			Workers: cfg.Threads,
+			Body: func(w int, th core.Thread) {
+				sh := rec.Shard(w)
+				rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*7919 + 1))
+				for i := 0; i < cfg.OpsPerThread; i++ {
+					k := KeyMin + uint64(rng.Int63n(int64(cfg.KeyRange)))
+					switch rng.Intn(3) {
+					case 0:
+						idx := sh.Begin(history.OpInsert, k, 0)
+						sh.End(idx, s.Insert(th, k), 0)
+					case 1:
+						idx := sh.Begin(history.OpDelete, k, 0)
+						sh.End(idx, s.Delete(th, k), 0)
+					default:
+						idx := sh.Begin(history.OpContains, k, 0)
+						sh.End(idx, s.Contains(th, k), 0)
+					}
+				}
+			},
+			Check: func() error {
+				if cfg.OnHistory != nil {
+					cfg.OnHistory(rec.Events())
+				}
+				var opts []linearizability.Option
+				if cfg.MaxIters > 0 {
+					opts = append(opts, linearizability.WithMaxIters(cfg.MaxIters))
+				}
+				out := linearizability.CheckSet(rec.Events(), opts...)
+				if out.Inconclusive {
+					return fmt.Errorf("linearizability checker inconclusive after %d ops", out.Ops)
+				}
+				if !out.OK {
+					return fmt.Errorf("history not linearizable:\n%s", out.Explain())
+				}
+				return nil
+			},
+		}
+	}
+	return schedexplore.Explore(newSetup, schedexplore.Config{
+		Mode:         cfg.Mode,
+		Seed:         cfg.Seed,
+		Executions:   cfg.Executions,
+		WindowCycles: cfg.WindowCycles,
+		EvictPerMil:  cfg.EvictPerMil,
+		MaxDecisions: cfg.MaxDecisions,
+	})
+}
+
+// CheckExploreLinearizable runs RunExplore and fails the test on any
+// failing execution, printing the counterexample schedule and machine
+// trace.
+func CheckExploreLinearizable(t *testing.T, newMachine func(threads int) *machine.Machine, build func(core.Memory) Set, cfg ExploreConfig) {
+	t.Helper()
+	res := RunExplore(newMachine, build, cfg)
+	if res.Failure != nil {
+		t.Fatalf("schedule explorer found a violation (mode %s):\n%s", cfg.Mode, res.Failure)
+	}
+}

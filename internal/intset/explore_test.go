@@ -1,0 +1,58 @@
+package intset_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/history"
+	"repro/internal/intset"
+	"repro/internal/list"
+	"repro/internal/machine"
+	"repro/internal/schedexplore"
+)
+
+// TestExploreDeterministicFromSeed is the end-to-end determinism
+// guarantee: two explorations from the same seed must produce identical
+// machine traces (per-execution digests) AND identical linearizability
+// histories, event for event — the property that makes a counterexample's
+// seed and choice sequence a complete bug report.
+func TestExploreDeterministicFromSeed(t *testing.T) {
+	newMachine := func(threads int) *machine.Machine {
+		cfg := machine.DefaultConfig(threads)
+		cfg.MemBytes = 8 << 20
+		return machine.New(cfg)
+	}
+	build := func(m core.Memory) intset.Set { return list.NewHoH(m) }
+	run := func() ([][]history.Event, []uint64) {
+		var hists [][]history.Event
+		res := intset.RunExplore(newMachine, build, intset.ExploreConfig{
+			Threads:      3,
+			OpsPerThread: 10,
+			KeyRange:     8,
+			Prefill:      4,
+			Seed:         33,
+			Mode:         schedexplore.RandomWalk,
+			Executions:   4,
+			EvictPerMil:  150,
+			OnHistory: func(events []history.Event) {
+				hists = append(hists, append([]history.Event(nil), events...))
+			},
+		})
+		if res.Failure != nil {
+			t.Fatalf("unexpected violation:\n%s", res.Failure)
+		}
+		if len(res.TraceHashes) != 4 || len(hists) != 4 {
+			t.Fatalf("got %d trace digests and %d histories, want 4 each", len(res.TraceHashes), len(hists))
+		}
+		return hists, res.TraceHashes
+	}
+	hists1, traces1 := run()
+	hists2, traces2 := run()
+	if !reflect.DeepEqual(traces1, traces2) {
+		t.Fatalf("same seed produced different machine traces:\n%v\n%v", traces1, traces2)
+	}
+	if !reflect.DeepEqual(hists1, hists2) {
+		t.Fatal("same seed produced different linearizability histories")
+	}
+}

@@ -42,13 +42,20 @@ type epochAligner interface{ BeginEpoch() }
 // activatable mirrors the machine backend's lax-clock enrolment.
 type activatable interface{ SetActive(bool) }
 
+// spareThreader is implemented by backends (and the schedfuzz wrapper)
+// that expose an auxiliary controller handle outside the counted thread
+// set; the Mode-line flipper runs on it so it does not consume a
+// simulated core.
+type spareThreader interface{ SpareThread() core.Thread }
+
 // RunLinearize executes one recorded stress run and checks the history.
 // newMem must allocate a backend with the requested number of thread
-// handles — it is called with Threads+1 so a spare handle is available for
-// the Mode-line flipper. The build callback constructs the structure on
-// the (possibly fuzz-wrapped) memory.
+// handles — exactly one per worker; the Mode-line flipper, when enabled,
+// runs on the backend's SpareThread and consumes no simulated core. The
+// build callback constructs the structure on the (possibly fuzz-wrapped)
+// memory.
 func RunLinearize(newMem func(threads int) core.Memory, build func(core.Memory) Set, cfg LinearizeConfig) linearizability.Outcome {
-	var mem core.Memory = newMem(cfg.Threads + 1)
+	var mem core.Memory = newMem(cfg.Threads)
 	if cfg.Fuzz != nil {
 		mem = schedfuzz.Wrap(mem, *cfg.Fuzz)
 	}
@@ -83,7 +90,11 @@ func RunLinearize(newMem func(threads int) core.Memory, build func(core.Memory) 
 	var stopFlipper func()
 	if cfg.FlipMode {
 		if ma, ok := s.(modeAddresser); ok {
-			stopFlipper = schedfuzz.StartModeFlipper(mem.Thread(cfg.Threads), ma.ModeAddr(), cfg.Seed)
+			if sp, ok := mem.(spareThreader); ok {
+				if th := sp.SpareThread(); th != nil {
+					stopFlipper = schedfuzz.StartModeFlipper(th, ma.ModeAddr(), cfg.Seed)
+				}
+			}
 		}
 	}
 	var ready, wg sync.WaitGroup

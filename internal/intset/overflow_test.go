@@ -103,7 +103,9 @@ func TestOverflowValidateFailsAfterEviction(t *testing.T) {
 		if !th.AddTag(a, core.WordSize) || !th.Validate() {
 			t.Fatal("tag+validate must succeed before eviction")
 		}
-		th.(interface{ ForceTagEviction() }).ForceTagEviction()
+		if !th.(*vtags.Thread).ForceTagEviction(a.Line()) {
+			t.Fatal("ForceTagEviction must report true for a held tag")
+		}
 		if th.Validate() {
 			t.Fatal("Validate succeeded after forced eviction")
 		}

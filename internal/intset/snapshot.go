@@ -1,0 +1,172 @@
+package intset
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/history"
+	"repro/internal/linearizability"
+	"repro/internal/schedfuzz"
+)
+
+// RangeQuerier is a Set with an atomic range scan: RangeQuery returns the
+// keys in [lo, hi] as of a single linearization point, or ok=false when it
+// gave up (tag budget exceeded, maxTries validation failures). Implemented
+// by the tagged list, skip list and HoH (a,b)-tree.
+type RangeQuerier interface {
+	Set
+	RangeQuery(th core.Thread, lo, hi uint64, maxTries int) (keys []uint64, ok bool)
+}
+
+// SnapshotConfig describes one snapshot-linearizability stress run: workers
+// mix point operations with atomic range scans and whole-set snapshots, and
+// the combined history is checked against the whole-set sequential model
+// (linearizability.SnapshotSetModel). Scans do not commute with point
+// operations, so the check is single-partition — keep runs small.
+type SnapshotConfig struct {
+	Threads      int
+	OpsPerThread int
+	// KeyRange bounds the key universe [KeyMin, KeyMin+KeyRange-1]; the
+	// whole-set model needs KeyRange <= 64.
+	KeyRange uint64
+	Prefill  int
+	Seed     int64
+	// ScanPerMil is the per-mil probability that an op is a scan (half
+	// random ranges, half whole-set snapshots). 0 picks a default of 250.
+	ScanPerMil int
+	// ScanTries is the RangeQuery retry budget. 0 picks a default of 64.
+	ScanTries int
+	// Fuzz, when non-nil, wraps the backend with schedule fuzzing.
+	Fuzz *schedfuzz.Config
+	// MaxIters overrides the checker's search budget.
+	MaxIters uint64
+}
+
+// maskOf encodes a scan result as the membership bitmask the snapshot model
+// compares against its state.
+func maskOf(keys []uint64) uint64 {
+	var m uint64
+	for _, k := range keys {
+		m |= uint64(1) << (k - KeyMin)
+	}
+	return m
+}
+
+// RunSnapshotLinearize executes one recorded run mixing point ops with
+// atomic scans and checks the history against SnapshotSetModel. newMem and
+// build follow the RunLinearize contract; build's result must implement
+// RangeQuerier.
+func RunSnapshotLinearize(newMem func(threads int) core.Memory, build func(core.Memory) Set, cfg SnapshotConfig) linearizability.Outcome {
+	if cfg.KeyRange < 1 || cfg.KeyRange > 64 {
+		panic("intset: SnapshotConfig.KeyRange must be in [1, 64]")
+	}
+	scanPerMil := cfg.ScanPerMil
+	if scanPerMil == 0 {
+		scanPerMil = 250
+	}
+	scanTries := cfg.ScanTries
+	if scanTries == 0 {
+		scanTries = 64
+	}
+
+	var mem core.Memory = newMem(cfg.Threads)
+	if cfg.Fuzz != nil {
+		mem = schedfuzz.Wrap(mem, *cfg.Fuzz)
+	}
+	s := build(mem).(RangeQuerier)
+
+	rec := history.NewRecorder(cfg.Threads, cfg.OpsPerThread+cfg.Prefill+8)
+
+	if cfg.Prefill > 0 {
+		th := mem.Thread(0)
+		sh := rec.Shard(0)
+		rng := rand.New(rand.NewSource(cfg.Seed ^ 0x9e3779b9))
+		inserted := 0
+		for inserted < cfg.Prefill {
+			off := uint64(rng.Int63n(int64(cfg.KeyRange)))
+			idx := sh.Begin(history.OpInsert, off, 0)
+			ok := s.Insert(th, KeyMin+off)
+			sh.End(idx, ok, 0)
+			if ok {
+				inserted++
+			}
+		}
+	}
+
+	if ea, ok := mem.(epochAligner); ok {
+		ea.BeginEpoch()
+	}
+
+	var ready, wg sync.WaitGroup
+	start := make(chan struct{})
+	ready.Add(cfg.Threads)
+	for w := 0; w < cfg.Threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			th := mem.Thread(w)
+			if a, ok := th.(activatable); ok {
+				a.SetActive(true)
+				defer a.SetActive(false)
+			}
+			ready.Done()
+			<-start
+			sh := rec.Shard(w)
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*7919 + 1))
+			for i := 0; i < cfg.OpsPerThread; i++ {
+				if rng.Intn(1000) < scanPerMil {
+					if rng.Intn(2) == 0 {
+						// Whole-set snapshot.
+						idx := sh.Begin(history.OpKeys, 0, cfg.KeyRange-1)
+						keys, ok := s.RangeQuery(th, KeyMin, KeyMin+cfg.KeyRange-1, scanTries)
+						sh.End(idx, ok, maskOf(keys))
+					} else {
+						lo := uint64(rng.Int63n(int64(cfg.KeyRange)))
+						hi := lo + uint64(rng.Int63n(int64(cfg.KeyRange-lo)))
+						idx := sh.Begin(history.OpRange, lo, hi)
+						keys, ok := s.RangeQuery(th, KeyMin+lo, KeyMin+hi, scanTries)
+						sh.End(idx, ok, maskOf(keys))
+					}
+					continue
+				}
+				off := uint64(rng.Int63n(int64(cfg.KeyRange)))
+				k := KeyMin + off
+				switch rng.Intn(3) {
+				case 0:
+					idx := sh.Begin(history.OpInsert, off, 0)
+					sh.End(idx, s.Insert(th, k), 0)
+				case 1:
+					idx := sh.Begin(history.OpDelete, off, 0)
+					sh.End(idx, s.Delete(th, k), 0)
+				default:
+					idx := sh.Begin(history.OpContains, off, 0)
+					sh.End(idx, s.Contains(th, k), 0)
+				}
+			}
+		}(w)
+	}
+	ready.Wait()
+	close(start)
+	wg.Wait()
+
+	opts := []linearizability.Option{}
+	if cfg.MaxIters > 0 {
+		opts = append(opts, linearizability.WithMaxIters(cfg.MaxIters))
+	}
+	return linearizability.Check(linearizability.SnapshotSetModel(cfg.KeyRange), rec.Events(), opts...)
+}
+
+// CheckSnapshotLinearizable runs RunSnapshotLinearize and fails the test on
+// a non-linearizable history or an inconclusive verdict.
+func CheckSnapshotLinearizable(t *testing.T, newMem func(threads int) core.Memory, build func(core.Memory) Set, cfg SnapshotConfig) {
+	t.Helper()
+	out := RunSnapshotLinearize(newMem, build, cfg)
+	if out.Inconclusive {
+		t.Fatalf("snapshot linearizability verdict inconclusive (seed %d): shrink the run or raise MaxIters\n%s", cfg.Seed, out.Explain())
+	}
+	if !out.OK {
+		t.Fatalf("seed %d: %s", cfg.Seed, out.Explain())
+	}
+}

@@ -1,0 +1,90 @@
+package kcas
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/history"
+	"repro/internal/linearizability"
+	"repro/internal/machine"
+	"repro/internal/schedexplore"
+)
+
+// TestExploreLinearizableTaggedKCAS drives the tag-accelerated kCAS through
+// the cycle-level schedule explorer on the machine backend: the controller
+// serializes the cores, enumerates interleavings at op boundaries and the
+// intra-operation gate points (per-line AddTag, pre-lock commit), and
+// injects targeted tag evictions — which force the pre-check onto its
+// spurious-failure path mid-operation. Every execution's history must
+// linearize against the packed multi-register model.
+func TestExploreLinearizableTaggedKCAS(t *testing.T) {
+	const threads, opsPer = 3, 10
+	seed := int64(31)
+	newSetup := func() schedexplore.Setup {
+		cfg := machine.DefaultConfig(threads)
+		cfg.MemBytes = 4 << 20
+		m := machine.New(cfg)
+		g := New(m)
+		addrs := make([]core.Addr, kcasWords)
+		for i := range addrs {
+			addrs[i] = m.Alloc(1)
+		}
+		rec := history.NewRecorder(threads, opsPer)
+		return schedexplore.Setup{
+			Machine: m,
+			Workers: threads,
+			Body: func(w int, th core.Thread) {
+				sh := rec.Shard(w)
+				rng := rand.New(rand.NewSource(seed + int64(w)*7919 + 1))
+				for n := 0; n < opsPer; n++ {
+					if rng.Intn(2) == 0 {
+						i := uint64(rng.Intn(kcasWords))
+						idx := sh.Begin(history.OpRead, i, 0)
+						v := g.Read(th, addrs[i])
+						sh.End(idx, true, v)
+						continue
+					}
+					i := rng.Intn(kcasWords)
+					j := rng.Intn(kcasWords - 1)
+					if j >= i {
+						j++
+					}
+					idx := sh.Begin(history.OpCAS, uint64(i)<<8|uint64(j), 0)
+					for {
+						oldI, oldJ := g.Read(th, addrs[i]), g.Read(th, addrs[j])
+						if g.TaggedKCAS(th, []Entry{
+							{Addr: addrs[i], Old: oldI, New: oldI + 1},
+							{Addr: addrs[j], Old: oldJ, New: oldJ + 1},
+						}) {
+							sh.End(idx, true, packPair(oldI, oldJ))
+							break
+						}
+					}
+				}
+			},
+			Check: func() error {
+				out := linearizability.Check(kcasModel(), rec.Events())
+				if out.Inconclusive {
+					return fmt.Errorf("checker inconclusive after %d ops", out.Ops)
+				}
+				if !out.OK {
+					return fmt.Errorf("history not linearizable:\n%s", out.Explain())
+				}
+				return nil
+			},
+		}
+	}
+	for _, mode := range []schedexplore.Mode{schedexplore.RandomWalk, schedexplore.PCT} {
+		res := schedexplore.Explore(newSetup, schedexplore.Config{
+			Mode:        mode,
+			Seed:        seed,
+			Executions:  5,
+			EvictPerMil: 100,
+		})
+		if res.Failure != nil {
+			t.Fatalf("mode %s found a violation:\n%s", mode, res.Failure)
+		}
+	}
+}

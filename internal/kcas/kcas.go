@@ -13,6 +13,7 @@ package kcas
 
 import (
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/core"
 )
@@ -58,6 +59,11 @@ func isRDCSS(v uint64) bool { return v&rdcssMark != 0 }
 // Manager issues kCAS operations against one simulated memory.
 type Manager struct {
 	mem core.Memory
+	// TagOverflowRetries counts TaggedKCAS calls whose target set exceeded
+	// the tag budget and were retried on the bare software path. Tags are
+	// advisory: overflow must degrade to the untagged kCAS, never to a
+	// spurious failure.
+	TagOverflowRetries atomic.Uint64
 }
 
 // New creates a manager.

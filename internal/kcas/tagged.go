@@ -15,13 +15,28 @@ import "repro/internal/core"
 // acquire locks before discovering failure). Only if the tagged pre-check
 // validates does it run the software kCAS.
 //
+// Tags are advisory, so a target set that does not fit the tag budget
+// (AddTag overflow) is not a failure: the pre-check is skipped and the
+// operation runs on the bare software path, exactly as if the hardware had
+// no tags to offer (counted in TagOverflowRetries). A validation failure —
+// a real or spurious eviction — still fails fast, since retrying the
+// pre-check is cheap and the caller's read of the old values may be stale.
+//
 // It reports whether the kCAS committed. The thread's tag set is consumed.
 func (g *Manager) TaggedKCAS(th core.Thread, entries []Entry) bool {
+	committed, _ := g.TaggedKCASPath(th, entries)
+	return committed
+}
+
+// TaggedKCASPath is TaggedKCAS, additionally reporting whether the
+// operation ran on the bare path after tag-set overflow — harnesses record
+// bare-path operations distinctly in histories.
+func (g *Manager) TaggedKCASPath(th core.Thread, entries []Entry) (committed, bare bool) {
 	th.ClearTagSet()
-	ok := true
+	ok, overflow := true, false
 	for _, e := range entries {
 		if !th.AddTag(e.Addr, core.WordSize) {
-			ok = false
+			ok, overflow = false, true
 			break
 		}
 		if g.Read(th, e.Addr) != e.Old {
@@ -33,10 +48,14 @@ func (g *Manager) TaggedKCAS(th core.Thread, entries []Entry) bool {
 		ok = th.Validate()
 	}
 	th.ClearTagSet()
-	if !ok {
-		return false // fail fast: no writes, no descriptor
+	if overflow {
+		g.TagOverflowRetries.Add(1)
+		return g.KCAS(th, entries), true
 	}
-	return g.KCAS(th, entries)
+	if !ok {
+		return false, false // fail fast: no writes, no descriptor
+	}
+	return g.KCAS(th, entries), false
 }
 
 // Snapshot returns an atomic snapshot of the logical values at addrs, taken

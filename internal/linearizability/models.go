@@ -32,6 +32,77 @@ func SetModel() Model {
 	}
 }
 
+// SnapshotSetModel is the whole-set sequential specification for histories
+// that mix point operations with atomic range scans and Keys snapshots:
+// the state is the full membership bitmask of a key universe of at most 64
+// keys (Event.Key holds the key's offset in [0, keyRange)). OpRange
+// (Key = low offset, Arg = high offset) and OpKeys observe Out as the
+// bitmask of members in their window, which must equal the state exactly —
+// a torn scan that mixes two states is rejected. Scans with OK == false
+// (the structure gave up: tag-budget overflow or retries exhausted)
+// observe nothing and always linearize. Point operations do not commute
+// with scans, so this model is for Check (single partition); keep runs
+// small.
+func SnapshotSetModel(keyRange uint64) Model {
+	if keyRange < 1 || keyRange > 64 {
+		panic(fmt.Sprintf("linearizability: SnapshotSetModel key range %d not in [1, 64]", keyRange))
+	}
+	window := func(lo, hi uint64) uint64 {
+		if lo > hi || lo >= keyRange {
+			return 0
+		}
+		if hi >= keyRange {
+			hi = keyRange - 1
+		}
+		width := hi - lo + 1
+		if width >= 64 {
+			return ^uint64(0)
+		}
+		return ((uint64(1) << width) - 1) << lo
+	}
+	full := window(0, keyRange-1)
+	return Model{
+		Name: "snapshot-set",
+		Init: 0,
+		Step: func(s uint64, e *history.Event) (uint64, bool) {
+			switch e.Op {
+			case history.OpInsert:
+				b := uint64(1) << e.Key
+				return s | b, e.OK == (s&b == 0)
+			case history.OpDelete:
+				b := uint64(1) << e.Key
+				return s &^ b, e.OK == (s&b != 0)
+			case history.OpContains:
+				b := uint64(1) << e.Key
+				return s, e.OK == (s&b != 0)
+			case history.OpRange:
+				if !e.OK {
+					return s, true
+				}
+				return s, e.Out == s&window(e.Key, e.Arg)
+			case history.OpKeys:
+				if !e.OK {
+					return s, true
+				}
+				return s, e.Out == s&full
+			}
+			return s, false
+		},
+		Format: func(e *history.Event) string {
+			switch e.Op {
+			case history.OpRange:
+				return fmt.Sprintf("w%d Range(%d..%d) = %#x ok=%v  [inv %d, ret %d]",
+					e.Worker, e.Key, e.Arg, e.Out, e.OK, e.Inv, e.Ret)
+			case history.OpKeys:
+				return fmt.Sprintf("w%d Keys() = %#x ok=%v  [inv %d, ret %d]",
+					e.Worker, e.Out, e.OK, e.Inv, e.Ret)
+			}
+			name := [...]string{"Insert", "Delete", "Contains"}[e.Op]
+			return fmt.Sprintf("w%d %s(%d) = %v  [inv %d, ret %d]", e.Worker, name, e.Key, e.OK, e.Inv, e.Ret)
+		},
+	}
+}
+
 // RegisterModel is a single uint64 register with reads and CAS: OpRead
 // must observe the current value (Out), and OpCAS (Arg = expected old,
 // Out = new value) must succeed exactly when the state equals Arg. Use

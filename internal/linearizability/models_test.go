@@ -1,0 +1,57 @@
+package linearizability
+
+import (
+	"testing"
+
+	"repro/internal/history"
+)
+
+// seqEvent builds a completed operation occupying [inv, inv+1] so handmade
+// histories are strictly sequential.
+func seqEvent(op uint8, key, arg, out uint64, ok bool, inv uint64) history.Event {
+	return history.Event{Op: op, Key: key, Arg: arg, Out: out, OK: ok, Inv: inv, Ret: inv + 1}
+}
+
+func TestSnapshotSetModelAcceptsConsistentScans(t *testing.T) {
+	evs := []history.Event{
+		seqEvent(history.OpInsert, 3, 0, 0, true, 1),
+		seqEvent(history.OpInsert, 5, 0, 0, true, 3),
+		seqEvent(history.OpRange, 2, 6, 1<<3|1<<5, true, 5),
+		seqEvent(history.OpDelete, 3, 0, 0, true, 7),
+		seqEvent(history.OpKeys, 0, 7, 1<<5, true, 9),
+		// Windowing: keys outside [4, 6] are invisible to this scan.
+		seqEvent(history.OpRange, 4, 6, 1<<5, true, 11),
+	}
+	if out := Check(SnapshotSetModel(8), evs); !out.OK {
+		t.Fatalf("consistent snapshot history rejected:\n%s", out.Explain())
+	}
+}
+
+func TestSnapshotSetModelRejectsTornScan(t *testing.T) {
+	// Writers keep {3, 5} moving together: 3 and 5 are inserted, then both
+	// deleted. A scan claiming to have seen 5 without 3 mixes the two
+	// states and must not linearize anywhere.
+	evs := []history.Event{
+		seqEvent(history.OpInsert, 3, 0, 0, true, 1),
+		seqEvent(history.OpInsert, 5, 0, 0, true, 3),
+		seqEvent(history.OpRange, 0, 7, 1<<5, true, 5),
+		seqEvent(history.OpDelete, 3, 0, 0, true, 7),
+		seqEvent(history.OpDelete, 5, 0, 0, true, 9),
+	}
+	if out := Check(SnapshotSetModel(8), evs); out.OK {
+		t.Fatal("torn range scan accepted")
+	}
+}
+
+func TestSnapshotSetModelIgnoresFailedScans(t *testing.T) {
+	// An ok=false scan observed nothing: whatever is in Out, it linearizes.
+	evs := []history.Event{
+		seqEvent(history.OpInsert, 1, 0, 0, true, 1),
+		seqEvent(history.OpRange, 0, 7, 0xdeadbeef, false, 3),
+		seqEvent(history.OpKeys, 0, 7, 0xdeadbeef, false, 5),
+		seqEvent(history.OpContains, 1, 0, 0, true, 7),
+	}
+	if out := Check(SnapshotSetModel(8), evs); !out.OK {
+		t.Fatalf("failed scans must always linearize:\n%s", out.Explain())
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/intset"
 	"repro/internal/machine"
+	"repro/internal/schedexplore"
 	"repro/internal/schedfuzz"
 	"repro/internal/vtags"
 )
@@ -90,6 +91,46 @@ func TestLinearizableMachinePressure(t *testing.T) {
 				Fuzz:         &fuzz,
 				FlipMode:     true,
 			})
+		})
+	}
+}
+
+// TestExploreLinearizableMachine drives the tagged list variants through
+// the cycle-level schedule explorer: the controller serializes the cores,
+// enumerates interleavings at every gate point (op boundaries and the
+// intra-operation directory-locking windows) and injects targeted tag
+// evictions, checking each execution's history. A violation fails with the
+// replayable choice sequence and machine trace.
+func TestExploreLinearizableMachine(t *testing.T) {
+	newMachine := func(threads int) *machine.Machine {
+		cfg := machine.DefaultConfig(threads)
+		cfg.MemBytes = 8 << 20
+		return machine.New(cfg)
+	}
+	variants := []struct {
+		name  string
+		build func(m core.Memory) intset.Set
+	}{
+		{"vas", func(m core.Memory) intset.Set { return NewVAS(m) }},
+		{"hoh", func(m core.Memory) intset.Set { return NewHoH(m) }},
+	}
+	modes := []schedexplore.Mode{schedexplore.RandomWalk, schedexplore.PCT}
+	for _, v := range variants {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			t.Parallel()
+			for _, mode := range modes {
+				intset.CheckExploreLinearizable(t, newMachine, v.build, intset.ExploreConfig{
+					Threads:      3,
+					OpsPerThread: 12,
+					KeyRange:     8,
+					Prefill:      4,
+					Seed:         21,
+					Mode:         mode,
+					Executions:   6,
+					EvictPerMil:  100,
+				})
+			}
 		})
 	}
 }

@@ -5,7 +5,9 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/intset"
 	"repro/internal/machine"
+	"repro/internal/schedfuzz"
 	"repro/internal/vtags"
 )
 
@@ -138,5 +140,26 @@ func TestRangeQueryAtomicity(t *testing.T) {
 	wg.Wait()
 	if checked == 0 {
 		t.Fatal("no range query ever validated under contention")
+	}
+}
+
+// TestSnapshotLinearizable checks HoH-list histories mixing point ops with
+// atomic range scans and whole-set snapshots against the whole-set
+// sequential model, under schedule fuzzing with forced spurious evictions.
+func TestSnapshotLinearizable(t *testing.T) {
+	newMem := func(threads int) core.Memory {
+		return vtags.New(16<<20, threads, vtags.WithMaxTags(64))
+	}
+	build := func(m core.Memory) intset.Set { return NewHoH(m) }
+	for seed := int64(1); seed <= 2; seed++ {
+		fuzz := schedfuzz.Default(seed)
+		intset.CheckSnapshotLinearizable(t, newMem, build, intset.SnapshotConfig{
+			Threads:      3,
+			OpsPerThread: intset.LinearizeOps(90),
+			KeyRange:     16,
+			Prefill:      6,
+			Seed:         seed,
+			Fuzz:         &fuzz,
+		})
 	}
 }

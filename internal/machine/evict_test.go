@@ -1,0 +1,105 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestForceTagEvictionPerLine pins the targeted-eviction contract on the
+// machine backend, mid hand-over-hand: evicting a line the core no longer
+// tags is a no-op reporting false, evicting a held tag latches invalidation
+// and counts as a spurious eviction, and ClearTagSet resets the latch.
+func TestForceTagEvictionPerLine(t *testing.T) {
+	m := New(DefaultConfig(1))
+	th := m.Thread(0).(*Thread)
+	a, b, c := m.Alloc(1), m.Alloc(1), m.Alloc(1)
+
+	// Hand-over-hand window {a, b}: slide past a, as a traversal does.
+	if !th.AddTag(a, core.WordSize) || !th.AddTag(b, core.WordSize) {
+		t.Fatal("AddTag failed on a fresh thread")
+	}
+	seen := map[core.Line]bool{}
+	for i := 0; i < th.TagCount(); i++ {
+		seen[th.TaggedLine(i)] = true
+	}
+	if !seen[a.Line()] || !seen[b.Line()] {
+		t.Fatalf("TaggedLine missed a held tag: %v", seen)
+	}
+	th.RemoveTag(a, core.WordSize)
+
+	before := m.CoreStatsOf(0).SpuriousEvictions
+	if th.ForceTagEviction(c.Line()) {
+		t.Fatal("evicting a never-tagged line reported true")
+	}
+	if th.ForceTagEviction(a.Line()) {
+		t.Fatal("evicting a line the window slid past reported true")
+	}
+	if !th.Validate() {
+		t.Fatal("no-op evictions invalidated the window")
+	}
+	if m.CoreStatsOf(0).SpuriousEvictions != before {
+		t.Fatal("no-op evictions were counted as spurious")
+	}
+
+	if !th.ForceTagEviction(b.Line()) {
+		t.Fatal("evicting a held tag reported false")
+	}
+	if th.Validate() {
+		t.Fatal("Validate succeeded after targeted eviction")
+	}
+	if m.CoreStatsOf(0).SpuriousEvictions != before+1 {
+		t.Fatal("targeted eviction was not counted as spurious")
+	}
+	th.ClearTagSet()
+	if !th.AddTag(b, core.WordSize) || !th.Validate() {
+		t.Fatal("eviction latch survived ClearTagSet")
+	}
+}
+
+// TestSpareThreadGhost pins the ghost agent's coherence semantics: its
+// stores and CASes invalidate every cached copy — evicting tags like a
+// core's write — while the agent itself is uncached, uncounted and
+// forbidden from tagging.
+func TestSpareThreadGhost(t *testing.T) {
+	m := New(DefaultConfig(2))
+	if m.NumThreads() != 2 {
+		t.Fatalf("NumThreads = %d, want 2 (the ghost must not be counted)", m.NumThreads())
+	}
+	th := m.Thread(0).(*Thread)
+	sp := m.SpareThread()
+	a := m.Alloc(1)
+
+	th.Store(a, 7)
+	if v := sp.Load(a); v != 7 {
+		t.Fatalf("ghost Load = %d, want 7", v)
+	}
+	if !th.AddTag(a, core.WordSize) || !th.Validate() {
+		t.Fatal("tag+validate must succeed before the ghost writes")
+	}
+	sp.Store(a, 8)
+	if th.Validate() {
+		t.Fatal("ghost store did not evict the core's tag")
+	}
+	if sharers, _, taggers := m.DebugLine(a.Line()); sharers != 0 || taggers != 0 {
+		t.Fatalf("ghost store left sharers=%b taggers=%b", sharers, taggers)
+	}
+	if v := th.Load(a); v != 8 {
+		t.Fatalf("core read %d after ghost store, want 8", v)
+	}
+
+	th.ClearTagSet()
+	if !sp.CAS(a, 8, 9) || sp.CAS(a, 8, 10) {
+		t.Fatal("ghost CAS semantics wrong")
+	}
+	if v := th.Load(a); v != 9 {
+		t.Fatalf("core read %d after ghost CAS, want 9", v)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ghost AddTag did not panic")
+		}
+	}()
+	sp.AddTag(a, core.WordSize)
+}

@@ -1,0 +1,122 @@
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// SpareThread returns an auxiliary agent that is not a simulated core: an
+// uncached, uncounted participant in the coherence protocol, in the way a
+// DMA engine or a management processor sits on a real interconnect. Its
+// loads and stores are coherent — a store invalidates every cached copy of
+// the line, evicting any tags on it, exactly like a core's write — but the
+// agent caches nothing, accrues no cycles or energy, does not appear in
+// NumThreads, and does not participate in lax-clock synchronization or
+// schedule gating. Harness controllers (the fallback Mode-line flipper)
+// use it so driving a Mode line does not consume a simulated core.
+//
+// Tag operations are meaningless for an agent with no L1 and panic.
+func (m *Machine) SpareThread() core.Thread { return &ghost{m: m} }
+
+type ghost struct{ m *Machine }
+
+var _ core.Thread = (*ghost)(nil)
+
+// ID returns -1: the ghost is not a core.
+func (g *ghost) ID() int { return -1 }
+
+// Alloc allocates line-aligned words from the shared space.
+func (g *ghost) Alloc(words int) core.Addr { return g.m.space.Alloc(words) }
+
+// Load reads the word at a. The directory lock orders the read against
+// core writes; no sharer bit is taken because nothing is cached.
+func (g *ghost) Load(a core.Addr) uint64 {
+	d := g.m.dirAt(a.Line())
+	d.mu.Lock()
+	v := g.m.space.Read(a)
+	d.mu.Unlock()
+	return v
+}
+
+// Store writes v at a, invalidating every cached copy of the line.
+func (g *ghost) Store(a core.Addr, v uint64) {
+	l := a.Line()
+	d := g.m.dirAt(l)
+	d.mu.Lock()
+	g.invalidateAllLocked(d, l)
+	g.m.space.Write(a, v)
+	d.mu.Unlock()
+}
+
+// CAS compares-and-swaps the word at a. Like hardware CAS it acquires the
+// line exclusively (here: invalidates all cached copies) whether or not
+// the comparison succeeds.
+func (g *ghost) CAS(a core.Addr, old, new uint64) bool {
+	l := a.Line()
+	d := g.m.dirAt(l)
+	d.mu.Lock()
+	g.invalidateAllLocked(d, l)
+	ok := g.m.space.Read(a) == old
+	if ok {
+		g.m.space.Write(a, new)
+	}
+	d.mu.Unlock()
+	return ok
+}
+
+// invalidateAllLocked removes every core from the line's sharers, evicting
+// their tags on it. The caller holds d.mu. Messages are attributed to core
+// -1 in the trace; no core is charged (the agent is outside the cost
+// model).
+func (g *ghost) invalidateAllLocked(d *dirEntry, l core.Line) {
+	for d.sharers != 0 {
+		c := trailingCore(d.sharers)
+		cbit := uint64(1) << uint(c)
+		d.sharers &^= cbit
+		other := g.m.threads[c]
+		if d.taggers&cbit != 0 {
+			d.taggers &^= cbit
+			other.evicted.Store(true)
+			other.stats.RemoteTagEvictions.Add(1)
+			g.emit(EvTagEvicted, c, l)
+		}
+		other.stats.InvalidationsReceived.Add(1)
+		g.emit(EvInvalidation, c, l)
+	}
+	d.owner = -1
+}
+
+// emit delivers an event attributed to the ghost agent (core -1, cycle 0).
+func (g *ghost) emit(kind EventKind, target int, line core.Line) {
+	tr := g.m.tracer
+	if tr == nil {
+		return
+	}
+	tr.Trace(Event{Kind: kind, Core: -1, Target: target, Line: uint64(line)})
+}
+
+// AddTag is unsupported: the ghost has no L1 for tags to live in.
+func (g *ghost) AddTag(core.Addr, int) bool { panic(ghostNoTags("AddTag")) }
+
+// RemoveTag is unsupported.
+func (g *ghost) RemoveTag(core.Addr, int) { panic(ghostNoTags("RemoveTag")) }
+
+// Validate is unsupported.
+func (g *ghost) Validate() bool { panic(ghostNoTags("Validate")) }
+
+// VAS is unsupported.
+func (g *ghost) VAS(core.Addr, uint64) bool { panic(ghostNoTags("VAS")) }
+
+// IAS is unsupported.
+func (g *ghost) IAS(core.Addr, uint64) bool { panic(ghostNoTags("IAS")) }
+
+// ClearTagSet is a no-op: the tag set is always empty.
+func (g *ghost) ClearTagSet() {}
+
+// TagCount is always zero.
+func (g *ghost) TagCount() int { return 0 }
+
+func ghostNoTags(op string) string {
+	return fmt.Sprintf("machine: %s on a SpareThread ghost agent (no cache, no tags)", op)
+}

@@ -48,6 +48,7 @@ type Machine struct {
 	threads []*Thread
 	clock   clockSync
 	tracer  Tracer
+	gate    Gate
 }
 
 var _ core.Memory = (*Machine)(nil)

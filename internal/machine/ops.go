@@ -75,7 +75,13 @@ func (t *Thread) hasTag(l core.Line) bool {
 func (t *Thread) AddTag(a core.Addr, size int) bool {
 	t.throttle()
 	cfg := &t.m.cfg
-	for _, l := range core.LinesSpanned(a, size) {
+	for i, l := range core.LinesSpanned(a, size) {
+		if i > 0 {
+			// A multi-line tag acquisition is not one coherence transaction:
+			// remote cores can act between the per-line directory lock
+			// acquisitions. Expose that window to the schedule explorer.
+			t.gateInternal()
+		}
 		if t.hasTag(l) {
 			continue
 		}
@@ -191,6 +197,10 @@ func (t *Thread) commit(a core.Addr, v uint64, invalidateTags bool) bool {
 	cfg := &t.m.cfg
 	target := a.Line()
 	t.buildLockSet(target)
+	// The window between computing the lock set and acquiring the directory
+	// locks is where another core's commit or invalidation can slip in;
+	// expose it to the schedule explorer (no locks held yet).
+	t.gateInternal()
 	for _, l := range t.lockSet {
 		t.m.dirAt(l).mu.Lock()
 	}

@@ -21,6 +21,35 @@ import (
 // before issuing measured work and SetActive(false) after (the workload
 // harness does this). Inactive threads neither stall nor hold others back.
 
+// GatePoint classifies a scheduling point reported to a Gate.
+type GatePoint int
+
+const (
+	// GateOp is the boundary of a memory/tag operation — the same
+	// granularity at which the op-level schedule fuzzer injects.
+	GateOp GatePoint = iota
+	// GateInternal is a point inside one operation, between directory-lock
+	// acquisitions: after each tagged line of a multi-line AddTag, and
+	// after a VAS/IAS commit computes its lock set but before it acquires
+	// the directory locks. These orderings exist in the coherence protocol
+	// but are unreachable from the op boundary.
+	GateInternal
+)
+
+// Gate is the cycle-level scheduler hook (internal/schedexplore). When a
+// gate is installed, active threads report every scheduling point to it
+// instead of parking on the lax clock; Step may block the calling
+// goroutine to serialize execution under an explored schedule. Step is
+// always called with no directory locks held, so a parked core never
+// blocks another core's coherence transactions.
+type Gate interface {
+	Step(core int, point GatePoint, cycles uint64)
+}
+
+// SetGate installs (or removes, with nil) the machine's scheduler gate.
+// Only call while quiescent.
+func (m *Machine) SetGate(g Gate) { m.gate = g }
+
 type clockSync struct {
 	mu   sync.Mutex
 	cond *sync.Cond
@@ -67,6 +96,12 @@ func (t *Thread) SetActive(on bool) {
 // slowest active core. Called at the top of every memory/tag operation,
 // outside all directory locks.
 func (t *Thread) throttle() {
+	if g := t.m.gate; g != nil {
+		if t.active.Load() {
+			g.Step(t.id, GateOp, t.stats.Cycles)
+		}
+		return
+	}
 	window := t.m.cfg.SyncWindowCycles
 	if window == 0 || !t.active.Load() {
 		return
@@ -108,6 +143,14 @@ func (t *Thread) throttle() {
 		cs.cond.Wait()
 	}
 	cs.mu.Unlock()
+}
+
+// gateInternal reports an intra-operation scheduling point to the gate,
+// if one is installed. Called with no directory locks held.
+func (t *Thread) gateInternal() {
+	if g := t.m.gate; g != nil && t.active.Load() {
+		g.Step(t.id, GateInternal, t.stats.Cycles)
+	}
 }
 
 // scanMin returns the minimum published clock over active threads (or this

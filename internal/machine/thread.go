@@ -158,20 +158,27 @@ func (t *Thread) tagEvictSelf(l core.Line) {
 	}
 }
 
-// ForceTagEviction simulates a spurious capacity eviction of one of this
-// core's tagged lines, for adversarial harnesses (internal/schedfuzz) that
-// want eviction pressure beyond what the cache geometry produces
-// naturally. It follows the same path as a real displacement: the evicted
-// latch is set and validation fails until ClearTagSet. A no-op when no
-// tags are held.
-func (t *Thread) ForceTagEviction() {
-	if len(t.tags) == 0 {
-		return
+// ForceTagEviction simulates a spurious capacity eviction of the named
+// line, for adversarial harnesses (internal/schedfuzz, internal/
+// schedexplore) that want eviction pressure aimed at a specific tag — say,
+// one node of a hand-over-hand window — beyond what the cache geometry
+// produces naturally. It follows the same path as a real displacement: the
+// evicted latch is set and validation fails until ClearTagSet. A line that
+// is not currently tagged is left alone (a window that already slid past
+// it is unaffected) and false is reported.
+func (t *Thread) ForceTagEviction(l core.Line) bool {
+	if !t.hasTag(l) {
+		return false
 	}
 	t.evicted.Store(true)
 	t.stats.SpuriousEvictions++
-	t.emit(EvTagEvicted, -1, t.tags[0])
+	t.emit(EvTagEvicted, -1, l)
+	return true
 }
+
+// TaggedLine returns the i'th tagged line in insertion order, so harnesses
+// can aim ForceTagEviction at a held tag. i must be < TagCount().
+func (t *Thread) TaggedLine(i int) core.Line { return t.tags[i] }
 
 // drainEvictions clears directory presence for lines displaced from L2.
 // Called with no directory locks held.

@@ -1,6 +1,10 @@
 package machine
 
-import "repro/internal/core"
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
 
 // Event tracing: the paper validates its claims by examining simulator
 // traces ("Examination of the simulator traces confirms that this
@@ -60,6 +64,16 @@ type Event struct {
 	Target int // receiving core for invalidations/tag evictions, else -1
 	Line   uint64
 	Cycle  uint64 // issuing core's simulated clock
+}
+
+// String renders one event in the fixed-width form used when a harness
+// prints an interleaving ("cycle 1042 core 2 TagEvicted line 17 -> 0").
+func (e Event) String() string {
+	s := fmt.Sprintf("cycle %6d core %2d %-12s line %d", e.Cycle, e.Core, e.Kind, e.Line)
+	if e.Target >= 0 {
+		s += fmt.Sprintf(" -> core %d", e.Target)
+	}
+	return s
 }
 
 // Tracer receives events synchronously from simulated cores. It must be

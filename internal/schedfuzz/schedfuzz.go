@@ -60,8 +60,15 @@ func Aggressive(seed int64) Config {
 }
 
 // forceEvictor is implemented by backend threads that can simulate a
-// spurious tag eviction (vtags.Thread, machine.Thread).
-type forceEvictor interface{ ForceTagEviction() }
+// targeted spurious tag eviction (vtags.Thread, machine.Thread).
+type forceEvictor interface {
+	TaggedLine(i int) core.Line
+	ForceTagEviction(l core.Line) bool
+}
+
+// spareThreader is implemented by backends with an auxiliary handle for
+// harness controllers (vtags.Memory, machine.Machine).
+type spareThreader interface{ SpareThread() core.Thread }
 
 // activatable mirrors the machine backend's lax-clock enrolment.
 type activatable interface{ SetActive(bool) }
@@ -72,6 +79,7 @@ type epochAligner interface{ BeginEpoch() }
 // Memory wraps a backend with schedule fuzzing.
 type Memory struct {
 	inner   core.Memory
+	cfg     Config
 	threads []*Thread
 }
 
@@ -79,7 +87,7 @@ var _ core.Memory = (*Memory)(nil)
 
 // Wrap fuzzes every thread handle of inner according to cfg.
 func Wrap(inner core.Memory, cfg Config) *Memory {
-	m := &Memory{inner: inner, threads: make([]*Thread, inner.NumThreads())}
+	m := &Memory{inner: inner, cfg: cfg, threads: make([]*Thread, inner.NumThreads())}
 	for i := range m.threads {
 		m.threads[i] = &Thread{
 			inner: inner.Thread(i),
@@ -101,6 +109,21 @@ func (m *Memory) Alloc(words int) core.Addr { return m.inner.Alloc(words) }
 
 // MaxTags forwards to the backend.
 func (m *Memory) MaxTags() int { return m.inner.MaxTags() }
+
+// SpareThread returns the backend's auxiliary controller handle, wrapped
+// with this fuzzer's injections, or nil when the backend has none (e.g. a
+// deliberately broken checker-test wrapper).
+func (m *Memory) SpareThread() core.Thread {
+	sp, ok := m.inner.(spareThreader)
+	if !ok {
+		return nil
+	}
+	return &Thread{
+		inner: sp.SpareThread(),
+		cfg:   m.cfg,
+		rng:   rand.New(rand.NewSource(m.cfg.Seed ^ 0x5a5a5a5a)),
+	}
+}
 
 // BeginEpoch forwards epoch alignment when the backend supports it.
 func (m *Memory) BeginEpoch() {
@@ -141,9 +164,14 @@ func (t *Thread) inject() {
 		return
 	}
 	r -= c.SpinPerMil
-	if r < c.EvictPerMil && t.inner.TagCount() > 0 {
+	if r < c.EvictPerMil {
 		if fe, ok := t.inner.(forceEvictor); ok {
-			fe.ForceTagEviction()
+			if n := t.inner.TagCount(); n > 0 {
+				// Aim at a seeded-random held tag: any position in a
+				// hand-over-hand window can be the victim, not just the
+				// oldest.
+				fe.ForceTagEviction(fe.TaggedLine(t.rng.Intn(n)))
+			}
 		}
 	}
 }

@@ -1,0 +1,88 @@
+package skiplist
+
+import "repro/internal/core"
+
+// RangeQuery returns an atomic snapshot of the keys in [lo, hi], the
+// paper's cheap lock-free snapshot applied to the skip list's
+// authoritative bottom level: the traversal tags every node from the
+// predecessor of lo through the end of the range *without untagging*, so
+// one final validation proves the whole range was simultaneously linked.
+// Marked (logically deleted) nodes are traversed but their keys are not
+// reported; the validation still covers them, so a snapshot can never mix
+// a node's pre-delete and post-delete states.
+//
+// ok is false when the range exceeds the tag budget, validation kept
+// failing for maxTries attempts, or the list is the untagged CAS baseline
+// (which has no snapshot mechanism) — callers then fall back to a
+// non-atomic scan such as Keys.
+func (s *List) RangeQuery(th core.Thread, lo, hi uint64, maxTries int) (keys []uint64, ok bool) {
+	if !s.tagged {
+		return nil, false
+	}
+	if lo > hi {
+		return nil, true
+	}
+attempt:
+	for try := 0; try < maxTries; try++ {
+		keys = keys[:0]
+		th.ClearTagSet()
+
+		// Hand-over-hand prefix on the bottom level up to the predecessor
+		// of lo.
+		pred := s.head
+		if !th.AddTag(pred, nodeBytes) {
+			th.ClearTagSet()
+			return nil, false
+		}
+		curr := core.Addr(clearMark(th.Load(nextAddr(pred, 0))))
+		if !th.AddTag(curr, nodeBytes) || !th.Validate() {
+			th.ClearTagSet()
+			continue attempt
+		}
+		for keyOf(th, curr) < lo {
+			succ := core.Addr(clearMark(th.Load(nextAddr(curr, 0))))
+			if !th.AddTag(succ, nodeBytes) {
+				th.ClearTagSet()
+				return nil, false
+			}
+			if !th.Validate() {
+				th.ClearTagSet()
+				continue attempt
+			}
+			th.RemoveTag(pred, nodeBytes)
+			pred = curr
+			curr = succ
+		}
+
+		// Range body: keep every node tagged until the final validation.
+		for {
+			k := keyOf(th, curr)
+			if k > hi || k == tailKey {
+				break
+			}
+			nextW := th.Load(nextAddr(curr, 0))
+			if !isMarked(nextW) {
+				keys = append(keys, k)
+			}
+			succ := core.Addr(clearMark(nextW))
+			if !th.AddTag(succ, nodeBytes) {
+				// Tag budget exhausted: this range cannot be snapshotted.
+				th.ClearTagSet()
+				return nil, false
+			}
+			if !th.Validate() {
+				th.ClearTagSet()
+				continue attempt
+			}
+			curr = succ
+		}
+		// Every node from pred-of-lo through the node after the range is
+		// tagged; one validation linearizes the whole snapshot.
+		if th.Validate() {
+			th.ClearTagSet()
+			return keys, true
+		}
+		th.ClearTagSet()
+	}
+	return nil, false
+}

@@ -1,0 +1,103 @@
+package skiplist
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/intset"
+	"repro/internal/schedfuzz"
+	"repro/internal/vtags"
+)
+
+func TestRangeQueryBasic(t *testing.T) {
+	mem := vtags.New(1<<20, 1)
+	s := NewVAS(mem)
+	th := mem.Thread(0)
+	for _, k := range []uint64{10, 20, 30, 40, 50} {
+		s.Insert(th, k)
+	}
+	keys, ok := s.RangeQuery(th, 15, 45, 8)
+	if !ok {
+		t.Fatal("uncontended range query failed")
+	}
+	want := []uint64{20, 30, 40}
+	if len(keys) != len(want) {
+		t.Fatalf("keys = %v, want %v", keys, want)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("keys = %v, want %v", keys, want)
+		}
+	}
+	if th.TagCount() != 0 {
+		t.Fatal("range query leaked tags")
+	}
+}
+
+func TestRangeQueryEdges(t *testing.T) {
+	mem := vtags.New(1<<20, 1)
+	s := NewVAS(mem)
+	th := mem.Thread(0)
+	for _, k := range []uint64{10, 20, 30} {
+		s.Insert(th, k)
+	}
+	if keys, ok := s.RangeQuery(th, 31, 99, 8); !ok || len(keys) != 0 {
+		t.Fatalf("empty range: %v ok=%v", keys, ok)
+	}
+	if keys, ok := s.RangeQuery(th, 50, 40, 8); !ok || len(keys) != 0 {
+		t.Fatalf("inverted range: %v ok=%v", keys, ok)
+	}
+	if keys, ok := s.RangeQuery(th, 10, 30, 8); !ok || len(keys) != 3 {
+		t.Fatalf("inclusive bounds: %v ok=%v", keys, ok)
+	}
+	if keys, ok := s.RangeQuery(th, 1, ^uint64(0)-1, 8); !ok || len(keys) != 3 {
+		t.Fatalf("full range: %v ok=%v", keys, ok)
+	}
+}
+
+func TestRangeQueryBaselineAndBudget(t *testing.T) {
+	// The untagged CAS baseline has no snapshot mechanism.
+	mem := vtags.New(1<<20, 1)
+	s := New(mem)
+	th := mem.Thread(0)
+	s.Insert(th, 10)
+	if _, ok := s.RangeQuery(th, 1, 99, 8); ok {
+		t.Fatal("untagged baseline claimed an atomic range query")
+	}
+	// A range exceeding the tag budget must report ok=false, not spin.
+	tiny := vtags.New(1<<20, 1, vtags.WithMaxTags(4))
+	s2 := NewVAS(tiny)
+	th2 := tiny.Thread(0)
+	for k := uint64(1); k <= 20; k++ {
+		s2.Insert(th2, k)
+	}
+	if _, ok := s2.RangeQuery(th2, 1, 20, 4); ok {
+		t.Fatal("range beyond tag budget reported atomic success")
+	}
+	if th2.TagCount() != 0 {
+		t.Fatal("failed range query leaked tags")
+	}
+}
+
+// TestSnapshotLinearizable checks histories mixing point ops with atomic
+// range scans and whole-set snapshots against the whole-set sequential
+// model, under schedule fuzzing with forced spurious evictions.
+func TestSnapshotLinearizable(t *testing.T) {
+	newMem := func(threads int) core.Memory {
+		// Scans tag every node in the range; give the tag set room for the
+		// whole 16-key universe plus sentinels.
+		return vtags.New(16<<20, threads, vtags.WithMaxTags(64))
+	}
+	build := func(m core.Memory) intset.Set { return NewVAS(m) }
+	for seed := int64(1); seed <= 2; seed++ {
+		fuzz := schedfuzz.Default(seed)
+		intset.CheckSnapshotLinearizable(t, newMem, build, intset.SnapshotConfig{
+			Threads:      3,
+			OpsPerThread: intset.LinearizeOps(90),
+			KeyRange:     16,
+			Prefill:      6,
+			Seed:         seed,
+			Fuzz:         &fuzz,
+		})
+	}
+}

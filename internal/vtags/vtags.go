@@ -72,6 +72,13 @@ func (m *Memory) NumThreads() int { return len(m.threads) }
 // Thread returns handle id.
 func (m *Memory) Thread(id int) core.Thread { return m.threads[id] }
 
+// SpareThread returns an auxiliary handle outside the counted thread set,
+// for harness controllers (the fallback Mode-line flipper) that need a
+// coherent participant without consuming one of the workload's handles.
+// The emulation has no per-thread hardware state, so the handle is just
+// another Thread with id -1.
+func (m *Memory) SpareThread() core.Thread { return &Thread{m: m, id: -1} }
+
 // Alloc allocates line-aligned words.
 func (m *Memory) Alloc(words int) core.Addr { return m.space.Alloc(words) }
 
@@ -95,6 +102,11 @@ type Thread struct {
 
 	tags     []tagEntry
 	overflow bool
+	// evicted latches a conflict or forced eviction observed on a line
+	// whose tag has since been dropped (RemoveTag) or targeted
+	// (ForceTagEviction): like the hardware's evicted set, it is not
+	// forgotten until ClearTagSet even though the entry itself is gone.
+	evicted bool
 }
 
 type tagEntry struct {
@@ -160,7 +172,7 @@ func (t *Thread) RemoveTag(a core.Addr, size int) {
 		for i, e := range t.tags {
 			if e.line == l {
 				if t.m.lineVersion(l) != e.version {
-					t.overflow = true // latch failure like an eviction
+					t.evicted = true // latch failure like an eviction
 				}
 				t.tags = append(t.tags[:i], t.tags[i+1:]...)
 				break
@@ -181,7 +193,7 @@ func (t *Thread) tagged(l core.Line) bool {
 // Validate reports whether every tagged line still has its recorded
 // version.
 func (t *Thread) Validate() bool {
-	if t.overflow {
+	if t.overflow || t.evicted {
 		return false
 	}
 	for _, e := range t.tags {
@@ -195,24 +207,33 @@ func (t *Thread) Validate() bool {
 // TagCount returns the number of tagged lines.
 func (t *Thread) TagCount() int { return len(t.tags) }
 
-// ForceTagEviction simulates a spurious capacity eviction of a tagged
-// line: validation fails until ClearTagSet, exactly as when hardware
-// displaces a tagged line from L1. The emulation has no real capacity
-// pressure, so this hook is how adversarial harnesses (internal/schedfuzz)
-// exercise the advisory-tag failure paths on this backend. It must be
-// called from the goroutine owning the handle. A no-op when no tags are
-// held.
-func (t *Thread) ForceTagEviction() {
-	if len(t.tags) == 0 {
-		return
+// ForceTagEviction simulates a spurious capacity eviction of the named
+// line: if l is currently tagged, validation fails until ClearTagSet,
+// exactly as when hardware displaces that tagged line from L1. The
+// emulation has no real capacity pressure, so this hook is how adversarial
+// harnesses (internal/schedfuzz, internal/schedexplore) aim eviction
+// pressure at specific tags — one node of a hand-over-hand window, say.
+// It must be called from the goroutine owning the handle (or with the
+// handle otherwise quiesced). A line that is not tagged — because the
+// traversal window already slid past it — is left alone and false is
+// reported.
+func (t *Thread) ForceTagEviction(l core.Line) bool {
+	if !t.tagged(l) {
+		return false
 	}
-	t.overflow = true // latch failure, like a recorded eviction
+	t.evicted = true // latch failure, like a recorded eviction
+	return true
 }
 
-// ClearTagSet drops all tags and the overflow latch.
+// TaggedLine returns the i'th tagged line in insertion order, so harnesses
+// can aim ForceTagEviction at a held tag. i must be < TagCount().
+func (t *Thread) TaggedLine(i int) core.Line { return t.tags[i].line }
+
+// ClearTagSet drops all tags and the overflow/eviction latches.
 func (t *Thread) ClearTagSet() {
 	t.tags = t.tags[:0]
 	t.overflow = false
+	t.evicted = false
 }
 
 // VAS validates under the tagged lines' locks and stores v at a.
@@ -223,7 +244,7 @@ func (t *Thread) VAS(a core.Addr, v uint64) bool { return t.commit(a, v, false) 
 func (t *Thread) IAS(a core.Addr, v uint64) bool { return t.commit(a, v, true) }
 
 func (t *Thread) commit(a core.Addr, v uint64, invalidateTags bool) bool {
-	if t.overflow {
+	if t.overflow || t.evicted {
 		return false
 	}
 	target := a.Line()

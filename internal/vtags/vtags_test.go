@@ -127,6 +127,55 @@ func TestRemoveTagLatchesConflict(t *testing.T) {
 	}
 }
 
+// TestForceTagEvictionPerLine pins the targeted-eviction contract mid
+// hand-over-hand: evicting a line the thread no longer tags is a no-op
+// reporting false, evicting a held tag latches invalidation, and
+// ClearTagSet resets the latch.
+func TestForceTagEvictionPerLine(t *testing.T) {
+	m := New(1<<16, 1)
+	th := m.Thread(0).(*Thread)
+	a, b, c := m.Alloc(1), m.Alloc(1), m.Alloc(1)
+
+	// Hand-over-hand window {a, b}: slide past a, as a traversal does.
+	th.AddTag(a, 8)
+	th.AddTag(b, 8)
+	if th.TagCount() != 2 {
+		t.Fatalf("TagCount = %d, want 2", th.TagCount())
+	}
+	seen := map[core.Line]bool{}
+	for i := 0; i < th.TagCount(); i++ {
+		seen[th.TaggedLine(i)] = true
+	}
+	if !seen[a.Line()] || !seen[b.Line()] {
+		t.Fatalf("TaggedLine missed a held tag: %v", seen)
+	}
+	th.RemoveTag(a, 8)
+
+	// Lines outside the current window cannot be evicted.
+	if th.ForceTagEviction(c.Line()) {
+		t.Fatal("evicting a never-tagged line reported true")
+	}
+	if th.ForceTagEviction(a.Line()) {
+		t.Fatal("evicting a line the window slid past reported true")
+	}
+	if !th.Validate() {
+		t.Fatal("no-op evictions invalidated the window")
+	}
+
+	// Evicting the held tag latches failure until ClearTagSet.
+	if !th.ForceTagEviction(b.Line()) {
+		t.Fatal("evicting a held tag reported false")
+	}
+	if th.Validate() {
+		t.Fatal("Validate succeeded after targeted eviction")
+	}
+	th.ClearTagSet()
+	th.AddTag(b, 8)
+	if !th.Validate() {
+		t.Fatal("eviction latch survived ClearTagSet")
+	}
+}
+
 func TestConcurrentVASCounter(t *testing.T) {
 	const workers, per = 8, 500
 	m := New(1<<16, workers)
