@@ -1,0 +1,117 @@
+// Command benchgate compares two `go test -bench` output files and fails
+// when any figure benchmark's best-of sec/op regressed by more than
+// -max-ratio. It is the hard backstop behind the advisory benchstat step
+// in CI: benchstat's statistics are the right tool for humans, but noisy
+// shared runners need a forgiving, deterministic pass/fail line.
+//
+// Usage:
+//
+//	benchgate -baseline bench/baseline.txt -current bench-current.txt -max-ratio 2.0
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	baseline := flag.String("baseline", "", "baseline `go test -bench` output")
+	current := flag.String("current", "", "current `go test -bench` output")
+	maxRatio := flag.Float64("max-ratio", 2.0, "fail when current/baseline ns/op exceeds this")
+	prefix := flag.String("prefix", "BenchmarkFig", "only gate benchmarks whose name has this prefix")
+	flag.Parse()
+	if *baseline == "" || *current == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -baseline and -current are required")
+		os.Exit(2)
+	}
+
+	base, err := parseBench(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(1)
+	}
+	cur, err := parseBench(*current)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(1)
+	}
+
+	failed := false
+	compared := 0
+	for name, b := range base {
+		if !strings.HasPrefix(name, *prefix) {
+			continue
+		}
+		c, ok := cur[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchgate: %s missing from current run\n", name)
+			failed = true
+			continue
+		}
+		compared++
+		ratio := c / b
+		status := "ok"
+		if ratio > *maxRatio {
+			status = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-40s %12.0f -> %12.0f ns/op  %.2fx  %s\n", name, b, c, ratio, status)
+	}
+	if compared == 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: no %q benchmarks to compare\n", *prefix)
+		os.Exit(1)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchgate: host-time regression beyond %.1fx\n", *maxRatio)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: %d benchmarks within %.1fx of baseline\n", compared, *maxRatio)
+}
+
+// parseBench extracts the best (minimum) ns/op per benchmark from a
+// `go test -bench` output file, stripping the -N GOMAXPROCS suffix so
+// baselines recorded on different core counts still line up.
+func parseBench(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	best := map[string]float64{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		for i := 2; i+1 < len(fields); i++ {
+			if fields[i+1] == "ns/op" {
+				v, err := strconv.ParseFloat(fields[i], 64)
+				if err != nil {
+					break
+				}
+				if b, ok := best[name]; !ok || v < b {
+					best[name] = v
+				}
+				break
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(best) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark lines found", path)
+	}
+	return best, nil
+}

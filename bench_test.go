@@ -15,7 +15,9 @@ package repro
 // Run `go run ./cmd/memtag-bench -full` for the paper-scale sweeps.
 
 import (
+	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/harness"
@@ -35,6 +37,9 @@ func benchScale() harness.Scale {
 
 func benchSetExperiment(b *testing.B, e *harness.SetExperiment, tagged, baseline string) {
 	b.Helper()
+	// Fan experiment cells over the host CPUs; results are identical to a
+	// serial run (see internal/harness/parallel.go).
+	e.Workers = runtime.GOMAXPROCS(0)
 	top := e.Threads[len(e.Threads)-1]
 	var mops, speedup, miss float64
 	for i := 0; i < b.N; i++ {
@@ -85,6 +90,7 @@ func BenchmarkFig7_ABTree15(b *testing.B) {
 // NOrec vs tagged NOrec (-n4 -q60 -u90, tables scaled down per iteration).
 func BenchmarkFig8_VacationNOrec(b *testing.B) {
 	e := harness.Fig8(true)
+	e.Workers = runtime.GOMAXPROCS(0)
 	e.Threads = []int{1, 4, 8}
 	e.Params.Relations = 512
 	e.Params.Transactions = 24
@@ -251,6 +257,45 @@ func BenchmarkMicro_SnapshotTaggedVsDoubleCollect(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			g.SnapshotDoubleCollect(th, addrs)
 		}
+	})
+}
+
+// BenchmarkHostOverhead measures how many *simulated* operations each
+// backend completes per host second — the figure of merit for the host-time
+// engineering work (see EXPERIMENTS.md, "Host-time engineering"). Each
+// iteration is one mixed workload run of 4 simulated threads; simOps/hostSec
+// is reported alongside the standard ns/op.
+func BenchmarkHostOverhead(b *testing.B) {
+	run := func(b *testing.B, mk func() (core.Memory, intset.Set)) {
+		cfg := workload.Config{
+			Threads: 4, KeyRange: 256, PrefillSize: 128,
+			OpsPerThread: 200, Mix: workload.Update3535, Seed: 7,
+		}
+		mem, s := mk()
+		workload.Prefill(mem, s, cfg)
+		var ops uint64
+		b.ResetTimer()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			ops += workload.Run(mem, s, cfg).Ops
+		}
+		if sec := time.Since(start).Seconds(); sec > 0 {
+			b.ReportMetric(float64(ops)/sec, "simOps/hostSec")
+		}
+	}
+	b.Run("machine", func(b *testing.B) {
+		run(b, func() (core.Memory, intset.Set) {
+			cfg := machine.DefaultConfig(4)
+			cfg.MemBytes = 64 << 20
+			m := machine.New(cfg)
+			return m, list.NewHoH(m)
+		})
+	})
+	b.Run("vtags", func(b *testing.B) {
+		run(b, func() (core.Memory, intset.Set) {
+			m := newVtags(64<<20, 4)
+			return m, list.NewHoH(m)
+		})
 	})
 }
 

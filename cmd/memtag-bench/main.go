@@ -8,17 +8,33 @@
 //	memtag-bench -fig all            # every figure, quick scale
 //	memtag-bench -fig 6 -full       # Figure 6 at paper scale (1-64 cores)
 //	memtag-bench -fig 2 -threads 1,2,4,8,16 -ops 1000 -trials 3
+//	memtag-bench -fig all -parallel 0 -json .   # fan cells over host CPUs,
+//	                                            # write BENCH_fig*.json
+//	memtag-bench -fig 6 -cpuprofile cpu.pb.gz   # profile the run
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/harness"
 )
+
+// workers is the resolved -parallel value: 1 = serial (default),
+// 0 on the command line means "one worker per host CPU".
+var workers = 1
+
+// jsonDir is the directory BENCH_<name>.json files are written to;
+// empty disables JSON output.
+var jsonDir = ""
 
 func main() {
 	fig := flag.String("fig", "all", "figure to run: 2, 4, 5, 6, 7, 8, skip, bst, chromatic, stmset, elision, or all")
@@ -26,7 +42,38 @@ func main() {
 	threads := flag.String("threads", "", "override thread counts, e.g. 1,2,4,8")
 	ops := flag.Int("ops", 0, "override operations per thread")
 	trials := flag.Int("trials", 0, "override trial count")
+	parallel := flag.Int("parallel", 1, "host workers for experiment cells: 1 serial, 0 one per host CPU, N a fixed pool (results identical for any value)")
+	jsonOut := flag.String("json", "", "directory to write BENCH_<name>.json result files into (empty: no JSON)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
+
+	switch {
+	case *parallel == 0:
+		workers = runtime.GOMAXPROCS(0)
+	case *parallel > 0:
+		workers = *parallel
+	default:
+		fmt.Fprintf(os.Stderr, "memtag-bench: bad -parallel %d\n", *parallel)
+		os.Exit(2)
+	}
+	jsonDir = *jsonOut
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "memtag-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "memtag-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
 
 	sc := harness.QuickScale()
 	if *full {
@@ -48,6 +95,20 @@ func main() {
 	}
 	for _, f := range figs {
 		run(strings.TrimSpace(f), sc, *full)
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "memtag-bench: %v\n", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "memtag-bench: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
 	}
 }
 
@@ -86,17 +147,24 @@ func run(fig string, sc harness.Scale, full bool) {
 		runSet(harness.ChromaticExperiment(sc))
 	case "elision":
 		e := harness.NewElisionExperiment(!full)
+		e.Workers = workers
 		fmt.Printf("# %s — fallback ablation\n", e.Name)
-		harness.PrintElision(os.Stdout, e.Title, e.Run())
+		start := time.Now()
+		points := e.Run()
+		harness.PrintElision(os.Stdout, e.Title, points)
+		writeJSON(e.Name, e.Title, time.Since(start), points)
 		fmt.Println()
 	case "8":
 		e := harness.Fig8(!full)
+		e.Workers = workers
 		if len(sc.Threads) > 0 {
 			e.Threads = sc.Threads
 		}
 		fmt.Printf("# %s — %s\n", e.Name, "Figure 8")
+		start := time.Now()
 		points := e.Run()
 		harness.PrintVacation(os.Stdout, e.Title, points)
+		writeJSON(e.Name, e.Title, time.Since(start), points)
 		fmt.Println()
 	default:
 		fmt.Fprintf(os.Stderr, "memtag-bench: unknown figure %q\n", fig)
@@ -105,9 +173,12 @@ func run(fig string, sc harness.Scale, full bool) {
 }
 
 func runSet(e *harness.SetExperiment) {
+	e.Workers = workers
 	fmt.Printf("# %s — %s\n", e.Name, e.Figure)
+	start := time.Now()
 	points := e.Run()
 	harness.PrintTable(os.Stdout, e.Title, points)
+	writeJSON(e.Name, e.Title, time.Since(start), points)
 	// Headline comparisons at the largest thread count.
 	n := e.Threads[len(e.Threads)-1]
 	base := e.Variants[0].Name
@@ -117,4 +188,40 @@ func runSet(e *harness.SetExperiment) {
 		}
 	}
 	fmt.Println()
+}
+
+// benchResult is the schema of a BENCH_<name>.json file: the experiment's
+// points plus enough host metadata to compare runs across machines.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Title       string  `json:"title"`
+	Workers     int     `json:"workers"`
+	HostCPUs    int     `json:"host_cpus"`
+	HostSeconds float64 `json:"host_seconds"`
+	Points      any     `json:"points"`
+}
+
+func writeJSON(name, title string, elapsed time.Duration, points any) {
+	if jsonDir == "" {
+		return
+	}
+	out := benchResult{
+		Name:        name,
+		Title:       title,
+		Workers:     workers,
+		HostCPUs:    runtime.GOMAXPROCS(0),
+		HostSeconds: elapsed.Seconds(),
+		Points:      points,
+	}
+	path := filepath.Join(jsonDir, "BENCH_"+name+".json")
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "memtag-bench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "memtag-bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", path)
 }

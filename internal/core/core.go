@@ -59,15 +59,27 @@ func (a Addr) Plus(n int) Addr { return a + Addr(n*WordSize) }
 // IsNil reports whether the address is the simulated null pointer.
 func (a Addr) IsNil() bool { return a == NilAddr }
 
+// LineSpan returns the inclusive range [first, last] of lines touched by
+// the byte range [a, a+size), and reports whether the range is non-empty.
+// It is the allocation-free form of LinesSpanned, used on the simulator
+// hot path: lines in a span are always contiguous, so backends iterate
+// `for l := first; l <= last; l++` instead of materializing a slice.
+func LineSpan(a Addr, size int) (first, last Line, ok bool) {
+	if size <= 0 {
+		return 0, 0, false
+	}
+	return a.Line(), (a + Addr(size) - 1).Line(), true
+}
+
 // LinesSpanned returns the set of lines touched by the byte range
 // [a, a+size). It is what AddTag uses to derive the lines backing an
-// object, per the paper's AddTag(&node, size) semantics.
+// object, per the paper's AddTag(&node, size) semantics. It allocates the
+// returned slice; hot paths should use LineSpan instead.
 func LinesSpanned(a Addr, size int) []Line {
-	if size <= 0 {
+	first, last, ok := LineSpan(a, size)
+	if !ok {
 		return nil
 	}
-	first := a.Line()
-	last := (a + Addr(size) - 1).Line()
 	lines := make([]Line, 0, last-first+1)
 	for l := first; l <= last; l++ {
 		lines = append(lines, l)

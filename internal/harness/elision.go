@@ -23,6 +23,10 @@ type ElisionExperiment struct {
 	OpsPerThread int
 	KeyRange     uint64
 	Seed         int64
+	// Workers bounds the host worker pool cells fan out over: 0 serial,
+	// -1 one per host CPU (see parallel.go). Results are identical for
+	// every setting.
+	Workers int
 }
 
 // ElisionPoint is one measured cell.
@@ -52,39 +56,35 @@ func NewElisionExperiment(quick bool) *ElisionExperiment {
 	return e
 }
 
-// Run executes the sweep for both elided structures.
+// Run executes the sweep for both elided structures. Cells run on a pool
+// of e.Workers host workers; the output is identical for any worker count.
 func (e *ElisionExperiment) Run() []ElisionPoint {
-	var points []ElisionPoint
-	for _, lines := range e.L1Lines {
-		cfgFor := func() machine.Config {
-			cfg := machine.DefaultConfig(e.Threads)
-			cfg.MemBytes = 256 << 20
-			cfg.L1Bytes = lines * 64
-			if lines < 8 {
-				cfg.L1Ways = 1
-			} else if lines < 64 {
-				cfg.L1Ways = 2
-			}
-			return cfg
+	points := make([]ElisionPoint, 2*len(e.L1Lines))
+	forEachCell(resolveWorkers(e.Workers), len(points), func(i int) {
+		lines := e.L1Lines[i/2]
+		cfg := machine.DefaultConfig(e.Threads)
+		cfg.MemBytes = 256 << 20
+		cfg.L1Bytes = lines * 64
+		if lines < 8 {
+			cfg.L1Ways = 1
+		} else if lines < 64 {
+			cfg.L1Ways = 2
 		}
-
-		// Elided list (VAS fast / Harris slow).
-		{
-			m := machine.New(cfgFor())
+		m := machine.New(cfg)
+		if i%2 == 0 {
+			// Elided list (VAS fast / Harris slow).
 			s := list.NewElided(m, 0)
-			points = append(points, e.runOne(m, "list", lines, s, func() (fast, slow uint64) {
+			points[i] = e.runOne(m, "list", lines, s, func() (fast, slow uint64) {
 				return s.FastCommits.Load(), s.SlowCommits.Load()
-			}))
-		}
-		// Elided (a,b)-tree (HoH fast / LLX-SCX slow).
-		{
-			m := machine.New(cfgFor())
+			})
+		} else {
+			// Elided (a,b)-tree (HoH fast / LLX-SCX slow).
 			s := abtree.NewElided(m, TreeA, TreeB, 0)
-			points = append(points, e.runOne(m, "abtree", lines, s, func() (fast, slow uint64) {
+			points[i] = e.runOne(m, "abtree", lines, s, func() (fast, slow uint64) {
 				return s.FastCommits.Load(), s.SlowCommits.Load()
-			}))
+			})
 		}
-	}
+	})
 	return points
 }
 

@@ -41,6 +41,12 @@ type SetExperiment struct {
 	Config func(cores int) machine.Config
 	// MemBytes overrides the simulated memory size when Config is nil.
 	MemBytes int
+
+	// Workers bounds the host-level worker pool that experiment cells
+	// (variant × thread count × trial simulations) fan out over: 0 runs
+	// serially, -1 uses one worker per host CPU, any other value is the
+	// pool size. Results are identical for every setting (see parallel.go).
+	Workers int
 }
 
 // Point is one measured datum: a (variant, thread count) cell averaged
@@ -78,20 +84,31 @@ func (e *SetExperiment) config(cores int) machine.Config {
 }
 
 // Run executes the experiment and returns one Point per (variant, thread
-// count), ordered by variant then threads.
+// count), ordered by variant then threads. Cells run on a pool of
+// e.Workers host workers; the output is identical for any worker count.
 func (e *SetExperiment) Run() []Point {
 	trials := e.Trials
 	if trials <= 0 {
 		trials = 1
 	}
-	var points []Point
-	for _, v := range e.Variants {
-		for _, n := range e.Threads {
-			var acc Point
-			acc.Variant = v.Name
-			acc.Threads = n
+	// Compute every (variant, threads, trial) cell into its slot, possibly
+	// in parallel. Each cell owns a private Machine; no state is shared.
+	nv, nt := len(e.Variants), len(e.Threads)
+	raw := make([]Point, nv*nt*trials)
+	forEachCell(resolveWorkers(e.Workers), len(raw), func(i int) {
+		trial := i % trials
+		n := e.Threads[i/trials%nt]
+		v := e.Variants[i/(trials*nt)]
+		raw[i] = e.runOne(v, n, e.Seed+int64(trial)*104729)
+	})
+	// Aggregate serially in the fixed cell order, so the non-associative
+	// float averaging matches the serial path bit for bit.
+	points := make([]Point, 0, nv*nt)
+	for vi, v := range e.Variants {
+		for ni, n := range e.Threads {
+			acc := Point{Variant: v.Name, Threads: n}
 			for trial := 0; trial < trials; trial++ {
-				p := e.runOne(v, n, e.Seed+int64(trial)*104729)
+				p := raw[(vi*nt+ni)*trials+trial]
 				acc.ThroughputMops += p.ThroughputMops
 				acc.MissRatePct += p.MissRatePct
 				acc.EnergyPerOp += p.EnergyPerOp

@@ -1,0 +1,71 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Experiment cells — one (variant, thread count, trial) simulation each —
+// share nothing: every cell builds its own Machine, prefills its own
+// structure, and reduces to a Point. They are therefore embarrassingly
+// parallel in *host* time, and on a many-CPU host the wall-clock of a
+// figure is the longest cell rather than the sum of all cells.
+//
+// Determinism is preserved by construction: cells are computed into
+// pre-assigned slots of a result slice (the slot index is a pure function
+// of the cell's position in the serial iteration order) and all
+// aggregation — including the floating-point trial averaging, which is not
+// associative — happens serially afterwards, in exactly the order the
+// serial path uses. Workers only decide *when* a cell runs, never how its
+// result is combined, so workers=1 and workers=N produce bit-identical
+// Points.
+
+// forEachCell runs fn(i) for i in [0, n) on a bounded pool of workers.
+// workers <= 1 (or n <= 1) degrades to a plain serial loop with no
+// goroutines. workers is clamped to n.
+func forEachCell(workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// DefaultWorkers is the worker count used when an experiment's Workers
+// field is set to the sentinel -1 ("auto"): one worker per host CPU.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// resolveWorkers maps an experiment's Workers field to a concrete pool
+// size: 0 (zero value) means serial, -1 means DefaultWorkers, any other
+// positive value is used as-is.
+func resolveWorkers(w int) int {
+	switch {
+	case w < 0:
+		return DefaultWorkers()
+	case w == 0:
+		return 1
+	default:
+		return w
+	}
+}

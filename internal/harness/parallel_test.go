@@ -1,0 +1,97 @@
+package harness
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// Serial and parallel harness runs must be indistinguishable: workers only
+// decide when a cell's private simulation runs, never how its result is
+// aggregated. Single-simulated-thread cells are fully deterministic (no
+// goroutine interleaving inside a cell), so the Points must match *bit for
+// bit* across worker counts — any divergence means the parallel path
+// changed evaluation order of the non-associative float averaging, or
+// leaked state between cells.
+
+func equivalenceExperiment(workers int) *SetExperiment {
+	e := Fig2(Scale{Threads: []int{1}, OpsPerThread: 60, Trials: 3})
+	e.Workers = workers
+	return e
+}
+
+func TestParallelRunMatchesSerial(t *testing.T) {
+	serial := equivalenceExperiment(0).Run()
+	for _, workers := range []int{2, 4, -1} {
+		par := equivalenceExperiment(workers).Run()
+		if len(par) != len(serial) {
+			t.Fatalf("workers=%d: %d points, serial produced %d", workers, len(par), len(serial))
+		}
+		for i := range serial {
+			if par[i] != serial[i] {
+				t.Errorf("workers=%d point %d differs:\n  serial:   %+v\n  parallel: %+v",
+					workers, i, serial[i], par[i])
+			}
+		}
+	}
+}
+
+// TestParallelRunCellIndexing pins the slot arithmetic: with several
+// variants, thread counts, and trials, every (variant, threads) pair must
+// appear exactly once and in the serial iteration order.
+func TestParallelRunCellIndexing(t *testing.T) {
+	e := Fig2(Scale{Threads: []int{1, 2}, OpsPerThread: 30, Trials: 2})
+	e.Workers = 4
+	points := e.Run()
+	if want := len(e.Variants) * len(e.Threads); len(points) != want {
+		t.Fatalf("got %d points, want %d", len(points), want)
+	}
+	i := 0
+	for _, v := range e.Variants {
+		for _, n := range e.Threads {
+			if points[i].Variant != v.Name || points[i].Threads != n {
+				t.Errorf("point %d is (%s, %d), want (%s, %d)",
+					i, points[i].Variant, points[i].Threads, v.Name, n)
+			}
+			i++
+		}
+	}
+}
+
+// TestForEachCellCoversAll exercises the pool helper directly: every index
+// runs exactly once for degenerate and oversubscribed worker counts.
+func TestForEachCellCoversAll(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 16} {
+		const n = 23
+		counts := make([]atomic.Int32, n)
+		forEachCell(workers, n, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Errorf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+// TestVacationParallelMatchesSerial covers the Figure 8 harness's parallel
+// path with single-threaded cells.
+func TestVacationParallelMatchesSerial(t *testing.T) {
+	mk := func(workers int) *VacationExperiment {
+		e := Fig8(true)
+		e.Threads = []int{1}
+		e.Trials = 2
+		e.Params.Relations = 128
+		e.Params.Transactions = 8
+		e.Workers = workers
+		return e
+	}
+	serial := mk(0).Run()
+	par := mk(4).Run()
+	if len(par) != len(serial) {
+		t.Fatalf("%d points vs %d", len(par), len(serial))
+	}
+	for i := range serial {
+		if par[i] != serial[i] {
+			t.Errorf("point %d differs:\n  serial:   %+v\n  parallel: %+v", i, serial[i], par[i])
+		}
+	}
+}

@@ -21,6 +21,10 @@ type VacationExperiment struct {
 	Params  vacation.Params
 	// MemBytes sizes the simulated space (transaction retries allocate).
 	MemBytes int
+	// Workers bounds the host worker pool cells fan out over: 0 serial,
+	// -1 one per host CPU (see parallel.go). Results are identical for
+	// every setting.
+	Workers int
 }
 
 // VacationPoint is one measured (variant, threads) cell.
@@ -78,13 +82,20 @@ func (e *VacationExperiment) Run() []VacationPoint {
 	if trials <= 0 {
 		trials = 1
 	}
-	var points []VacationPoint
-	for _, v := range variants {
-		for _, n := range e.Threads {
-			var acc VacationPoint
-			acc.Variant, acc.Threads = v.name, n
+	nt := len(e.Threads)
+	raw := make([]VacationPoint, len(variants)*nt*trials)
+	forEachCell(resolveWorkers(e.Workers), len(raw), func(i int) {
+		trial := i % trials
+		n := e.Threads[i/trials%nt]
+		v := variants[i/(trials*nt)]
+		raw[i] = e.runOne(v.mk, v.name, n, int64(trial))
+	})
+	points := make([]VacationPoint, 0, len(variants)*nt)
+	for vi, v := range variants {
+		for ni, n := range e.Threads {
+			acc := VacationPoint{Variant: v.name, Threads: n}
 			for trial := 0; trial < trials; trial++ {
-				p := e.runOne(v.mk, v.name, n, int64(trial))
+				p := raw[(vi*nt+ni)*trials+trial]
 				acc.ThroughputKtx += p.ThroughputKtx
 				acc.MissRatePct += p.MissRatePct
 				acc.EnergyPerTx += p.EnergyPerTx

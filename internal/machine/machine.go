@@ -22,6 +22,7 @@ package machine
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/mem"
@@ -40,11 +41,18 @@ type dirEntry struct {
 	taggers uint64
 }
 
+// dirChunk mirrors one mem.Space chunk's worth of directory entries.
+// Directory chunks are installed on first touch, like the space's word
+// chunks: experiments configure large address spaces but touch few lines,
+// and zeroing one directory entry per possible line dominated Machine
+// construction cost.
+type dirChunk [mem.ChunkLines]dirEntry
+
 // Machine is a simulated multicore with memory tagging.
 type Machine struct {
 	cfg     Config
 	space   *mem.Space
-	dir     []dirEntry
+	dir     []atomic.Pointer[dirChunk]
 	threads []*Thread
 	clock   clockSync
 	tracer  Tracer
@@ -63,12 +71,8 @@ func New(cfg Config) *Machine {
 	m := &Machine{
 		cfg:   cfg,
 		space: space,
-		dir:   make([]dirEntry, space.NumLines()),
+		dir:   make([]atomic.Pointer[dirChunk], (space.NumLines()+mem.ChunkLines-1)/mem.ChunkLines),
 	}
-	for i := range m.dir {
-		m.dir[i].owner = -1
-	}
-	m.clock.init()
 	m.threads = make([]*Thread, cfg.Cores)
 	for i := range m.threads {
 		m.threads[i] = newThread(m, i)
@@ -95,10 +99,28 @@ func (m *Machine) MaxTags() int { return m.cfg.MaxTags }
 func (m *Machine) AllocatedBytes() int { return m.space.AllocatedBytes() }
 
 func (m *Machine) dirAt(l core.Line) *dirEntry {
-	if uint64(l) >= uint64(len(m.dir)) {
-		panic(fmt.Sprintf("machine: line %d out of range (%d lines)", l, len(m.dir)))
+	ci := uint64(l) / mem.ChunkLines
+	if ci >= uint64(len(m.dir)) {
+		panic(fmt.Sprintf("machine: line %d out of range (%d lines)", l, m.space.NumLines()))
 	}
-	return &m.dir[l]
+	c := m.dir[ci].Load()
+	if c == nil {
+		c = m.installDirChunk(ci)
+	}
+	return &c[uint64(l)%mem.ChunkLines]
+}
+
+// installDirChunk materializes directory chunk ci with every entry
+// unowned, losing the race gracefully if another core installs it first.
+func (m *Machine) installDirChunk(ci uint64) *dirChunk {
+	fresh := new(dirChunk)
+	for i := range fresh {
+		fresh[i].owner = -1
+	}
+	if m.dir[ci].CompareAndSwap(nil, fresh) {
+		return fresh
+	}
+	return m.dir[ci].Load()
 }
 
 // DebugLine returns the directory state of a line for tests: the sharer

@@ -1,8 +1,6 @@
 package machine
 
 import (
-	"sort"
-
 	"repro/internal/core"
 )
 
@@ -41,13 +39,14 @@ func (t *Thread) Store(a core.Addr, v uint64) {
 // acquires the line exclusively whether or not the comparison succeeds.
 func (t *Thread) CAS(a core.Addr, old, new uint64) bool {
 	t.throttle()
+	cfg := &t.m.cfg
 	t.stats.CASes++
-	t.charge(t.m.cfg.ComputeCycles, 0)
+	t.charge(cfg.ComputeCycles, 0)
 	l := a.Line()
 	d := t.m.dirAt(l)
 	d.mu.Lock()
 	t.touchLineLocked(l, d, true)
-	t.charge(t.m.cfg.CASExtraCycles, 0)
+	t.charge(cfg.CASExtraCycles, 0)
 	ok := t.m.space.Read(a) == old
 	if ok {
 		t.m.space.Write(a, new)
@@ -75,8 +74,12 @@ func (t *Thread) hasTag(l core.Line) bool {
 func (t *Thread) AddTag(a core.Addr, size int) bool {
 	t.throttle()
 	cfg := &t.m.cfg
-	for i, l := range core.LinesSpanned(a, size) {
-		if i > 0 {
+	first, last, ok := core.LineSpan(a, size)
+	if !ok {
+		return true
+	}
+	for l := first; l <= last; l++ {
+		if l > first {
 			// A multi-line tag acquisition is not one coherence transaction:
 			// remote cores can act between the per-line directory lock
 			// acquisitions. Expose that window to the schedule explorer.
@@ -106,9 +109,21 @@ func (t *Thread) AddTag(a core.Addr, size int) bool {
 
 // RemoveTag untags every line of [a, a+size) that is currently tagged. A
 // previously recorded eviction is not forgotten.
+//
+// RemoveTag throttles like every other memory/tag operation: it
+// participates in lax clock synchronization and reports a GateOp point to
+// the schedule explorer, so explored schedules can interleave remote
+// effects at tag-release boundaries (the window between a traversal's last
+// access and its tag release is where a remote write decides whether the
+// eviction latch is set).
 func (t *Thread) RemoveTag(a core.Addr, size int) {
+	t.throttle()
 	cfg := &t.m.cfg
-	for _, l := range core.LinesSpanned(a, size) {
+	first, last, ok := core.LineSpan(a, size)
+	if !ok {
+		return
+	}
+	for l := first; l <= last; l++ {
 		idx := -1
 		for i, tl := range t.tags {
 			if tl == l {
@@ -164,14 +179,30 @@ func (t *Thread) ClearTagSet() {
 }
 
 // buildLockSet fills t.lockSet with the sorted, deduplicated union of the
-// tag set and the target line.
+// tag set and the target line. The lock set is bounded by MaxTags+1, so a
+// closure-free insertion sort over the reused buffer beats sort.Slice
+// (whose interface conversion and comparator closure allocate on every
+// commit attempt).
 func (t *Thread) buildLockSet(target core.Line) {
 	t.lockSet = t.lockSet[:0]
 	t.lockSet = append(t.lockSet, t.tags...)
 	if !t.hasTag(target) {
 		t.lockSet = append(t.lockSet, target)
 	}
-	sort.Slice(t.lockSet, func(i, j int) bool { return t.lockSet[i] < t.lockSet[j] })
+	insertionSortLines(t.lockSet)
+}
+
+// insertionSortLines sorts a small line slice in place without allocating.
+func insertionSortLines(s []core.Line) {
+	for i := 1; i < len(s); i++ {
+		v := s[i]
+		j := i - 1
+		for j >= 0 && s[j] > v {
+			s[j+1] = s[j]
+			j--
+		}
+		s[j+1] = v
+	}
 }
 
 // VAS validates the tag set and, on success, stores v at a — atomically.

@@ -1,0 +1,73 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// stepRecorder is a fake Gate recording every scheduling point reported.
+type stepRecorder struct {
+	steps []GatePoint
+}
+
+func (r *stepRecorder) Step(core int, p GatePoint, cycles uint64) {
+	r.steps = append(r.steps, p)
+}
+
+// TestRemoveTagReportsGateOp pins the fix for a gap in the scheduling
+// surface: RemoveTag is a memory/tag operation like any other, so it must
+// report a GateOp boundary. Without it, an AddTag…RemoveTag sequence runs
+// atomically under the schedule explorer and every interleaving where a
+// remote write lands between them — the window that decides whether the
+// eviction latch is set — is unreachable.
+func TestRemoveTagReportsGateOp(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.MemBytes = 1 << 20
+	m := New(cfg)
+	th := m.threads[0]
+	a := m.Alloc(core.WordsPerLine)
+	th.AddTag(a, core.LineSize)
+
+	rec := &stepRecorder{}
+	m.SetGate(rec)
+	th.SetActive(true)
+	defer func() {
+		th.SetActive(false)
+		m.SetGate(nil)
+	}()
+
+	th.RemoveTag(a, core.LineSize)
+	if len(rec.steps) != 1 || rec.steps[0] != GateOp {
+		t.Fatalf("RemoveTag reported %v, want exactly one GateOp", rec.steps)
+	}
+}
+
+// TestRemoveTagChargesCycles audits the cost model: RemoveTag charges
+// TagOpCycles per removed line, and nothing for lines it does not hold.
+func TestRemoveTagChargesCycles(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.MemBytes = 1 << 20
+	cfg.SyncWindowCycles = 0
+	m := New(cfg)
+	th := m.threads[0]
+	a := m.Alloc(core.WordsPerLine * 3)
+	if !th.AddTag(a, 3*core.LineSize) {
+		t.Fatal("AddTag failed")
+	}
+
+	before := th.stats.Cycles
+	th.RemoveTag(a, 2*core.LineSize) // removes 2 of the 3 tagged lines
+	if got, want := th.stats.Cycles-before, 2*cfg.TagOpCycles; got != want {
+		t.Fatalf("RemoveTag of 2 lines charged %d cycles, want %d", got, want)
+	}
+	if th.TagCount() != 1 {
+		t.Fatalf("TagCount = %d, want 1", th.TagCount())
+	}
+
+	before = th.stats.Cycles
+	th.RemoveTag(a, 2*core.LineSize) // no longer tagged: free
+	if got := th.stats.Cycles - before; got != 0 {
+		t.Fatalf("RemoveTag of untagged lines charged %d cycles, want 0", got)
+	}
+}

@@ -2,6 +2,7 @@ package machine
 
 import (
 	"sync"
+	"sync/atomic"
 )
 
 // Lax clock synchronization, after Graphite: worker threads that run ahead
@@ -14,8 +15,18 @@ import (
 // Ahead-threads park on a condition variable instead of spin-yielding:
 // with dozens of simulated cores multiplexed onto few host CPUs, spinning
 // waiters would steal exactly the host cycles the laggard needs (an
-// O(cores²) tax). Progressing threads broadcast every half window, so
-// waiters wake a bounded number of times per window.
+// O(cores²) tax). Two structures keep the host cost of the discipline low:
+//
+//   - The active-set minimum is maintained as a shared monotonic-in-practice
+//     cached lower bound (clockSync.gmin) that every core reads lock-free on
+//     its fast path. A core only rescans the published clocks when its own
+//     clock runs past gmin+window, and one core's rescan refreshes the bound
+//     for all cores — the per-op O(cores) scan of the old design is gone.
+//   - The wakeup path is sharded per core: each thread parks on its own
+//     condition variable, and a progressing thread signals only the cores
+//     whose parked flag is set, under that core's private mutex. Distinct
+//     waiter/waker pairs never serialize on a shared lock, so a 64-core
+//     simulation on a many-CPU host no longer convoys on one clock mutex.
 //
 // Only *active* threads participate: a thread must call SetActive(true)
 // before issuing measured work and SetActive(false) after (the workload
@@ -50,12 +61,19 @@ type Gate interface {
 // Only call while quiescent.
 func (m *Machine) SetGate(g Gate) { m.gate = g }
 
+// clockSync is the machine-wide lax synchronization state. Per-core park
+// state (the sharded wakeup path) lives on each Thread.
 type clockSync struct {
-	mu   sync.Mutex
-	cond *sync.Cond
+	// mu serializes slow-path minimum rescans and active-set changes, so
+	// a rescan's view of the active set is consistent and gmin updates
+	// cannot race an enrolment that lowers the bound.
+	mu sync.Mutex
+	// gmin is a shared lower bound on the minimum published clock over
+	// active threads, read lock-free on the throttle fast path. Published
+	// clocks only advance, so a scanned minimum stays a valid lower bound
+	// until an enrolment lowers it (which happens under mu).
+	gmin atomic.Uint64
 }
-
-func (cs *clockSync) init() { cs.cond = sync.NewCond(&cs.mu) }
 
 // BeginEpoch aligns every core's simulated clock to the current maximum
 // (as if all cores idled at a barrier) and must be called, quiescent,
@@ -72,24 +90,31 @@ func (m *Machine) BeginEpoch() {
 	for _, t := range m.threads {
 		t.stats.Cycles = maxC
 		t.pubCycles.Store(maxC)
-		t.minCache = 0
 		t.lastBcast = maxC
 	}
+	m.clock.gmin.Store(maxC)
 }
 
 // SetActive enrols or withdraws this thread from lax clock
 // synchronization. While active, the thread's simulated clock is kept
 // within Config.SyncWindowCycles of the slowest active core.
 func (t *Thread) SetActive(on bool) {
+	cs := &t.m.clock
+	cs.mu.Lock()
 	if on {
-		t.pubCycles.Store(t.stats.Cycles)
+		my := t.stats.Cycles
+		t.pubCycles.Store(my)
+		// Enrolment can only lower the active minimum; fold the new
+		// clock into the shared bound before anyone fast-paths past it.
+		if my < cs.gmin.Load() {
+			cs.gmin.Store(my)
+		}
 	}
 	t.active.Store(on)
-	// Waiters blocked on this thread's clock must re-evaluate: withdrawal
-	// removes it from the minimum; enrolment can only lower the minimum.
-	t.m.clock.mu.Lock()
-	t.m.clock.cond.Broadcast()
-	t.m.clock.mu.Unlock()
+	cs.mu.Unlock()
+	// Parked cores must re-evaluate: withdrawal removes this thread from
+	// the minimum; enrolment can only lower it.
+	t.wakeParked()
 }
 
 // throttle stalls the calling thread while it is too far ahead of the
@@ -108,41 +133,79 @@ func (t *Thread) throttle() {
 	}
 	my := t.stats.Cycles
 	t.pubCycles.Store(my)
-	// Progress notification: wake waiters every half window of our own
-	// advancement (they may be blocked on us being the minimum).
+	// Progress notification: wake parked cores every half window of our
+	// own advancement (they may be blocked on us being the minimum).
 	if my-t.lastBcast >= window/2 {
 		t.lastBcast = my
-		t.m.clock.mu.Lock()
-		t.m.clock.cond.Broadcast()
-		t.m.clock.mu.Unlock()
+		t.wakeParked()
 	}
-	// Fast path: the cached minimum only ever grows, so if we are within
-	// the window of the last minimum we saw, we are within it now.
-	if my <= t.minCache+window {
+	// Fast path: gmin is a lower bound on the active-set minimum, so
+	// being within the window of gmin proves being within the window of
+	// the true minimum. One lock-free load replaces the O(cores) scan.
+	if my <= t.m.clock.gmin.Load()+window {
 		return
 	}
-	min := t.scanMin()
-	t.minCache = min
-	if my <= min+window {
+	t.throttleSlow(my, window)
+}
+
+// throttleSlow parks the thread until the slowest active core catches up.
+func (t *Thread) throttleSlow(my, window uint64) {
+	if my <= t.refreshMin()+window {
 		return
 	}
-	// Park until the minimum catches up. Broadcast once first: this
-	// thread's own clock publication above may be exactly what another
-	// parked thread is waiting for, and without a broadcast here a cycle
-	// of threads can park right after publishing and deadlock (each
-	// holding the advance the next one needs).
-	cs := &t.m.clock
-	cs.mu.Lock()
-	cs.cond.Broadcast()
+	// Wake every other parked core once before sleeping: this thread's own
+	// clock publication may be exactly the advance a parked core that is
+	// now the active minimum is waiting for, and without this hand-off the
+	// last two runnable cores could park back-to-back and deadlock. A core
+	// signalled here that is *not* within its window simply re-checks and
+	// waits again (below) without signalling anyone — waking others on
+	// every loop iteration would let two ahead-cores re-wake each other in
+	// a host-time busy loop while the laggard starves.
+	t.wakeParked()
+	t.parkMu.Lock()
+	t.parked.Store(true)
+	// Re-scan after publishing the parked flag (sequentially consistent
+	// atomics): a waker that advanced its clock before our flag store is
+	// observed by this scan, and one that advanced after it observes the
+	// flag and signals under parkMu — which it cannot acquire until Wait
+	// releases it — so no wakeup is lost. scanMin starts from our own
+	// clock, so the globally slowest core always breaks out immediately.
 	for {
-		min := t.scanMin()
-		t.minCache = min
-		if my <= min+window {
+		if m := t.scanMin(); my <= m+window {
 			break
 		}
-		cs.cond.Wait()
+		t.parkCond.Wait()
+	}
+	t.parked.Store(false)
+	t.parkMu.Unlock()
+}
+
+// refreshMin rescans the active-set minimum under the clock mutex and
+// publishes it as the shared fast-path bound. Serializing rescans keeps
+// them rare: one core's rescan refreshes gmin for every core.
+func (t *Thread) refreshMin() uint64 {
+	cs := &t.m.clock
+	cs.mu.Lock()
+	min := t.scanMin()
+	if min > cs.gmin.Load() {
+		cs.gmin.Store(min)
 	}
 	cs.mu.Unlock()
+	return min
+}
+
+// wakeParked signals every other parked core. The parked flag is read
+// lock-free; a core observed parked is signalled under its own park
+// mutex, so distinct waiter/waker pairs never contend on a shared lock.
+func (t *Thread) wakeParked() {
+	for _, o := range t.m.threads {
+		if o == t || !o.parked.Load() {
+			continue
+		}
+		o.parkMu.Lock()
+		o.parkCond.Signal()
+		o.parkMu.Unlock()
+	}
 }
 
 // gateInternal reports an intra-operation scheduling point to the gate,

@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/cachemodel"
@@ -42,20 +43,33 @@ type Thread struct {
 	// Lax clock synchronization state (see sync.go).
 	active    atomic.Bool
 	pubCycles atomic.Uint64
-	minCache  uint64
 	lastBcast uint64
+	// parked is set (under parkMu) while this core sleeps on parkCond
+	// waiting for the slowest active core to catch up. Wakers read it
+	// lock-free to skip cores that are running.
+	parked   atomic.Bool
+	parkMu   sync.Mutex
+	parkCond *sync.Cond
 }
 
 var _ core.Thread = (*Thread)(nil)
 
 func newThread(m *Machine, id int) *Thread {
-	return &Thread{
+	t := &Thread{
 		m:   m,
 		id:  id,
 		bit: 1 << uint(id),
 		l1:  cachemodel.New(m.cfg.L1Bytes, m.cfg.L1Ways),
 		l2:  cachemodel.New(m.cfg.L2Bytes, m.cfg.L2Ways),
+		// The tag set is bounded by MaxTags and the VAS/IAS lock set by
+		// MaxTags+1; sizing the reused buffers up front keeps every
+		// memory/tag operation allocation-free.
+		tags:          make([]core.Line, 0, m.cfg.MaxTags),
+		lockSet:       make([]core.Line, 0, m.cfg.MaxTags+1),
+		pendingEvicts: make([]core.Line, 0, 4),
 	}
+	t.parkCond = sync.NewCond(&t.parkMu)
+	return t
 }
 
 // ID returns the simulated core id.

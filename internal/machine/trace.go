@@ -87,13 +87,17 @@ type Tracer interface {
 // call while quiescent.
 func (m *Machine) SetTracer(tr Tracer) { m.tracer = tr }
 
-// emit delivers an event if a tracer is installed.
+// emit delivers an event if a tracer is installed. The guard is kept small
+// enough to inline so that, with no tracer, hot-path call sites pay one
+// predictable branch instead of a function call.
 func (t *Thread) emit(kind EventKind, target int, line core.Line) {
-	tr := t.m.tracer
-	if tr == nil {
-		return
+	if t.m.tracer != nil {
+		t.emitSlow(kind, target, line)
 	}
-	tr.Trace(Event{
+}
+
+func (t *Thread) emitSlow(kind EventKind, target int, line core.Line) {
+	t.m.tracer.Trace(Event{
 		Kind:   kind,
 		Core:   t.id,
 		Target: target,

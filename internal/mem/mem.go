@@ -15,9 +15,28 @@ import (
 	"repro/internal/core"
 )
 
+// Chunked backing store: experiments size their simulated spaces
+// generously (tens to hundreds of MiB) but typically touch a small
+// fraction, and a fresh Space is created for every experiment cell.
+// Allocating (and zeroing) the whole word array eagerly made Space
+// construction the dominant host cost of the harness — ~30% of figure
+// regeneration was memclr. The words live in fixed-size chunks installed
+// on first touch instead; only the pointer spine is allocated up front.
+const (
+	// ChunkLines is the number of cache lines per backing chunk (256 KiB
+	// of simulated memory). Exported so backends that mirror per-line
+	// state (directory entries, version locks) can chunk at the same
+	// granularity.
+	ChunkLines    = 4096
+	wordsPerChunk = ChunkLines * core.WordsPerLine
+)
+
+type wordChunk [wordsPerChunk]uint64
+
 // Space is a simulated physical address space.
 type Space struct {
-	words []uint64
+	chunks []atomic.Pointer[wordChunk]
+	lines  int // configured size in cache lines
 
 	mu   sync.Mutex
 	next core.Addr // next free byte, always line-aligned
@@ -31,17 +50,19 @@ func NewSpace(bytes int) *Space {
 		bytes = 2 * core.LineSize
 	}
 	lines := (bytes + core.LineSize - 1) / core.LineSize
+	nChunks := (lines + ChunkLines - 1) / ChunkLines
 	return &Space{
-		words: make([]uint64, lines*core.WordsPerLine),
-		next:  core.LineSize, // reserve line 0 (nil)
+		chunks: make([]atomic.Pointer[wordChunk], nChunks),
+		lines:  lines,
+		next:   core.LineSize, // reserve line 0 (nil)
 	}
 }
 
 // SizeBytes returns the total size of the space in bytes.
-func (s *Space) SizeBytes() int { return len(s.words) * core.WordSize }
+func (s *Space) SizeBytes() int { return s.lines * core.LineSize }
 
 // NumLines returns the number of cache lines in the space.
-func (s *Space) NumLines() int { return len(s.words) / core.WordsPerLine }
+func (s *Space) NumLines() int { return s.lines }
 
 // Alloc allocates nWords words aligned to a cache-line boundary. Each
 // allocation starts on its own line, so distinct objects never share a line
@@ -76,12 +97,33 @@ func (s *Space) AllocatedBytes() int {
 }
 
 // Word returns a pointer to the word at address a. a must be word-aligned
-// and in range.
+// and in range. The backing chunk is installed on first touch; installs
+// use an atomic compare-and-swap so concurrent first touches of one chunk
+// are safe from any goroutine.
 func (s *Space) Word(a core.Addr) *uint64 {
 	if a%core.WordSize != 0 {
 		panic(fmt.Sprintf("mem: unaligned access at %#x", uint64(a)))
 	}
-	return &s.words[a.Word()]
+	w := a.Word()
+	if int(a/core.LineSize) >= s.lines {
+		panic(fmt.Sprintf("mem: access at %#x beyond space (%d bytes)", uint64(a), s.SizeBytes()))
+	}
+	ci := w / wordsPerChunk
+	c := s.chunks[ci].Load()
+	if c == nil {
+		c = s.installChunk(ci)
+	}
+	return &c[w%wordsPerChunk]
+}
+
+// installChunk materializes chunk ci, losing the race gracefully if
+// another goroutine installs it first.
+func (s *Space) installChunk(ci uint64) *wordChunk {
+	fresh := new(wordChunk)
+	if s.chunks[ci].CompareAndSwap(nil, fresh) {
+		return fresh
+	}
+	return s.chunks[ci].Load()
 }
 
 // Read returns the word at a without synchronization. Callers must hold

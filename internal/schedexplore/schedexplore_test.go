@@ -257,3 +257,57 @@ func TestWindowedSchedulingCompletes(t *testing.T) {
 		t.Fatalf("windowed runs not deterministic: %v vs %v", res.TraceHashes, res2.TraceHashes)
 	}
 }
+
+// removeTagSetup probes the RemoveTag scheduling boundary: worker 0 tags a
+// line, immediately unttags it, and validates; worker 1 stores to that line
+// in its single scheduling slot. Validate can only report false when the
+// store lands *between* AddTag and RemoveTag — the store then evicts the
+// held tag and the eviction latch survives the RemoveTag. If RemoveTag is
+// invisible to the gate, AddTag…RemoveTag runs atomically between
+// scheduling points and that outcome is unreachable.
+func removeTagSetup(obs map[bool]bool) func() schedexplore.Setup {
+	return func() schedexplore.Setup {
+		m := smallMachine(2)
+		wordsPerLine := core.LineSize / core.WordSize
+		a := m.Alloc(wordsPerLine)
+		return schedexplore.Setup{
+			Machine: m,
+			Workers: 2,
+			Body: func(w int, th core.Thread) {
+				if w == 0 {
+					th.AddTag(a, core.LineSize)
+					th.RemoveTag(a, core.LineSize)
+					obs[th.Validate()] = true
+					th.ClearTagSet()
+					return
+				}
+				th.Store(a, 1)
+			},
+		}
+	}
+}
+
+// TestExplorerReachesRemoveTagBoundary is the regression test for the
+// missing RemoveTag throttle: exhaustive cycle-level exploration must
+// reach the interleaving where a remote store separates AddTag from
+// RemoveTag (Validate observes the latched eviction), and must of course
+// also reach the conflict-free orders.
+func TestExplorerReachesRemoveTagBoundary(t *testing.T) {
+	obs := map[bool]bool{}
+	res := schedexplore.Explore(removeTagSetup(obs), schedexplore.Config{
+		Mode: schedexplore.Exhaustive,
+	})
+	if res.Failure != nil {
+		t.Fatalf("probe failed: %v", res.Failure)
+	}
+	if !res.Exhausted {
+		t.Fatalf("probe space not exhausted in %d executions", res.Executions)
+	}
+	if !obs[true] {
+		t.Fatalf("no conflict-free interleaving observed: %v", obs)
+	}
+	if !obs[false] {
+		t.Fatalf("store never landed between AddTag and RemoveTag: the "+
+			"tag-release boundary is invisible to the scheduler (observations %v)", obs)
+	}
+}

@@ -20,7 +20,6 @@
 package vtags
 
 import (
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -28,13 +27,23 @@ import (
 	"repro/internal/mem"
 )
 
+// lineState is one line's version and writer lock. Line state is chunked
+// and installed on first touch, mirroring mem.Space: emulated spaces are
+// sized generously but sparsely touched, and zeroing per-line state for
+// the whole space dominated Memory construction cost.
+type lineState struct {
+	version uint64 // even = unlocked, odd = write in progress
+	mu      sync.Mutex
+}
+
+type lineChunk [mem.ChunkLines]lineState
+
 // Memory is the versioned-emulation address space.
 type Memory struct {
-	space    *mem.Space
-	versions []uint64     // per line; even = unlocked, odd = write in progress
-	locks    []sync.Mutex // per line
-	threads  []*Thread
-	maxTags  int
+	space   *mem.Space
+	lines   []atomic.Pointer[lineChunk]
+	threads []*Thread
+	maxTags int
 }
 
 var _ core.Memory = (*Memory)(nil)
@@ -51,19 +60,50 @@ func WithMaxTags(n int) Option { return func(m *Memory) { m.maxTags = n } }
 func New(bytes, threads int, opts ...Option) *Memory {
 	space := mem.NewSpace(bytes)
 	m := &Memory{
-		space:    space,
-		versions: make([]uint64, space.NumLines()),
-		locks:    make([]sync.Mutex, space.NumLines()),
-		maxTags:  32,
+		space:   space,
+		lines:   make([]atomic.Pointer[lineChunk], (space.NumLines()+mem.ChunkLines-1)/mem.ChunkLines),
+		maxTags: 32,
 	}
 	for _, o := range opts {
 		o(m)
 	}
 	m.threads = make([]*Thread, threads)
 	for i := range m.threads {
-		m.threads[i] = &Thread{m: m, id: i}
+		m.threads[i] = newThread(m, i)
 	}
 	return m
+}
+
+func newThread(m *Memory, id int) *Thread {
+	// The tag set is bounded by maxTags and the commit lock set by
+	// maxTags+1; sizing the reused buffers up front keeps every memory/tag
+	// operation allocation-free.
+	return &Thread{
+		m:       m,
+		id:      id,
+		tags:    make([]tagEntry, 0, m.maxTags),
+		lockBuf: make([]core.Line, 0, m.maxTags+1),
+	}
+}
+
+// lineAt returns line l's state, installing its chunk on first touch.
+func (m *Memory) lineAt(l core.Line) *lineState {
+	ci := uint64(l) / mem.ChunkLines
+	c := m.lines[ci].Load()
+	if c == nil {
+		c = m.installLineChunk(ci)
+	}
+	return &c[uint64(l)%mem.ChunkLines]
+}
+
+// installLineChunk materializes line-state chunk ci, losing the race
+// gracefully if another thread installs it first.
+func (m *Memory) installLineChunk(ci uint64) *lineChunk {
+	fresh := new(lineChunk)
+	if m.lines[ci].CompareAndSwap(nil, fresh) {
+		return fresh
+	}
+	return m.lines[ci].Load()
 }
 
 // NumThreads returns the number of thread handles.
@@ -77,7 +117,7 @@ func (m *Memory) Thread(id int) core.Thread { return m.threads[id] }
 // coherent participant without consuming one of the workload's handles.
 // The emulation has no per-thread hardware state, so the handle is just
 // another Thread with id -1.
-func (m *Memory) SpareThread() core.Thread { return &Thread{m: m, id: -1} }
+func (m *Memory) SpareThread() core.Thread { return newThread(m, -1) }
 
 // Alloc allocates line-aligned words.
 func (m *Memory) Alloc(words int) core.Addr { return m.space.Alloc(words) }
@@ -87,12 +127,12 @@ func (m *Memory) MaxTags() int { return m.maxTags }
 
 // lineVersion reads a line's version with acquire semantics.
 func (m *Memory) lineVersion(l core.Line) uint64 {
-	return atomic.LoadUint64(&m.versions[l])
+	return atomic.LoadUint64(&m.lineAt(l).version)
 }
 
 // bumpLineLocked advances a line's version; the caller holds the line lock.
 func (m *Memory) bumpLineLocked(l core.Line) {
-	atomic.AddUint64(&m.versions[l], 1)
+	atomic.AddUint64(&m.lineAt(l).version, 1)
 }
 
 // Thread is one emulated core's handle.
@@ -100,7 +140,10 @@ type Thread struct {
 	m  *Memory
 	id int
 
-	tags     []tagEntry
+	tags []tagEntry
+	// lockBuf is scratch for the sorted line set locked by commit, reused
+	// across attempts (the machine backend's Thread.lockSet analogue).
+	lockBuf  []core.Line
 	overflow bool
 	// evicted latches a conflict or forced eviction observed on a line
 	// whose tag has since been dropped (RemoveTag) or targeted
@@ -127,31 +170,35 @@ func (t *Thread) Load(a core.Addr) uint64 { return t.m.space.AtomicRead(a) }
 
 // Store writes v at a and bumps the line version (invalidating tags).
 func (t *Thread) Store(a core.Addr, v uint64) {
-	l := a.Line()
-	t.m.locks[l].Lock()
+	ls := t.m.lineAt(a.Line())
+	ls.mu.Lock()
 	t.m.space.AtomicWrite(a, v)
-	t.m.bumpLineLocked(l)
-	t.retagLocked(l)
-	t.m.locks[l].Unlock()
+	atomic.AddUint64(&ls.version, 1)
+	t.retagLocked(a.Line())
+	ls.mu.Unlock()
 }
 
 // CAS compares-and-swaps the word at a, bumping the version on success.
 func (t *Thread) CAS(a core.Addr, old, new uint64) bool {
-	l := a.Line()
-	t.m.locks[l].Lock()
+	ls := t.m.lineAt(a.Line())
+	ls.mu.Lock()
 	ok := t.m.space.Read(a) == old
 	if ok {
 		t.m.space.AtomicWrite(a, new)
-		t.m.bumpLineLocked(l)
-		t.retagLocked(l)
+		atomic.AddUint64(&ls.version, 1)
+		t.retagLocked(a.Line())
 	}
-	t.m.locks[l].Unlock()
+	ls.mu.Unlock()
 	return ok
 }
 
 // AddTag records the current version of every line of [a, a+size).
 func (t *Thread) AddTag(a core.Addr, size int) bool {
-	for _, l := range core.LinesSpanned(a, size) {
+	first, last, ok := core.LineSpan(a, size)
+	if !ok {
+		return true
+	}
+	for l := first; l <= last; l++ {
 		if t.tagged(l) {
 			continue
 		}
@@ -168,7 +215,11 @@ func (t *Thread) AddTag(a core.Addr, size int) bool {
 // observed is not forgotten (matching hardware semantics): RemoveTag checks
 // the line's version before dropping it and latches a failure.
 func (t *Thread) RemoveTag(a core.Addr, size int) {
-	for _, l := range core.LinesSpanned(a, size) {
+	first, last, ok := core.LineSpan(a, size)
+	if !ok {
+		return
+	}
+	for l := first; l <= last; l++ {
 		for i, e := range t.tags {
 			if e.line == l {
 				if t.m.lineVersion(l) != e.version {
@@ -248,16 +299,20 @@ func (t *Thread) commit(a core.Addr, v uint64, invalidateTags bool) bool {
 		return false
 	}
 	target := a.Line()
-	lines := make([]core.Line, 0, len(t.tags)+1)
+	// Reuse the per-thread lock buffer and sort it closure-free: the set
+	// is bounded by maxTags+1, so insertion sort over the reused buffer
+	// beats rebuilding a slice and sort.Slice on every commit attempt.
+	lines := t.lockBuf[:0]
 	for _, e := range t.tags {
 		lines = append(lines, e.line)
 	}
 	if !t.tagged(target) {
 		lines = append(lines, target)
 	}
-	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	insertionSortLines(lines)
+	t.lockBuf = lines
 	for _, l := range lines {
-		t.m.locks[l].Lock()
+		t.m.lineAt(l).mu.Lock()
 	}
 	ok := true
 	for _, e := range t.tags {
@@ -288,9 +343,24 @@ func (t *Thread) commit(a core.Addr, v uint64, invalidateTags bool) bool {
 		}
 	}
 	for i := len(lines) - 1; i >= 0; i-- {
-		t.m.locks[lines[i]].Unlock()
+		t.m.lineAt(lines[i]).mu.Unlock()
 	}
 	return ok
+}
+
+// insertionSortLines sorts a small line slice in place. The commit lock set
+// is bounded by maxTags+1, where insertion sort beats sort.Slice and avoids
+// the closure allocation on every attempt.
+func insertionSortLines(s []core.Line) {
+	for i := 1; i < len(s); i++ {
+		v := s[i]
+		j := i - 1
+		for j >= 0 && s[j] > v {
+			s[j+1] = s[j]
+			j--
+		}
+		s[j+1] = v
+	}
 }
 
 // retagLocked re-records the current version for this thread's own tag on
