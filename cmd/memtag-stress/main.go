@@ -94,7 +94,7 @@ func main() {
 		"drive the cycle-level schedule explorer (machine backend only): serialize the cores, enumerate interleavings derived from -seed — including intra-operation directory-locking windows — and check every execution's history; a violation prints the schedule and machine trace, and re-running with the same -seed replays it exactly")
 	exploreExecs := flag.Int("explore-execs", 8, "schedule-explorer executions per structure per round")
 	exploreMode := flag.String("explore-mode", "random",
-		"schedule exploration strategy: random, pct, or exhaustive (use small -ops/-threads with exhaustive)")
+		"schedule exploration strategy: random, pct, exhaustive, or dpor (dynamic partial-order reduction — one schedule per interleaving class; use small -ops/-threads with exhaustive or dpor)")
 	flag.Parse()
 
 	if *threads < 1 {
@@ -143,8 +143,10 @@ func main() {
 			mode = schedexplore.PCT
 		case "exhaustive":
 			mode = schedexplore.Exhaustive
+		case "dpor":
+			mode = schedexplore.StrategyDPOR
 		default:
-			fmt.Fprintf(os.Stderr, "memtag-stress: unknown explore mode %q (valid: random, pct, exhaustive)\n", *exploreMode)
+			fmt.Fprintf(os.Stderr, "memtag-stress: unknown explore mode %q (valid: random, pct, exhaustive, dpor)\n", *exploreMode)
 			os.Exit(2)
 		}
 		backends = []string{"machine"} // the explorer gates simulated cores
@@ -248,6 +250,8 @@ func exploreOne(sd structDef, threads, ops int, keyRange uint64, seed int64, mod
 	if res.Failure != nil {
 		return fmt.Errorf("schedule explorer found a violation (replay with the same -seed %d):\n%s", seed, res.Failure)
 	}
+	fmt.Printf("     %-14s %-8s coverage: %d executions (%d truncated, %d sleep-blocked), %d interleaving classes, exhausted=%v\n",
+		sd.name, mode, res.Executions, res.Truncated, res.SleepBlocked, res.Classes(), res.Exhausted)
 	return nil
 }
 

@@ -25,6 +25,46 @@ type VacationExperiment struct {
 	// -1 one per host CPU (see parallel.go). Results are identical for
 	// every setting.
 	Workers int
+	// Verify makes Run execute VerifySerializable first and panic on a
+	// violation: measured throughput of a non-serializable STM is
+	// meaningless, so the failure is fatal rather than a warning.
+	Verify bool
+}
+
+// VerifySerializable runs a scaled-down recorded pass of the workload on
+// the machine backend for each STM variant and checks — via
+// linearizability.SerializableMapModel — that the committed transactions
+// admit a serial order consistent with real time, and that the tables
+// conserve capacity. The returned error embeds the printed counterexample
+// on violation. The pass is scaled down because the checker replays whole
+// read/write-set histories; correctness of the protocol, not the
+// parameter scale, is what is being certified.
+func (e *VacationExperiment) VerifySerializable() error {
+	p := e.Params
+	if p.Relations > 8 {
+		p.Relations = 8
+	}
+	if p.Transactions > 8 {
+		p.Transactions = 8
+	}
+	const workers = 3
+	for _, v := range []struct {
+		name string
+		mk   func(core.Memory) *stm.TM
+	}{
+		{"norec", stm.NewNOrec},
+		{"tagged", stm.NewTagged},
+	} {
+		cfg := machine.DefaultConfig(workers)
+		cfg.MemBytes = 16 << 20
+		cfg.MaxTags = 256
+		m := machine.New(cfg)
+		rep := vacation.RunSerializeSuite(m, v.mk(m), p, workers, 1)
+		if err := rep.Err(); err != nil {
+			return fmt.Errorf("vacation/%s: %w", v.name, err)
+		}
+	}
+	return nil
 }
 
 // VacationPoint is one measured (variant, threads) cell.
@@ -59,7 +99,8 @@ func Fig8(quick bool) *VacationExperiment {
 		p.Transactions = 256
 	}
 	return &VacationExperiment{
-		Name: "fig8",
+		Verify: true,
+		Name:   "fig8",
 		Title: fmt.Sprintf("STAMP Vacation (-n%d -q%d -u%d -r%d -t%d), NOrec vs tagged",
 			p.QueriesPerTx, p.PercentQuery, p.PercentUser, p.Relations, p.Transactions),
 		Threads:  threads,
@@ -71,6 +112,11 @@ func Fig8(quick bool) *VacationExperiment {
 
 // Run executes the experiment for both STM variants.
 func (e *VacationExperiment) Run() []VacationPoint {
+	if e.Verify {
+		if err := e.VerifySerializable(); err != nil {
+			panic(err)
+		}
+	}
 	variants := []struct {
 		name string
 		mk   func(core.Memory) *stm.TM

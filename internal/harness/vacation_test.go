@@ -1,0 +1,13 @@
+package harness
+
+import "testing"
+
+// TestVacationVerifySerializable pins the experiment-level hook: the
+// scaled-down recorded pass over both STM variants is strictly
+// serializable with intact table invariants.
+func TestVacationVerifySerializable(t *testing.T) {
+	e := Fig8(true)
+	if err := e.VerifySerializable(); err != nil {
+		t.Fatal(err)
+	}
+}

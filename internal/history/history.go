@@ -37,6 +37,12 @@ const (
 	// OpKeys is an atomic whole-set snapshot (Out = observed membership
 	// encoded by the model, OK as for OpRange).
 	OpKeys
+	// OpTx is one whole transaction: Key indexes the transaction's
+	// footprint (read/write sets with values) in the recording shard —
+	// fetch it with Recorder.TxOf. Arg counts the aborted attempts before
+	// the commit; OK reports whether the transaction committed. Checked by
+	// linearizability.SerializableMapModel.
+	OpTx
 )
 
 // pending marks an event whose response has not been recorded.
@@ -64,6 +70,21 @@ type Event struct {
 // Pending reports whether the event has no recorded response. A pending
 // operation may or may not have taken effect; checkers must allow both.
 func (e *Event) Pending() bool { return e.Ret == pending }
+
+// TxAccess is one entry of a transaction's footprint: an address and the
+// value observed there (read set) or installed there (write set).
+type TxAccess struct {
+	Addr, Val uint64
+}
+
+// TxData is the footprint of one recorded transaction: the read and write
+// sets of the attempt that committed. Reads exclude addresses the
+// transaction wrote first (those observe the transaction's own buffered
+// value and constrain nothing externally).
+type TxData struct {
+	Reads  []TxAccess
+	Writes []TxAccess
+}
 
 // Recorder collects events from concurrent workers.
 type Recorder struct {
@@ -107,11 +128,18 @@ func (r *Recorder) Events() []Event {
 	return all
 }
 
+// TxOf returns the footprint of a recorded OpTx event. Only valid once
+// the recording shard has stopped appending.
+func (r *Recorder) TxOf(e *Event) *TxData {
+	return &r.shards[e.Worker].txs[e.Key]
+}
+
 // Shard is one worker's event log.
 type Shard struct {
 	rec    *Recorder
 	worker int32
 	events []Event
+	txs    []TxData
 }
 
 // Begin records an operation invocation and returns its index for End.
@@ -133,6 +161,25 @@ func (s *Shard) End(idx int, ok bool, out uint64) {
 	e.OK = ok
 	e.Out = out
 	e.Ret = s.rec.clock.Add(1)
+}
+
+// BeginTx records a transaction invocation (an OpTx event backed by a
+// fresh footprint) and returns its index for TxRead/TxWrite/SetArg/End.
+func (s *Shard) BeginTx() int {
+	s.txs = append(s.txs, TxData{})
+	return s.Begin(OpTx, uint64(len(s.txs)-1), 0)
+}
+
+// TxRead appends (addr, observed value) to the transaction's read set.
+func (s *Shard) TxRead(idx int, addr, val uint64) {
+	t := &s.txs[s.events[idx].Key]
+	t.Reads = append(t.Reads, TxAccess{Addr: addr, Val: val})
+}
+
+// TxWrite appends (addr, installed value) to the transaction's write set.
+func (s *Shard) TxWrite(idx int, addr, val uint64) {
+	t := &s.txs[s.events[idx].Key]
+	t.Writes = append(t.Writes, TxAccess{Addr: addr, Val: val})
 }
 
 // SetArg rewrites the Arg of a recorded operation. Some attributes — e.g.

@@ -120,4 +120,6 @@ func CheckExploreLinearizable(t *testing.T, newMachine func(threads int) *machin
 	if res.Failure != nil {
 		t.Fatalf("schedule explorer found a violation (mode %s):\n%s", cfg.Mode, res.Failure)
 	}
+	t.Logf("mode %s: %d executions (%d truncated, %d sleep-blocked), %d interleaving classes, exhausted=%v",
+		cfg.Mode, res.Executions, res.Truncated, res.SleepBlocked, res.Classes(), res.Exhausted)
 }

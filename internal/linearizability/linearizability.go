@@ -339,6 +339,7 @@ func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
 
 func (b bitset) set(i uint64)   { b[i/64] |= 1 << (i % 64) }
 func (b bitset) clear(i uint64) { b[i/64] &^= 1 << (i % 64) }
+func (b bitset) get(i uint64) bool { return b[i/64]&(1<<(i%64)) != 0 }
 
 func (b bitset) hashWith(state uint64) uint64 {
 	h := uint64(1469598103934665603) // FNV offset basis

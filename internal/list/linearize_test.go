@@ -114,7 +114,7 @@ func TestExploreLinearizableMachine(t *testing.T) {
 		{"vas", func(m core.Memory) intset.Set { return NewVAS(m) }},
 		{"hoh", func(m core.Memory) intset.Set { return NewHoH(m) }},
 	}
-	modes := []schedexplore.Mode{schedexplore.RandomWalk, schedexplore.PCT}
+	modes := []schedexplore.Mode{schedexplore.RandomWalk, schedexplore.PCT, schedexplore.StrategyDPOR}
 	for _, v := range variants {
 		v := v
 		t.Run(v.name, func(t *testing.T) {
@@ -128,6 +128,9 @@ func TestExploreLinearizableMachine(t *testing.T) {
 					Seed:         21,
 					Mode:         mode,
 					Executions:   6,
+					// Bounds DPOR branches that park a core on a busy
+					// hand-over-hand lock (the spin itself is schedulable).
+					MaxDecisions: 2000,
 					EvictPerMil:  100,
 				})
 			}

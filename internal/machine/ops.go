@@ -134,6 +134,7 @@ func (t *Thread) RemoveTag(a core.Addr, size int) {
 		if idx < 0 {
 			continue
 		}
+		t.recAccess(l, false)
 		d := t.m.dirAt(l)
 		d.mu.Lock()
 		d.taggers &^= t.bit
@@ -151,6 +152,7 @@ func (t *Thread) RemoveTag(a core.Addr, size int) {
 // is retained so hand-over-hand traversals can validate repeatedly.
 func (t *Thread) Validate() bool {
 	t.throttle()
+	t.recTagSetReads()
 	t.stats.Validates++
 	t.charge(t.m.cfg.ValidateCycles, 0)
 	if t.overflow || t.evicted.Load() {
@@ -232,6 +234,9 @@ func (t *Thread) commit(a core.Addr, v uint64, invalidateTags bool) bool {
 	// locks is where another core's commit or invalidation can slip in;
 	// expose it to the schedule explorer (no locks held yet).
 	t.gateInternal()
+	// The commit segment's outcome is decided by remote writes to any
+	// tagged line (they set the eviction latch the validation reads).
+	t.recTagSetReads()
 	for _, l := range t.lockSet {
 		t.m.dirAt(l).mu.Lock()
 	}
@@ -254,6 +259,7 @@ func (t *Thread) commit(a core.Addr, v uint64, invalidateTags bool) bool {
 			if l == target {
 				continue // handled below with the write
 			}
+			t.recAccess(l, true)
 			d := t.m.dirAt(l)
 			t.invalidateOthersLocked(d, l)
 		}

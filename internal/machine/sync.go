@@ -3,6 +3,8 @@ package machine
 import (
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/core"
 )
 
 // Lax clock synchronization, after Graphite: worker threads that run ahead
@@ -55,6 +57,64 @@ const (
 // blocks another core's coherence transactions.
 type Gate interface {
 	Step(core int, point GatePoint, cycles uint64)
+}
+
+// Access is one shared-resource touch attributed to the segment a core
+// executes between two gate points. While a gate is installed, every
+// thread records the accesses of its current segment; the controller
+// drains them at the next scheduling point with TakeSegmentAccesses. The
+// footprints drive the schedule explorer's independence relation (DPOR)
+// and let counterexamples name the contended line directly.
+//
+// Write marks accesses that can change what a remote core observes:
+// stores, CAS (which acquires exclusivity even on failure), the VAS/IAS
+// target, and IAS's invalidation of the tagged lines. Read-class accesses
+// cover loads, tagging (AddTag/RemoveTag bookkeeping), and the
+// validation reads of the tag set — a Validate or commit outcome depends
+// on remote writes to every tagged line, so those lines are part of the
+// segment's footprint even though validation itself reads only the local
+// eviction latch.
+type Access struct {
+	Line  core.Line
+	Write bool
+}
+
+// AllocLine is the pseudo-resource recorded for shared-space allocation.
+// Bump allocation is order-sensitive (two segments that both allocate
+// return different addresses in different schedules), so allocating
+// segments never commute: the explorer must treat any two of them as
+// dependent.
+const AllocLine = ^core.Line(0)
+
+// recAccess records one shared access of the current segment. It costs a
+// single predictable branch when no gate is installed.
+func (t *Thread) recAccess(l core.Line, write bool) {
+	if t.m.gate != nil {
+		t.segAcc = append(t.segAcc, Access{Line: l, Write: write})
+	}
+}
+
+// recTagSetReads records the current tag set as read-class accesses: the
+// outcome of a validation (Validate, VAS, IAS) is decided by remote
+// writes to any tagged line, which set this core's eviction latch.
+func (t *Thread) recTagSetReads() {
+	if t.m.gate == nil {
+		return
+	}
+	for _, l := range t.tags {
+		t.segAcc = append(t.segAcc, Access{Line: l})
+	}
+}
+
+// TakeSegmentAccesses appends the accesses recorded since the previous
+// scheduling point to dst and resets the segment log. It must only be
+// called by the installed gate's controller while this core is parked at
+// (or past) a scheduling point; the gate's park/grant channel operations
+// order the log's writes before the controller's read.
+func (t *Thread) TakeSegmentAccesses(dst []Access) []Access {
+	dst = append(dst, t.segAcc...)
+	t.segAcc = t.segAcc[:0]
+	return dst
 }
 
 // SetGate installs (or removes, with nil) the machine's scheduler gate.

@@ -37,6 +37,10 @@ type Thread struct {
 	// discipline: at most one directory entry is locked at a time outside
 	// VAS/IAS commits).
 	pendingEvicts []core.Line
+	// segAcc is the shared-access log of the current inter-gate segment,
+	// recorded only while a schedule-explorer gate is installed (see
+	// recAccess / TakeSegmentAccesses in sync.go).
+	segAcc []Access
 	// lockSet is scratch for the sorted line set locked by VAS/IAS.
 	lockSet []core.Line
 
@@ -75,8 +79,14 @@ func newThread(m *Machine, id int) *Thread {
 // ID returns the simulated core id.
 func (t *Thread) ID() int { return t.id }
 
-// Alloc allocates line-aligned words from the shared space.
-func (t *Thread) Alloc(words int) core.Addr { return t.m.space.Alloc(words) }
+// Alloc allocates line-aligned words from the shared space. Under a
+// schedule-explorer gate the allocation is recorded against the shared
+// allocator pseudo-resource: bump allocation is order-sensitive, so two
+// allocating segments must never be treated as independent.
+func (t *Thread) Alloc(words int) core.Addr {
+	t.recAccess(AllocLine, true)
+	return t.m.space.Alloc(words)
+}
 
 func (t *Thread) charge(cycles uint64, energy float64) {
 	t.stats.Cycles += cycles
@@ -221,6 +231,7 @@ func (t *Thread) drainEvictions() {
 // touchLineLocked performs the coherence transaction for one access to line
 // l and charges its cost. The caller holds d.mu.
 func (t *Thread) touchLineLocked(l core.Line, d *dirEntry, write bool) {
+	t.recAccess(l, write)
 	cfg := &t.m.cfg
 	present := d.sharers&t.bit != 0
 
@@ -289,6 +300,7 @@ func (t *Thread) touchLineLocked(l core.Line, d *dirEntry, write bool) {
 // a normal read (the transition-to-tagged state serves the miss), and that
 // fill is charged.
 func (t *Thread) touchForTagLocked(l core.Line, d *dirEntry) {
+	t.recAccess(l, false)
 	cfg := &t.m.cfg
 	if d.sharers&t.bit != 0 {
 		if t.l1.Lookup(l) {

@@ -1,0 +1,362 @@
+// Dynamic partial-order reduction (Flanagan & Godefroid, POPL 2005) over
+// the cycle-level explorer's decision tree.
+//
+// A "transition" is everything one core executes between two scheduling
+// points: the machine backend records the shared lines each segment
+// touched (machine.Access), and two segments are dependent iff they share
+// a line with at least one write-class access. Schedules that differ only
+// by commuting adjacent independent segments are Mazurkiewicz-equivalent
+// — they produce identical machine states and identical verdicts — so
+// exploring one schedule per equivalence class preserves every
+// linearizability outcome bounded-exhaustive enumeration would find.
+//
+// The driver keeps a depth-first execution tree across executions. After
+// each execution it computes happens-before over the executed segments
+// with vector clocks, finds the reversible races (dependent, differently
+// cored, not ordered through an intermediate segment), and plants
+// backtrack (persistent-set) points at the pre-state of each race. Sleep
+// sets carry fully-explored siblings into later branches and prune any
+// execution whose every runnable core is asleep. Exploration is complete
+// when no state has a pending backtrack choice.
+package schedexplore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+)
+
+// conflict reports whether two segment footprints are dependent: they
+// share a line with at least one write-class access. Independent segments
+// commute, so only conflicting segments distinguish schedules.
+func conflict(a, b []machine.Access) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if x.Line == y.Line && (x.Write || y.Write) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// fpHash digests one segment footprint. The recording order inside a
+// segment is a pure function of the transition's code path, so an
+// order-sensitive digest is stable across equivalent schedules.
+func fpHash(fp []machine.Access) uint64 {
+	h := uint64(14695981039346656037)
+	for _, a := range fp {
+		h = (h ^ uint64(a.Line)) * 1099511628211
+		w := uint64(0)
+		if a.Write {
+			w = 1
+		}
+		h = (h ^ w) * 1099511628211
+	}
+	return h
+}
+
+// classHash digests the Mazurkiewicz trace class of a completed schedule
+// via its Foata normal form: each segment's level is one more than the
+// deepest earlier segment it depends on (same core, or conflicting
+// footprints), and the class digest combines the (level, core,
+// per-core index, eviction, footprint) of every segment with a
+// commutative operation. Commuting adjacent independent segments changes
+// neither levels nor per-core order, so equivalent schedules hash equal;
+// inequivalent schedules differ in some segment's level or footprint.
+func classHash(choices []Choice) uint64 {
+	n := len(choices)
+	level := make([]int, n)
+	perCore := map[int]int{}
+	var acc uint64
+	for j := 0; j < n; j++ {
+		cj := choices[j].Core()
+		lv := 1
+		for i := 0; i < j; i++ {
+			if level[i] >= lv && (choices[i].Core() == cj || conflict(choices[i].Accesses, choices[j].Accesses)) {
+				lv = level[i] + 1
+			}
+		}
+		level[j] = lv
+		k := perCore[cj]
+		perCore[cj] = k + 1
+		h := uint64(14695981039346656037)
+		for _, v := range [4]uint64{uint64(lv), uint64(cj), uint64(k), uint64(int64(choices[j].EvictTag))} {
+			h = (h ^ v) * 1099511628211
+		}
+		h = (h ^ fpHash(choices[j].Accesses)) * 1099511628211
+		acc += h
+	}
+	return acc ^ uint64(n)*1099511628211
+}
+
+// FormatAccesses renders a segment footprint as the deduplicated sorted
+// line set, each suffixed w (write-class) or r: "lines{3r 17w alloc:w}".
+func FormatAccesses(fp []machine.Access) string {
+	write := map[core.Line]bool{}
+	order := []core.Line{}
+	for _, a := range fp {
+		if _, ok := write[a.Line]; !ok {
+			order = append(order, a.Line)
+		}
+		write[a.Line] = write[a.Line] || a.Write
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	var b strings.Builder
+	b.WriteString("lines{")
+	for i, l := range order {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		if l == machine.AllocLine {
+			b.WriteString("alloc:")
+		} else {
+			fmt.Fprintf(&b, "%d", l)
+		}
+		if write[l] {
+			b.WriteByte('w')
+		} else {
+			b.WriteByte('r')
+		}
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// dnode is one state of the DPOR execution tree: the scheduling decision
+// reached by a unique segment sequence from the initial state. Replayed
+// prefixes revisit the same nodes, so backtrack/done/sleep state persists
+// across executions; fully explored subtrees are deleted (the search is
+// stateless below the current path).
+type dnode struct {
+	runnable  []int        // sorted unfinished cores at this state
+	backtrack map[int]bool // persistent set: cores to explore from here
+	// done maps fully explored outgoing edges to their segment footprint
+	// (needed for sleep inheritance into later siblings).
+	done map[int][]machine.Access
+	// sleep maps cores asleep on entry to this state to the footprint of
+	// their pending (already explored elsewhere) segment. Picking one
+	// would reproduce an explored class.
+	sleep    map[int][]machine.Access
+	children map[int]*dnode
+}
+
+func newDnode(runnable []int, sleep map[int][]machine.Access) *dnode {
+	return &dnode{
+		runnable:  runnable,
+		backtrack: map[int]bool{},
+		done:      map[int][]machine.Access{},
+		sleep:     sleep,
+		children:  map[int]*dnode{},
+	}
+}
+
+// dporDriver owns the execution tree and the replay plan; it persists
+// across the executions of one Explore call.
+type dporDriver struct {
+	root *dnode
+	// plan is the core sequence to replay from the root on the next
+	// execution: the path to the deepest state with a pending backtrack
+	// choice, plus that choice. Beyond the plan the strategy picks the
+	// smallest non-sleeping runnable core.
+	plan []int
+}
+
+func newDPORDriver() *dporDriver { return &dporDriver{} }
+
+// dporExec is the per-execution strategy face of the driver; it records
+// the path taken and the observed segment footprints for the driver's
+// post-execution race analysis.
+type dporExec struct {
+	drv   *dporDriver
+	path  []*dnode // path[d]: state at decision d
+	procs []int    // granted core per decision
+	fps   [][]machine.Access
+}
+
+func (drv *dporDriver) newExec() *dporExec { return &dporExec{drv: drv} }
+
+// observe implements segmentObserver: the footprint of decision d arrives
+// when the granted core reaches its next scheduling point — always before
+// pick(d+1), so sleep inheritance at the next node sees it.
+func (e *dporExec) observe(d int, fp []machine.Access) {
+	for len(e.fps) <= d {
+		e.fps = append(e.fps, nil)
+	}
+	e.fps[d] = fp
+}
+
+func idxOf(s []int, v int) int {
+	for i, x := range s {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// nodeAt returns (creating if new) the tree node for decision d of this
+// execution. A new node inherits its sleep set from the parent: a core
+// asleep (or fully explored) at the parent stays asleep here iff its
+// pending segment is independent of the edge segment just executed.
+func (e *dporExec) nodeAt(d int, runnable []int) *dnode {
+	if d == 0 {
+		if e.drv.root == nil {
+			e.drv.root = newDnode(runnable, map[int][]machine.Access{})
+		}
+		return e.drv.root
+	}
+	parent := e.path[d-1]
+	proc := e.procs[d-1]
+	if child := parent.children[proc]; child != nil {
+		return child
+	}
+	edge := e.fps[d-1]
+	sleep := map[int][]machine.Access{}
+	inherit := func(q int, fp []machine.Access) {
+		if q != proc && idxOf(runnable, q) >= 0 && !conflict(fp, edge) {
+			sleep[q] = fp
+		}
+	}
+	for q, fp := range parent.sleep {
+		inherit(q, fp)
+	}
+	for q, fp := range parent.done {
+		inherit(q, fp)
+	}
+	child := newDnode(runnable, sleep)
+	parent.children[proc] = child
+	return child
+}
+
+// pick implements strategy: replay the plan, then take the smallest
+// runnable core not in the sleep set; -1 (abandon) when all runnable
+// cores are asleep — every continuation is an explored class.
+func (e *dporExec) pick(d int, runnable []int, _ func(int) int) (int, int) {
+	node := e.nodeAt(d, runnable)
+	var proc int
+	if d < len(e.drv.plan) {
+		proc = e.drv.plan[d]
+		if idxOf(runnable, proc) < 0 {
+			panic(fmt.Sprintf("schedexplore: DPOR replay diverged at decision %d: planned core %d not runnable in %v (nondeterministic Setup)", d, proc, runnable))
+		}
+	} else {
+		proc = -1
+		for _, q := range runnable {
+			if _, asleep := node.sleep[q]; !asleep {
+				proc = q
+				break
+			}
+		}
+		if proc < 0 {
+			return -1, -1
+		}
+	}
+	node.backtrack[proc] = true
+	e.path = append(e.path, node)
+	e.procs = append(e.procs, proc)
+	return idxOf(runnable, proc), -1
+}
+
+// finish runs the race analysis for the completed (or abandoned)
+// execution, pops the depth-first stack, and plans the next execution.
+// It reports true when the whole space has been explored.
+func (drv *dporDriver) finish(e *dporExec, truncated bool) bool {
+	n := len(e.procs)
+	for len(e.fps) < n {
+		e.fps = append(e.fps, nil)
+	}
+	drv.plantBacktracks(e)
+	// Depth-first pop: each edge of this execution is now fully explored
+	// below (its subtree was either walked or proven redundant); find the
+	// deepest state that still has a pending backtrack choice.
+	for d := n - 1; d >= 0; d-- {
+		v := e.path[d]
+		proc := e.procs[d]
+		delete(v.children, proc)
+		v.done[proc] = e.fps[d]
+		for _, q := range v.runnable {
+			_, isDone := v.done[q]
+			_, asleep := v.sleep[q]
+			if v.backtrack[q] && !isDone && !asleep {
+				drv.plan = append(append([]int{}, e.procs[:d]...), q)
+				return false
+			}
+		}
+	}
+	_ = truncated
+	return true
+}
+
+// plantBacktracks finds every reversible race of the executed segment
+// sequence and plants a backtrack point at the race's pre-state, per
+// Flanagan & Godefroid: for a race between steps i < j, the pre-state of
+// i must also try the first step of the dependency chain leading to j.
+func (drv *dporDriver) plantBacktracks(e *dporExec) {
+	n := len(e.procs)
+	// clocks[j][p] = 1 + index of the last step of core p that
+	// happens-before step j (happens-before = program order plus
+	// dependence edges, transitively closed).
+	clocks := make([]map[int]int, n)
+	lastOf := map[int]int{} // core -> 1 + index of its last step
+	for j := 0; j < n; j++ {
+		cv := map[int]int{}
+		if li := lastOf[e.procs[j]]; li > 0 {
+			for p, v := range clocks[li-1] {
+				cv[p] = v
+			}
+		}
+		for i := 0; i < j; i++ {
+			if e.procs[i] != e.procs[j] && conflict(e.fps[i], e.fps[j]) {
+				for p, v := range clocks[i] {
+					if v > cv[p] {
+						cv[p] = v
+					}
+				}
+			}
+		}
+		cv[e.procs[j]] = j + 1
+		clocks[j] = cv
+		lastOf[e.procs[j]] = j + 1
+	}
+	hb := func(i, j int) bool { return clocks[j][e.procs[i]] >= i+1 }
+	for j := 1; j < n; j++ {
+		for i := 0; i < j; i++ {
+			if e.procs[i] == e.procs[j] || !conflict(e.fps[i], e.fps[j]) {
+				continue
+			}
+			// The race is reversible only if i and j are not ordered
+			// through an intermediate step: then running j's chain first
+			// at pre(i) is a genuinely different class.
+			reversible := true
+			for k := i + 1; k < j && reversible; k++ {
+				if hb(i, k) && hb(k, j) {
+					reversible = false
+				}
+			}
+			if !reversible {
+				continue
+			}
+			v := e.path[i]
+			// Backtrack candidate: the core of the earliest step in
+			// (i, j] on j's dependency chain that is runnable at pre(i).
+			cand := -1
+			for m := i + 1; m <= j; m++ {
+				if (m == j || hb(m, j)) && idxOf(v.runnable, e.procs[m]) >= 0 {
+					cand = e.procs[m]
+					break
+				}
+			}
+			if cand >= 0 {
+				v.backtrack[cand] = true
+			} else {
+				for _, q := range v.runnable {
+					v.backtrack[q] = true
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,297 @@
+package schedexplore_test
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/list"
+	"repro/internal/machine"
+	"repro/internal/schedexplore"
+)
+
+// vasSetup is the reference intset workload for the reduction criterion:
+// a VAS list (tag-validate traversals, VAS commits — retries bounded by
+// the opponent's finite op count, so the schedule space is finite and
+// bounded-exhaustive terminates) with one op per worker. Small enough for
+// bounded-exhaustive to enumerate completely, large enough that most of
+// its schedules are Mazurkiewicz-equivalent.
+func vasSetup(out [][]bool) func() schedexplore.Setup {
+	return func() schedexplore.Setup {
+		m := smallMachine(2)
+		s := list.NewVAS(m)
+		s.Insert(m.Thread(0), 2)
+		for w := range out {
+			out[w] = out[w][:0]
+		}
+		return schedexplore.Setup{
+			Machine: m,
+			Workers: 2,
+			Body: func(w int, th core.Thread) {
+				if w == 0 {
+					out[w] = append(out[w], s.Insert(th, 1))
+				} else {
+					out[w] = append(out[w], s.Contains(th, 2))
+				}
+			},
+		}
+	}
+}
+
+func classSet(hashes []uint64) []uint64 {
+	seen := map[uint64]struct{}{}
+	for _, h := range hashes {
+		seen[h] = struct{}{}
+	}
+	set := make([]uint64, 0, len(seen))
+	for h := range seen {
+		set = append(set, h)
+	}
+	sort.Slice(set, func(i, j int) bool { return set[i] < set[j] })
+	return set
+}
+
+// TestDPORReductionAtEqualCoverage is the acceptance-criterion reduction
+// test: on the reference intset workload, StrategyDPOR must exhaust the
+// schedule space with at least 5x fewer executions than bounded-exhaustive
+// enumeration while covering the identical set of interleaving classes
+// (Mazurkiewicz traces) — reduction without lost coverage.
+func TestDPORReductionAtEqualCoverage(t *testing.T) {
+	out := make([][]bool, 2)
+	ex := schedexplore.Explore(vasSetup(out), schedexplore.Config{
+		Mode:       schedexplore.Exhaustive,
+		Executions: 2_000_000,
+	})
+	if ex.Failure != nil {
+		t.Fatalf("exhaustive run failed: %v", ex.Failure)
+	}
+	if !ex.Exhausted {
+		t.Fatalf("exhaustive did not exhaust the space in %d executions (truncated %d)", ex.Executions, ex.Truncated)
+	}
+	exOut := fmt.Sprint(out)
+
+	dp := schedexplore.Explore(vasSetup(out), schedexplore.Config{
+		Mode: schedexplore.StrategyDPOR,
+	})
+	if dp.Failure != nil {
+		t.Fatalf("DPOR run failed: %v", dp.Failure)
+	}
+	if !dp.Exhausted {
+		t.Fatalf("DPOR did not exhaust the space in %d executions (truncated %d, sleep-blocked %d)",
+			dp.Executions, dp.Truncated, dp.SleepBlocked)
+	}
+	if fmt.Sprint(out) != exOut {
+		t.Fatalf("final op outcomes differ between modes: %v vs %s", out, exOut)
+	}
+
+	exClasses, dpClasses := classSet(ex.ClassHashes), classSet(dp.ClassHashes)
+	if !reflect.DeepEqual(exClasses, dpClasses) {
+		t.Fatalf("interleaving-class coverage differs: exhaustive %d classes, DPOR %d classes",
+			len(exClasses), len(dpClasses))
+	}
+	t.Logf("exhaustive: %d executions, DPOR: %d executions (%d sleep-blocked), %d classes, reduction %.1fx",
+		ex.Executions, dp.Executions, dp.SleepBlocked, len(dpClasses),
+		float64(ex.Executions)/float64(dp.Executions))
+	if ex.Executions < 5*dp.Executions {
+		t.Fatalf("reduction below 5x: exhaustive %d executions vs DPOR %d", ex.Executions, dp.Executions)
+	}
+}
+
+// vasWindowSetup probes the commit TOCTOU window with program-visible
+// verdicts: worker 0 tags a line and VASes a new value into it; worker 1
+// stores a competing value in its one scheduling slot. The three
+// distinguishable outcomes are (VAS ok, final 42) — store before the tag,
+// (VAS fail, final 7) — store inside the tag-to-validate window, and
+// (VAS ok, final 7) — store after the commit. A sound reducer must reach
+// all three: each is a distinct Mazurkiewicz class with a distinct
+// verdict.
+func vasWindowSetup(obs map[[2]interface{}]bool) func() schedexplore.Setup {
+	return func() schedexplore.Setup {
+		m := smallMachine(2)
+		a := m.Alloc(1)
+		return schedexplore.Setup{
+			Machine: m,
+			Workers: 2,
+			Body: func(w int, th core.Thread) {
+				if w == 0 {
+					th.AddTag(a, 8)
+					ok := th.VAS(a, 42)
+					th.ClearTagSet()
+					obs[[2]interface{}{ok, th.Load(a)}] = true
+					return
+				}
+				th.Store(a, 7)
+			},
+		}
+	}
+}
+
+// TestDPORSoundnessProbes re-runs the PR 2/PR 3 reachability probes under
+// reduction: pruning equivalence-redundant schedules must not lose any
+// verdict-distinct interleaving — the store between AddTag and RemoveTag,
+// and every outcome of the commit TOCTOU window.
+//
+// Note the half-applied-AddTag probe (probeSetup) is deliberately absent:
+// its mid-state is observed through DebugLine, a side channel outside the
+// machine's program semantics, and DPOR correctly identifies those
+// orderings as equivalent (a remote AddTag commutes with every program-
+// visible behavior of an unrelated load). TestStrategiesAgreeOnVerdicts
+// pins that DPOR still reports the same verdict on it.
+func TestDPORSoundnessProbes(t *testing.T) {
+	rtObs := map[bool]bool{}
+	res := schedexplore.Explore(removeTagSetup(rtObs), schedexplore.Config{Mode: schedexplore.StrategyDPOR})
+	if res.Failure != nil {
+		t.Fatalf("probe failed: %v", res.Failure)
+	}
+	if !res.Exhausted {
+		t.Fatalf("probe space not exhausted in %d executions", res.Executions)
+	}
+	if !rtObs[true] || !rtObs[false] {
+		t.Fatalf("DPOR lost a RemoveTag-boundary outcome: %v", rtObs)
+	}
+
+	vwObs := map[[2]interface{}]bool{}
+	res = schedexplore.Explore(vasWindowSetup(vwObs), schedexplore.Config{Mode: schedexplore.StrategyDPOR})
+	if res.Failure != nil {
+		t.Fatalf("probe failed: %v", res.Failure)
+	}
+	if !res.Exhausted {
+		t.Fatalf("probe space not exhausted in %d executions", res.Executions)
+	}
+	for _, want := range [][2]interface{}{
+		{true, uint64(42)}, // store before the tag; the VAS overwrites it
+		{false, uint64(7)}, // store inside the tag-to-validate window
+		{true, uint64(7)},  // store after the commit
+	} {
+		if !vwObs[want] {
+			t.Fatalf("DPOR never observed outcome %v; observations: %v", want, vwObs)
+		}
+	}
+}
+
+// TestDPORDeterministic pins that DPOR exploration is a pure function of
+// the Setup: it draws no randomness, so two runs produce identical trace
+// digests, class digests, and execution counts.
+func TestDPORDeterministic(t *testing.T) {
+	run := func() schedexplore.Result {
+		out := make([][]bool, 2)
+		res := schedexplore.Explore(vasSetup(out), schedexplore.Config{Mode: schedexplore.StrategyDPOR})
+		if res.Failure != nil {
+			t.Fatalf("unexpected failure: %v", res.Failure)
+		}
+		return res
+	}
+	r1, r2 := run(), run()
+	if !reflect.DeepEqual(r1.TraceHashes, r2.TraceHashes) {
+		t.Fatalf("trace digests differ between identical DPOR runs")
+	}
+	if !reflect.DeepEqual(r1.ClassHashes, r2.ClassHashes) {
+		t.Fatalf("class digests differ between identical DPOR runs")
+	}
+	if r1.Executions != r2.Executions || r1.SleepBlocked != r2.SleepBlocked {
+		t.Fatalf("execution counts differ: %+v vs %+v", r1, r2)
+	}
+}
+
+// lostUpdateSetup is the differential-verdict workload: two workers each
+// perform one non-atomic read-modify-write increment on a shared word.
+// Schedules that separate one worker's Load from its Store lose an
+// update; Check fails iff the final value is not 2. Every strategy must
+// reach both verdicts' witnesses: the buggy interleaving exists, so a
+// sound explorer with enough executions finds it, and the correct
+// interleaving exists too.
+func lostUpdateSetup() func() schedexplore.Setup {
+	return func() schedexplore.Setup {
+		m := smallMachine(2)
+		a := m.Alloc(1)
+		return schedexplore.Setup{
+			Machine: m,
+			Workers: 2,
+			Body: func(w int, th core.Thread) {
+				v := th.Load(a)
+				th.Store(a, v+1)
+			},
+			Check: func() error {
+				// The gate is uninstalled before Check runs, so this
+				// un-gated read does not perturb the schedule.
+				if v := m.Thread(0).Load(a); v != 2 {
+					return fmt.Errorf("lost update: counter = %d, want 2", v)
+				}
+				return nil
+			},
+		}
+	}
+}
+
+// TestStrategiesAgreeOnVerdicts is the explorer-equivalence differential
+// test: random walk, PCT, bounded-exhaustive and DPOR must all convict
+// the lost-update workload (each finds some failing schedule) and must
+// all acquit the probe workloads (no strategy fabricates a failure).
+func TestStrategiesAgreeOnVerdicts(t *testing.T) {
+	modes := []schedexplore.Mode{
+		schedexplore.RandomWalk, schedexplore.PCT,
+		schedexplore.Exhaustive, schedexplore.StrategyDPOR,
+	}
+	for _, mode := range modes {
+		// PCTLength is sized to the workload (a handful of decisions) so
+		// PCT's priority-change points actually land inside it.
+		cfg := schedexplore.Config{Mode: mode, Seed: 9, Executions: 64, PCTLength: 8}
+		res := schedexplore.Explore(lostUpdateSetup(), cfg)
+		if res.Failure == nil {
+			t.Fatalf("%v: no strategy may miss the lost update (%d executions)", mode, res.Executions)
+		}
+		if !strings.Contains(res.Failure.Err.Error(), "lost update") {
+			t.Fatalf("%v: unexpected failure %v", mode, res.Failure.Err)
+		}
+		// The counterexample replays to the same verdict.
+		if _, err := schedexplore.Replay(lostUpdateSetup(), res.Failure.Choices, schedexplore.Config{}); err == nil {
+			t.Fatalf("%v: counterexample schedule did not replay to a failure", mode)
+		}
+
+		obs := map[[2]bool]bool{}
+		res = schedexplore.Explore(probeSetup(obs), cfg)
+		if res.Failure != nil {
+			t.Fatalf("%v: fabricated failure on the probe workload: %v", mode, res.Failure)
+		}
+	}
+}
+
+// TestCounterexampleNamesContendedLines pins the counterexample metadata:
+// the schedule rendering must carry each decision's gate point and the
+// contended lines of its segment footprint, so a failure names the line
+// the race was on instead of leaving the reader to re-derive it from op
+// indices.
+func TestCounterexampleNamesContendedLines(t *testing.T) {
+	res := schedexplore.Explore(lostUpdateSetup(), schedexplore.Config{
+		Mode: schedexplore.StrategyDPOR,
+	})
+	if res.Failure == nil {
+		t.Fatal("expected a lost-update counterexample")
+	}
+	s := res.Failure.String()
+	if !strings.Contains(s, "@op") {
+		t.Fatalf("counterexample does not render gate points:\n%s", s)
+	}
+	if !strings.Contains(s, "lines{") {
+		t.Fatalf("counterexample does not render segment footprints:\n%s", s)
+	}
+	// The shared counter's line must appear with a write-class access.
+	var line core.Line
+	found := false
+	for _, ch := range res.Failure.Choices {
+		for _, a := range ch.Accesses {
+			if a.Write && a.Line != machine.AllocLine {
+				line, found = a.Line, true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no write-class access recorded in any segment:\n%s", s)
+	}
+	if want := fmt.Sprintf("%dw", line); !strings.Contains(s, want) {
+		t.Fatalf("contended line %q not named in rendering:\n%s", want, s)
+	}
+}

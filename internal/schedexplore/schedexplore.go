@@ -9,11 +9,16 @@
 // reachable, and every execution is a pure function of the strategy's
 // seed: replaying a seed reproduces the machine trace bit for bit.
 //
-// Three strategies are provided: a seeded random walk, PCT-style priority
+// Four strategies are provided: a seeded random walk, PCT-style priority
 // schedules (Burckhardt et al.'s probabilistic concurrency testing: random
 // priorities with d-1 random priority-change points, good at low-depth
-// bugs), and a bounded exhaustive mode for small configurations (stateless
-// depth-first enumeration of all schedules by choice-prefix replay).
+// bugs), a bounded exhaustive mode for small configurations (stateless
+// depth-first enumeration of all schedules by choice-prefix replay), and
+// dynamic partial-order reduction (StrategyDPOR, Flanagan & Godefroid)
+// which visits one schedule per Mazurkiewicz trace: segments between gate
+// points carry the lines they touched (machine.Access footprints), the
+// driver computes happens-before between them, and only schedules that
+// reverse an actual race are explored — sleep sets prune the rest.
 // Strategies may additionally aim targeted spurious tag evictions
 // (Thread.ForceTagEviction) at the scheduled core's held tags.
 //
@@ -48,6 +53,15 @@ const (
 	// prefixes. Only feasible for small worker counts and short bodies;
 	// bound it with Executions and MaxDecisions.
 	Exhaustive
+	// StrategyDPOR is Exhaustive with dynamic partial-order reduction: it
+	// enumerates one schedule per Mazurkiewicz trace (equivalence class of
+	// schedules under commuting adjacent independent segments), using the
+	// segment footprints recorded by the machine backend to detect races
+	// and persistent/sleep sets to prune provably redundant schedules. At
+	// equal coverage (Result.ClassHashes) it needs far fewer executions
+	// than Exhaustive. Deterministic and seed-independent; EvictPerMil is
+	// ignored.
+	StrategyDPOR
 )
 
 // String names the mode.
@@ -59,6 +73,8 @@ func (m Mode) String() string {
 		return "pct"
 	case Exhaustive:
 		return "exhaustive"
+	case StrategyDPOR:
+		return "dpor"
 	}
 	return "unknown"
 }
@@ -71,8 +87,8 @@ type Config struct {
 	// reproduce traces and histories bit for bit.
 	Seed int64
 	// Executions bounds the number of schedules tried. 0 means 16 for
-	// RandomWalk/PCT and 10000 for Exhaustive (which also stops on its
-	// own once the schedule space is exhausted).
+	// RandomWalk/PCT and 10000 for Exhaustive and StrategyDPOR (which
+	// also stop on their own once the schedule space is exhausted).
 	Executions int
 	// MaxDecisions bounds one execution's scheduling decisions; an
 	// execution that exceeds it (a livelock-bound schedule) is released to
@@ -88,7 +104,7 @@ type Config struct {
 	OpBoundaryOnly bool
 	// EvictPerMil is the per-decision probability (per mille) that the
 	// strategy forces a spurious eviction of one of the scheduled core's
-	// held tags. Ignored in Exhaustive mode.
+	// held tags. Ignored in Exhaustive and StrategyDPOR modes.
 	EvictPerMil int
 	// PCTDepth is PCT's d parameter (number of priority segments);
 	// default 3.
@@ -119,13 +135,26 @@ type Setup struct {
 	Check func() error
 }
 
-// Choice is one scheduling decision: which of the runnable cores ran, and
-// whether one of its tags was force-evicted first.
+// Choice is one scheduling decision: which of the runnable cores ran,
+// whether one of its tags was force-evicted first, and — filled in once
+// the granted core reaches its next scheduling point — the shared lines
+// the granted segment touched.
 type Choice struct {
 	Runnable []int // sorted runnable core ids at this decision
 	Pick     int   // index into Runnable of the granted core
 	EvictTag int   // tag index force-evicted on the granted core, or -1
+	// Point is the kind of scheduling point the granted core was parked
+	// at (operation boundary or intra-operation window).
+	Point machine.GatePoint
+	// Accesses is the footprint of the segment the granted core executed
+	// after this decision, recorded by the machine backend and drained at
+	// the core's next scheduling point. It drives DPOR's independence
+	// relation and lets counterexamples name the contended lines.
+	Accesses []machine.Access
 }
+
+// Core returns the granted core's id.
+func (ch *Choice) Core() int { return ch.Runnable[ch.Pick] }
 
 // Counterexample is a failing execution: the decision sequence that
 // reaches it and the machine trace of the interleaving.
@@ -146,9 +175,17 @@ func (cx *Counterexample) String() string {
 	fmt.Fprintf(&b, "execution %d (seed %d): %v\n", cx.Execution, cx.Seed, cx.Err)
 	fmt.Fprintf(&b, "schedule (%d decisions):\n", len(cx.Choices))
 	for i, ch := range cx.Choices {
-		fmt.Fprintf(&b, "  [%4d] core %d of %v", i, ch.Runnable[ch.Pick], ch.Runnable)
+		point := "op"
+		if ch.Point == machine.GateInternal {
+			point = "in"
+		}
+		fmt.Fprintf(&b, "  [%4d] core %d of %v @%s", i, ch.Core(), ch.Runnable, point)
 		if ch.EvictTag >= 0 {
 			fmt.Fprintf(&b, " (evict tag %d)", ch.EvictTag)
+		}
+		if len(ch.Accesses) > 0 {
+			b.WriteString("  ")
+			b.WriteString(FormatAccesses(ch.Accesses))
 		}
 		b.WriteByte('\n')
 	}
@@ -177,20 +214,42 @@ type Result struct {
 	Executions int
 	Decisions  int
 	Truncated  int // executions released after exceeding MaxDecisions
-	// Exhausted reports that Exhaustive mode enumerated the entire
-	// schedule space within the bounds.
+	// SleepBlocked counts executions StrategyDPOR abandoned early because
+	// every runnable core was in the sleep set — schedules proven
+	// equivalent to one already explored. They are included in Executions
+	// (they did run, released un-gated) but contribute no class hash.
+	SleepBlocked int
+	// Exhausted reports that Exhaustive or StrategyDPOR enumerated the
+	// entire schedule space (for DPOR: one schedule per Mazurkiewicz
+	// trace) within the bounds, with no truncated executions.
 	Exhausted bool
 	// TraceHashes holds one order-sensitive digest of the full machine
 	// trace per execution; equal seeds yield equal digests.
 	TraceHashes []uint64
+	// ClassHashes holds one Mazurkiewicz-trace-class digest (Foata normal
+	// form over the segment footprints) per completed execution —
+	// truncated and sleep-blocked executions are skipped. Two schedules
+	// that differ only by commuting adjacent independent segments hash
+	// equal, so the number of distinct values measures interleaving-class
+	// coverage comparably across modes.
+	ClassHashes []uint64
 	// Failure is the first failing execution, or nil.
 	Failure *Counterexample
+}
+
+// Classes returns the number of distinct interleaving classes covered.
+func (r *Result) Classes() int {
+	seen := make(map[uint64]struct{}, len(r.ClassHashes))
+	for _, h := range r.ClassHashes {
+		seen[h] = struct{}{}
+	}
+	return len(seen)
 }
 
 func (cfg *Config) withDefaults() Config {
 	c := *cfg
 	if c.Executions == 0 {
-		if c.Mode == Exhaustive {
+		if c.Mode == Exhaustive || c.Mode == StrategyDPOR {
 			c.Executions = 10000
 		} else {
 			c.Executions = 16
@@ -217,6 +276,10 @@ func Explore(newSetup func() Setup, cfg Config) Result {
 	c := cfg.withDefaults()
 	var res Result
 	prefix := []int{}
+	var drv *dporDriver
+	if c.Mode == StrategyDPOR {
+		drv = newDPORDriver()
+	}
 	for exec := 0; exec < c.Executions; exec++ {
 		var strat strategy
 		execSeed := c.Seed + int64(exec)*1_000_003 + 1
@@ -225,6 +288,8 @@ func Explore(newSetup func() Setup, cfg Config) Result {
 			strat = newPCTStrat(rand.New(rand.NewSource(execSeed)), c)
 		case Exhaustive:
 			strat = &exhaustStrat{prefix: prefix}
+		case StrategyDPOR:
+			strat = drv.newExec()
 		default:
 			strat = &randomStrat{rng: rand.New(rand.NewSource(execSeed)), evictPerMil: c.EvictPerMil}
 		}
@@ -234,6 +299,12 @@ func Explore(newSetup func() Setup, cfg Config) Result {
 		res.TraceHashes = append(res.TraceHashes, rec.traceHash)
 		if rec.truncated {
 			res.Truncated++
+		}
+		if rec.sleepBlocked {
+			res.SleepBlocked++
+		}
+		if !rec.truncated && !rec.sleepBlocked {
+			res.ClassHashes = append(res.ClassHashes, classHash(rec.choices))
 		}
 		if rec.err != nil {
 			res.Failure = &Counterexample{
@@ -246,11 +317,17 @@ func Explore(newSetup func() Setup, cfg Config) Result {
 			}
 			return res
 		}
-		if c.Mode == Exhaustive {
+		switch c.Mode {
+		case Exhaustive:
 			es := strat.(*exhaustStrat)
 			prefix = nextPrefix(es.choices, es.counts)
 			if prefix == nil {
 				res.Exhausted = true
+				return res
+			}
+		case StrategyDPOR:
+			if drv.finish(strat.(*dporExec), rec.truncated) {
+				res.Exhausted = res.Truncated == 0
 				return res
 			}
 		}
@@ -269,9 +346,19 @@ func Replay(newSetup func() Setup, choices []Choice, cfg Config) ([]machine.Even
 
 // strategy decides, at decision number d over the sorted runnable core
 // set, which core to grant (an index into runnable) and whether to first
-// force-evict one of its tags (a tag index, or -1).
+// force-evict one of its tags (a tag index, or -1). A pick of -1 abandons
+// the execution as proven redundant (DPOR sleep-set block): the remaining
+// cores are released to run un-gated.
 type strategy interface {
 	pick(d int, runnable []int, tagCount func(coreID int) int) (pick, evictTag int)
+}
+
+// segmentObserver is implemented by strategies that consume segment
+// footprints. observe(d, fp) delivers the accesses of the segment granted
+// at decision d; it is called before the next pick (the granted core has
+// reached its next scheduling point, or finished, by then).
+type segmentObserver interface {
+	observe(d int, fp []machine.Access)
 }
 
 type randomStrat struct {
@@ -386,6 +473,7 @@ func maybeEvict(rng *rand.Rand, perMil, coreID int, tagCount func(int) int) int 
 type arrival struct {
 	core   int
 	cycles uint64
+	point  machine.GatePoint
 	done   bool
 }
 
@@ -415,7 +503,7 @@ func (c *controller) Step(coreID int, point machine.GatePoint, cycles uint64) {
 	if cycles < c.grantEnd[coreID] {
 		return // still inside the granted window
 	}
-	c.arrive <- arrival{core: coreID, cycles: cycles}
+	c.arrive <- arrival{core: coreID, cycles: cycles, point: point}
 	<-c.grant[coreID]
 }
 
@@ -423,6 +511,7 @@ type execRecord struct {
 	choices      []Choice
 	err          error
 	truncated    bool
+	sleepBlocked bool
 	traceHash    uint64
 	trace        []machine.Event
 	traceDropped int
@@ -465,6 +554,28 @@ func runOne(s Setup, strat strategy, cfg Config) (rec execRecord) {
 		}(w)
 	}
 
+	// drain attributes the segment a core just finished executing to the
+	// decision that granted it (safe: the arrive-channel receive orders
+	// the core's segment log writes before this read). Pre-barrier
+	// segments (no decision yet) hold no accesses and are discarded.
+	lastDecision := make([]int, s.Workers)
+	for i := range lastDecision {
+		lastDecision[i] = -1
+	}
+	obs, _ := strat.(segmentObserver)
+	drain := func(coreID int) {
+		th := m.Thread(coreID).(*machine.Thread)
+		d := lastDecision[coreID]
+		if d < 0 {
+			th.TakeSegmentAccesses(nil)
+			return
+		}
+		rec.choices[d].Accesses = th.TakeSegmentAccesses(rec.choices[d].Accesses)
+		if obs != nil {
+			obs.observe(d, rec.choices[d].Accesses)
+		}
+	}
+
 	// Initial barrier: every worker parks at its first scheduling point or
 	// finishes outright. From here on exactly one worker runs at a time.
 	parked := make(map[int]arrival, s.Workers)
@@ -472,6 +583,7 @@ func runOne(s Setup, strat strategy, cfg Config) (rec execRecord) {
 	collect := func() {
 		for len(parked) < live {
 			a := <-c.arrive
+			drain(a.core)
 			if a.done {
 				live--
 			} else {
@@ -481,6 +593,25 @@ func runOne(s Setup, strat strategy, cfg Config) (rec execRecord) {
 	}
 	collect()
 
+	// release lets every core run un-gated to completion: used for
+	// livelock-bound schedules (truncation) and for DPOR sleep-set blocks
+	// (the rest of the execution is proven redundant).
+	release := func() {
+		c.free.Store(true)
+		for w := range parked {
+			c.grant[w] <- struct{}{}
+		}
+		parked = map[int]arrival{}
+		for live > 0 {
+			a := <-c.arrive
+			if a.done {
+				live--
+			} else {
+				c.grant[a.core] <- struct{}{}
+			}
+		}
+	}
+
 	tagCount := func(coreID int) int { return m.Thread(coreID).(*machine.Thread).TagCount() }
 	for live > 0 {
 		if len(rec.choices) >= cfg.MaxDecisions {
@@ -488,19 +619,7 @@ func runOne(s Setup, strat strategy, cfg Config) (rec execRecord) {
 			// workload drain un-gated (the structures are correct under
 			// real concurrency, so it terminates).
 			rec.truncated = true
-			c.free.Store(true)
-			for w := range parked {
-				c.grant[w] <- struct{}{}
-			}
-			parked = map[int]arrival{}
-			for live > 0 {
-				a := <-c.arrive
-				if a.done {
-					live--
-				} else {
-					c.grant[a.core] <- struct{}{}
-				}
-			}
+			release()
 			break
 		}
 		runnable := make([]int, 0, len(parked))
@@ -509,6 +628,11 @@ func runOne(s Setup, strat strategy, cfg Config) (rec execRecord) {
 		}
 		sort.Ints(runnable)
 		pick, evict := strat.pick(len(rec.choices), runnable, tagCount)
+		if pick < 0 {
+			rec.sleepBlocked = true
+			release()
+			break
+		}
 		w := runnable[pick]
 		a := parked[w]
 		delete(parked, w)
@@ -520,11 +644,13 @@ func runOne(s Setup, strat strategy, cfg Config) (rec execRecord) {
 				evict = -1
 			}
 		}
-		rec.choices = append(rec.choices, Choice{Runnable: runnable, Pick: pick, EvictTag: evict})
+		rec.choices = append(rec.choices, Choice{Runnable: runnable, Pick: pick, EvictTag: evict, Point: a.point})
+		lastDecision[w] = len(rec.choices) - 1
 		c.grantEnd[w] = a.cycles + c.window
 		c.grant[w] <- struct{}{}
 		// Only w runs now; collect its next point (or its exit).
 		a2 := <-c.arrive
+		drain(a2.core)
 		if a2.done {
 			live--
 		} else {

@@ -40,6 +40,15 @@ type TM struct {
 	seq    core.Addr
 	tagged bool
 
+	// FaultTornRead, when set on a tagged instance, disables the torn-read
+	// guard in the tagged Read fast path: the read no longer waits for the
+	// sequence lock to be free nor validates its tags, so values read can
+	// span another writer's in-flight writeBack. This is exactly the
+	// opacity bug PR 1's checker caught and fixed; it is kept injectable
+	// so serializability suites can prove they would catch it again.
+	// Testing only — never set in experiments.
+	FaultTornRead bool
+
 	// Aborts counts transaction attempt aborts, for experiment reporting.
 	Aborts atomic.Uint64
 	// TagAborts counts the subset of aborts triggered by a failed tag
@@ -181,6 +190,12 @@ func (tx *Tx) Read(a core.Addr) uint64 {
 		}
 	}
 	v := tx.th.Load(a)
+	if tx.useTags && tx.tm.FaultTornRead {
+		// Injected opacity bug (see TM.FaultTornRead): skip the
+		// lock-free wait and the tag validation.
+		tx.reads = append(tx.reads, readEntry{addr: a, val: v})
+		return v
+	}
 	if tx.useTags {
 		// Fast path: every read-set line (including a's) is tagged. If
 		// none was invalidated, every recorded value — and v — is current
@@ -208,6 +223,27 @@ func (tx *Tx) Read(a core.Addr) uint64 {
 	}
 	tx.reads = append(tx.reads, readEntry{addr: a, val: v})
 	return v
+}
+
+// ReadSet invokes f for every read-set entry of the current attempt: the
+// address and the value the transaction observed there. Reads satisfied
+// from the transaction's own write buffer are not in the read set. Called
+// after Run returns, it yields the committed attempt's footprint (begin
+// resets the sets only when a new attempt starts) — history recorders use
+// exactly that to emit history.OpTx events.
+func (tx *Tx) ReadSet(f func(a core.Addr, v uint64)) {
+	for i := range tx.reads {
+		f(tx.reads[i].addr, tx.reads[i].val)
+	}
+}
+
+// WriteSet invokes f for every write-set entry of the current attempt:
+// the address and the final value the transaction installed there (one
+// entry per address; earlier buffered values are superseded).
+func (tx *Tx) WriteSet(f func(a core.Addr, v uint64)) {
+	for i := range tx.writes {
+		f(tx.writes[i].addr, tx.writes[i].val)
+	}
 }
 
 // validate is TXValidate's value-based validation: establish a new

@@ -261,10 +261,19 @@ func PaperParams() Params {
 	return Params{QueriesPerTx: 4, PercentQuery: 60, PercentUser: 90, Relations: 16384, Transactions: 4096}
 }
 
+// runner executes one transaction body to commit; the default runner is
+// m.tm.Run on the client's thread, and the serializability suite swaps in
+// a recording runner (see RunTx).
+type runner func(fn func(tx *stm.Tx))
+
 // Populate fills the tables as STAMP does: every relation id in [1, r]
 // gets an initial capacity and random price in each resource table, and
 // every id becomes a customer.
 func Populate(m *Manager, th core.Thread, p Params, seed int64) {
+	populateWith(m, th, p, seed, func(fn func(tx *stm.Tx)) { m.tm.Run(th, fn) })
+}
+
+func populateWith(m *Manager, th core.Thread, p Params, seed int64, run runner) {
 	rng := rand.New(rand.NewSource(seed))
 	// One insert per transaction: populate transactions with huge read
 	// sets would trigger NOrec's O(read set) validation on every read
@@ -273,11 +282,11 @@ func Populate(m *Manager, th core.Thread, p Params, seed int64) {
 		for k := 0; k < numKinds; k++ {
 			price := uint64(rng.Intn(5)*10 + 50)
 			kind := k
-			m.tm.Run(th, func(tx *stm.Tx) {
+			run(func(tx *stm.Tx) {
 				m.AddResource(tx, th, kind, uint64(id), 100, price)
 			})
 		}
-		m.tm.Run(th, func(tx *stm.Tx) {
+		run(func(tx *stm.Tx) {
 			m.AddCustomer(tx, th, uint64(id))
 		})
 	}
@@ -287,6 +296,10 @@ func Populate(m *Manager, th core.Thread, p Params, seed int64) {
 // STAMP mix, deterministic in seed. It returns the number of transactions
 // executed.
 func Client(m *Manager, th core.Thread, p Params, seed int64) int {
+	return clientWith(m, th, p, seed, func(fn func(tx *stm.Tx)) { m.tm.Run(th, fn) })
+}
+
+func clientWith(m *Manager, th core.Thread, p Params, seed int64, run runner) int {
 	rng := rand.New(rand.NewSource(seed))
 	queryRange := p.Relations * p.PercentQuery / 100
 	if queryRange < 1 {
@@ -296,17 +309,17 @@ func Client(m *Manager, th core.Thread, p Params, seed int64) int {
 		action := rng.Intn(100)
 		switch {
 		case action < p.PercentUser:
-			makeReservation(m, th, rng, p, queryRange)
+			makeReservation(m, th, rng, p, queryRange, run)
 		case action%2 == 0:
-			deleteCustomer(m, th, rng, queryRange)
+			deleteCustomer(m, rng, queryRange, run)
 		default:
-			updateTables(m, th, rng, p, queryRange)
+			updateTables(m, th, rng, p, queryRange, run)
 		}
 	}
 	return p.Transactions
 }
 
-func makeReservation(m *Manager, th core.Thread, rng *rand.Rand, p Params, queryRange int) {
+func makeReservation(m *Manager, th core.Thread, rng *rand.Rand, p Params, queryRange int, run runner) {
 	numQuery := rng.Intn(p.QueriesPerTx) + 1
 	customerID := uint64(rng.Intn(queryRange) + 1)
 	kinds := make([]int, numQuery)
@@ -315,7 +328,7 @@ func makeReservation(m *Manager, th core.Thread, rng *rand.Rand, p Params, query
 		kinds[n] = rng.Intn(numKinds)
 		ids[n] = uint64(rng.Intn(queryRange) + 1)
 	}
-	m.tm.Run(th, func(tx *stm.Tx) {
+	run(func(tx *stm.Tx) {
 		var maxPrice [numKinds]uint64
 		var maxID [numKinds]uint64
 		for n := 0; n < numQuery; n++ {
@@ -337,16 +350,16 @@ func makeReservation(m *Manager, th core.Thread, rng *rand.Rand, p Params, query
 	})
 }
 
-func deleteCustomer(m *Manager, th core.Thread, rng *rand.Rand, queryRange int) {
+func deleteCustomer(m *Manager, rng *rand.Rand, queryRange int, run runner) {
 	customerID := uint64(rng.Intn(queryRange) + 1)
-	m.tm.Run(th, func(tx *stm.Tx) {
+	run(func(tx *stm.Tx) {
 		if _, ok := m.QueryCustomerBill(tx, customerID); ok {
 			m.DeleteCustomer(tx, customerID)
 		}
 	})
 }
 
-func updateTables(m *Manager, th core.Thread, rng *rand.Rand, p Params, queryRange int) {
+func updateTables(m *Manager, th core.Thread, rng *rand.Rand, p Params, queryRange int, run runner) {
 	numUpdate := rng.Intn(p.QueriesPerTx) + 1
 	kinds := make([]int, numUpdate)
 	ids := make([]uint64, numUpdate)
@@ -358,7 +371,7 @@ func updateTables(m *Manager, th core.Thread, rng *rand.Rand, p Params, queryRan
 		adds[n] = rng.Intn(2) == 0
 		prices[n] = uint64(rng.Intn(5)*10 + 50)
 	}
-	m.tm.Run(th, func(tx *stm.Tx) {
+	run(func(tx *stm.Tx) {
 		for n := 0; n < numUpdate; n++ {
 			if adds[n] {
 				m.AddResource(tx, th, kinds[n], ids[n], 100, prices[n])
