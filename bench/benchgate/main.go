@@ -1,12 +1,16 @@
 // Command benchgate compares two `go test -bench` output files and fails
-// when any figure benchmark's best-of sec/op regressed by more than
+// when any figure benchmark's best-of value regressed by more than
 // -max-ratio. It is the hard backstop behind the advisory benchstat step
 // in CI: benchstat's statistics are the right tool for humans, but noisy
 // shared runners need a forgiving, deterministic pass/fail line.
 //
-// Usage:
+// The gated value defaults to host time (ns/op); -metric selects any other
+// unit the benchmarks report, e.g. the simulated p99 op latency the figure
+// benchmarks emit with telemetry enabled:
 //
 //	benchgate -baseline bench/baseline.txt -current bench-current.txt -max-ratio 2.0
+//	benchgate -baseline bench/baseline.txt -current bench-current.txt \
+//	    -metric p99cycles -max-ratio 1.5
 package main
 
 import (
@@ -21,20 +25,21 @@ import (
 func main() {
 	baseline := flag.String("baseline", "", "baseline `go test -bench` output")
 	current := flag.String("current", "", "current `go test -bench` output")
-	maxRatio := flag.Float64("max-ratio", 2.0, "fail when current/baseline ns/op exceeds this")
+	maxRatio := flag.Float64("max-ratio", 2.0, "fail when current/baseline exceeds this")
 	prefix := flag.String("prefix", "BenchmarkFig", "only gate benchmarks whose name has this prefix")
+	metric := flag.String("metric", "ns/op", "benchmark unit to gate on, e.g. ns/op or p99cycles")
 	flag.Parse()
 	if *baseline == "" || *current == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -baseline and -current are required")
 		os.Exit(2)
 	}
 
-	base, err := parseBench(*baseline)
+	base, err := parseBench(*baseline, *metric)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
 		os.Exit(1)
 	}
-	cur, err := parseBench(*current)
+	cur, err := parseBench(*current, *metric)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
 		os.Exit(1)
@@ -59,23 +64,24 @@ func main() {
 			status = "REGRESSION"
 			failed = true
 		}
-		fmt.Printf("%-40s %12.0f -> %12.0f ns/op  %.2fx  %s\n", name, b, c, ratio, status)
+		fmt.Printf("%-40s %12.0f -> %12.0f %s  %.2fx  %s\n", name, b, c, *metric, ratio, status)
 	}
 	if compared == 0 {
-		fmt.Fprintf(os.Stderr, "benchgate: no %q benchmarks to compare\n", *prefix)
+		fmt.Fprintf(os.Stderr, "benchgate: no %q benchmarks reporting %s to compare\n", *prefix, *metric)
 		os.Exit(1)
 	}
 	if failed {
-		fmt.Fprintf(os.Stderr, "benchgate: host-time regression beyond %.1fx\n", *maxRatio)
+		fmt.Fprintf(os.Stderr, "benchgate: %s regression beyond %.1fx\n", *metric, *maxRatio)
 		os.Exit(1)
 	}
-	fmt.Printf("benchgate: %d benchmarks within %.1fx of baseline\n", compared, *maxRatio)
+	fmt.Printf("benchgate: %d benchmarks within %.1fx of %s baseline\n", compared, *maxRatio, *metric)
 }
 
-// parseBench extracts the best (minimum) ns/op per benchmark from a
-// `go test -bench` output file, stripping the -N GOMAXPROCS suffix so
-// baselines recorded on different core counts still line up.
-func parseBench(path string) (map[string]float64, error) {
+// parseBench extracts the best (minimum) value of the given unit per
+// benchmark from a `go test -bench` output file, stripping the -N
+// GOMAXPROCS suffix so baselines recorded on different core counts still
+// line up. Benchmarks that do not report the unit are omitted.
+func parseBench(path, unit string) (map[string]float64, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -95,7 +101,7 @@ func parseBench(path string) (map[string]float64, error) {
 			}
 		}
 		for i := 2; i+1 < len(fields); i++ {
-			if fields[i+1] == "ns/op" {
+			if fields[i+1] == unit {
 				v, err := strconv.ParseFloat(fields[i], 64)
 				if err != nil {
 					break

@@ -1,0 +1,134 @@
+// Command tracecheck validates a Chrome/Perfetto trace-event JSON file as
+// produced by memtag-bench -trace-out or memtag-stress -trace-out. It is
+// the CI backstop for the exporter: a trace that fails here would render
+// wrong (or not at all) in ui.perfetto.dev.
+//
+// Checks:
+//   - the file is a JSON object with a non-empty traceEvents array
+//   - every event carries a phase, a name (metadata/spans/instants), and
+//     non-negative pid/tid/ts
+//   - per (pid, tid) track, timestamps are non-decreasing in file order
+//   - duration events (ph=X) have a non-negative dur
+//   - every flow start (ph=s) has a matching finish (ph=f) with the same
+//     id, and vice versa
+//
+// Usage:
+//
+//	tracecheck trace.json [more.json ...]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type traceEvent struct {
+	Name string   `json:"name"`
+	Ph   string   `json:"ph"`
+	Pid  int      `json:"pid"`
+	Tid  int      `json:"tid"`
+	Ts   *float64 `json:"ts"`
+	Dur  *float64 `json:"dur"`
+	ID   *int64   `json:"id"`
+}
+
+type traceFile struct {
+	TraceEvents []traceEvent `json:"traceEvents"`
+}
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck trace.json [more.json ...]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	failed := false
+	for _, path := range flag.Args() {
+		if err := check(path); err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", path, err)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func check(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var tf traceFile
+	if err := json.Unmarshal(data, &tf); err != nil {
+		return fmt.Errorf("not valid trace-event JSON: %w", err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		return fmt.Errorf("traceEvents is empty")
+	}
+
+	type track struct{ pid, tid int }
+	lastTs := map[track]float64{}
+	phases := map[string]int{}
+	flowStart := map[int64]int{}
+	flowEnd := map[int64]int{}
+	for i, ev := range tf.TraceEvents {
+		if ev.Ph == "" {
+			return fmt.Errorf("event %d: missing phase", i)
+		}
+		phases[ev.Ph]++
+		if ev.Name == "" {
+			return fmt.Errorf("event %d (ph=%s): missing name", i, ev.Ph)
+		}
+		if ev.Pid < 0 || ev.Tid < 0 {
+			return fmt.Errorf("event %d (%s): negative pid/tid %d/%d", i, ev.Name, ev.Pid, ev.Tid)
+		}
+		switch ev.Ph {
+		case "M": // metadata carries no timestamp
+			continue
+		case "s", "f":
+			if ev.ID == nil {
+				return fmt.Errorf("event %d (%s, ph=%s): flow event without id", i, ev.Name, ev.Ph)
+			}
+			if ev.Ph == "s" {
+				flowStart[*ev.ID]++
+			} else {
+				flowEnd[*ev.ID]++
+			}
+		}
+		if ev.Ts == nil || *ev.Ts < 0 {
+			return fmt.Errorf("event %d (%s, ph=%s): missing or negative ts", i, ev.Name, ev.Ph)
+		}
+		if ev.Ph == "X" && (ev.Dur == nil || *ev.Dur < 0) {
+			return fmt.Errorf("event %d (%s): duration event without non-negative dur", i, ev.Name)
+		}
+		tr := track{ev.Pid, ev.Tid}
+		if prev, ok := lastTs[tr]; ok && *ev.Ts < prev {
+			return fmt.Errorf("event %d (%s, ph=%s): ts %v precedes %v on track pid=%d tid=%d",
+				i, ev.Name, ev.Ph, *ev.Ts, prev, ev.Pid, ev.Tid)
+		}
+		lastTs[tr] = *ev.Ts
+	}
+	if phases["M"] == 0 {
+		return fmt.Errorf("no track metadata (ph=M) events")
+	}
+	for id, n := range flowStart {
+		if flowEnd[id] != n {
+			return fmt.Errorf("flow id %d: %d starts but %d finishes", id, n, flowEnd[id])
+		}
+	}
+	for id, n := range flowEnd {
+		if flowStart[id] != n {
+			return fmt.Errorf("flow id %d: %d finishes but %d starts", id, n, flowStart[id])
+		}
+	}
+	fmt.Printf("tracecheck: %s ok — %d events on %d tracks (spans=%d instants=%d flows=%d)\n",
+		path, len(tf.TraceEvents), len(lastTs), phases["X"], phases["i"], phases["s"])
+	return nil
+}

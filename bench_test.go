@@ -11,6 +11,9 @@ package repro
 //	               for the tagged variant
 //	speedup        tagged variant vs software baseline at that count
 //	missPct        tagged variant's L1 miss rate
+//	p99cycles      tagged variant's simulated p99 op latency (telemetry is
+//	               enabled on every figure benchmark, so its recording cost
+//	               is part of the gated host time)
 //
 // Run `go run ./cmd/memtag-bench -full` for the paper-scale sweeps.
 
@@ -40,8 +43,9 @@ func benchSetExperiment(b *testing.B, e *harness.SetExperiment, tagged, baseline
 	// Fan experiment cells over the host CPUs; results are identical to a
 	// serial run (see internal/harness/parallel.go).
 	e.Workers = runtime.GOMAXPROCS(0)
+	e.Telemetry = true
 	top := e.Threads[len(e.Threads)-1]
-	var mops, speedup, miss float64
+	var mops, speedup, miss, p99 float64
 	for i := 0; i < b.N; i++ {
 		points := e.Run()
 		speedup += harness.Speedup(points, tagged, baseline, top)
@@ -49,6 +53,7 @@ func benchSetExperiment(b *testing.B, e *harness.SetExperiment, tagged, baseline
 			if p.Variant == tagged && p.Threads == top {
 				mops += p.ThroughputMops
 				miss += p.MissRatePct
+				p99 += p.OpLatP99
 			}
 		}
 	}
@@ -56,6 +61,7 @@ func benchSetExperiment(b *testing.B, e *harness.SetExperiment, tagged, baseline
 	b.ReportMetric(mops/n, "simMops")
 	b.ReportMetric(speedup/n, "speedup")
 	b.ReportMetric(miss/n, "missPct")
+	b.ReportMetric(p99/n, "p99cycles")
 }
 
 // BenchmarkFig2_ListThroughput35 regenerates Figure 2: Harris vs VAS vs

@@ -10,6 +10,8 @@
 //	memtag-bench -fig 2 -threads 1,2,4,8,16 -ops 1000 -trials 3
 //	memtag-bench -fig all -parallel 0 -json .   # fan cells over host CPUs,
 //	                                            # write BENCH_fig*.json
+//	memtag-bench -fig 6 -telemetry              # + latency quantiles per cell
+//	memtag-bench -fig 2 -trace-out trace.json   # Perfetto trace of one cell
 //	memtag-bench -fig 6 -cpuprofile cpu.pb.gz   # profile the run
 package main
 
@@ -36,6 +38,16 @@ var workers = 1
 // empty disables JSON output.
 var jsonDir = ""
 
+// telemetryOn enables per-op latency/retry telemetry and interval sampling
+// on every set experiment; sampleEvery overrides the sampler interval.
+var telemetryOn = false
+var sampleEvery = uint64(0)
+
+// traceOut, when set, writes a Perfetto trace of one cell (the last
+// variant at the largest thread count) of each figure run; with several
+// figures the last one wins, so pair it with a single -fig.
+var traceOut = ""
+
 func main() {
 	fig := flag.String("fig", "all", "figure to run: 2, 4, 5, 6, 7, 8, skip, bst, chromatic, stmset, elision, or all")
 	full := flag.Bool("full", false, "paper scale (1-64 simulated cores, more ops, 3 trials)")
@@ -44,6 +56,9 @@ func main() {
 	trials := flag.Int("trials", 0, "override trial count")
 	parallel := flag.Int("parallel", 1, "host workers for experiment cells: 1 serial, 0 one per host CPU, N a fixed pool (results identical for any value)")
 	jsonOut := flag.String("json", "", "directory to write BENCH_<name>.json result files into (empty: no JSON)")
+	telemetry := flag.Bool("telemetry", false, "record per-op latency/retry histograms and sampler windows (adds latency rows to tables and op_lat_*/windows fields to JSON)")
+	sample := flag.Uint64("sample-every", 0, "telemetry sampler interval in backend clock units (0: harness default)")
+	trace := flag.String("trace-out", "", "write a Perfetto trace-event JSON of one cell (last variant, largest thread count) to this file; use with a single -fig")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
@@ -58,6 +73,9 @@ func main() {
 		os.Exit(2)
 	}
 	jsonDir = *jsonOut
+	telemetryOn = *telemetry
+	sampleEvery = *sample
+	traceOut = *trace
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -174,11 +192,16 @@ func run(fig string, sc harness.Scale, full bool) {
 
 func runSet(e *harness.SetExperiment) {
 	e.Workers = workers
+	e.Telemetry = telemetryOn
+	e.SampleEvery = sampleEvery
 	fmt.Printf("# %s — %s\n", e.Name, e.Figure)
 	start := time.Now()
 	points := e.Run()
 	harness.PrintTable(os.Stdout, e.Title, points)
 	writeJSON(e.Name, e.Title, time.Since(start), points)
+	if traceOut != "" {
+		writeTrace(e)
+	}
 	// Headline comparisons at the largest thread count.
 	n := e.Threads[len(e.Threads)-1]
 	base := e.Variants[0].Name
@@ -190,8 +213,34 @@ func runSet(e *harness.SetExperiment) {
 	fmt.Println()
 }
 
+// writeTrace re-runs one cell of the experiment — the last variant
+// (conventionally the tagged one) at the largest thread count — with the
+// backend tracer and per-op spans attached, and writes the Perfetto
+// trace-event JSON to traceOut.
+func writeTrace(e *harness.SetExperiment) {
+	variant := e.Variants[len(e.Variants)-1].Name
+	threads := e.Threads[len(e.Threads)-1]
+	f, err := os.Create(traceOut)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "memtag-bench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := e.TraceCell(variant, threads, f); err != nil {
+		fmt.Fprintf(os.Stderr, "memtag-bench: trace: %v\n", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "memtag-bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%s @%d threads; open at ui.perfetto.dev)\n", traceOut, variant, threads)
+}
+
 // benchResult is the schema of a BENCH_<name>.json file: the experiment's
 // points plus enough host metadata to compare runs across machines.
+// With -telemetry each point additionally carries op_lat_p50, op_lat_p99,
+// op_lat_max, retries_per_op, and windows (the sampler's time series); see
+// EXPERIMENTS.md, "Observability".
 type benchResult struct {
 	Name        string  `json:"name"`
 	Title       string  `json:"title"`

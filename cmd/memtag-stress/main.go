@@ -28,9 +28,24 @@ import (
 	"repro/internal/schedfuzz"
 	"repro/internal/skiplist"
 	"repro/internal/stm"
+	"repro/internal/telemetry"
 	"repro/internal/txset"
 	"repro/internal/vtags"
 )
+
+// Telemetry flags, read by the fixed-signature round runners.
+var (
+	telemetryOn  bool
+	sampleEveryN uint64
+	traceOutPath string
+)
+
+// telemetryBackend and tracerBackend are the observability hooks both
+// memory backends expose; opClocked is the per-thread clock both backends'
+// threads implement (simulated cycles on machine, logical ticks on vtags).
+type telemetryBackend interface{ SetTelemetry(s *telemetry.Set) }
+type tracerBackend interface{ SetTracer(tr machine.Tracer) }
+type opClocked interface{ OpClock() (clock, fails uint64) }
 
 type structDef struct {
 	name  string
@@ -88,6 +103,12 @@ func main() {
 	backend := flag.String("backend", "both", "memory backend: machine, vtags, or both")
 	only := flag.String("structs", "", "comma-separated structure names (default all)")
 	seed := flag.Int64("seed", 1, "base random seed")
+	telFlag := flag.Bool("telemetry", false,
+		"record per-op latency/retry histograms during stress rounds and print a per-round summary (stress rounds only)")
+	sampleFlag := flag.Uint64("sample-every", 4096,
+		"telemetry sampler interval in backend clock units (cycles on machine, ops on vtags)")
+	traceFlag := flag.String("trace-out", "",
+		"write a Perfetto trace-event JSON of the stress round to this file (later rounds overwrite earlier ones; pair with -rounds 1 -structs <one> -backend <one>)")
 	linearize := flag.Bool("linearize", false,
 		"record every operation and check the history with the linearizability checker, under schedule fuzzing (slower per op)")
 	explore := flag.Bool("explore", false,
@@ -101,6 +122,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "memtag-stress: -threads must be at least 1")
 		os.Exit(2)
 	}
+	telemetryOn = *telFlag
+	sampleEveryN = *sampleFlag
+	traceOutPath = *traceFlag
 
 	known := map[string]bool{}
 	for _, sd := range structs() {
@@ -266,6 +290,30 @@ func stressOne(sd structDef, backend string, threads, ops int, keyRange uint64, 
 	mem := newBackend(backend, threads)
 	s := sd.build(mem)
 
+	// Observability hooks, enabled by -telemetry / -trace-out. Both
+	// backends implement the same interfaces, so stress rounds exercise the
+	// allocation-free recording path under real concurrency.
+	var tset *telemetry.Set
+	var sampler *telemetry.Sampler
+	var tcol *telemetry.TraceCollector
+	if telemetryOn {
+		if tb, ok := mem.(telemetryBackend); ok {
+			tset = telemetry.NewSet(threads)
+			tb.SetTelemetry(tset)
+			every := sampleEveryN
+			if every == 0 {
+				every = 4096
+			}
+			sampler = telemetry.NewSampler(threads, every, 64)
+		}
+	}
+	if traceOutPath != "" {
+		if trb, ok := mem.(tracerBackend); ok {
+			tcol = telemetry.NewTraceCollector(threads)
+			trb.SetTracer(machine.TraceTo(tcol))
+		}
+	}
+
 	type cnt struct{ ins, del int64 }
 	counts := make([][]cnt, threads)
 	var wg sync.WaitGroup
@@ -275,11 +323,26 @@ func stressOne(sd structDef, backend string, threads, ops int, keyRange uint64, 
 		go func(w int) {
 			defer wg.Done()
 			th := mem.Thread(w)
+			var oc opClocked
+			if tset != nil || tcol != nil {
+				oc, _ = th.(opClocked)
+			}
+			var tel *telemetry.Core
+			if tset != nil && oc != nil {
+				tel = tset.Core(w)
+				c0, f0 := oc.OpClock()
+				sampler.Enroll(w, c0, f0)
+			}
 			rng := rand.New(rand.NewSource(seed*1000 + int64(w)))
 			for i := 0; i < ops; i++ {
 				idx := rng.Intn(int(keyRange))
 				k := intset.KeyMin + uint64(idx)
-				switch rng.Intn(3) {
+				op := rng.Intn(3)
+				var c0, f0 uint64
+				if oc != nil {
+					c0, f0 = oc.OpClock()
+				}
+				switch op {
 				case 0:
 					if s.Insert(th, k) {
 						counts[w][idx].ins++
@@ -291,10 +354,50 @@ func stressOne(sd structDef, backend string, threads, ops int, keyRange uint64, 
 				default:
 					s.Contains(th, k)
 				}
+				if oc != nil {
+					c1, f1 := oc.OpClock()
+					if tel != nil {
+						tel.OpLatency.Observe(c1 - c0)
+						tel.OpRetries.Observe(f1 - f0)
+						sampler.Tick(w, c1, f1)
+					}
+					if tcol != nil {
+						tcol.OpSpan(w, [...]string{"Insert", "Delete", "Contains"}[op], c0, c1)
+					}
+				}
 			}
 		}(w)
 	}
 	wg.Wait()
+
+	if tset != nil {
+		tset.Flush()
+		agg := tset.Merge()
+		retries := 0.0
+		if n := agg.OpRetries.Count(); n > 0 {
+			retries = float64(agg.OpRetries.Sum()) / float64(n)
+		}
+		fmt.Printf("     %-14s %-8s telemetry: op latency p50=%.0f p99=%.0f max=%d, retries/op=%.3f, windows=%d\n",
+			sd.name, backend, agg.OpLatency.Quantile(0.5), agg.OpLatency.Quantile(0.99),
+			agg.OpLatency.Max(), retries, len(sampler.Windows()))
+	}
+	if tcol != nil {
+		if trb, ok := mem.(tracerBackend); ok {
+			trb.SetTracer(nil)
+		}
+		f, ferr := os.Create(traceOutPath)
+		if ferr != nil {
+			return ferr
+		}
+		if werr := tcol.WriteJSON(f); werr != nil {
+			f.Close()
+			return werr
+		}
+		if cerr := f.Close(); cerr != nil {
+			return cerr
+		}
+		fmt.Printf("     %-14s %-8s trace: wrote %s (%d events)\n", sd.name, backend, traceOutPath, tcol.Events())
+	}
 
 	th := mem.Thread(0)
 	for idx := uint64(0); idx < keyRange; idx++ {

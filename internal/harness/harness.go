@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/intset"
 	"repro/internal/machine"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -47,7 +48,27 @@ type SetExperiment struct {
 	// serially, -1 uses one worker per host CPU, any other value is the
 	// pool size. Results are identical for every setting (see parallel.go).
 	Workers int
+
+	// Telemetry enables the per-op observability layer for the measured
+	// phase of every cell: latency/retry histograms (reported as
+	// p50/p99/max and retries per op) and the interval sampler's
+	// time-series windows. Recording is allocation-free and preserves the
+	// worker-count determinism of Run.
+	Telemetry bool
+	// SampleEvery is the sampler window width in simulated cycles; 0
+	// means DefaultSampleEvery when Telemetry is on.
+	SampleEvery uint64
 }
+
+// DefaultSampleEvery is the default sampler window width in simulated
+// cycles. Small relative to any measured phase (even quick-scale cells run
+// hundreds of thousands of cycles), so every cell reports at least two
+// windows; long runs fold to coarser windows automatically.
+const DefaultSampleEvery = 4096
+
+// samplerWindowBudget bounds per-core sampler memory; runs longer than
+// budget×interval fold pairwise to coarser windows.
+const samplerWindowBudget = 64
 
 // Point is one measured datum: a (variant, thread count) cell averaged
 // over trials.
@@ -68,6 +89,19 @@ type Point struct {
 	VASFailPct         float64 // failed VAS+IAS / attempts
 	SpuriousPerMilOps  float64 // spurious tag evictions per million ops
 	InvalidationsPerOp float64
+
+	// Per-op telemetry, populated when the experiment runs with
+	// Telemetry enabled (zero/absent otherwise). Latencies are in
+	// simulated cycles; quantiles come from power-of-two-bucket
+	// histograms, so they are exact to within one bucket.
+	OpLatP50     float64 `json:"op_lat_p50,omitempty"`
+	OpLatP99     float64 `json:"op_lat_p99,omitempty"`
+	OpLatMax     uint64  `json:"op_lat_max,omitempty"`
+	RetriesPerOp float64 `json:"retries_per_op,omitempty"`
+	// Windows is the sampled time series of the cell's first trial
+	// (per-trial series don't average meaningfully; the first trial is
+	// deterministic for any worker count).
+	Windows []telemetry.Window `json:"windows,omitempty"`
 }
 
 func (e *SetExperiment) config(cores int) machine.Config {
@@ -116,6 +150,15 @@ func (e *SetExperiment) Run() []Point {
 				acc.VASFailPct += p.VASFailPct
 				acc.SpuriousPerMilOps += p.SpuriousPerMilOps
 				acc.InvalidationsPerOp += p.InvalidationsPerOp
+				acc.OpLatP50 += p.OpLatP50
+				acc.OpLatP99 += p.OpLatP99
+				acc.RetriesPerOp += p.RetriesPerOp
+				if p.OpLatMax > acc.OpLatMax {
+					acc.OpLatMax = p.OpLatMax
+				}
+				if trial == 0 {
+					acc.Windows = p.Windows
+				}
 			}
 			f := float64(trials)
 			acc.ThroughputMops /= f
@@ -125,6 +168,9 @@ func (e *SetExperiment) Run() []Point {
 			acc.VASFailPct /= f
 			acc.SpuriousPerMilOps /= f
 			acc.InvalidationsPerOp /= f
+			acc.OpLatP50 /= f
+			acc.OpLatP99 /= f
+			acc.RetriesPerOp /= f
 			points = append(points, acc)
 		}
 	}
@@ -143,11 +189,71 @@ func (e *SetExperiment) runOne(v SetVariant, threads int, seed int64) Point {
 		Seed:         seed,
 	}
 	workload.Prefill(m, s, cfg)
+	// Telemetry covers only the timed phase: attach after prefill (the
+	// machine is quiescent here).
+	var set *telemetry.Set
+	var sampler *telemetry.Sampler
+	if e.Telemetry {
+		set = telemetry.NewSet(threads)
+		m.SetTelemetry(set)
+		every := e.SampleEvery
+		if every == 0 {
+			every = DefaultSampleEvery
+		}
+		sampler = telemetry.NewSampler(threads, every, samplerWindowBudget)
+		cfg.Telemetry = set
+		cfg.Sampler = sampler
+	}
 	// Measure only the timed phase: snapshot after prefill.
 	before := m.Snapshot()
 	counts := workload.Run(m, s, cfg)
 	after := m.Snapshot()
-	return diffToPoint(v.Name, threads, before, after, counts.Ops, m.Config().ClockHz)
+	p := diffToPoint(v.Name, threads, before, after, counts.Ops, m.Config().ClockHz)
+	if e.Telemetry {
+		set.Flush()
+		agg := set.Merge()
+		p.OpLatP50 = agg.OpLatency.Quantile(0.5)
+		p.OpLatP99 = agg.OpLatency.Quantile(0.99)
+		p.OpLatMax = agg.OpLatency.Max()
+		if n := agg.OpRetries.Count(); n > 0 {
+			p.RetriesPerOp = float64(agg.OpRetries.Sum()) / float64(n)
+		}
+		p.Windows = sampler.Windows()
+	}
+	return p
+}
+
+// TraceCell runs a single (variant, thread count) cell with the Perfetto
+// collector attached — backend coherence/tag events plus per-op spans —
+// and writes Chrome trace-event JSON to w. The prefill phase is not
+// traced. Tracing allocates; use it for inspection, not measurement.
+func (e *SetExperiment) TraceCell(variant string, threads int, w io.Writer) error {
+	var v *SetVariant
+	for i := range e.Variants {
+		if e.Variants[i].Name == variant {
+			v = &e.Variants[i]
+		}
+	}
+	if v == nil {
+		return fmt.Errorf("harness: experiment %s has no variant %q", e.Name, variant)
+	}
+	m := machine.New(e.config(threads))
+	s := v.Build(m)
+	cfg := workload.Config{
+		Threads:      threads,
+		KeyRange:     e.KeyRange,
+		PrefillSize:  int(e.KeyRange / 2),
+		OpsPerThread: e.OpsPerThread,
+		Mix:          e.Mix,
+		Seed:         e.Seed,
+	}
+	workload.Prefill(m, s, cfg)
+	col := telemetry.NewTraceCollector(threads)
+	m.SetTracer(machine.TraceTo(col))
+	cfg.Trace = col
+	workload.Run(m, s, cfg)
+	m.SetTracer(nil)
+	return col.WriteJSON(w)
 }
 
 func diffToPoint(name string, threads int, before, after machine.Stats, ops uint64, clockHz float64) Point {
@@ -207,6 +313,26 @@ func PrintTable(w io.Writer, title string, points []Point) {
 		{"validate fails (%)", func(p Point) float64 { return p.ValidateFailPct }},
 		{"VAS/IAS fails (%)", func(p Point) float64 { return p.VASFailPct }},
 		{"invalidations/op", func(p Point) float64 { return p.InvalidationsPerOp }},
+	}
+	// Per-op latency rows only when some point carries telemetry.
+	for _, p := range points {
+		if p.OpLatP99 > 0 {
+			metrics = append(metrics,
+				struct {
+					name string
+					get  func(Point) float64
+				}{"op latency p50 (cyc)", func(p Point) float64 { return p.OpLatP50 }},
+				struct {
+					name string
+					get  func(Point) float64
+				}{"op latency p99 (cyc)", func(p Point) float64 { return p.OpLatP99 }},
+				struct {
+					name string
+					get  func(Point) float64
+				}{"retries/op", func(p Point) float64 { return p.RetriesPerOp }},
+			)
+			break
+		}
 	}
 	for _, met := range metrics {
 		fmt.Fprintf(w, "-- %s --\n", met.name)

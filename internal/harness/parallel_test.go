@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"reflect"
 	"sync/atomic"
 	"testing"
 )
@@ -13,23 +14,27 @@ import (
 // changed evaluation order of the non-associative float averaging, or
 // leaked state between cells.
 
-func equivalenceExperiment(workers int) *SetExperiment {
+func equivalenceExperiment(workers int, tel bool) *SetExperiment {
 	e := Fig2(Scale{Threads: []int{1}, OpsPerThread: 60, Trials: 3})
 	e.Workers = workers
+	e.Telemetry = tel
+	e.SampleEvery = 512
 	return e
 }
 
 func TestParallelRunMatchesSerial(t *testing.T) {
-	serial := equivalenceExperiment(0).Run()
-	for _, workers := range []int{2, 4, -1} {
-		par := equivalenceExperiment(workers).Run()
-		if len(par) != len(serial) {
-			t.Fatalf("workers=%d: %d points, serial produced %d", workers, len(par), len(serial))
-		}
-		for i := range serial {
-			if par[i] != serial[i] {
-				t.Errorf("workers=%d point %d differs:\n  serial:   %+v\n  parallel: %+v",
-					workers, i, serial[i], par[i])
+	for _, tel := range []bool{false, true} {
+		serial := equivalenceExperiment(0, tel).Run()
+		for _, workers := range []int{2, 4, -1} {
+			par := equivalenceExperiment(workers, tel).Run()
+			if len(par) != len(serial) {
+				t.Fatalf("workers=%d: %d points, serial produced %d", workers, len(par), len(serial))
+			}
+			for i := range serial {
+				if !reflect.DeepEqual(par[i], serial[i]) {
+					t.Errorf("telemetry=%v workers=%d point %d differs:\n  serial:   %+v\n  parallel: %+v",
+						tel, workers, i, serial[i], par[i])
+				}
 			}
 		}
 	}

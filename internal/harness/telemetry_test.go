@@ -1,0 +1,93 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestTelemetryPopulatesPoints pins the end-to-end wiring: an experiment
+// run with Telemetry on reports latency quantiles and at least two sampler
+// windows per cell, and the windows' op totals account for the first
+// trial's measured operations.
+func TestTelemetryPopulatesPoints(t *testing.T) {
+	e := Fig2(Scale{Threads: []int{1, 2}, OpsPerThread: 200, Trials: 2})
+	e.Telemetry = true
+	e.SampleEvery = 512
+	points := e.Run()
+	if len(points) == 0 {
+		t.Fatal("no points")
+	}
+	for _, p := range points {
+		if p.OpLatP50 <= 0 || p.OpLatP99 <= 0 || p.OpLatMax == 0 {
+			t.Errorf("%s @%d: latency quantiles not populated: %+v", p.Variant, p.Threads, p)
+		}
+		if p.OpLatP50 > p.OpLatP99 || p.OpLatP99 > float64(p.OpLatMax) {
+			t.Errorf("%s @%d: quantiles not ordered: p50=%v p99=%v max=%v",
+				p.Variant, p.Threads, p.OpLatP50, p.OpLatP99, p.OpLatMax)
+		}
+		if len(p.Windows) < 2 {
+			t.Errorf("%s @%d: %d sampler windows, want >= 2", p.Variant, p.Threads, len(p.Windows))
+		}
+		var ops uint64
+		for _, w := range p.Windows {
+			ops += w.Ops
+		}
+		if want := uint64(p.Threads) * 200; ops != want {
+			t.Errorf("%s @%d: windows account for %d ops, want %d", p.Variant, p.Threads, ops, want)
+		}
+	}
+}
+
+// TestTelemetryOffLeavesPointsBare pins the default: without Telemetry the
+// new fields stay zero so existing BENCH JSON is byte-compatible.
+func TestTelemetryOffLeavesPointsBare(t *testing.T) {
+	e := Fig2(Scale{Threads: []int{1}, OpsPerThread: 50, Trials: 1})
+	points := e.Run()
+	for _, p := range points {
+		if p.OpLatP50 != 0 || p.OpLatMax != 0 || p.Windows != nil {
+			t.Fatalf("telemetry fields populated without Telemetry: %+v", p)
+		}
+	}
+	data, err := json.Marshal(points[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(data, []byte("op_lat")) || bytes.Contains(data, []byte("windows")) {
+		t.Fatalf("telemetry keys leaked into JSON: %s", data)
+	}
+}
+
+// TestTraceCell checks the harness's Perfetto export produces valid
+// trace-event JSON with spans and instants for a small cell.
+func TestTraceCell(t *testing.T) {
+	e := Fig2(Scale{Threads: []int{2}, OpsPerThread: 50, Trials: 1})
+	var buf bytes.Buffer
+	if err := e.TraceCell(e.Variants[0].Name, 2, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Ph string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("TraceCell output is not valid JSON: %v", err)
+	}
+	phases := map[string]int{}
+	for _, ev := range out.TraceEvents {
+		phases[ev.Ph]++
+	}
+	if phases["X"] == 0 {
+		t.Error("no op spans in trace")
+	}
+	if phases["i"] == 0 {
+		t.Error("no backend instants in trace")
+	}
+	if phases["M"] == 0 {
+		t.Error("no track metadata in trace")
+	}
+	if err := e.TraceCell("no-such-variant", 2, &buf); err == nil {
+		t.Error("TraceCell accepted an unknown variant")
+	}
+}

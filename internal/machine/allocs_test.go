@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/telemetry"
 )
 
 // The simulator's hot path — every memory and tag operation on resident
@@ -68,6 +69,41 @@ func TestHotPathAllocFree(t *testing.T) {
 		th.ClearTagSet()
 	})
 	assertZeroAllocs(t, "IAS", func() {
+		th.AddTag(a, core.LineSize)
+		v := th.Load(a)
+		if !th.IAS(a, v+1) {
+			t.Fatal("uncontended IAS failed")
+		}
+		th.ClearTagSet()
+	})
+}
+
+// TestHotPathAllocFreeWithTelemetry re-runs the budget with telemetry
+// recording enabled: the histograms are fixed-size arrays updated in
+// place, so turning observability on must not cost an allocation.
+func TestHotPathAllocFreeWithTelemetry(t *testing.T) {
+	m, th, a := newAllocTestMachine(t)
+	m.SetTelemetry(telemetry.NewSet(m.NumThreads()))
+
+	assertZeroAllocs(t, "Load+telemetry", func() { th.Load(a) })
+	assertZeroAllocs(t, "AddTag+Validate+ClearTagSet+telemetry", func() {
+		if !th.AddTag(a, core.LineSize*2) {
+			t.Fatal("AddTag failed")
+		}
+		if !th.Validate() {
+			t.Fatal("Validate failed")
+		}
+		th.ClearTagSet()
+	})
+	assertZeroAllocs(t, "VAS+telemetry", func() {
+		th.AddTag(a, core.LineSize)
+		v := th.Load(a)
+		if !th.VAS(a, v+1) {
+			t.Fatal("uncontended VAS failed")
+		}
+		th.ClearTagSet()
+	})
+	assertZeroAllocs(t, "IAS+telemetry", func() {
 		th.AddTag(a, core.LineSize)
 		v := th.Load(a)
 		if !th.IAS(a, v+1) {

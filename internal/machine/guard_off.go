@@ -1,0 +1,8 @@
+//go:build !memtagcheck
+
+package machine
+
+// debugGuard disables the Snapshot quiescence guard in default builds;
+// the compiler removes every `if debugGuard` block, so the hot path pays
+// nothing. See guard_on.go.
+const debugGuard = false

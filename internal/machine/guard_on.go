@@ -1,0 +1,10 @@
+//go:build memtagcheck
+
+package machine
+
+// debugGuard enables the Snapshot quiescence guard: every memory/tag
+// operation bumps Machine.issuing for its duration and Snapshot panics if
+// any core is mid-operation. Build with -tags memtagcheck to turn races
+// between stat aggregation and running cores into hard failures instead of
+// silently torn snapshots.
+const debugGuard = true

@@ -1,0 +1,70 @@
+//go:build memtagcheck
+
+package machine
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// blockingGate parks the first core that reaches a scheduling point:
+// entered closes when the core is mid-operation (the quiescence guard has
+// already counted it), release lets it finish. Deterministic by
+// construction — no sleeps.
+type blockingGate struct {
+	once    sync.Once
+	entered chan struct{}
+	release chan struct{}
+}
+
+func newBlockingGate() *blockingGate {
+	return &blockingGate{entered: make(chan struct{}), release: make(chan struct{})}
+}
+
+func (g *blockingGate) Step(core int, point GatePoint, cycles uint64) {
+	g.once.Do(func() { close(g.entered) })
+	<-g.release
+}
+
+// TestSnapshotGuardPanicsMidOperation pins the memtagcheck guard: a
+// Snapshot taken while a core is inside a memory operation must panic. The
+// gate parks the core after the guard's increment (issuing happens before
+// throttle, which reports the gate point), so the mid-operation state is
+// reached deterministically.
+func TestSnapshotGuardPanicsMidOperation(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.MemBytes = 1 << 20
+	m := New(cfg)
+	g := newBlockingGate()
+	m.SetGate(g)
+	th := m.threads[0]
+	a := m.Alloc(core.WordsPerLine)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		th.SetActive(true)
+		th.Load(a)
+		th.SetActive(false)
+	}()
+	<-g.entered
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Snapshot did not panic while a core was mid-operation")
+			}
+		}()
+		m.Snapshot()
+	}()
+
+	close(g.release)
+	<-done
+
+	// Quiescent now: the same call must succeed.
+	if s := m.Snapshot(); s.Loads != 1 {
+		t.Fatalf("post-quiescence snapshot: Loads = %d, want 1", s.Loads)
+	}
+}

@@ -57,6 +57,11 @@ type Machine struct {
 	clock   clockSync
 	tracer  Tracer
 	gate    Gate
+	// issuing counts in-flight memory/tag operations when the memtagcheck
+	// build tag enables the quiescence guard (see guard_on.go); Snapshot
+	// panics when it is non-zero. In default builds the counter is never
+	// touched.
+	issuing atomic.Int64
 }
 
 var _ core.Memory = (*Machine)(nil)

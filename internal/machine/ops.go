@@ -7,6 +7,10 @@ import (
 // Load reads the word at a, performing the MESI read transaction for its
 // line.
 func (t *Thread) Load(a core.Addr) uint64 {
+	if debugGuard {
+		t.m.issuing.Add(1)
+		defer t.m.issuing.Add(-1)
+	}
 	t.throttle()
 	t.stats.Loads++
 	t.charge(t.m.cfg.ComputeCycles, 0)
@@ -23,6 +27,10 @@ func (t *Thread) Load(a core.Addr) uint64 {
 // Store writes v at a, invalidating all remote copies of the line (which
 // evicts remote tags on it).
 func (t *Thread) Store(a core.Addr, v uint64) {
+	if debugGuard {
+		t.m.issuing.Add(1)
+		defer t.m.issuing.Add(-1)
+	}
 	t.throttle()
 	t.stats.Stores++
 	t.charge(t.m.cfg.ComputeCycles, 0)
@@ -38,6 +46,10 @@ func (t *Thread) Store(a core.Addr, v uint64) {
 // CAS atomically compares-and-swaps the word at a. Like hardware CAS, it
 // acquires the line exclusively whether or not the comparison succeeds.
 func (t *Thread) CAS(a core.Addr, old, new uint64) bool {
+	if debugGuard {
+		t.m.issuing.Add(1)
+		defer t.m.issuing.Add(-1)
+	}
 	t.throttle()
 	cfg := &t.m.cfg
 	t.stats.CASes++
@@ -72,6 +84,10 @@ func (t *Thread) hasTag(l core.Line) bool {
 // directory tagger mask. Exceeding MaxTags sets the overflow condition and
 // reports false; all validations then fail until ClearTagSet.
 func (t *Thread) AddTag(a core.Addr, size int) bool {
+	if debugGuard {
+		t.m.issuing.Add(1)
+		defer t.m.issuing.Add(-1)
+	}
 	t.throttle()
 	cfg := &t.m.cfg
 	first, last, ok := core.LineSpan(a, size)
@@ -100,6 +116,9 @@ func (t *Thread) AddTag(a core.Addr, size int) bool {
 		d.mu.Unlock()
 		t.tags = append(t.tags, l)
 		t.stats.TagAdds++
+		if t.tel != nil {
+			t.tel.NoteTagOccupancy(len(t.tags))
+		}
 		t.emit(EvTagAdd, -1, l)
 		t.charge(cfg.TagOpCycles, 0)
 		t.drainEvictions()
@@ -117,6 +136,10 @@ func (t *Thread) AddTag(a core.Addr, size int) bool {
 // access and its tag release is where a remote write decides whether the
 // eviction latch is set).
 func (t *Thread) RemoveTag(a core.Addr, size int) {
+	if debugGuard {
+		t.m.issuing.Add(1)
+		defer t.m.issuing.Add(-1)
+	}
 	t.throttle()
 	cfg := &t.m.cfg
 	first, last, ok := core.LineSpan(a, size)
@@ -151,14 +174,24 @@ func (t *Thread) RemoveTag(a core.Addr, size int) {
 // coherence traffic is generated (the key property of MemTags). The tag set
 // is retained so hand-over-hand traversals can validate repeatedly.
 func (t *Thread) Validate() bool {
+	if debugGuard {
+		t.m.issuing.Add(1)
+		defer t.m.issuing.Add(-1)
+	}
 	t.throttle()
 	t.recTagSetReads()
 	t.stats.Validates++
 	t.charge(t.m.cfg.ValidateCycles, 0)
 	if t.overflow || t.evicted.Load() {
 		t.stats.ValidateFails++
+		if t.tel != nil {
+			t.tel.NoteValidate(false)
+		}
 		t.emit(EvValidateFail, -1, 0)
 		return false
+	}
+	if t.tel != nil {
+		t.tel.NoteValidate(true)
 	}
 	t.emit(EvValidateOK, -1, 0)
 	return true
@@ -169,6 +202,10 @@ func (t *Thread) TagCount() int { return len(t.tags) }
 
 // ClearTagSet empties the tag set and resets eviction/overflow state.
 func (t *Thread) ClearTagSet() {
+	if debugGuard {
+		t.m.issuing.Add(1)
+		defer t.m.issuing.Add(-1)
+	}
 	for _, l := range t.tags {
 		d := t.m.dirAt(l)
 		d.mu.Lock()
@@ -212,6 +249,10 @@ func insertionSortLines(s []core.Line) {
 // plus the target while checking and committing, the software analogue of
 // the paper's "pause coherence requests during validation".
 func (t *Thread) VAS(a core.Addr, v uint64) bool {
+	if debugGuard {
+		t.m.issuing.Add(1)
+		defer t.m.issuing.Add(-1)
+	}
 	t.throttle()
 	t.stats.VASAttempts++
 	return t.commit(a, v, false)
@@ -221,6 +262,10 @@ func (t *Thread) VAS(a core.Addr, v uint64) bool {
 // cores (transient marking: their future validations on those lines fail),
 // and stores v at a — atomically.
 func (t *Thread) IAS(a core.Addr, v uint64) bool {
+	if debugGuard {
+		t.m.issuing.Add(1)
+		defer t.m.issuing.Add(-1)
+	}
 	t.throttle()
 	t.stats.IASAttempts++
 	return t.commit(a, v, true)
@@ -247,8 +292,16 @@ func (t *Thread) commit(a core.Addr, v uint64, invalidateTags bool) bool {
 		}
 		if invalidateTags {
 			t.stats.IASFails++
+			if t.tel != nil {
+				t.tel.NoteIAS(false)
+			}
+			t.emit(EvIASFail, -1, target)
 		} else {
 			t.stats.VASFails++
+			if t.tel != nil {
+				t.tel.NoteVAS(false)
+			}
+			t.emit(EvVASFail, -1, target)
 		}
 		return false
 	}
@@ -273,8 +326,14 @@ func (t *Thread) commit(a core.Addr, v uint64, invalidateTags bool) bool {
 	}
 	t.drainEvictions()
 	if invalidateTags {
+		if t.tel != nil {
+			t.tel.NoteIAS(true)
+		}
 		t.emit(EvCommitIAS, -1, target)
 	} else {
+		if t.tel != nil {
+			t.tel.NoteVAS(true)
+		}
 		t.emit(EvCommitVAS, -1, target)
 	}
 	return true

@@ -1,0 +1,41 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// TestSnapshotAtQuiescentPoints exercises the documented contract under
+// the race detector: snapshotting (and telemetry merging) between phases
+// of a contended multi-core workload is race-free, and the per-phase
+// counters only advance. CI's -race lane runs this; the memtagcheck lane
+// additionally proves a *non*-quiescent snapshot panics (guard_test.go).
+func TestSnapshotAtQuiescentPoints(t *testing.T) {
+	cfg := DefaultConfig(4)
+	cfg.MemBytes = 1 << 20
+	m := New(cfg)
+	set := telemetry.NewSet(m.NumThreads())
+	m.SetTelemetry(set)
+
+	runContendedWorkload(m, 200)
+	s1 := m.Snapshot()
+	set.Flush()
+	n1 := set.Merge().TagOccupancy.Count()
+
+	m.BeginEpoch()
+	runContendedWorkload(m, 200)
+	s2 := m.Snapshot()
+	set.Flush()
+	n2 := set.Merge().TagOccupancy.Count()
+
+	if s2.TagAdds <= s1.TagAdds || s2.Validates <= s1.Validates {
+		t.Fatalf("phase 2 counters did not advance: %+v -> %+v", s1.TagAdds, s2.TagAdds)
+	}
+	if n2 <= n1 {
+		t.Fatalf("telemetry did not advance across phases: %d -> %d", n1, n2)
+	}
+	if got, want := n2, s2.TagAdds; got != want {
+		t.Fatalf("occupancy count %d != TagAdds %d after two phases", got, want)
+	}
+}

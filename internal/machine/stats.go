@@ -1,6 +1,9 @@
 package machine
 
-import "sync/atomic"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // CoreStats accumulates per-core event counts, cycles, and energy. Plain
 // fields are owned by the core's goroutine; atomic fields may be bumped by
@@ -86,8 +89,13 @@ func (s Stats) SimSeconds(clockHz float64) float64 {
 }
 
 // Snapshot aggregates per-core stats. Only call while no core is issuing
-// operations.
+// operations; under the memtagcheck build tag a non-quiescent call panics.
 func (m *Machine) Snapshot() Stats {
+	if debugGuard {
+		if n := m.issuing.Load(); n != 0 {
+			panic(fmt.Sprintf("machine: Snapshot while %d operation(s) in flight", n))
+		}
+	}
 	var s Stats
 	for _, t := range m.threads {
 		cs := &t.stats

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cachemodel"
 	"repro/internal/core"
+	"repro/internal/telemetry"
 )
 
 // Thread is one simulated core. All methods must be called from a single
@@ -31,6 +32,9 @@ type Thread struct {
 	overflow bool
 
 	stats CoreStats
+	// tel, when non-nil, receives backend-side telemetry (tag occupancy,
+	// failure streaks) from this goroutine only. See Machine.SetTelemetry.
+	tel *telemetry.Core
 
 	// pendingEvicts holds L2 victims whose directory bits must be cleared
 	// after the current access releases its directory lock (lock-order

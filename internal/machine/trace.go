@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/telemetry"
 )
 
 // Event tracing: the paper validates its claims by examining simulator
@@ -42,6 +43,11 @@ const (
 	EvCommitVAS
 	// EvCommitIAS is a successful IAS.
 	EvCommitIAS
+	// EvVASFail / EvIASFail: failed VAS/IAS commits (validation failed at
+	// commit time: overflow or a recorded eviction).
+	EvVASFail
+	// EvIASFail is a failed IAS.
+	EvIASFail
 )
 
 // String names the event kind.
@@ -49,7 +55,7 @@ func (k EventKind) String() string {
 	names := [...]string{
 		"L1Hit", "L2Hit", "RemoteFill", "MemFill", "Invalidation",
 		"TagAdd", "TagRemove", "TagEvicted", "ValidateOK", "ValidateFail",
-		"CommitVAS", "CommitIAS",
+		"CommitVAS", "CommitIAS", "VASFail", "IASFail",
 	}
 	if int(k) < len(names) {
 		return names[k]
@@ -103,5 +109,22 @@ func (t *Thread) emitSlow(kind EventKind, target int, line core.Line) {
 		Target: target,
 		Line:   uint64(line),
 		Cycle:  t.stats.Cycles,
+	})
+}
+
+// TraceTo adapts a telemetry.TraceCollector to the machine's Tracer
+// interface, feeding the Perfetto exporter: install with
+// m.SetTracer(machine.TraceTo(col)).
+func TraceTo(c *telemetry.TraceCollector) Tracer { return traceAdapter{c} }
+
+type traceAdapter struct{ c *telemetry.TraceCollector }
+
+func (a traceAdapter) Trace(e Event) {
+	a.c.Add(telemetry.TraceEvent{
+		Name:   e.Kind.String(),
+		Core:   e.Core,
+		Target: e.Target,
+		Line:   e.Line,
+		Cycle:  e.Cycle,
 	})
 }

@@ -1,0 +1,220 @@
+package telemetry
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram should read zero")
+	}
+	for _, v := range []uint64{1, 2, 3, 100, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 || h.Sum() != 1106 || h.Max() != 1000 || h.Min() != 1 {
+		t.Fatalf("count/sum/max/min = %d/%d/%d/%d", h.Count(), h.Sum(), h.Max(), h.Min())
+	}
+	if q := h.Quantile(1); q != 1000 {
+		t.Fatalf("p100 = %v, want 1000", q)
+	}
+	if q := h.Quantile(0); q != 1 {
+		t.Fatalf("p0 = %v, want 1", q)
+	}
+	if q := h.Quantile(0.5); q < 2 || q > 4 {
+		t.Fatalf("p50 = %v, want within the value-3 bucket [2,4)", q)
+	}
+}
+
+// TestHistogramQuantileAccuracy checks the power-of-two bucketing stays
+// within one bucket (2x) of the exact quantile on a heavy-tailed sample.
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var h Histogram
+	vals := make([]uint64, 0, 10000)
+	for i := 0; i < 10000; i++ {
+		v := uint64(rng.ExpFloat64() * 500)
+		h.Observe(v)
+		vals = append(vals, v)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		got := h.Quantile(q)
+		// Exact quantile by sorting a copy.
+		sorted := append([]uint64(nil), vals...)
+		for i := 1; i < len(sorted); i++ {
+			for j := i; j > 0 && sorted[j-1] > sorted[j]; j-- {
+				sorted[j-1], sorted[j] = sorted[j], sorted[j-1]
+			}
+		}
+		exact := float64(sorted[int(q*float64(len(sorted)))-1])
+		if exact == 0 {
+			continue
+		}
+		if got < exact/2 || got > exact*2 {
+			t.Errorf("q%.2f: got %v, exact %v (beyond one power-of-two bucket)", q, got, exact)
+		}
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.Observe(4)
+	a.Observe(16)
+	b.Observe(1)
+	b.Observe(1024)
+	a.Merge(&b)
+	if a.Count() != 4 || a.Sum() != 1045 || a.Max() != 1024 || a.Min() != 1 {
+		t.Fatalf("merged count/sum/max/min = %d/%d/%d/%d", a.Count(), a.Sum(), a.Max(), a.Min())
+	}
+}
+
+func TestObserveAllocFree(t *testing.T) {
+	var h Histogram
+	if n := testing.AllocsPerRun(100, func() { h.Observe(42) }); n != 0 {
+		t.Fatalf("Observe: %v allocs, want 0", n)
+	}
+	c := NewSet(2).Core(0)
+	if n := testing.AllocsPerRun(100, func() {
+		c.NoteValidate(false)
+		c.NoteValidate(true)
+		c.NoteVAS(true)
+		c.NoteTagOccupancy(3)
+	}); n != 0 {
+		t.Fatalf("Core notes: %v allocs, want 0", n)
+	}
+}
+
+// TestStreakSumsMatchFailures pins the encoding invariant the accounting
+// tests rely on: every individual failure contributes exactly 1 to the
+// streak histogram's sum (after Flush).
+func TestStreakSumsMatchFailures(t *testing.T) {
+	var c Core
+	rng := rand.New(rand.NewSource(7))
+	fails := uint64(0)
+	for i := 0; i < 1000; i++ {
+		ok := rng.Intn(3) == 0
+		if !ok {
+			fails++
+		}
+		c.NoteValidate(ok)
+	}
+	c.Flush()
+	if got := c.ValidateStreak.Sum(); got != fails {
+		t.Fatalf("streak sum = %d, want %d failures", got, fails)
+	}
+	// A streak histogram's count is the number of maximal runs; each run
+	// has length >= 1, so count <= sum.
+	if c.ValidateStreak.Count() > c.ValidateStreak.Sum() {
+		t.Fatal("more streaks than failures")
+	}
+}
+
+func TestSetMerge(t *testing.T) {
+	s := NewSet(3)
+	s.Core(0).OpLatency.Observe(10)
+	s.Core(1).OpLatency.Observe(20)
+	s.Core(2).NoteVAS(false)
+	s.Flush()
+	agg := s.Merge()
+	if agg.OpLatency.Count() != 2 || agg.VASStreak.Sum() != 1 {
+		t.Fatalf("aggregate: lat count %d, vas streak sum %d", agg.OpLatency.Count(), agg.VASStreak.Sum())
+	}
+}
+
+func TestSamplerWindows(t *testing.T) {
+	s := NewSampler(2, 100, 16)
+	s.Enroll(0, 1000, 0)
+	s.Enroll(1, 1000, 5)
+	// Core 0: ops at cycles 1010..1390, one per 20 cycles, no fails.
+	for c := uint64(1010); c < 1400; c += 20 {
+		s.Tick(0, c, 0)
+	}
+	// Core 1: 4 ops in the second window, 2 fails total.
+	s.Tick(1, 1150, 6)
+	s.Tick(1, 1160, 7)
+	s.Tick(1, 1170, 7)
+	s.Tick(1, 1190, 7)
+	ws := s.Windows()
+	if len(ws) != 4 {
+		t.Fatalf("windows = %d, want 4", len(ws))
+	}
+	if ws[0].Ops != 5 || ws[0].Fails != 0 {
+		t.Fatalf("w0 = %+v, want 5 ops 0 fails", ws[0])
+	}
+	if ws[1].Ops != 9 || ws[1].Fails != 2 {
+		t.Fatalf("w1 = %+v, want 9 ops 2 fails", ws[1])
+	}
+	if ws[0].Start != 0 || ws[0].End != 100 || ws[3].End != 400 {
+		t.Fatalf("window bounds wrong: %+v .. %+v", ws[0], ws[3])
+	}
+	var ops uint64
+	for _, w := range ws {
+		ops += w.Ops
+	}
+	if ops != 24 {
+		t.Fatalf("total ops = %d, want 24", ops)
+	}
+}
+
+// TestSamplerFolds checks a run that outlives the window budget degrades
+// to coarser windows without losing ops.
+func TestSamplerFolds(t *testing.T) {
+	s := NewSampler(1, 10, 4)
+	s.Enroll(0, 0, 0)
+	for c := uint64(0); c < 1000; c += 5 {
+		s.Tick(0, c, 0)
+	}
+	ws := s.Windows()
+	if len(ws) > 4 {
+		t.Fatalf("windows = %d, want <= budget 4", len(ws))
+	}
+	if len(ws) < 2 {
+		t.Fatalf("windows = %d, want >= 2", len(ws))
+	}
+	var ops uint64
+	for _, w := range ws {
+		ops += w.Ops
+	}
+	if ops != 200 {
+		t.Fatalf("folding lost ops: %d, want 200", ops)
+	}
+	if ws[0].End-ws[0].Start < 10 {
+		t.Fatal("interval did not coarsen")
+	}
+}
+
+func TestSamplerTickAllocFree(t *testing.T) {
+	s := NewSampler(1, 100, 64)
+	s.Enroll(0, 0, 0)
+	clock := uint64(0)
+	if n := testing.AllocsPerRun(100, func() {
+		clock += 7
+		s.Tick(0, clock, 0)
+	}); n != 0 {
+		t.Fatalf("Tick: %v allocs, want 0", n)
+	}
+}
+
+// TestSamplerMixedIntervals merges cores that folded different amounts.
+func TestSamplerMixedIntervals(t *testing.T) {
+	s := NewSampler(2, 10, 4)
+	s.Enroll(0, 0, 0)
+	s.Enroll(1, 0, 0)
+	for c := uint64(0); c < 400; c += 4 {
+		s.Tick(0, c, 0) // long run: folds
+	}
+	s.Tick(1, 5, 0) // short run: stays fine-grained until merge
+	s.Tick(1, 15, 0)
+	ws := s.Windows()
+	var ops uint64
+	for i, w := range ws {
+		ops += w.Ops
+		if w.End-w.Start != ws[0].End-ws[0].Start {
+			t.Fatalf("window %d has different width", i)
+		}
+	}
+	if ops != 102 {
+		t.Fatalf("ops = %d, want 102", ops)
+	}
+}

@@ -1,0 +1,210 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Perfetto export: the machine backend's Tracer event stream plus per-op
+// begin/end spans, converted to the Chrome trace-event JSON format that
+// ui.perfetto.dev (and chrome://tracing) load directly. Each simulated core
+// is one track; structure operations are duration slices on their core's
+// track; tag/validate events are instants; coherence messages (invalidation
+// and remote tag eviction) are flow arrows from the sending core's track to
+// the receiving core's.
+//
+// Collection is buffered per core — the emitting goroutine is always the
+// core's own goroutine, so per-core buffers need no locking — and the
+// export pass sorts, links and marshals. Tracing is an explicitly
+// non-measured mode: collection allocates (growing buffers), unlike the
+// histogram/sampler path.
+
+// TraceEvent is one backend event in exporter-neutral form. Name is the
+// backend's event-kind name (machine.EventKind.String()); Target >= 0
+// marks a cross-core message.
+type TraceEvent struct {
+	Name   string
+	Core   int
+	Target int // receiving core, or -1
+	Line   uint64
+	Cycle  uint64
+}
+
+// opSpan is one structure operation's begin/end on a core's track.
+type opSpan struct {
+	name       string
+	core       int
+	start, end uint64
+}
+
+// TraceCollector buffers events and op spans for export. Create one with
+// NewTraceCollector, install it as the backend's tracer (for the machine
+// backend via machine.TraceTo), feed op spans from the workload driver,
+// and WriteJSON at quiescence.
+type TraceCollector struct {
+	perCore [][]TraceEvent // single-writer: core i's goroutine appends to perCore[i]
+	spans   [][]opSpan
+
+	// mu guards the overflow buffers for agents outside the core set (the
+	// ghost coherence agent reports core -1).
+	mu       sync.Mutex
+	overflow []TraceEvent
+}
+
+// NewTraceCollector creates a collector for n cores.
+func NewTraceCollector(n int) *TraceCollector {
+	return &TraceCollector{
+		perCore: make([][]TraceEvent, n),
+		spans:   make([][]opSpan, n),
+	}
+}
+
+// Add records one backend event. Events with Core in [0, n) are buffered
+// without locking (the emitter is that core's goroutine); others (the
+// ghost agent's core -1) take the overflow mutex.
+func (c *TraceCollector) Add(ev TraceEvent) {
+	if ev.Core >= 0 && ev.Core < len(c.perCore) {
+		c.perCore[ev.Core] = append(c.perCore[ev.Core], ev)
+		return
+	}
+	c.mu.Lock()
+	c.overflow = append(c.overflow, ev)
+	c.mu.Unlock()
+}
+
+// OpSpan records one structure operation's duration on core's track, in
+// backend clock units. Must be called from the goroutine driving core.
+func (c *TraceCollector) OpSpan(core int, name string, start, end uint64) {
+	if core < 0 || core >= len(c.spans) {
+		return
+	}
+	if end < start {
+		end = start
+	}
+	c.spans[core] = append(c.spans[core], opSpan{name: name, core: core, start: start, end: end})
+}
+
+// Events returns the number of buffered backend events.
+func (c *TraceCollector) Events() int {
+	n := len(c.overflow)
+	for _, b := range c.perCore {
+		n += len(b)
+	}
+	return n
+}
+
+// jsonEvent is one Chrome trace-event object. Field set per the trace
+// event format spec; ts/dur are microseconds — we map one simulated cycle
+// (or vtags tick) to one microsecond.
+type jsonEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   uint64         `json:"ts"`
+	Dur  uint64         `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	ID   int            `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the JSON-object form of a trace ({"traceEvents": [...]}),
+// which Perfetto accepts and which leaves room for metadata.
+type traceFile struct {
+	TraceEvents     []jsonEvent `json:"traceEvents"`
+	DisplayTimeUnit string      `json:"displayTimeUnit"`
+}
+
+const tracePid = 1
+
+// tidFor maps a core id to its track: core i is tid i+1, the ghost agent
+// (core -1) is tid 0.
+func tidFor(core int) int { return core + 1 }
+
+// WriteJSON converts the buffered events and spans to Chrome trace-event
+// JSON and writes it. Events are globally sorted by timestamp (metadata
+// first), so timestamps are monotonic on every track — the property the CI
+// schema validator checks.
+func (c *TraceCollector) WriteJSON(w io.Writer) error {
+	var evs []jsonEvent
+
+	// Track-name metadata so Perfetto labels each core.
+	addMeta := func(tid int, name string) {
+		evs = append(evs, jsonEvent{
+			Name: "thread_name", Ph: "M", Pid: tracePid, Tid: tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	for i := range c.perCore {
+		addMeta(tidFor(i), coreName(i))
+	}
+	if len(c.overflow) > 0 {
+		addMeta(tidFor(-1), "ghost agent")
+	}
+
+	// Op spans as complete ("X") duration events.
+	for core := range c.spans {
+		for _, sp := range c.spans[core] {
+			evs = append(evs, jsonEvent{
+				Name: sp.name, Cat: "op", Ph: "X",
+				Ts: sp.start, Dur: sp.end - sp.start,
+				Pid: tracePid, Tid: tidFor(core),
+			})
+		}
+	}
+
+	// Backend events: instants everywhere; cross-core messages additionally
+	// get a flow arrow from sender track to receiver track.
+	flowID := 0
+	emit := func(ev TraceEvent) {
+		evs = append(evs, jsonEvent{
+			Name: ev.Name, Cat: "coherence", Ph: "i",
+			Ts: ev.Cycle, Pid: tracePid, Tid: tidFor(ev.Core),
+			Args: map[string]any{"line": ev.Line},
+		})
+		if ev.Target >= 0 {
+			flowID++
+			evs = append(evs, jsonEvent{
+				Name: ev.Name, Cat: "coherence", Ph: "s",
+				Ts: ev.Cycle, Pid: tracePid, Tid: tidFor(ev.Core), ID: flowID,
+			})
+			evs = append(evs, jsonEvent{
+				Name: ev.Name, Cat: "coherence", Ph: "f", BP: "e",
+				Ts: ev.Cycle + 1, Pid: tracePid, Tid: tidFor(ev.Target), ID: flowID,
+			})
+		}
+	}
+	for core := range c.perCore {
+		for _, ev := range c.perCore[core] {
+			emit(ev)
+		}
+	}
+	for _, ev := range c.overflow {
+		emit(ev)
+	}
+
+	// Global timestamp sort (metadata events stay first at ts 0; the sort
+	// is stable so same-ts events keep their emission order, which keeps a
+	// flow start before its finish when both land on the same microsecond).
+	sort.SliceStable(evs, func(i, j int) bool {
+		mi, mj := evs[i].Ph == "M", evs[j].Ph == "M"
+		if mi != mj {
+			return mi
+		}
+		return evs[i].Ts < evs[j].Ts
+	})
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(traceFile{TraceEvents: evs, DisplayTimeUnit: "ns"})
+}
+
+func coreName(i int) string {
+	const digits = "0123456789"
+	if i < 10 {
+		return "core " + string(digits[i])
+	}
+	return "core " + string(digits[i/10]) + string(digits[i%10])
+}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/telemetry"
 )
 
 // The emulation exists to stress-test structures at native speed, so its
@@ -55,6 +56,45 @@ func TestHotPathAllocFree(t *testing.T) {
 		th.ClearTagSet()
 	})
 	assertZeroAllocs(t, "IAS", func() {
+		th.AddTag(a, core.LineSize)
+		v := th.Load(a)
+		if !th.IAS(a, v+1) {
+			t.Fatal("uncontended IAS failed")
+		}
+		th.ClearTagSet()
+	})
+}
+
+// TestHotPathAllocFreeWithTelemetry re-runs the budget with telemetry
+// recording enabled, matching the machine backend's guarantee.
+func TestHotPathAllocFreeWithTelemetry(t *testing.T) {
+	m := New(1<<20, 2)
+	m.SetTelemetry(telemetry.NewSet(m.NumThreads()))
+	th := m.threads[0]
+	a := m.Alloc(core.WordsPerLine * 4)
+	for i := 0; i < 4; i++ {
+		th.Store(a+core.Addr(i*core.LineSize), uint64(i))
+	}
+
+	assertZeroAllocs(t, "Load+telemetry", func() { th.Load(a) })
+	assertZeroAllocs(t, "AddTag+Validate+ClearTagSet+telemetry", func() {
+		if !th.AddTag(a, core.LineSize*2) {
+			t.Fatal("AddTag failed")
+		}
+		if !th.Validate() {
+			t.Fatal("Validate failed")
+		}
+		th.ClearTagSet()
+	})
+	assertZeroAllocs(t, "VAS+telemetry", func() {
+		th.AddTag(a, core.LineSize)
+		v := th.Load(a)
+		if !th.VAS(a, v+1) {
+			t.Fatal("uncontended VAS failed")
+		}
+		th.ClearTagSet()
+	})
+	assertZeroAllocs(t, "IAS+telemetry", func() {
 		th.AddTag(a, core.LineSize)
 		v := th.Load(a)
 		if !th.IAS(a, v+1) {

@@ -24,7 +24,9 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/machine"
 	"repro/internal/mem"
+	"repro/internal/telemetry"
 )
 
 // lineState is one line's version and writer lock. Line state is chunked
@@ -44,6 +46,9 @@ type Memory struct {
 	lines   []atomic.Pointer[lineChunk]
 	threads []*Thread
 	maxTags int
+	// tracer, when non-nil, receives the tag-relevant subset of the
+	// machine backend's events (see telemetry.go).
+	tracer machine.Tracer
 }
 
 var _ core.Memory = (*Memory)(nil)
@@ -150,6 +155,15 @@ type Thread struct {
 	// (ForceTagEviction): like the hardware's evicted set, it is not
 	// forgotten until ClearTagSet even though the entry itself is gone.
 	evicted bool
+
+	// ticks is the thread's logical clock: one per memory/tag operation
+	// (the emulation's analogue of the machine's cycle counter). fails
+	// counts validation/commit failures. Both feed OpClock.
+	ticks uint64
+	fails uint64
+	// tel, when non-nil, receives emulation-side telemetry from this
+	// goroutine only. See Memory.SetTelemetry.
+	tel *telemetry.Core
 }
 
 type tagEntry struct {
@@ -166,10 +180,14 @@ func (t *Thread) ID() int { return t.id }
 func (t *Thread) Alloc(words int) core.Addr { return t.m.space.Alloc(words) }
 
 // Load reads the word at a.
-func (t *Thread) Load(a core.Addr) uint64 { return t.m.space.AtomicRead(a) }
+func (t *Thread) Load(a core.Addr) uint64 {
+	t.ticks++
+	return t.m.space.AtomicRead(a)
+}
 
 // Store writes v at a and bumps the line version (invalidating tags).
 func (t *Thread) Store(a core.Addr, v uint64) {
+	t.ticks++
 	ls := t.m.lineAt(a.Line())
 	ls.mu.Lock()
 	t.m.space.AtomicWrite(a, v)
@@ -180,6 +198,7 @@ func (t *Thread) Store(a core.Addr, v uint64) {
 
 // CAS compares-and-swaps the word at a, bumping the version on success.
 func (t *Thread) CAS(a core.Addr, old, new uint64) bool {
+	t.ticks++
 	ls := t.m.lineAt(a.Line())
 	ls.mu.Lock()
 	ok := t.m.space.Read(a) == old
@@ -194,6 +213,7 @@ func (t *Thread) CAS(a core.Addr, old, new uint64) bool {
 
 // AddTag records the current version of every line of [a, a+size).
 func (t *Thread) AddTag(a core.Addr, size int) bool {
+	t.ticks++
 	first, last, ok := core.LineSpan(a, size)
 	if !ok {
 		return true
@@ -207,6 +227,10 @@ func (t *Thread) AddTag(a core.Addr, size int) bool {
 			return false
 		}
 		t.tags = append(t.tags, tagEntry{line: l, version: t.m.lineVersion(l)})
+		if t.tel != nil {
+			t.tel.NoteTagOccupancy(len(t.tags))
+		}
+		t.emit(machine.EvTagAdd, -1, l)
 	}
 	return true
 }
@@ -215,6 +239,7 @@ func (t *Thread) AddTag(a core.Addr, size int) bool {
 // observed is not forgotten (matching hardware semantics): RemoveTag checks
 // the line's version before dropping it and latches a failure.
 func (t *Thread) RemoveTag(a core.Addr, size int) {
+	t.ticks++
 	first, last, ok := core.LineSpan(a, size)
 	if !ok {
 		return
@@ -226,6 +251,7 @@ func (t *Thread) RemoveTag(a core.Addr, size int) {
 					t.evicted = true // latch failure like an eviction
 				}
 				t.tags = append(t.tags[:i], t.tags[i+1:]...)
+				t.emit(machine.EvTagRemove, -1, l)
 				break
 			}
 		}
@@ -244,15 +270,26 @@ func (t *Thread) tagged(l core.Line) bool {
 // Validate reports whether every tagged line still has its recorded
 // version.
 func (t *Thread) Validate() bool {
-	if t.overflow || t.evicted {
-		return false
-	}
-	for _, e := range t.tags {
-		if t.m.lineVersion(e.line) != e.version {
-			return false
+	t.ticks++
+	ok := !t.overflow && !t.evicted
+	if ok {
+		for _, e := range t.tags {
+			if t.m.lineVersion(e.line) != e.version {
+				ok = false
+				break
+			}
 		}
 	}
-	return true
+	if t.tel != nil {
+		t.tel.NoteValidate(ok)
+	}
+	if ok {
+		t.emit(machine.EvValidateOK, -1, 0)
+	} else {
+		t.fails++
+		t.emit(machine.EvValidateFail, -1, 0)
+	}
+	return ok
 }
 
 // TagCount returns the number of tagged lines.
@@ -273,6 +310,7 @@ func (t *Thread) ForceTagEviction(l core.Line) bool {
 		return false
 	}
 	t.evicted = true // latch failure, like a recorded eviction
+	t.emit(machine.EvTagEvicted, -1, l)
 	return true
 }
 
@@ -295,10 +333,12 @@ func (t *Thread) VAS(a core.Addr, v uint64) bool { return t.commit(a, v, false) 
 func (t *Thread) IAS(a core.Addr, v uint64) bool { return t.commit(a, v, true) }
 
 func (t *Thread) commit(a core.Addr, v uint64, invalidateTags bool) bool {
+	t.ticks++
+	target := a.Line()
 	if t.overflow || t.evicted {
+		t.noteCommit(false, invalidateTags, target)
 		return false
 	}
-	target := a.Line()
 	// Reuse the per-thread lock buffer and sort it closure-free: the set
 	// is bounded by maxTags+1, so insertion sort over the reused buffer
 	// beats rebuilding a slice and sort.Slice on every commit attempt.
@@ -345,7 +385,36 @@ func (t *Thread) commit(a core.Addr, v uint64, invalidateTags bool) bool {
 	for i := len(lines) - 1; i >= 0; i-- {
 		t.m.lineAt(lines[i]).mu.Unlock()
 	}
+	t.noteCommit(ok, invalidateTags, target)
 	return ok
+}
+
+// noteCommit records a VAS/IAS outcome in telemetry and the trace, and
+// counts failures toward OpClock, matching the machine backend's event
+// vocabulary (CommitVAS/CommitIAS on success, VASFail/IASFail otherwise).
+func (t *Thread) noteCommit(ok, invalidateTags bool, target core.Line) {
+	if !ok {
+		t.fails++
+	}
+	if invalidateTags {
+		if t.tel != nil {
+			t.tel.NoteIAS(ok)
+		}
+		if ok {
+			t.emit(machine.EvCommitIAS, -1, target)
+		} else {
+			t.emit(machine.EvIASFail, -1, target)
+		}
+		return
+	}
+	if t.tel != nil {
+		t.tel.NoteVAS(ok)
+	}
+	if ok {
+		t.emit(machine.EvCommitVAS, -1, target)
+	} else {
+		t.emit(machine.EvVASFail, -1, target)
+	}
 }
 
 // insertionSortLines sorts a small line slice in place. The commit lock set

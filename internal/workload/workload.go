@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/history"
 	"repro/internal/intset"
+	"repro/internal/telemetry"
 )
 
 // Mix is an operation mix in percent; the remainder are searches.
@@ -43,6 +44,36 @@ type Config struct {
 	// least Threads shards. Recording costs one slice append and two
 	// atomic increments per operation; leave it nil for measured runs.
 	History *history.Recorder
+
+	// Telemetry, when non-nil, receives per-op latency (backend clock
+	// delta across the operation) and retries (failure-count delta) into
+	// core w's histograms. Requires the backend threads to implement
+	// OpClock (both backends do). Recording is allocation-free.
+	Telemetry *telemetry.Set
+	// Sampler, when non-nil, is enrolled at phase start and ticked once
+	// per completed operation, producing the run's time-series windows.
+	Sampler *telemetry.Sampler
+	// Trace, when non-nil, receives one op span per structure operation
+	// for the Perfetto export. Unlike Telemetry/Sampler this allocates
+	// (growing buffers); leave nil for measured runs.
+	Trace *telemetry.TraceCollector
+}
+
+// opClocked is implemented by both backends' threads: the backend clock
+// (simulated cycles on the machine, logical ticks on vtags) and the
+// cumulative validation/commit failure count, diffed across each op.
+type opClocked interface{ OpClock() (clock, fails uint64) }
+
+// opName names an op code for trace spans.
+func opName(op uint8) string {
+	switch op {
+	case history.OpInsert:
+		return "Insert"
+	case history.OpDelete:
+		return "Delete"
+	default:
+		return "Contains"
+	}
 }
 
 // activatable is implemented by machine threads supporting lax clock
@@ -118,15 +149,47 @@ func Run(mem core.Memory, s intset.Set, cfg Config) Counts {
 			if cfg.History != nil {
 				sh = cfg.History.Shard(w)
 			}
+			// Per-op telemetry reads the backend clock around each op.
+			var oc opClocked
+			if cfg.Telemetry != nil || cfg.Sampler != nil || cfg.Trace != nil {
+				oc, _ = th.(opClocked)
+			}
+			var tel *telemetry.Core
+			if cfg.Telemetry != nil && oc != nil {
+				tel = cfg.Telemetry.Core(w)
+			}
+			if cfg.Sampler != nil && oc != nil {
+				c0, f0 := oc.OpClock()
+				cfg.Sampler.Enroll(w, c0, f0)
+			}
 			// do runs one structure operation, recorded when a history
-			// shard is attached.
+			// shard or telemetry is attached.
 			do := func(op uint8, k uint64, exec func() bool) bool {
-				if sh == nil {
-					return exec()
+				var c0, f0 uint64
+				if oc != nil {
+					c0, f0 = oc.OpClock()
 				}
-				idx := sh.Begin(op, k, 0)
-				ok := exec()
-				sh.End(idx, ok, 0)
+				var ok bool
+				if sh == nil {
+					ok = exec()
+				} else {
+					idx := sh.Begin(op, k, 0)
+					ok = exec()
+					sh.End(idx, ok, 0)
+				}
+				if oc != nil {
+					c1, f1 := oc.OpClock()
+					if tel != nil {
+						tel.OpLatency.Observe(c1 - c0)
+						tel.OpRetries.Observe(f1 - f0)
+					}
+					if cfg.Sampler != nil {
+						cfg.Sampler.Tick(w, c1, f1)
+					}
+					if cfg.Trace != nil {
+						cfg.Trace.OpSpan(w, opName(op), c0, c1)
+					}
+				}
 				return ok
 			}
 			c := &results[w]
