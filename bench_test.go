@@ -124,6 +124,38 @@ func BenchmarkFig8_VacationNOrec(b *testing.B) {
 	b.ReportMetric(speedup/float64(b.N), "speedup")
 }
 
+// BenchmarkFigReclaim_Skiplist runs the reclamation extension experiment
+// (VAS skip list: no reclamation vs tag-conditioned immediate vs epoch)
+// and reports the immediate policy's headline metrics plus its
+// retire-to-free p99 in simulated cycles (rfP99cycles) and peak footprint
+// in lines — rfP99cycles is the series CI gates for reclamation-pipeline
+// regressions.
+func BenchmarkFigReclaim_Skiplist(b *testing.B) {
+	e := harness.ReclaimExperiment(benchScale())
+	e.Workers = runtime.GOMAXPROCS(0)
+	e.Telemetry = true
+	top := e.Threads[len(e.Threads)-1]
+	var mops, speedup, p99, rf99, peak float64
+	for i := 0; i < b.N; i++ {
+		points := e.Run()
+		speedup += harness.Speedup(points, "immediate", "none", top)
+		for _, p := range points {
+			if p.Variant == "immediate" && p.Threads == top {
+				mops += p.ThroughputMops
+				p99 += p.OpLatP99
+				rf99 += p.RetireFreeP99
+				peak += float64(p.PeakLiveLines)
+			}
+		}
+	}
+	n := float64(b.N)
+	b.ReportMetric(mops/n, "simMops")
+	b.ReportMetric(speedup/n, "speedup")
+	b.ReportMetric(p99/n, "p99cycles")
+	b.ReportMetric(rf99/n, "rfP99cycles")
+	b.ReportMetric(peak/n, "peakLines")
+}
+
 // BenchmarkExtension_SkipList runs the skip-list extension experiment
 // (CAS vs VAS; the paper claims applicability without reporting a figure).
 func BenchmarkExtension_SkipList(b *testing.B) {

@@ -49,7 +49,7 @@ var sampleEvery = uint64(0)
 var traceOut = ""
 
 func main() {
-	fig := flag.String("fig", "all", "figure to run: 2, 4, 5, 6, 7, 8, skip, bst, chromatic, stmset, elision, or all")
+	fig := flag.String("fig", "all", "figure to run: 2, 4, 5, 6, 7, 8, skip, bst, chromatic, stmset, elision, reclaim, or all")
 	full := flag.Bool("full", false, "paper scale (1-64 simulated cores, more ops, 3 trials)")
 	threads := flag.String("threads", "", "override thread counts, e.g. 1,2,4,8")
 	ops := flag.Int("ops", 0, "override operations per thread")
@@ -109,7 +109,7 @@ func main() {
 
 	figs := strings.Split(*fig, ",")
 	if *fig == "all" {
-		figs = []string{"2", "4", "5", "6", "7", "8", "skip", "bst", "chromatic", "stmset", "elision"}
+		figs = []string{"2", "4", "5", "6", "7", "8", "skip", "bst", "chromatic", "stmset", "elision", "reclaim"}
 	}
 	for _, f := range figs {
 		run(strings.TrimSpace(f), sc, *full)
@@ -157,6 +157,8 @@ func run(fig string, sc harness.Scale, full bool) {
 		runSet(harness.Fig7(sc))
 	case "skip":
 		runSet(harness.SkipExperiment(sc))
+	case "reclaim":
+		runSet(harness.ReclaimExperiment(sc))
 	case "bst":
 		runSet(harness.BSTExperiment(sc))
 	case "stmset":
@@ -240,7 +242,8 @@ func writeTrace(e *harness.SetExperiment) {
 // points plus enough host metadata to compare runs across machines.
 // With -telemetry each point additionally carries op_lat_p50, op_lat_p99,
 // op_lat_max, retries_per_op, and windows (the sampler's time series); see
-// EXPERIMENTS.md, "Observability".
+// EXPERIMENTS.md, "Observability". Pool-backed variants (-fig reclaim)
+// carry retire_free_p50/p99, peak_live_lines, and freelist_lines.
 type benchResult struct {
 	Name        string  `json:"name"`
 	Title       string  `json:"title"`

@@ -24,11 +24,13 @@ import (
 	"repro/internal/intset"
 	"repro/internal/list"
 	"repro/internal/machine"
+	"repro/internal/reclaim"
 	"repro/internal/schedexplore"
 	"repro/internal/schedfuzz"
 	"repro/internal/skiplist"
 	"repro/internal/stm"
 	"repro/internal/telemetry"
+	"repro/internal/txmap"
 	"repro/internal/txset"
 	"repro/internal/vtags"
 )
@@ -39,6 +41,11 @@ var (
 	sampleEveryN uint64
 	traceOutPath string
 )
+
+// reclaimPolicy is the -reclaim selection; policyOff disables wiring.
+const policyOff reclaim.Policy = -1
+
+var reclaimPolicy = policyOff
 
 // telemetryBackend and tracerBackend are the observability hooks both
 // memory backends expose; opClocked is the per-thread clock both backends'
@@ -51,6 +58,10 @@ type structDef struct {
 	name  string
 	build func(core.Memory) intset.Set
 	check func(core.Thread, intset.Set) error
+	// reclaim builds the structure with a reclamation pool of the given
+	// policy wired in; nil marks structures without retire hooks (-reclaim
+	// runs them unwired).
+	reclaim func(core.Memory, *reclaim.Domain, reclaim.Policy) (intset.Set, *reclaim.Pool)
 }
 
 func structs() []structDef {
@@ -75,24 +86,70 @@ func structs() []structDef {
 		return nil
 	}
 	none := func(core.Thread, intset.Set) error { return nil }
-	return []structDef{
-		{"harris-list", func(m core.Memory) intset.Set { return list.NewHarris(m) }, none},
-		{"vas-list", func(m core.Memory) intset.Set { return list.NewVAS(m) }, none},
-		{"hoh-list", func(m core.Memory) intset.Set { return list.NewHoH(m) }, none},
-		{"lock-list", func(m core.Memory) intset.Set { return list.NewLock(m) }, none},
-		{"elided-list", func(m core.Memory) intset.Set { return list.NewElided(m, 0) }, none},
-		{"llx-tree", func(m core.Memory) intset.Set { return abtree.NewLLX(m, 4, 8) }, treeCheck},
-		{"hoh-tree", func(m core.Memory) intset.Set { return abtree.NewHoH(m, 4, 8) }, treeCheck},
-		{"elided-tree", func(m core.Memory) intset.Set { return abtree.NewElided(m, 4, 8, 0) }, treeCheck},
-		{"llx-bst", func(m core.Memory) intset.Set { return bst.NewLLX(m) }, none},
-		{"hoh-bst", func(m core.Memory) intset.Set { return bst.NewHoH(m) }, none},
-		{"llx-chromatic", func(m core.Memory) intset.Set { return chromatic.NewLLX(m) }, chromCheck},
-		{"hoh-chromatic", func(m core.Memory) intset.Set { return chromatic.NewHoH(m) }, chromCheck},
-		{"skiplist-cas", func(m core.Memory) intset.Set { return skiplist.New(m) }, none},
-		{"skiplist-vas", func(m core.Memory) intset.Set { return skiplist.NewVAS(m) }, none},
-		{"norec-set", func(m core.Memory) intset.Set { return txset.New(m, stm.NewNOrec(m)) }, none},
-		{"tagged-set", func(m core.Memory) intset.Set { return txset.New(m, stm.NewTagged(m)) }, none},
+	// Reclamation builders for the structures with retire hooks; the rest
+	// leave the field nil and run unwired under -reclaim.
+	recVASList := func(m core.Memory, d *reclaim.Domain, pol reclaim.Policy) (intset.Set, *reclaim.Pool) {
+		s := list.NewVAS(m)
+		p := reclaim.NewPool(d, list.NodeWords, pol)
+		s.SetReclaim(p)
+		return s, p
 	}
+	recHoHList := func(m core.Memory, d *reclaim.Domain, pol reclaim.Policy) (intset.Set, *reclaim.Pool) {
+		s := list.NewHoH(m)
+		p := reclaim.NewPool(d, list.NodeWords, pol)
+		s.SetReclaim(p)
+		return s, p
+	}
+	recHoHTree := func(m core.Memory, d *reclaim.Domain, pol reclaim.Policy) (intset.Set, *reclaim.Pool) {
+		s := abtree.NewHoH(m, 4, 8)
+		p := reclaim.NewPool(d, s.NodeWords(), pol)
+		s.SetReclaim(p)
+		return s, p
+	}
+	recVASSkip := func(m core.Memory, d *reclaim.Domain, pol reclaim.Policy) (intset.Set, *reclaim.Pool) {
+		s := skiplist.NewVAS(m)
+		p := reclaim.NewPool(d, skiplist.NodeWords, pol)
+		s.SetReclaim(p)
+		return s, p
+	}
+	recTaggedSet := func(m core.Memory, d *reclaim.Domain, pol reclaim.Policy) (intset.Set, *reclaim.Pool) {
+		tm := stm.NewTagged(m)
+		tm.SetReclaim(d)
+		s := txset.New(m, tm)
+		p := reclaim.NewPool(d, txmap.NodeWords, pol)
+		s.SetReclaim(p)
+		return s, p
+	}
+	return []structDef{
+		{"harris-list", func(m core.Memory) intset.Set { return list.NewHarris(m) }, none, nil},
+		{"vas-list", func(m core.Memory) intset.Set { return list.NewVAS(m) }, none, recVASList},
+		{"hoh-list", func(m core.Memory) intset.Set { return list.NewHoH(m) }, none, recHoHList},
+		{"lock-list", func(m core.Memory) intset.Set { return list.NewLock(m) }, none, nil},
+		{"elided-list", func(m core.Memory) intset.Set { return list.NewElided(m, 0) }, none, nil},
+		{"llx-tree", func(m core.Memory) intset.Set { return abtree.NewLLX(m, 4, 8) }, treeCheck, nil},
+		{"hoh-tree", func(m core.Memory) intset.Set { return abtree.NewHoH(m, 4, 8) }, treeCheck, recHoHTree},
+		{"elided-tree", func(m core.Memory) intset.Set { return abtree.NewElided(m, 4, 8, 0) }, treeCheck, nil},
+		{"llx-bst", func(m core.Memory) intset.Set { return bst.NewLLX(m) }, none, nil},
+		{"hoh-bst", func(m core.Memory) intset.Set { return bst.NewHoH(m) }, none, nil},
+		{"llx-chromatic", func(m core.Memory) intset.Set { return chromatic.NewLLX(m) }, chromCheck, nil},
+		{"hoh-chromatic", func(m core.Memory) intset.Set { return chromatic.NewHoH(m) }, chromCheck, nil},
+		{"skiplist-cas", func(m core.Memory) intset.Set { return skiplist.New(m) }, none, nil},
+		{"skiplist-vas", func(m core.Memory) intset.Set { return skiplist.NewVAS(m) }, none, recVASSkip},
+		{"norec-set", func(m core.Memory) intset.Set { return txset.New(m, stm.NewNOrec(m)) }, none, nil},
+		{"tagged-set", func(m core.Memory) intset.Set { return txset.New(m, stm.NewTagged(m)) }, none, recTaggedSet},
+	}
+}
+
+// attachDomain creates a checked reclamation domain over mem (violations
+// recorded, surfaced after the round) and attaches it to the backend.
+func attachDomain(mem core.Memory) *reclaim.Domain {
+	d := reclaim.NewDomainFor(mem)
+	d.SetChecked(true)
+	d.OnViolation(func(error) {})
+	if sr, ok := mem.(interface{ SetReclaim(*reclaim.Domain) }); ok {
+		sr.SetReclaim(d)
+	}
+	return d
 }
 
 func main() {
@@ -109,6 +166,8 @@ func main() {
 		"telemetry sampler interval in backend clock units (cycles on machine, ops on vtags)")
 	traceFlag := flag.String("trace-out", "",
 		"write a Perfetto trace-event JSON of the stress round to this file (later rounds overwrite earlier ones; pair with -rounds 1 -structs <one> -backend <one>)")
+	reclaimFlag := flag.String("reclaim", "",
+		"wire a memory-reclamation pool into the structures with retire hooks (vas-list, hoh-list, hoh-tree, skiplist-vas, tagged-set): immediate (tag-conditioned) or epoch. The domain runs in checked mode, so any discipline violation fails the round; structures without hooks run unwired")
 	linearize := flag.Bool("linearize", false,
 		"record every operation and check the history with the linearizability checker, under schedule fuzzing (slower per op)")
 	explore := flag.Bool("explore", false,
@@ -125,6 +184,16 @@ func main() {
 	telemetryOn = *telFlag
 	sampleEveryN = *sampleFlag
 	traceOutPath = *traceFlag
+	switch *reclaimFlag {
+	case "":
+	case "immediate":
+		reclaimPolicy = reclaim.PolicyImmediate
+	case "epoch":
+		reclaimPolicy = reclaim.PolicyEpoch
+	default:
+		fmt.Fprintf(os.Stderr, "memtag-stress: unknown reclaim policy %q (valid: immediate, epoch)\n", *reclaimFlag)
+		os.Exit(2)
+	}
 
 	known := map[string]bool{}
 	for _, sd := range structs() {
@@ -221,10 +290,27 @@ func linearizeOne(sd structDef, backend string, threads, ops int, keyRange uint6
 			err = fmt.Errorf("panic: %v", r)
 		}
 	}()
+	var dom *reclaim.Domain
+	var pool *reclaim.Pool
+	newMem := func(t int) core.Memory {
+		m := newBackend(backend, t)
+		if reclaimPolicy != policyOff && sd.reclaim != nil {
+			dom = attachDomain(m)
+		}
+		return m
+	}
+	build := sd.build
+	if reclaimPolicy != policyOff && sd.reclaim != nil {
+		build = func(mem core.Memory) intset.Set {
+			s, p := sd.reclaim(mem, dom, reclaimPolicy)
+			pool = p
+			return s
+		}
+	}
 	fuzz := schedfuzz.Default(seed)
 	out := intset.RunLinearize(
-		func(t int) core.Memory { return newBackend(backend, t) },
-		sd.build,
+		newMem,
+		build,
 		intset.LinearizeConfig{
 			Threads:      threads,
 			OpsPerThread: ops,
@@ -239,6 +325,11 @@ func linearizeOne(sd structDef, backend string, threads, ops int, keyRange uint6
 	}
 	if !out.OK {
 		return fmt.Errorf("history not linearizable:\n%s", out.Explain())
+	}
+	if pool != nil {
+		if verr := dom.Violation(); verr != nil {
+			return fmt.Errorf("reclamation guard violation: %v", verr)
+		}
 	}
 	return nil
 }
@@ -288,7 +379,15 @@ func stressOne(sd structDef, backend string, threads, ops int, keyRange uint64, 
 		}
 	}()
 	mem := newBackend(backend, threads)
-	s := sd.build(mem)
+	var dom *reclaim.Domain
+	var pool *reclaim.Pool
+	var s intset.Set
+	if reclaimPolicy != policyOff && sd.reclaim != nil {
+		dom = attachDomain(mem)
+		s, pool = sd.reclaim(mem, dom, reclaimPolicy)
+	} else {
+		s = sd.build(mem)
+	}
 
 	// Observability hooks, enabled by -telemetry / -trace-out. Both
 	// backends implement the same interfaces, so stress rounds exercise the
@@ -305,6 +404,9 @@ func stressOne(sd structDef, backend string, threads, ops int, keyRange uint64, 
 				every = 4096
 			}
 			sampler = telemetry.NewSampler(threads, every, 64)
+			if pool != nil {
+				pool.SetTelemetry(tset)
+			}
 		}
 	}
 	if traceOutPath != "" {
@@ -397,6 +499,21 @@ func stressOne(sd structDef, backend string, threads, ops int, keyRange uint64, 
 			return cerr
 		}
 		fmt.Printf("     %-14s %-8s trace: wrote %s (%d events)\n", sd.name, backend, traceOutPath, tcol.Events())
+	}
+	if pool != nil {
+		if verr := dom.Violation(); verr != nil {
+			return fmt.Errorf("reclamation guard violation: %v", verr)
+		}
+		st := pool.Stats()
+		line := fmt.Sprintf("     %-14s %-8s reclaim: retired %d freed %d reused %d, peak %d lines, free-list %d",
+			sd.name, backend, st.Retired, st.Freed, st.ReusedAllocs, st.HighWaterLines, st.FreeLines)
+		if tset != nil {
+			if agg := tset.Merge(); agg.RetireToFree.Count() > 0 {
+				line += fmt.Sprintf(", retire-free p50=%.0f p99=%.0f",
+					agg.RetireToFree.Quantile(0.5), agg.RetireToFree.Quantile(0.99))
+			}
+		}
+		fmt.Println(line)
 	}
 
 	th := mem.Thread(0)

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/intset"
+	"repro/internal/reclaim"
 )
 
 // HoHTree is the paper's hand-over-hand-tagged (a,b)-tree (Algorithms 3-5):
@@ -23,6 +24,7 @@ type HoHTree struct {
 	ly       layout
 	mem      core.Memory
 	sentinel core.Addr
+	pool     *reclaim.Pool
 }
 
 var _ intset.Set = (*HoHTree)(nil)
@@ -42,6 +44,83 @@ func NewHoH(mem core.Memory, a, b int) *HoHTree {
 	leaf := ly.writeNode(th, nodeData{leaf: true})
 	sentinel := ly.writeNode(th, nodeData{ptrs: []core.Addr{leaf}})
 	return &HoHTree{ly: ly, mem: mem, sentinel: sentinel}
+}
+
+// SetReclaim wires a reclamation pool (object size nodeWords). Every
+// structural change replaces nodes through tag-validated IAS, and the IAS
+// invalidates the whole tagged window at every other core, so the thread
+// whose IAS detaches a node is its provably-unique retirer. Nodes built
+// before the pool existed are adopted so their eventual replacement can
+// retire them. Must not be combined with the Elided slow path: LLX/SCX
+// helpers traverse finalized nodes without tag validation. Only call while
+// quiescent, before operations.
+// NodeWords returns the reclamation pool object size for SetReclaim
+// (nodes of this tree's branching factor).
+func (t *HoHTree) NodeWords() int { return t.ly.nodeWords() }
+
+func (t *HoHTree) SetReclaim(p *reclaim.Pool) {
+	t.pool = p
+	// Adopt every current node except the sentinel (which is never
+	// replaced, hence never retired).
+	th := t.mem.Thread(0)
+	_, _, kc := t.ly.readMeta(th, t.sentinel)
+	for i := 0; i <= kc; i++ {
+		t.adopt(th, core.Addr(th.Load(t.ly.ptrAddr(t.sentinel, i))))
+	}
+}
+
+func (t *HoHTree) adopt(th core.Thread, n core.Addr) {
+	t.pool.Adopt(n)
+	leaf, _, kc := t.ly.readMeta(th, n)
+	if leaf {
+		return
+	}
+	for i := 0; i <= kc; i++ {
+		t.adopt(th, core.Addr(th.Load(t.ly.ptrAddr(n, i))))
+	}
+}
+
+func (t *HoHTree) enter(th core.Thread) {
+	if t.pool != nil {
+		t.pool.Enter(th)
+	}
+}
+
+func (t *HoHTree) leave(th core.Thread) {
+	if t.pool != nil {
+		t.pool.Exit(th)
+	}
+}
+
+// newNode writes a node through the pool when one is wired (recycled nodes
+// are fully re-initialised up to the counts in the new meta word; stale
+// words beyond them are never indexed), otherwise fresh from the arena.
+func (t *HoHTree) newNode(th core.Thread, nd nodeData) core.Addr {
+	if t.pool == nil {
+		return t.ly.writeNode(th, nd)
+	}
+	return t.ly.writeNodeAt(th, t.pool.Alloc(th), nd)
+}
+
+// retireNode hands a node detached by this thread's IAS to the pool (no-op
+// without one). Call after ClearTagSet.
+func (t *HoHTree) retireNode(th core.Thread, n core.Addr) {
+	if t.pool != nil {
+		t.pool.Retire(th, n)
+	}
+}
+
+// freeFresh returns never-published replacement nodes to the pool after a
+// failed IAS (no-op without one).
+func (t *HoHTree) freeFresh(th core.Thread, ns ...core.Addr) {
+	if t.pool == nil {
+		return
+	}
+	for _, n := range ns {
+		if !n.IsNil() {
+			t.pool.FreePrivate(th, n)
+		}
+	}
 }
 
 // locate is Algorithm 3's LOCATE: a hand-over-hand tagged descent. On
@@ -108,6 +187,8 @@ func (t *HoHTree) locateBounded(th core.Thread, key uint64, budget int) (gp, p, 
 // Contains reports whether key is present, linearized at locate's last
 // successful validation.
 func (t *HoHTree) Contains(th core.Thread, key uint64) bool {
+	t.enter(th)
+	defer t.leave(th)
 	_, _, l, _, _ := t.locate(th, key)
 	_, _, kc := t.ly.readMeta(th, l)
 	found := false
@@ -141,6 +222,8 @@ func (t *HoHTree) Insert(th core.Thread, key uint64) bool {
 // path; needCleanup reports that the committed change created a balance
 // violation the caller must clean up.
 func (t *HoHTree) insertOnce(th core.Thread, key uint64, guard func() bool) (done, result, needCleanup bool) {
+	t.enter(th)
+	defer t.leave(th)
 	p, l, idxL, ok := t.locateForUpdate(th, key, guard)
 	if !ok {
 		return false, false, false
@@ -154,24 +237,28 @@ func (t *HoHTree) insertOnce(th core.Thread, key uint64, guard func() bool) (don
 		th.ClearTagSet()
 		return false, false, false
 	}
-	var repl core.Addr
+	var repl, splitL, splitR core.Addr
 	overflow := len(ld.keys) >= t.ly.b
 	if !overflow {
-		repl = t.ly.writeNode(th, planLeafInsert(ld, key))
+		repl = t.newNode(th, planLeafInsert(ld, key))
 	} else {
 		top, left, right := planLeafSplit(ld, key, p == t.sentinel)
-		top.ptrs[0] = t.ly.writeNode(th, left)
-		top.ptrs[1] = t.ly.writeNode(th, right)
-		repl = t.ly.writeNode(th, top)
+		splitL = t.newNode(th, left)
+		splitR = t.newNode(th, right)
+		top.ptrs[0] = splitL
+		top.ptrs[1] = splitR
+		repl = t.newNode(th, top)
 	}
 	// IAS: validates {gp, p, l} (and any guard lines), invalidates them at
 	// other cores (transiently marking the replaced leaf), swings p's
 	// child slot.
 	if th.IAS(t.ly.ptrAddr(p, idxL), uint64(repl)) {
 		th.ClearTagSet()
+		t.retireNode(th, l)
 		return true, true, overflow
 	}
 	th.ClearTagSet()
+	t.freeFresh(th, repl, splitL, splitR)
 	return false, false, false
 }
 
@@ -191,6 +278,8 @@ func (t *HoHTree) Delete(th core.Thread, key uint64) bool {
 // deleteOnce performs one tagged delete attempt; see insertOnce for the
 // guard contract.
 func (t *HoHTree) deleteOnce(th core.Thread, key uint64, guard func() bool) (done, result, needCleanup bool) {
+	t.enter(th)
+	defer t.leave(th)
 	p, l, idxL, ok := t.locateForUpdate(th, key, guard)
 	if !ok {
 		return false, false, false
@@ -205,12 +294,14 @@ func (t *HoHTree) deleteOnce(th core.Thread, key uint64, guard func() bool) (don
 		return false, false, false
 	}
 	nd := planLeafDelete(ld, key)
-	repl := t.ly.writeNode(th, nd)
+	repl := t.newNode(th, nd)
 	if th.IAS(t.ly.ptrAddr(p, idxL), uint64(repl)) {
 		th.ClearTagSet()
+		t.retireNode(th, l)
 		return true, true, len(nd.keys) < t.ly.a && p != t.sentinel
 	}
 	th.ClearTagSet()
+	t.freeFresh(th, repl)
 	return false, false, false
 }
 
@@ -249,6 +340,8 @@ func (t *HoHTree) cleanup(th core.Thread, key uint64) {
 // violation. guard follows the insertOnce contract and is threaded into
 // the fix steps' commits.
 func (t *HoHTree) cleanupPass(th core.Thread, key uint64, guard func() bool) bool {
+	t.enter(th)
+	defer t.leave(th)
 	gp, p := core.NilAddr, core.NilAddr
 	l := t.sentinel
 	idxP, idxL := -1, -1
@@ -316,8 +409,14 @@ func (t *HoHTree) fixFlag(th core.Thread, gp, p, l core.Addr, idxP, idxL int, gu
 		if guard != nil && !guard() {
 			return
 		}
-		repl := t.ly.writeNode(th, planRootUntag(ld))
-		th.IAS(t.ly.ptrAddr(p, 0), uint64(repl))
+		repl := t.newNode(th, planRootUntag(ld))
+		if th.IAS(t.ly.ptrAddr(p, 0), uint64(repl)) {
+			th.ClearTagSet()
+			t.retireNode(th, l)
+		} else {
+			th.ClearTagSet()
+			t.freeFresh(th, repl)
+		}
 		return
 	}
 	th.AddTag(gp, nb)
@@ -337,18 +436,28 @@ func (t *HoHTree) fixFlag(th core.Thread, gp, p, l core.Addr, idxP, idxL int, gu
 	if guard != nil && !guard() {
 		return
 	}
-	var repl core.Addr
+	var repl, splitL, splitR core.Addr
 	if pd.degree()-1+ld.degree() <= t.ly.b {
 		nd := planAbsorbChild(pd, ld, idxL)
 		assertDegree(t.ly, nd, "AbsorbChild")
-		repl = t.ly.writeNode(th, nd)
+		repl = t.newNode(th, nd)
 	} else {
 		top, left, right := planPropagateFlag(pd, ld, idxL, gp == t.sentinel)
-		top.ptrs[0] = t.ly.writeNode(th, left)
-		top.ptrs[1] = t.ly.writeNode(th, right)
-		repl = t.ly.writeNode(th, top)
+		splitL = t.newNode(th, left)
+		splitR = t.newNode(th, right)
+		top.ptrs[0] = splitL
+		top.ptrs[1] = splitR
+		repl = t.newNode(th, top)
 	}
-	th.IAS(t.ly.ptrAddr(gp, idxP), uint64(repl))
+	// Both shapes detach p and l (repl subsumes them under gp).
+	if th.IAS(t.ly.ptrAddr(gp, idxP), uint64(repl)) {
+		th.ClearTagSet()
+		t.retireNode(th, p)
+		t.retireNode(th, l)
+	} else {
+		th.ClearTagSet()
+		t.freeFresh(th, repl, splitL, splitR)
+	}
 }
 
 // fixRootAbsorb is the tagged RootAbsorb: an internal root with one child
@@ -368,7 +477,12 @@ func (t *HoHTree) fixRootAbsorb(th core.Thread, p, l core.Addr, guard func() boo
 	if guard != nil && !guard() {
 		return
 	}
-	th.IAS(t.ly.ptrAddr(p, 0), uint64(ld.ptrs[0]))
+	// RootAbsorb creates no nodes: the root slot swings from l straight to
+	// l's only child, detaching l.
+	if th.IAS(t.ly.ptrAddr(p, 0), uint64(ld.ptrs[0])) {
+		th.ClearTagSet()
+		t.retireNode(th, l)
+	}
 }
 
 // fixDegree is the tagged AbsorbSibling / Distribute (Algorithm 4). Nodes
@@ -415,21 +529,33 @@ func (t *HoHTree) fixDegree(th core.Thread, gp, p, l core.Addr, idxP, idxL int, 
 	if guard != nil && !guard() {
 		return
 	}
-	var repl core.Addr
+	var repl, freshA, freshB core.Addr
 	if leftD.degree()+rightD.degree() <= t.ly.b {
 		pNew, merged := planAbsorbSibling(pd, leftD, rightD, leftIdx)
 		assertDegree(t.ly, merged, "AbsorbSibling")
-		pNew.ptrs[leftIdx] = t.ly.writeNode(th, merged)
-		repl = t.ly.writeNode(th, pNew)
+		freshA = t.newNode(th, merged)
+		pNew.ptrs[leftIdx] = freshA
+		repl = t.newNode(th, pNew)
 	} else {
 		pNew, nl, nr := planDistribute(pd, leftD, rightD, leftIdx)
 		assertDegree(t.ly, nl, "Distribute")
 		assertDegree(t.ly, nr, "Distribute")
-		pNew.ptrs[leftIdx] = t.ly.writeNode(th, nl)
-		pNew.ptrs[leftIdx+1] = t.ly.writeNode(th, nr)
-		repl = t.ly.writeNode(th, pNew)
+		freshA = t.newNode(th, nl)
+		freshB = t.newNode(th, nr)
+		pNew.ptrs[leftIdx] = freshA
+		pNew.ptrs[leftIdx+1] = freshB
+		repl = t.newNode(th, pNew)
 	}
-	th.IAS(t.ly.ptrAddr(gp, idxP), uint64(repl))
+	// Both shapes detach p and the two siblings (repl carries replacements).
+	if th.IAS(t.ly.ptrAddr(gp, idxP), uint64(repl)) {
+		th.ClearTagSet()
+		t.retireNode(th, p)
+		t.retireNode(th, left)
+		t.retireNode(th, right)
+	} else {
+		th.ClearTagSet()
+		t.freeFresh(th, repl, freshA, freshB)
+	}
 }
 
 // Keys enumerates the set in order while quiescent.

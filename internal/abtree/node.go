@@ -126,11 +126,21 @@ func (ly layout) readNode(th core.Thread, n core.Addr) nodeData {
 
 // writeNode allocates and initializes a fresh node from nd.
 func (ly layout) writeNode(th core.Thread, nd nodeData) core.Addr {
+	return ly.writeNodeAt(th, core.NilAddr, nd)
+}
+
+// writeNodeAt initializes a node from nd at n, allocating fresh when n is
+// nil. Only the meta word, len(keys) key slots and len(ptrs) pointer slots
+// are written: a recycled node keeps stale words beyond those counts, but
+// no reader indexes past the counts in the meta word it loaded.
+func (ly layout) writeNodeAt(th core.Thread, n core.Addr, nd nodeData) core.Addr {
 	if len(nd.keys) > ly.b || (!nd.leaf && len(nd.ptrs) != len(nd.keys)+1) {
 		panic(fmt.Sprintf("abtree: malformed node leaf=%v keys=%d ptrs=%d b=%d",
 			nd.leaf, len(nd.keys), len(nd.ptrs), ly.b))
 	}
-	n := th.Alloc(ly.nodeWords())
+	if n.IsNil() {
+		n = th.Alloc(ly.nodeWords())
+	}
 	th.Store(n.Plus(fMeta), packMeta(nd.leaf, nd.flagged, len(nd.keys)))
 	for i, k := range nd.keys {
 		th.Store(ly.keyAddr(n, i), k)

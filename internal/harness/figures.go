@@ -8,6 +8,7 @@ import (
 	"repro/internal/intset"
 	"repro/internal/list"
 	"repro/internal/machine"
+	"repro/internal/reclaim"
 	"repro/internal/skiplist"
 	"repro/internal/stm"
 	"repro/internal/txset"
@@ -195,6 +196,49 @@ func StmSetExperiment(sc Scale) *SetExperiment {
 			cfg.MaxTags = 128 // STM read sets span many lines
 			return cfg
 		},
+	}
+}
+
+// reclaimSkipVariant builds the VAS skip list with a reclamation pool of
+// the given policy attached (domain in checked mode, so any discipline
+// violation fails loudly instead of corrupting the run).
+func reclaimSkipVariant(name string, policy reclaim.Policy) SetVariant {
+	return SetVariant{
+		Name: name,
+		BuildReclaimed: func(m core.Memory) (intset.Set, *reclaim.Pool) {
+			d := reclaim.NewDomainFor(m)
+			d.SetChecked(true)
+			if sr, ok := m.(interface{ SetReclaim(*reclaim.Domain) }); ok {
+				sr.SetReclaim(d)
+			}
+			s := skiplist.NewVAS(m)
+			p := reclaim.NewPool(d, skiplist.NodeWords, policy)
+			s.SetReclaim(p)
+			return s, p
+		},
+	}
+}
+
+// ReclaimExperiment compares memory-reclamation policies on the VAS skip
+// list: no reclamation (leak every unlinked node), the tag-conditioned
+// immediate policy, and the epoch baseline. Beyond throughput/miss-rate,
+// the reclaimed variants report retire-to-free latency and footprint
+// (peak live lines, free-list size) — the metrics that separate the two
+// policies.
+func ReclaimExperiment(sc Scale) *SetExperiment {
+	return &SetExperiment{
+		Name: "reclaim", Title: "Skip list reclamation: none vs immediate vs epoch (extension)", Figure: "(extension)",
+		Threads: sc.Threads, Trials: sc.Trials,
+		KeyRange:     4096,
+		OpsPerThread: sc.OpsPerThread * 2,
+		Mix:          workload.Update3535,
+		Seed:         42,
+		Variants: []SetVariant{
+			{Name: "none", Build: func(m core.Memory) intset.Set { return skiplist.NewVAS(m) }},
+			reclaimSkipVariant("immediate", reclaim.PolicyImmediate),
+			reclaimSkipVariant("epoch", reclaim.PolicyEpoch),
+		},
+		MemBytes: 256 << 20,
 	}
 }
 

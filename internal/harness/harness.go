@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/intset"
 	"repro/internal/machine"
+	"repro/internal/reclaim"
 	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
@@ -21,6 +22,10 @@ import (
 type SetVariant struct {
 	Name  string
 	Build func(mem core.Memory) intset.Set
+	// BuildReclaimed, when non-nil, is used instead of Build and returns
+	// the reclamation pool wired into the structure, so the harness can
+	// attach pool telemetry and report footprint/reclamation metrics.
+	BuildReclaimed func(mem core.Memory) (intset.Set, *reclaim.Pool)
 }
 
 // SetExperiment describes one figure's set-structure experiment.
@@ -102,6 +107,14 @@ type Point struct {
 	// (per-trial series don't average meaningfully; the first trial is
 	// deterministic for any worker count).
 	Windows []telemetry.Window `json:"windows,omitempty"`
+
+	// Reclamation metrics, populated only for variants built with
+	// BuildReclaimed. Retire-to-free latencies (simulated cycles, from the
+	// pool's histogram) additionally need Telemetry enabled.
+	RetireFreeP50 float64 `json:"retire_free_p50,omitempty"`
+	RetireFreeP99 float64 `json:"retire_free_p99,omitempty"`
+	PeakLiveLines int64   `json:"peak_live_lines,omitempty"`
+	FreelistLines int64   `json:"freelist_lines,omitempty"`
 }
 
 func (e *SetExperiment) config(cores int) machine.Config {
@@ -153,8 +166,14 @@ func (e *SetExperiment) Run() []Point {
 				acc.OpLatP50 += p.OpLatP50
 				acc.OpLatP99 += p.OpLatP99
 				acc.RetriesPerOp += p.RetriesPerOp
+				acc.RetireFreeP50 += p.RetireFreeP50
+				acc.RetireFreeP99 += p.RetireFreeP99
+				acc.FreelistLines += p.FreelistLines
 				if p.OpLatMax > acc.OpLatMax {
 					acc.OpLatMax = p.OpLatMax
+				}
+				if p.PeakLiveLines > acc.PeakLiveLines {
+					acc.PeakLiveLines = p.PeakLiveLines
 				}
 				if trial == 0 {
 					acc.Windows = p.Windows
@@ -171,15 +190,27 @@ func (e *SetExperiment) Run() []Point {
 			acc.OpLatP50 /= f
 			acc.OpLatP99 /= f
 			acc.RetriesPerOp /= f
+			acc.RetireFreeP50 /= f
+			acc.RetireFreeP99 /= f
+			acc.FreelistLines /= int64(trials)
 			points = append(points, acc)
 		}
 	}
 	return points
 }
 
+// build constructs the variant's structure, preferring the reclamation-
+// aware constructor when present.
+func build(v *SetVariant, mem core.Memory) (intset.Set, *reclaim.Pool) {
+	if v.BuildReclaimed != nil {
+		return v.BuildReclaimed(mem)
+	}
+	return v.Build(mem), nil
+}
+
 func (e *SetExperiment) runOne(v SetVariant, threads int, seed int64) Point {
 	m := machine.New(e.config(threads))
-	s := v.Build(m)
+	s, pool := build(&v, m)
 	cfg := workload.Config{
 		Threads:      threads,
 		KeyRange:     e.KeyRange,
@@ -203,6 +234,9 @@ func (e *SetExperiment) runOne(v SetVariant, threads int, seed int64) Point {
 		sampler = telemetry.NewSampler(threads, every, samplerWindowBudget)
 		cfg.Telemetry = set
 		cfg.Sampler = sampler
+		if pool != nil {
+			pool.SetTelemetry(set)
+		}
 	}
 	// Measure only the timed phase: snapshot after prefill.
 	before := m.Snapshot()
@@ -219,6 +253,15 @@ func (e *SetExperiment) runOne(v SetVariant, threads int, seed int64) Point {
 			p.RetriesPerOp = float64(agg.OpRetries.Sum()) / float64(n)
 		}
 		p.Windows = sampler.Windows()
+		if pool != nil && agg.RetireToFree.Count() > 0 {
+			p.RetireFreeP50 = agg.RetireToFree.Quantile(0.5)
+			p.RetireFreeP99 = agg.RetireToFree.Quantile(0.99)
+		}
+	}
+	if pool != nil {
+		st := pool.Stats()
+		p.PeakLiveLines = st.HighWaterLines
+		p.FreelistLines = st.FreeLines
 	}
 	return p
 }
@@ -238,7 +281,7 @@ func (e *SetExperiment) TraceCell(variant string, threads int, w io.Writer) erro
 		return fmt.Errorf("harness: experiment %s has no variant %q", e.Name, variant)
 	}
 	m := machine.New(e.config(threads))
-	s := v.Build(m)
+	s, _ := build(v, m)
 	cfg := workload.Config{
 		Threads:      threads,
 		KeyRange:     e.KeyRange,
@@ -330,6 +373,30 @@ func PrintTable(w io.Writer, title string, points []Point) {
 					name string
 					get  func(Point) float64
 				}{"retries/op", func(p Point) float64 { return p.RetriesPerOp }},
+			)
+			break
+		}
+	}
+	// Reclamation rows only when some variant ran with a pool attached.
+	for _, p := range points {
+		if p.PeakLiveLines > 0 {
+			metrics = append(metrics,
+				struct {
+					name string
+					get  func(Point) float64
+				}{"retire-free p50 (cyc)", func(p Point) float64 { return p.RetireFreeP50 }},
+				struct {
+					name string
+					get  func(Point) float64
+				}{"retire-free p99 (cyc)", func(p Point) float64 { return p.RetireFreeP99 }},
+				struct {
+					name string
+					get  func(Point) float64
+				}{"peak live lines", func(p Point) float64 { return float64(p.PeakLiveLines) }},
+				struct {
+					name string
+					get  func(Point) float64
+				}{"free-list lines", func(p Point) float64 { return float64(p.FreelistLines) }},
 			)
 			break
 		}

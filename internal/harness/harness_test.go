@@ -49,6 +49,47 @@ func TestTreeExperimentProducesPoints(t *testing.T) {
 	}
 }
 
+// TestReclaimExperimentProducesPoints: the reclamation experiment must
+// report the footprint/latency metrics for the pooled variants only, and
+// the pooled variants must actually recycle (non-zero free list or a peak
+// below the leak-everything control would both do; we assert the direct
+// signal, a positive peak-live-lines reading with telemetry quantiles).
+func TestReclaimExperimentProducesPoints(t *testing.T) {
+	e := ReclaimExperiment(tinyScale())
+	e.KeyRange = 256
+	e.OpsPerThread = 120
+	e.Telemetry = true
+	points := e.Run()
+	if len(points) != 3*2 {
+		t.Fatalf("got %d points, want 6", len(points))
+	}
+	for _, p := range points {
+		if p.ThroughputMops <= 0 {
+			t.Fatalf("%s@%d: non-positive throughput", p.Variant, p.Threads)
+		}
+		switch p.Variant {
+		case "none":
+			if p.PeakLiveLines != 0 || p.RetireFreeP99 != 0 {
+				t.Fatalf("control variant carries reclamation metrics: %+v", p)
+			}
+		default:
+			if p.PeakLiveLines <= 0 {
+				t.Fatalf("%s@%d: no footprint reading: %+v", p.Variant, p.Threads, p)
+			}
+			if p.RetireFreeP99 < p.RetireFreeP50 {
+				t.Fatalf("%s@%d: inverted retire-free quantiles: %+v", p.Variant, p.Threads, p)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	PrintTable(&buf, e.Title, points)
+	for _, want := range []string{"retire-free p99", "peak live lines", "free-list lines"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("reclamation table missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
 func TestPrintTable(t *testing.T) {
 	points := []Point{
 		{Variant: "a", Threads: 1, ThroughputMops: 1.5, MissRatePct: 10, EnergyPerOp: 100},
@@ -102,7 +143,7 @@ func TestVacationExperimentQuick(t *testing.T) {
 
 func TestAllFigureDefinitionsConstruct(t *testing.T) {
 	sc := QuickScale()
-	for _, e := range []*SetExperiment{Fig2(sc), Fig4(sc), Fig5(sc), Fig6(sc), Fig7(sc), SkipExperiment(sc)} {
+	for _, e := range []*SetExperiment{Fig2(sc), Fig4(sc), Fig5(sc), Fig6(sc), Fig7(sc), SkipExperiment(sc), ReclaimExperiment(sc)} {
 		if e.Name == "" || e.Title == "" || len(e.Variants) < 2 || len(e.Threads) == 0 {
 			t.Fatalf("experiment %q badly formed", e.Name)
 		}

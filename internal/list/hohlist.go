@@ -3,6 +3,7 @@ package list
 import (
 	"repro/internal/core"
 	"repro/internal/intset"
+	"repro/internal/reclaim"
 )
 
 // HoH is Algorithm 2 of the paper: hand-over-hand *tagging*. Traversals
@@ -17,6 +18,7 @@ import (
 type HoH struct {
 	mem  core.Memory
 	head core.Addr
+	pool *reclaim.Pool
 }
 
 var _ intset.Set = (*HoH)(nil)
@@ -29,6 +31,14 @@ func NewHoH(mem core.Memory) *HoH {
 	}
 	return &HoH{mem: mem, head: newSentinels(mem.Thread(0), nodeWords)}
 }
+
+// SetReclaim wires a reclamation pool (object size nodeWords). HoH is the
+// fully-tagged design: every traversal holds tags on the nodes it trusts
+// and deletes go through IAS, so a reader that reached a node since
+// retired is guaranteed to fail its next validation — the immediate-free
+// condition from the reclamation paper in its purest form. Only call while
+// quiescent, before operations.
+func (s *HoH) SetReclaim(p *reclaim.Pool) { s.pool = p }
 
 // locate traverses hand-over-hand and returns pred, curr with
 // pred.key < key <= curr.key. On return, pred and curr are tagged and were
@@ -74,24 +84,29 @@ func (s *HoH) locate(th core.Thread, key uint64) (pred, curr core.Addr) {
 
 // Insert adds key, reporting whether it was absent.
 func (s *HoH) Insert(th core.Thread, key uint64) bool {
+	enter(s.pool, th)
+	defer leave(s.pool, th)
 	for {
 		pred, curr := s.locate(th, key)
 		if th.Load(keyAddr(curr)) == key {
 			th.ClearTagSet()
 			return false
 		}
-		node := newNode(th, nodeWords, key, curr)
+		node := allocNode(th, s.pool, nodeWords, key, curr)
 		// Insert deletes nothing, so plain VAS suffices (Algorithm 2).
 		if th.VAS(nextAddr(pred), uint64(node)) {
 			th.ClearTagSet()
 			return true
 		}
 		th.ClearTagSet()
+		freePrivate(s.pool, th, node)
 	}
 }
 
 // Delete removes key, reporting whether it was present.
 func (s *HoH) Delete(th core.Thread, key uint64) bool {
+	enter(s.pool, th)
+	defer leave(s.pool, th)
 	for {
 		pred, curr := s.locate(th, key)
 		if th.Load(keyAddr(curr)) != key {
@@ -105,6 +120,9 @@ func (s *HoH) Delete(th core.Thread, key uint64) bool {
 		// pred.next to succ.
 		if th.IAS(nextAddr(pred), succ) {
 			th.ClearTagSet()
+			// The IAS validated that pred still pointed at curr, so this
+			// thread is the unique unlinker.
+			retire(s.pool, th, curr)
 			return true
 		}
 		th.ClearTagSet()
@@ -115,6 +133,8 @@ func (s *HoH) Delete(th core.Thread, key uint64) bool {
 // inside locate established a moment at which curr was in the list, which
 // is the linearization point (last successful validate).
 func (s *HoH) Contains(th core.Thread, key uint64) bool {
+	enter(s.pool, th)
+	defer leave(s.pool, th)
 	_, curr := s.locate(th, key)
 	found := th.Load(keyAddr(curr)) == key
 	th.ClearTagSet()

@@ -12,14 +12,21 @@
 //
 // Nodes are two words (key, next) placed on private cache lines; the mark
 // bit of the Harris/VAS variants lives in bit 0 of the next pointer, which
-// is always line-aligned. Simulated memory is an arena that never recycles
-// addresses, so the classical ABA hazards of reclamation do not arise (the
-// paper's simulator runs likewise never free nodes).
+// is always line-aligned. By default simulated memory is an arena that
+// never recycles addresses (the paper's simulator runs never free nodes);
+// the VAS and HoH variants can additionally be wired to a reclaim.Pool
+// (SetReclaim), which recycles unlinked nodes through the tag-conditioned
+// retire pipeline. Recycling introduces no ABA hazard for these variants
+// because every pointer swing is tag-validated: a recycled line's reuse
+// writes invalidate any stale tag. The Harris baseline (and therefore the
+// Elided fallback path, which shares its nodes with Harris CAS updates) is
+// plain CAS and must stay on the non-recycling arena.
 package list
 
 import (
 	"repro/internal/core"
 	"repro/internal/intset"
+	"repro/internal/reclaim"
 )
 
 // Node field offsets, in words.
@@ -34,6 +41,10 @@ const (
 	lockNodeWords = 3
 	lockNodeBytes = lockNodeWords * core.WordSize
 )
+
+// NodeWords is the reclamation pool object size for the tag-based lists
+// (SetReclaim on VAS and HoH).
+const NodeWords = nodeWords
 
 // Sentinel keys. Head holds the smallest, tail the largest possible key;
 // user keys must lie in [intset.KeyMin, intset.KeyMax].
@@ -59,6 +70,50 @@ func newNode(th core.Thread, words int, key uint64, next core.Addr) core.Addr {
 	th.Store(keyAddr(n), key)
 	th.Store(nextAddr(n), uint64(next))
 	return n
+}
+
+// allocNode is newNode routed through a reclamation pool when one is
+// wired: recycled nodes come back with stale (type-stable) contents, so
+// both words are rewritten before the node is published.
+func allocNode(th core.Thread, p *reclaim.Pool, words int, key uint64, next core.Addr) core.Addr {
+	if p == nil {
+		return newNode(th, words, key, next)
+	}
+	n := p.Alloc(th)
+	th.Store(keyAddr(n), key)
+	th.Store(nextAddr(n), uint64(next))
+	return n
+}
+
+// enter / leave bracket one structure operation in the pool's reclamation
+// domain (no-ops without a pool): frees of nodes retired while the op runs
+// are deferred past its leave.
+func enter(p *reclaim.Pool, th core.Thread) {
+	if p != nil {
+		p.Enter(th)
+	}
+}
+
+func leave(p *reclaim.Pool, th core.Thread) {
+	if p != nil {
+		p.Exit(th)
+	}
+}
+
+// retire hands an unlinked node to the pool (no-op without one). The
+// caller must be the unique unlinker and hold no tags on the node.
+func retire(p *reclaim.Pool, th core.Thread, n core.Addr) {
+	if p != nil {
+		p.Retire(th, n)
+	}
+}
+
+// freePrivate returns a never-published node to the pool (no-op without
+// one): the linking swing failed, so no other thread saw the address.
+func freePrivate(p *reclaim.Pool, th core.Thread, n core.Addr) {
+	if p != nil {
+		p.FreePrivate(th, n)
+	}
 }
 
 // newSentinels builds head -> tail and returns the head address.

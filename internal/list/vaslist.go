@@ -3,6 +3,7 @@ package list
 import (
 	"repro/internal/core"
 	"repro/internal/intset"
+	"repro/internal/reclaim"
 )
 
 // VAS is Algorithm 1 of the paper: the Harris-Michael marked list where
@@ -13,6 +14,7 @@ import (
 type VAS struct {
 	mem  core.Memory
 	head core.Addr
+	pool *reclaim.Pool
 }
 
 var _ intset.Set = (*VAS)(nil)
@@ -22,8 +24,16 @@ func NewVAS(mem core.Memory) *VAS {
 	return &VAS{mem: mem, head: newSentinels(mem.Thread(0), nodeWords)}
 }
 
+// SetReclaim wires a reclamation pool (object size nodeWords): nodes are
+// allocated from it and unlinked nodes are retired into it. The memory
+// must have the pool's domain attached (SetReclaim on the backend) so tag
+// announcements flow. Only call while quiescent, before operations.
+func (s *VAS) SetReclaim(p *reclaim.Pool) { s.pool = p }
+
 // helpUnlink unlinks the marked node curr from pred using tags + VAS
-// (Algorithm 1, HelpIfNeeded); locate restarts afterwards.
+// (Algorithm 1, HelpIfNeeded); locate restarts afterwards. The VAS
+// validates that pred still pointed at curr when tagged, so exactly one
+// helper's swing succeeds — that helper retires curr.
 func (s *VAS) helpUnlink(th core.Thread, pred, curr core.Addr) {
 	th.AddTag(pred, nodeBytes)
 	predNext := th.Load(nextAddr(pred))
@@ -34,7 +44,11 @@ func (s *VAS) helpUnlink(th core.Thread, pred, curr core.Addr) {
 	th.AddTag(curr, nodeBytes)
 	// Marked nodes never change, so succ is the same for all helpers.
 	succ := clearMark(th.Load(nextAddr(curr)))
-	th.VAS(nextAddr(pred), succ)
+	if th.VAS(nextAddr(pred), succ) {
+		th.ClearTagSet()
+		retire(s.pool, th, curr)
+		return
+	}
 	th.ClearTagSet()
 }
 
@@ -87,6 +101,8 @@ func (s *VAS) Insert(th core.Thread, key uint64) bool {
 // done=false means the attempt must be retried (or abandoned to a slow
 // path).
 func (s *VAS) insertOnce(th core.Thread, key uint64, guard func() bool) (done, result bool) {
+	enter(s.pool, th)
+	defer leave(s.pool, th)
 	pred, curr := s.locate(th, key)
 	if th.Load(keyAddr(curr)) == key {
 		return true, false
@@ -101,12 +117,13 @@ func (s *VAS) insertOnce(th core.Thread, key uint64, guard func() bool) (done, r
 		th.ClearTagSet()
 		return false, false
 	}
-	node := newNode(th, nodeWords, key, curr)
+	node := allocNode(th, s.pool, nodeWords, key, curr)
 	if th.VAS(nextAddr(pred), uint64(node)) {
 		th.ClearTagSet()
 		return true, true
 	}
 	th.ClearTagSet()
+	freePrivate(s.pool, th, node)
 	return false, false
 }
 
@@ -122,6 +139,8 @@ func (s *VAS) Delete(th core.Thread, key uint64) bool {
 // deleteOnce performs one tagged delete attempt; see insertOnce for the
 // guard contract.
 func (s *VAS) deleteOnce(th core.Thread, key uint64, guard func() bool) (done, result bool) {
+	enter(s.pool, th)
+	defer leave(s.pool, th)
 	pred, curr := s.locate(th, key)
 	if th.Load(keyAddr(curr)) != key {
 		return true, false
@@ -143,14 +162,22 @@ func (s *VAS) deleteOnce(th core.Thread, key uint64, guard func() bool) (done, r
 		th.ClearTagSet()
 		return false, false
 	}
-	// Unlinking step, best effort.
-	th.VAS(nextAddr(pred), clearMark(succ))
+	// Unlinking step, best effort; if our swing is the one that detaches
+	// curr (rather than a helper's), we are the unique unlinker and retire.
+	unlinked := th.VAS(nextAddr(pred), clearMark(succ))
 	th.ClearTagSet()
+	if unlinked {
+		retire(s.pool, th, curr)
+	}
 	return true, true
 }
 
-// Contains reports whether key is present.
+// Contains reports whether key is present. The traversal is untagged, so
+// under reclamation its safety rests entirely on the Enter/Exit bracket:
+// a node it may still reach cannot be freed until it leaves.
 func (s *VAS) Contains(th core.Thread, key uint64) bool {
+	enter(s.pool, th)
+	defer leave(s.pool, th)
 	curr := core.Addr(clearMark(th.Load(nextAddr(s.head))))
 	for th.Load(keyAddr(curr)) < key {
 		curr = core.Addr(clearMark(th.Load(nextAddr(curr))))

@@ -115,6 +115,9 @@ func (t *Thread) AddTag(a core.Addr, size int) bool {
 		d.taggers |= t.bit
 		d.mu.Unlock()
 		t.tags = append(t.tags, l)
+		if t.rec != nil {
+			t.rec.Announce(l)
+		}
 		t.stats.TagAdds++
 		if t.tel != nil {
 			t.tel.NoteTagOccupancy(len(t.tags))
@@ -163,6 +166,9 @@ func (t *Thread) RemoveTag(a core.Addr, size int) {
 		d.taggers &^= t.bit
 		d.mu.Unlock()
 		t.tags = append(t.tags[:idx], t.tags[idx+1:]...)
+		if t.rec != nil {
+			t.rec.Retract(l)
+		}
 		t.stats.TagRemoves++
 		t.charge(cfg.TagOpCycles, 0)
 		t.emit(EvTagRemove, -1, l)
@@ -190,6 +196,7 @@ func (t *Thread) Validate() bool {
 		t.emit(EvValidateFail, -1, 0)
 		return false
 	}
+	t.noteValidatedTags()
 	if t.tel != nil {
 		t.tel.NoteValidate(true)
 	}
@@ -215,6 +222,9 @@ func (t *Thread) ClearTagSet() {
 	t.tags = t.tags[:0]
 	t.overflow = false
 	t.evicted.Store(false)
+	if t.rec != nil {
+		t.rec.RetractAll()
+	}
 }
 
 // buildLockSet fills t.lockSet with the sorted, deduplicated union of the
@@ -305,6 +315,7 @@ func (t *Thread) commit(a core.Addr, v uint64, invalidateTags bool) bool {
 		}
 		return false
 	}
+	t.noteValidatedTags()
 	if invalidateTags {
 		// Elevate every tagged line to exclusive at this core, evicting all
 		// remote copies (and thus remote tags): the transient marking.

@@ -1,0 +1,32 @@
+package machine
+
+import "repro/internal/reclaim"
+
+// SetReclaim attaches a reclamation domain: from here on each core mirrors
+// its tag set into its domain handle (AddTag announces, RemoveTag and
+// ClearTagSet retract), which is what lets reclaim.Pool scans see which
+// retired lines a reader could still validate, and — when the domain's
+// use-after-free guard is active — reports successful validations so a
+// validate over a freed line is convicted. Only call while quiescent. The
+// domain must have at least NumThreads handles.
+func (m *Machine) SetReclaim(d *reclaim.Domain) {
+	for i, t := range m.threads {
+		if d == nil {
+			t.rec = nil
+		} else {
+			t.rec = d.Handle(i)
+		}
+	}
+}
+
+// noteValidatedTags reports a successful validation of the whole tag set
+// to the reclamation guard. No-op unless a domain is attached with its
+// guard active.
+func (t *Thread) noteValidatedTags() {
+	if t.rec == nil || !t.rec.GuardActive() {
+		return
+	}
+	for _, l := range t.tags {
+		t.rec.NoteValidatedTag(l)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cachemodel"
 	"repro/internal/core"
+	"repro/internal/reclaim"
 	"repro/internal/telemetry"
 )
 
@@ -35,6 +36,9 @@ type Thread struct {
 	// tel, when non-nil, receives backend-side telemetry (tag occupancy,
 	// failure streaks) from this goroutine only. See Machine.SetTelemetry.
 	tel *telemetry.Core
+	// rec, when non-nil, is this core's reclamation-domain handle; tag
+	// operations mirror the tag set into it. See Machine.SetReclaim.
+	rec *reclaim.Handle
 
 	// pendingEvicts holds L2 victims whose directory bits must be cleared
 	// after the current access releases its directory lock (lock-order

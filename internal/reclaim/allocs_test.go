@@ -1,0 +1,81 @@
+package reclaim_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/reclaim"
+	"repro/internal/telemetry"
+	"repro/internal/vtags"
+)
+
+// The retire/free pipeline sits on every structure's unlink path, so its
+// steady state must be host-allocation-free on both backends and under both
+// policies: the pending ring and free caches are preallocated, and telemetry
+// histograms update in place.
+
+func assertZeroAllocs(t *testing.T, name string, f func()) {
+	t.Helper()
+	if n := testing.AllocsPerRun(100, f); n != 0 {
+		t.Errorf("%s: %v allocs/op, want 0", name, n)
+	}
+}
+
+// cycle runs one structure-op-shaped round trip: enter, alloc (recycling in
+// steady state), publish, retire, exit.
+func cycle(th core.Thread, p *reclaim.Pool) {
+	p.Enter(th)
+	a := p.Alloc(th)
+	th.Store(a, 1)
+	p.Retire(th, a)
+	p.Exit(th)
+}
+
+func testPipelineAllocFree(t *testing.T, mem core.Memory, d *reclaim.Domain, th core.Thread) {
+	t.Helper()
+	for _, policy := range []reclaim.Policy{reclaim.PolicyImmediate, reclaim.PolicyEpoch} {
+		p := reclaim.NewPool(d, 2, policy)
+		p.SetTelemetry(telemetry.NewSet(mem.NumThreads()))
+		// Warm up: preallocated rings filled, free list primed so Alloc
+		// recycles from here on.
+		for i := 0; i < 3*64; i++ {
+			cycle(th, p)
+		}
+		before := p.Stats().FreshAllocs
+		assertZeroAllocs(t, "enter/alloc/retire/exit ("+policy.String()+")", func() { cycle(th, p) })
+		if p.Stats().FreshAllocs != before {
+			t.Fatalf("%v: steady state took fresh allocations — free list starved", policy)
+		}
+		assertZeroAllocs(t, "Scan ("+policy.String()+")", func() { p.Scan(th) })
+	}
+	// Tag announce/retract via the backend, with the domain attached.
+	a := mem.Alloc(core.WordsPerLine)
+	th.Store(a, 1)
+	assertZeroAllocs(t, "AddTag+Validate+ClearTagSet (announced)", func() {
+		if !th.AddTag(a, core.LineSize) {
+			t.Fatal("AddTag failed")
+		}
+		if !th.Validate() {
+			t.Fatal("Validate failed")
+		}
+		th.ClearTagSet()
+	})
+}
+
+func TestPipelineAllocFreeVtags(t *testing.T) {
+	m := vtags.New(1<<20, 2)
+	d := reclaim.NewDomainFor(m)
+	m.SetReclaim(d)
+	testPipelineAllocFree(t, m, d, m.Thread(0))
+}
+
+func TestPipelineAllocFreeMachine(t *testing.T) {
+	cfg := machine.DefaultConfig(2)
+	cfg.MemBytes = 1 << 20
+	cfg.SyncWindowCycles = 0 // single-goroutine: no lax-clock parking
+	m := machine.New(cfg)
+	d := reclaim.NewDomainFor(m)
+	m.SetReclaim(d)
+	testPipelineAllocFree(t, m, d, m.Thread(0))
+}

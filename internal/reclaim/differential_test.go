@@ -1,0 +1,185 @@
+package reclaim_test
+
+import (
+	"testing"
+
+	"repro/internal/abtree"
+	"repro/internal/core"
+	"repro/internal/intset"
+	"repro/internal/list"
+	"repro/internal/machine"
+	"repro/internal/reclaim"
+	"repro/internal/schedfuzz"
+	"repro/internal/skiplist"
+	"repro/internal/stm"
+	"repro/internal/txmap"
+	"repro/internal/txset"
+	"repro/internal/vtags"
+)
+
+// Differential reclamation check: every wired structure must produce
+// linearizable histories under schedule fuzzing with no reclamation, with
+// the immediate policy, and with the epoch baseline — behind the identical
+// interface — and the checked-mode guard must observe zero discipline
+// violations. In particular, the immediate policy must never free a line
+// that a recorded reader subsequently validates (the guard flags exactly
+// that), while still actually recycling memory (asserted via pool stats so
+// the run cannot pass vacuously).
+
+// reclaimTarget builds one structure with a reclamation pool wired in; the
+// pool is returned for post-run stats assertions (nil when policy < 0, the
+// no-reclamation control).
+type reclaimTarget struct {
+	name  string
+	build func(mem core.Memory, d *reclaim.Domain, policy reclaim.Policy) (intset.Set, *reclaim.Pool)
+}
+
+var reclaimTargets = []reclaimTarget{
+	{"vas-list", func(mem core.Memory, d *reclaim.Domain, policy reclaim.Policy) (intset.Set, *reclaim.Pool) {
+		s := list.NewVAS(mem)
+		p := reclaim.NewPool(d, list.NodeWords, policy)
+		s.SetReclaim(p)
+		return s, p
+	}},
+	{"hoh-list", func(mem core.Memory, d *reclaim.Domain, policy reclaim.Policy) (intset.Set, *reclaim.Pool) {
+		s := list.NewHoH(mem)
+		p := reclaim.NewPool(d, list.NodeWords, policy)
+		s.SetReclaim(p)
+		return s, p
+	}},
+	{"vas-skiplist", func(mem core.Memory, d *reclaim.Domain, policy reclaim.Policy) (intset.Set, *reclaim.Pool) {
+		s := skiplist.NewVAS(mem)
+		p := reclaim.NewPool(d, skiplist.NodeWords, policy)
+		s.SetReclaim(p)
+		return s, p
+	}},
+	{"hoh-abtree", func(mem core.Memory, d *reclaim.Domain, policy reclaim.Policy) (intset.Set, *reclaim.Pool) {
+		s := abtree.NewHoH(mem, 2, 4)
+		p := reclaim.NewPool(d, s.NodeWords(), policy)
+		s.SetReclaim(p)
+		return s, p
+	}},
+	{"txset-tagged", func(mem core.Memory, d *reclaim.Domain, policy reclaim.Policy) (intset.Set, *reclaim.Pool) {
+		tm := stm.NewTagged(mem)
+		tm.SetReclaim(d)
+		s := txset.New(mem, tm)
+		p := reclaim.NewPool(d, txmap.NodeWords, policy)
+		s.SetReclaim(p)
+		return s, p
+	}},
+}
+
+// policyNone is the control arm: structure built without any pool.
+const policyNone reclaim.Policy = -1
+
+func buildControl(tgt reclaimTarget, mem core.Memory) intset.Set {
+	switch tgt.name {
+	case "vas-list":
+		return list.NewVAS(mem)
+	case "hoh-list":
+		return list.NewHoH(mem)
+	case "vas-skiplist":
+		return skiplist.NewVAS(mem)
+	case "hoh-abtree":
+		return abtree.NewHoH(mem, 2, 4)
+	case "txset-tagged":
+		return txset.New(mem, stm.NewTagged(mem))
+	}
+	panic("unknown target " + tgt.name)
+}
+
+func runDifferential(t *testing.T, tgt reclaimTarget, policy reclaim.Policy,
+	newBackend func(threads int) core.Memory, attach func(core.Memory, *reclaim.Domain), seed int64) {
+	t.Helper()
+	var d *reclaim.Domain
+	var p *reclaim.Pool
+	newMem := func(threads int) core.Memory {
+		m := newBackend(threads)
+		if policy != policyNone {
+			d = reclaim.NewDomainFor(m)
+			d.SetChecked(true)
+			d.OnViolation(func(error) {}) // record, fail below with context
+			attach(m, d)
+		}
+		return m
+	}
+	build := func(mem core.Memory) intset.Set {
+		if policy == policyNone {
+			return buildControl(tgt, mem)
+		}
+		s, pool := tgt.build(mem, d, policy)
+		p = pool
+		return s
+	}
+	fuzz := schedfuzz.Default(seed)
+	intset.CheckLinearizable(t, newMem, build, intset.LinearizeConfig{
+		Threads:      4,
+		OpsPerThread: intset.LinearizeOps(200),
+		KeyRange:     16,
+		Prefill:      8,
+		Seed:         seed,
+		Fuzz:         &fuzz,
+	})
+	if p == nil {
+		return
+	}
+	if err := d.Violation(); err != nil {
+		t.Fatalf("reclamation guard violation (seed %d): %v", seed, err)
+	}
+	s := p.Stats()
+	if s.Retired == 0 {
+		t.Fatalf("vacuous run: no objects retired (seed %d)", seed)
+	}
+	if policy == reclaim.PolicyImmediate && s.Freed == 0 {
+		t.Fatalf("vacuous run: immediate policy freed nothing across %d retires (seed %d)", s.Retired, seed)
+	}
+	if s.InUseLines < 0 || s.FreeLines < 0 {
+		t.Fatalf("inconsistent footprint accounting: %+v", s)
+	}
+}
+
+func TestDifferentialReclaimVTags(t *testing.T) {
+	newBackend := func(threads int) core.Memory { return vtags.New(16<<20, threads) }
+	attach := func(m core.Memory, d *reclaim.Domain) { m.(*vtags.Memory).SetReclaim(d) }
+	for _, tgt := range reclaimTargets {
+		tgt := tgt
+		t.Run(tgt.name, func(t *testing.T) {
+			t.Parallel()
+			for _, pol := range []reclaim.Policy{policyNone, reclaim.PolicyImmediate, reclaim.PolicyEpoch} {
+				for seed := int64(1); seed <= 2; seed++ {
+					runDifferential(t, tgt, pol, newBackend, attach, seed)
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialReclaimMachine re-runs a subset on the cycle-accurate
+// backend: retire's tag-dooming stores go through the MESI directory, so
+// the immediate condition is exercised against real invalidation traffic.
+func TestDifferentialReclaimMachine(t *testing.T) {
+	newBackend := func(seed int64) func(threads int) core.Memory {
+		return func(threads int) core.Memory {
+			cfg := machine.DefaultConfig(threads)
+			cfg.MemBytes = 8 << 20
+			schedfuzz.JitterSyncWindow(&cfg, seed)
+			return machine.New(cfg)
+		}
+	}
+	attach := func(m core.Memory, d *reclaim.Domain) { m.(*machine.Machine).SetReclaim(d) }
+	for _, name := range []string{"vas-list", "hoh-abtree"} {
+		for _, tgt := range reclaimTargets {
+			if tgt.name != name {
+				continue
+			}
+			tgt := tgt
+			t.Run(tgt.name, func(t *testing.T) {
+				t.Parallel()
+				seed := int64(11)
+				for _, pol := range []reclaim.Policy{reclaim.PolicyImmediate, reclaim.PolicyEpoch} {
+					runDifferential(t, tgt, pol, newBackend(seed), attach, seed)
+				}
+			})
+		}
+	}
+}

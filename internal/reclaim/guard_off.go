@@ -1,0 +1,10 @@
+//go:build !memtagcheck
+
+package reclaim
+
+// memtagcheckEnabled selects whether domains default to the use-after-free
+// guard (per-line live/retired/free state machine with panics on misuse).
+// Off in normal builds: the guard takes a host mutex + map lookup per
+// alloc/retire/free, which would break the 0 allocs/op timing pins' spirit
+// of measuring the real hot path. Build with -tags memtagcheck to enable.
+const memtagcheckEnabled = false

@@ -1,0 +1,8 @@
+//go:build memtagcheck
+
+package reclaim
+
+// Debug builds guard every domain: double-retire, alloc of a non-free
+// line, and a successful tag validation covering a freed line all panic
+// with the offending line and thread.
+const memtagcheckEnabled = true

@@ -1,0 +1,279 @@
+package reclaim_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/reclaim"
+	"repro/internal/vtags"
+)
+
+func newPool(t *testing.T, policy reclaim.Policy) (*vtags.Memory, *reclaim.Domain, *reclaim.Pool) {
+	t.Helper()
+	m := vtags.New(1<<20, 2)
+	d := reclaim.NewDomainFor(m)
+	m.SetReclaim(d)
+	return m, d, reclaim.NewPool(d, 2, policy)
+}
+
+// A retired object must not be freed while an operation that was in flight
+// at retire time is still running, and must be freed once it exits.
+func TestImmediateFreeGatedOnReservation(t *testing.T) {
+	m, d, p := newPool(t, reclaim.PolicyImmediate)
+	th0, th1 := m.Thread(0), m.Thread(1)
+
+	h1 := d.Handle(1)
+	h1.Enter() // reader in flight before the retire
+
+	a := p.Alloc(th0)
+	th0.Store(a, 7)
+	p.Retire(th0, a)
+	p.Scan(th0)
+	if s := p.Stats(); s.Freed != 0 {
+		t.Fatalf("freed %d objects under an older in-flight reservation, want 0", s.Freed)
+	}
+
+	h1.Exit()
+	if !p.Scan(th0) {
+		t.Fatal("pipeline not drained after the blocking op exited")
+	}
+	if s := p.Stats(); s.Freed != 1 {
+		t.Fatalf("freed = %d after quiescence, want 1", s.Freed)
+	}
+	if b := p.Alloc(th0); b != a {
+		t.Fatalf("Alloc returned %v, want recycled %v", b, a)
+	}
+	if s := p.Stats(); s.ReusedAllocs != 1 {
+		t.Fatalf("reused allocs = %d, want 1", s.ReusedAllocs)
+	}
+	_ = th1
+}
+
+// An operation that enters after the retire's era bump must NOT block the
+// free: it cannot reach the unlinked object.
+func TestImmediateLateEntrantDoesNotBlock(t *testing.T) {
+	m, d, p := newPool(t, reclaim.PolicyImmediate)
+	th0 := m.Thread(0)
+
+	a := p.Alloc(th0)
+	p.Retire(th0, a)
+
+	h1 := d.Handle(1)
+	h1.Enter() // enters after the retire
+	defer h1.Exit()
+
+	if !p.Scan(th0) {
+		t.Fatal("late entrant starved the pipeline")
+	}
+	if s := p.Stats(); s.Freed != 1 {
+		t.Fatalf("freed = %d, want 1", s.Freed)
+	}
+}
+
+// A tag announced on the object's line (via the backend's AddTag) blocks
+// the free until the tag set is cleared — the tag condition.
+func TestImmediateAnnouncedTagBlocksFree(t *testing.T) {
+	m, _, p := newPool(t, reclaim.PolicyImmediate)
+	th0, th1 := m.Thread(0), m.Thread(1)
+
+	a := p.Alloc(th0)
+	th1.AddTag(a, core.LineSize)
+
+	p.Retire(th0, a)
+	p.Scan(th0)
+	if s := p.Stats(); s.Freed != 0 {
+		t.Fatalf("freed %d objects under an announced tag, want 0", s.Freed)
+	}
+
+	th1.ClearTagSet()
+	if !p.Scan(th0) {
+		t.Fatal("pipeline not drained after the tag was dropped")
+	}
+}
+
+// The epoch baseline frees only two era advances after the retire, and a
+// reader pinned at an old era stalls the advance entirely.
+func TestEpochTwoAdvanceLag(t *testing.T) {
+	m, d, p := newPool(t, reclaim.PolicyEpoch)
+	th0 := m.Thread(0)
+
+	a := p.Alloc(th0)
+	p.Retire(th0, a) // stamp = era; scan advanced era once already
+	if s := p.Stats(); s.Freed != 0 {
+		t.Fatalf("freed after one advance, want two-epoch lag")
+	}
+	if !p.Scan(th0) { // second advance: stamp is now two epochs old
+		t.Fatal("pipeline not drained after two advances")
+	}
+
+	// A pinned reader blocks the advance (and hence all frees).
+	b := p.Alloc(th0)
+	h1 := d.Handle(1)
+	h1.Enter()
+	p.Retire(th0, b)
+	for i := 0; i < 4; i++ {
+		p.Scan(th0)
+	}
+	if s := p.Stats(); s.Freed != 1 {
+		t.Fatalf("epoch advanced past a pinned reader (freed = %d, want 1)", s.Freed)
+	}
+	h1.Exit()
+	p.Scan(th0)
+	p.Scan(th0)
+	if s := p.Stats(); s.Freed != 2 {
+		t.Fatalf("freed = %d after reader exit, want 2", s.Freed)
+	}
+}
+
+// recordViolations arms the checked-mode guard with a recorder instead of
+// the default panic.
+func recordViolations(d *reclaim.Domain) {
+	d.SetChecked(true)
+	d.OnViolation(func(error) {})
+}
+
+func TestGuardConvictsDoubleRetire(t *testing.T) {
+	m, d, p := newPool(t, reclaim.PolicyImmediate)
+	recordViolations(d)
+	th0 := m.Thread(0)
+
+	a := p.Alloc(th0)
+	p.Retire(th0, a)
+	if d.Violation() != nil {
+		t.Fatalf("first retire flagged: %v", d.Violation())
+	}
+	p.Retire(th0, a)
+	err := d.Violation()
+	if err == nil {
+		t.Fatal("double retire not flagged")
+	}
+	if !strings.Contains(err.Error(), "retire") {
+		t.Fatalf("unexpected violation: %v", err)
+	}
+}
+
+// Validating a tag on a line that sits on the free list is the
+// use-after-free the reclaimer exists to prevent; the guard must flag it.
+func TestGuardConvictsValidateOnFreedLine(t *testing.T) {
+	m, d, p := newPool(t, reclaim.PolicyImmediate)
+	recordViolations(d)
+	th0, th1 := m.Thread(0), m.Thread(1)
+
+	a := p.Alloc(th0)
+	p.Retire(th0, a)
+	if !p.Scan(th0) {
+		t.Fatal("free-safe object not freed")
+	}
+
+	th1.AddTag(a, core.LineSize)
+	if !th1.Validate() {
+		t.Fatal("validation of an untouched freed line should succeed (that is the bug the guard flags)")
+	}
+	th1.ClearTagSet()
+	err := d.Violation()
+	if err == nil {
+		t.Fatal("validate-on-freed-line not flagged")
+	}
+	if !strings.Contains(err.Error(), "freed line") {
+		t.Fatalf("unexpected violation: %v", err)
+	}
+}
+
+func TestGuardAcceptsAdoptedObjects(t *testing.T) {
+	m, d, p := newPool(t, reclaim.PolicyImmediate)
+	recordViolations(d)
+	th0 := m.Thread(0)
+
+	ext := th0.Alloc(2) // allocated outside the pool
+	p.Adopt(ext)
+	p.Retire(th0, ext)
+	p.Scan(th0)
+	if err := d.Violation(); err != nil {
+		t.Fatalf("adopted object's retire flagged: %v", err)
+	}
+	if s := p.Stats(); s.Freed != 1 {
+		t.Fatalf("freed = %d, want 1", s.Freed)
+	}
+}
+
+func TestFreePrivateRoundTrip(t *testing.T) {
+	m, d, p := newPool(t, reclaim.PolicyImmediate)
+	recordViolations(d)
+	th0 := m.Thread(0)
+
+	a := p.Alloc(th0)
+	p.FreePrivate(th0, a)
+	if b := p.Alloc(th0); b != a {
+		t.Fatalf("Alloc returned %v, want privately freed %v", b, a)
+	}
+	if err := d.Violation(); err != nil {
+		t.Fatalf("private free flagged: %v", err)
+	}
+	if s := p.Stats(); s.Retired != 0 || s.ReusedAllocs != 1 {
+		t.Fatalf("stats = %+v, want no retires and one reuse", s)
+	}
+}
+
+// The injected faults must actually misbehave — the DPOR corpus depends on
+// them reproducing the bugs deterministically.
+func TestSeededFaults(t *testing.T) {
+	t.Run("free-early", func(t *testing.T) {
+		m, d, p := newPool(t, reclaim.PolicyImmediate)
+		p.FaultFreeEarly = true
+		th0 := m.Thread(0)
+		d.Handle(1).Enter() // would normally block the free
+		defer d.Handle(1).Exit()
+		a := p.Alloc(th0)
+		p.Retire(th0, a)
+		if s := p.Stats(); s.Freed != 1 {
+			t.Fatalf("FaultFreeEarly did not free instantly (freed = %d)", s.Freed)
+		}
+	})
+	t.Run("skip-tag-check", func(t *testing.T) {
+		m, _, p := newPool(t, reclaim.PolicyImmediate)
+		p.FaultSkipTagCheck = true
+		th0, th1 := m.Thread(0), m.Thread(1)
+		a := p.Alloc(th0)
+		th1.AddTag(a, core.LineSize)
+		defer th1.ClearTagSet()
+		p.Retire(th0, a)
+		if s := p.Stats(); s.Freed != 1 {
+			t.Fatalf("FaultSkipTagCheck still honoured the announced tag (freed = %d)", s.Freed)
+		}
+	})
+}
+
+func TestHighWaterTracksFootprint(t *testing.T) {
+	m, _, p := newPool(t, reclaim.PolicyImmediate)
+	th0 := m.Thread(0)
+	objs := make([]core.Addr, 8)
+	for i := range objs {
+		objs[i] = p.Alloc(th0)
+	}
+	hw := p.Stats().HighWaterLines
+	if hw < 8 {
+		t.Fatalf("high water %d lines, want >= 8", hw)
+	}
+	for _, a := range objs {
+		p.Retire(th0, a)
+	}
+	p.Scan(th0)
+	s := p.Stats()
+	if s.InUseLines != 0 {
+		t.Fatalf("in-use %d lines after draining, want 0", s.InUseLines)
+	}
+	if s.HighWaterLines != hw {
+		t.Fatalf("high water moved after frees: %d -> %d", hw, s.HighWaterLines)
+	}
+}
+
+func TestExitWithoutEnterPanics(t *testing.T) {
+	d := reclaim.NewDomain(1, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Exit without Enter did not panic")
+		}
+	}()
+	d.Handle(0).Exit()
+}

@@ -1,0 +1,265 @@
+package schedexplore_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/reclaim"
+	"repro/internal/schedexplore"
+)
+
+// Use-after-free corpus: each setup seeds one reclamation-discipline bug
+// (reclaim.Pool's testing faults, or a broken unlink protocol) into a tiny
+// unlink/traverse workload over a pool-backed node. DPOR must convict the
+// seeded variant — find a schedule where the checked-mode guard or an
+// invariant check observes the use-after-free — and must acquit the exact
+// same workload with the guard conditions intact.
+//
+// The workloads are built so every racing pair is line-dependent (shared
+// line, one write-class access): DPOR only reverses dependent segment
+// pairs, so a race that is visible solely through host-side pool state
+// would not be reliably explored.
+
+// uafDomain wires a checked reclamation domain into m with the default
+// panic handler replaced by a recorder, so a guard violation surfaces
+// through Setup.Check instead of unwinding the explorer mid-schedule.
+func uafDomain(m *machine.Machine) *reclaim.Domain {
+	d := reclaim.NewDomainFor(m)
+	d.SetChecked(true)
+	d.OnViolation(func(error) {})
+	m.SetReclaim(d)
+	return d
+}
+
+// uafNode allocates one pool node holding 42 and publishes it in a fresh
+// shared slot, returning the slot address.
+func uafNode(m *machine.Machine, p *reclaim.Pool) core.Addr {
+	s := m.Alloc(1)
+	th0 := m.Thread(0)
+	p.Enter(th0)
+	x := p.Alloc(th0)
+	th0.Store(x, 42)
+	p.Exit(th0)
+	th0.Store(s, uint64(x))
+	return s
+}
+
+// uafFreeEarlySetup seeds free-before-quiescent (reclaim's FaultFreeEarly):
+// the writer unlinks and retires the published node, and the fault frees it
+// at retire time without waiting for the reader's bracket, so the writer's
+// next allocation recycles it and overwrites 42 with 99. A reader that
+// acquired the pointer before the unlink can then validate a tag added
+// after the overwrite — validation proves only "unchanged since AddTag" —
+// and trust the recycled value. With the fault off, the reader's bracket
+// (entered before the retire's era bump) holds the free until it exits, so
+// a validated read only ever sees 42.
+func uafFreeEarlySetup(fault bool) func() schedexplore.Setup {
+	return func() schedexplore.Setup {
+		m := smallMachine(2)
+		d := uafDomain(m)
+		p := reclaim.NewPool(d, 1, reclaim.PolicyImmediate)
+		p.FaultFreeEarly = fault
+		s := uafNode(m, p)
+		var uaf error
+		return schedexplore.Setup{
+			Machine: m,
+			Workers: 2,
+			Body: func(w int, th core.Thread) {
+				if w == 0 {
+					p.Enter(th)
+					x := core.Addr(th.Load(s))
+					th.Store(s, 0)
+					p.Retire(th, x)
+					p.Exit(th)
+					p.Enter(th)
+					y := p.Alloc(th)
+					th.Store(y, 99)
+					p.Exit(th)
+					return
+				}
+				p.Enter(th)
+				if sv := th.Load(s); sv != 0 {
+					x := core.Addr(sv)
+					th.AddTag(x, 8)
+					v := th.Load(x)
+					if th.Validate() && v != 42 {
+						uaf = fmt.Errorf("use-after-free: validated read observed recycled value %d", v)
+					}
+					th.ClearTagSet()
+				}
+				p.Exit(th)
+			},
+			Check: func() error {
+				if err := d.Violation(); err != nil {
+					return fmt.Errorf("use-after-free: %v", err)
+				}
+				return uaf
+			},
+		}
+	}
+}
+
+// uafSkipTagCheckSetup seeds tag-check-skipped-on-recycled-line (reclaim's
+// FaultSkipTagCheck): the reader tags the node inside its bracket but
+// commits with VAS after exiting — the hand-over-hand pattern where a tag
+// outlives the operation that added it, which the announced-tag scan
+// condition exists to protect. The writer's final scan runs after both
+// brackets close; with the fault on it ignores the reader's announcement
+// and frees the node, so the reader's commit validates a tag on a freed
+// line (the guard flags exactly that).
+//
+// The free is only visible through host-side pool state, which DPOR's
+// dependence relation cannot see, so the race is threaded through
+// simulated memory: the reader stores to a sync line when its bracket
+// closes and the writer reads it before scanning (making exit-then-scan a
+// reversible race), and the scan rides behind a load of the node's line so
+// the free-carrying segment conflicts with the reader's commit (which
+// write-accesses that line) and free-before-commit is provably explored.
+// Plain loads doom no tags, so the commit's validation still passes.
+func uafSkipTagCheckSetup(fault bool) func() schedexplore.Setup {
+	return func() schedexplore.Setup {
+		m := smallMachine(2)
+		d := uafDomain(m)
+		p := reclaim.NewPool(d, 1, reclaim.PolicyImmediate)
+		p.FaultSkipTagCheck = fault
+		s := uafNode(m, p)
+		sync := m.Alloc(1)
+		return schedexplore.Setup{
+			Machine: m,
+			Workers: 2,
+			Body: func(w int, th core.Thread) {
+				if w == 0 {
+					p.Enter(th)
+					x := core.Addr(th.Load(s))
+					th.Store(s, 0)
+					p.Retire(th, x)
+					p.Exit(th)
+					p.Enter(th)
+					y := p.Alloc(th)
+					th.Store(y, 99)
+					p.Exit(th)
+					th.Load(sync)
+					th.Load(x)
+					p.Scan(th)
+					return
+				}
+				p.Enter(th)
+				sv := th.Load(s)
+				if sv == 0 {
+					p.Exit(th)
+					return
+				}
+				x := core.Addr(sv)
+				th.AddTag(x, 8)
+				th.Store(sync, 1)
+				p.Exit(th)
+				th.VAS(x, 43)
+				th.ClearTagSet()
+			},
+			Check: func() error { return d.Violation() },
+		}
+	}
+}
+
+// uafDoubleRetireSetup seeds a broken unlink protocol: both workers claim
+// the node with a load-then-store flag instead of a CAS, so a racy
+// schedule lets both believe they performed the unlinking swing and both
+// retire the same node — the double retire the guard's per-line state
+// machine rejects. The guarded variant claims with CAS, making the retirer
+// unique.
+func uafDoubleRetireSetup(fault bool) func() schedexplore.Setup {
+	return func() schedexplore.Setup {
+		m := smallMachine(2)
+		d := uafDomain(m)
+		p := reclaim.NewPool(d, 1, reclaim.PolicyImmediate)
+		s := uafNode(m, p)
+		x := core.Addr(m.Thread(0).Load(s))
+		f := m.Alloc(1)
+		return schedexplore.Setup{
+			Machine: m,
+			Workers: 2,
+			Body: func(w int, th core.Thread) {
+				p.Enter(th)
+				claimed := false
+				if fault {
+					if th.Load(f) == 0 {
+						th.Store(f, 1)
+						claimed = true
+					}
+				} else {
+					claimed = th.CAS(f, 0, 1)
+				}
+				if claimed {
+					p.Retire(th, x)
+				}
+				p.Exit(th)
+			},
+			Check: func() error { return d.Violation() },
+		}
+	}
+}
+
+// TestDPORConvictsUAFCorpus: every seeded reclamation bug must be
+// convicted under DPOR — partial-order reduction must not prune the
+// interleaving where the recycled line is reached — and the convicting
+// schedule must replay to the same verdict.
+func TestDPORConvictsUAFCorpus(t *testing.T) {
+	corpus := []struct {
+		name    string
+		setup   func() schedexplore.Setup
+		wantErr string
+	}{
+		{"free-before-quiescent", uafFreeEarlySetup(true), "use-after-free"},
+		{"tag-check-skipped", uafSkipTagCheckSetup(true), "freed line"},
+		{"double-retire", uafDoubleRetireSetup(true), "retire of line"},
+	}
+	for _, c := range corpus {
+		t.Run(c.name, func(t *testing.T) {
+			res := schedexplore.Explore(c.setup, schedexplore.Config{
+				Mode:         schedexplore.StrategyDPOR,
+				Executions:   20000,
+				MaxDecisions: 400,
+			})
+			if res.Failure == nil {
+				t.Fatalf("DPOR pruned away the use-after-free interleaving (%d executions, %d classes)",
+					res.Executions, res.Classes())
+			}
+			if !strings.Contains(res.Failure.Err.Error(), c.wantErr) {
+				t.Fatalf("unexpected verdict: %v", res.Failure.Err)
+			}
+			if _, err := schedexplore.Replay(c.setup, res.Failure.Choices, schedexplore.Config{}); err == nil {
+				t.Fatal("convicting schedule did not replay to a failure")
+			}
+			t.Logf("convicted after %d executions: %v", res.Executions, res.Failure.Err)
+		})
+	}
+}
+
+// TestDPORAcquitsGuardedReclaim is the corpus's negative control: with the
+// discipline intact (fault off, CAS claim) the identical workloads have no
+// bad interleaving, and DPOR must not fabricate one — in particular the
+// checked-mode guard must stay silent in every explored schedule.
+func TestDPORAcquitsGuardedReclaim(t *testing.T) {
+	for _, c := range []struct {
+		name  string
+		setup func() schedexplore.Setup
+	}{
+		{"free-gated-on-quiescence", uafFreeEarlySetup(false)},
+		{"tag-check-enforced", uafSkipTagCheckSetup(false)},
+		{"unique-retirer", uafDoubleRetireSetup(false)},
+	} {
+		t.Run(c.name, func(t *testing.T) {
+			res := schedexplore.Explore(c.setup, schedexplore.Config{
+				Mode:         schedexplore.StrategyDPOR,
+				Executions:   2000,
+				MaxDecisions: 400,
+			})
+			if res.Failure != nil {
+				t.Fatalf("fabricated failure: %v", res.Failure)
+			}
+		})
+	}
+}

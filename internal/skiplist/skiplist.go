@@ -19,6 +19,7 @@ package skiplist
 import (
 	"repro/internal/core"
 	"repro/internal/intset"
+	"repro/internal/reclaim"
 )
 
 // MaxLevel is the tower height cap (supports ~2^20 keys comfortably).
@@ -28,7 +29,17 @@ const MaxLevel = 12
 const (
 	fKey    = 0
 	fHeight = 1
-	fNext   = 2 // MaxLevel next pointers, mark bit 0 marks the node at that level
+	fLinked = 2 // linking handshake, see linkDone/linkHandoff
+	fNext   = 3 // MaxLevel next pointers, mark bit 0 marks the node at that level
+)
+
+// fLinked states (only used under reclamation). Exactly two parties touch
+// the word — the inserter and the unique deleter (bottom-mark winner) — so
+// one CAS each decides which of them retires the tower.
+const (
+	linkBusy    uint64 = 0 // inserter may still swing upper levels
+	linkDone    uint64 = 1 // inserter finished: the deleter retires
+	linkHandoff uint64 = 2 // deleter found the tower mid-link: the inserter retires
 )
 
 const (
@@ -45,6 +56,7 @@ type List struct {
 	mem    core.Memory
 	head   core.Addr
 	tagged bool
+	pool   *reclaim.Pool
 }
 
 var _ intset.Set = (*List)(nil)
@@ -55,6 +67,9 @@ var _ intset.Set = (*List)(nil)
 const nodeWords = fNext + MaxLevel
 
 const nodeBytes = nodeWords * core.WordSize
+
+// NodeWords is the reclamation pool object size for SetReclaim.
+const NodeWords = nodeWords
 
 // New creates an empty baseline (CAS) skip list.
 func New(mem core.Memory) *List { return newList(mem, false) }
@@ -78,6 +93,31 @@ func newList(mem core.Memory, tagged bool) *List {
 
 // Tagged reports whether this list uses VAS.
 func (s *List) Tagged() bool { return s.tagged }
+
+// SetReclaim wires a reclamation pool (object size nodeWords) to the VAS
+// flavour: towers are allocated from it and the deleting thread retires a
+// tower once it is unlinked at every level. The CAS baseline must not
+// recycle — its plain compare-and-swap swings are ABA-vulnerable the
+// moment an address can reappear — so wiring it panics. Only call while
+// quiescent, before operations.
+func (s *List) SetReclaim(p *reclaim.Pool) {
+	if !s.tagged {
+		panic("skiplist: reclamation requires the VAS flavour (CAS swings are ABA-unsafe)")
+	}
+	s.pool = p
+}
+
+func (s *List) enter(th core.Thread) {
+	if s.pool != nil {
+		s.pool.Enter(th)
+	}
+}
+
+func (s *List) leave(th core.Thread) {
+	if s.pool != nil {
+		s.pool.Exit(th)
+	}
+}
 
 func keyOf(th core.Thread, n core.Addr) uint64 { return th.Load(n.Plus(fKey)) }
 func nextAddr(n core.Addr, level int) core.Addr {
@@ -151,13 +191,23 @@ retry:
 
 // Insert adds key, reporting whether it was absent.
 func (s *List) Insert(th core.Thread, key uint64) bool {
+	s.enter(th)
+	defer s.leave(th)
 	height := heightForKey(key)
 	var preds, succs [MaxLevel]core.Addr
 	for {
 		if s.find(th, key, &preds, &succs) {
 			return false
 		}
-		node := th.Alloc(nodeWords)
+		var node core.Addr
+		if s.pool != nil {
+			node = s.pool.Alloc(th)
+			// A recycled tower may carry a stale linked flag; clear it
+			// before the node becomes reachable.
+			th.Store(node.Plus(fLinked), linkBusy)
+		} else {
+			node = th.Alloc(nodeWords)
+		}
 		th.Store(node.Plus(fKey), key)
 		th.Store(node.Plus(fHeight), uint64(height))
 		for l := 0; l < height; l++ {
@@ -165,13 +215,19 @@ func (s *List) Insert(th core.Thread, key uint64) bool {
 		}
 		// Linearization: link the bottom level.
 		if !s.swing(th, preds[0], nextAddr(preds[0], 0), uint64(succs[0]), uint64(node)) {
+			if s.pool != nil {
+				s.pool.FreePrivate(th, node) // never published
+			}
 			continue
 		}
-		// Best-effort upper-level linking.
+		// Best-effort upper-level linking. finishLink marks the tower safe
+		// to retire: once the flag reads linkDone, no insert-side swing of
+		// this node is still in flight (see the deleter's second find pass).
 		for l := 1; l < height; l++ {
 			for {
 				nextW := th.Load(nextAddr(node, l))
 				if isMarked(nextW) {
+					s.finishLink(th, node)
 					return true // concurrently deleted; done
 				}
 				if core.Addr(clearMark(nextW)) != succs[l] {
@@ -184,16 +240,67 @@ func (s *List) Insert(th core.Thread, key uint64) bool {
 					break
 				}
 				if s.find(th, key, &preds, &succs) == false || succs[0] != node {
+					s.finishLink(th, node)
 					return true // deleted while linking
 				}
 			}
 		}
+		s.finishLink(th, node)
 		return true
 	}
 }
 
+// finishLink publishes that this inserter will issue no further pointer
+// swings for node — or, if the unique deleter already abandoned the tower
+// to us (linkHandoff), severs the remaining links and retires it. Writing
+// the flag is safe even though the deleter may already have retired the
+// node: the inserter entered its operation before the node was published,
+// so the free is held until this operation exits. Only needed under
+// reclamation.
+func (s *List) finishLink(th core.Thread, node core.Addr) {
+	if s.pool == nil {
+		return
+	}
+	if th.CAS(node.Plus(fLinked), linkBusy, linkDone) {
+		return
+	}
+	// Our swings have stopped, so one more find pass severs any link made
+	// after the deleter's pass, and the tower is ours to retire.
+	var preds, succs [MaxLevel]core.Addr
+	s.find(th, keyOf(th, node), &preds, &succs)
+	s.pool.Retire(th, node)
+}
+
+// maybeRetire hands the fully-unlinked tower to the pool. The caller won
+// the bottom-level mark, so it is the unique deleter; a find pass has
+// already unlinked every level it could reach. The remaining hazard is an
+// in-flight Insert of this very node still linking upper levels: the
+// linked flag only reads linkDone after the inserter's last swing, so
+// observing it and then re-running find guarantees every link has been
+// severed. If the inserter is still busy, retirement is handed to it via
+// linkHandoff — exactly one of the two parties wins its CAS and retires.
+func (s *List) maybeRetire(th core.Thread, node core.Addr, preds, succs *[MaxLevel]core.Addr) {
+	if s.pool == nil {
+		return
+	}
+	key := keyOf(th, node)
+	if int(th.Load(node.Plus(fHeight))) > 1 {
+		if th.Load(node.Plus(fLinked)) != linkDone {
+			if th.CAS(node.Plus(fLinked), linkBusy, linkHandoff) {
+				return // the inserter will sever its links and retire
+			}
+			// CAS failed: the inserter just finished and will never swing
+			// again — retire here like the linkDone path.
+		}
+		s.find(th, key, preds, succs) // sever any links made before the flag
+	}
+	s.pool.Retire(th, node)
+}
+
 // Delete removes key, reporting whether it was present.
 func (s *List) Delete(th core.Thread, key uint64) bool {
+	s.enter(th)
+	defer s.leave(th)
 	var preds, succs [MaxLevel]core.Addr
 	if !s.find(th, key, &preds, &succs) {
 		return false
@@ -218,6 +325,7 @@ func (s *List) Delete(th core.Thread, key uint64) bool {
 		}
 		if s.swing(th, node, nextAddr(node, 0), nextW, withMark(nextW)) {
 			s.find(th, key, &preds, &succs) // physical unlink via helping
+			s.maybeRetire(th, node, &preds, &succs)
 			return true
 		}
 	}
@@ -226,6 +334,8 @@ func (s *List) Delete(th core.Thread, key uint64) bool {
 // Contains reports whether key is present (wait-free traversal; the bottom
 // level is authoritative, upper levels only steer the descent).
 func (s *List) Contains(th core.Thread, key uint64) bool {
+	s.enter(th)
+	defer s.leave(th)
 	pred := s.head
 	var curr core.Addr
 	for level := MaxLevel - 1; level >= 0; level-- {

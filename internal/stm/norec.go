@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/reclaim"
 )
 
 // tagAbortLimit is the number of consecutive tag-validation aborts after
@@ -56,6 +57,29 @@ type TM struct {
 	TagAborts atomic.Uint64
 	// Commits counts committed transactions.
 	Commits atomic.Uint64
+
+	// dom, when set, brackets every transaction attempt in a reclamation
+	// domain so structures built on the TM can retire replaced nodes: an
+	// optimistic reader's loads of a freed node are bounded by its next
+	// validation, but the bracket keeps such nodes from being recycled
+	// under a still-running attempt at all.
+	dom *reclaim.Domain
+}
+
+// SetReclaim attaches a reclamation domain: every transaction attempt runs
+// inside an Enter/Exit bracket on it. Only call while quiescent.
+func (tm *TM) SetReclaim(d *reclaim.Domain) { tm.dom = d }
+
+func (tm *TM) enter(th core.Thread) {
+	if tm.dom != nil {
+		tm.dom.Handle(th.ID()).Enter()
+	}
+}
+
+func (tm *TM) exit(th core.Thread) {
+	if tm.dom != nil {
+		tm.dom.Handle(th.ID()).Exit()
+	}
 }
 
 // NewNOrec creates a baseline NOrec instance.
@@ -96,6 +120,12 @@ type Tx struct {
 	wIndex  map[core.Addr]int
 	useTags bool
 
+	// Attempt-scoped hooks (OnCommit/OnAbort), run after the attempt's
+	// bracket closes: structures defer node retires to commit time and
+	// reclaim speculative allocations on abort.
+	commitHooks []func()
+	abortHooks  []func()
+
 	// consecutive tag-validation aborts; survives across attempts so a
 	// pathological tag set degrades to value-based mode.
 	tagAborts int
@@ -103,6 +133,10 @@ type Tx struct {
 
 // abortSentinel unwinds an aborted transaction attempt back to Run.
 type abortSentinel struct{ fromTags bool }
+
+// Thread returns the thread this transaction runs on (for hooks that need
+// it, e.g. pool retires).
+func (tx *Tx) Thread() core.Thread { return tx.th }
 
 // Run executes fn transactionally, retrying on conflict until it commits.
 // fn may be invoked multiple times; it must touch shared state only through
@@ -120,9 +154,11 @@ func (tm *TM) Run(th core.Thread, fn func(tx *Tx)) {
 
 // runOnce runs a single attempt, reporting whether it committed.
 func (tm *TM) runOnce(tx *Tx, fn func(tx *Tx)) (committed bool) {
+	tm.enter(tx.th)
 	tx.begin()
 	defer func() {
 		tx.th.ClearTagSet()
+		tm.exit(tx.th)
 		if r := recover(); r != nil {
 			if a, ok := r.(abortSentinel); ok {
 				if a.fromTags {
@@ -132,15 +168,38 @@ func (tm *TM) runOnce(tx *Tx, fn func(tx *Tx)) (committed bool) {
 					tx.tagAborts = 0
 				}
 				committed = false
+				tx.runHooks(false)
 				return
 			}
 			panic(r)
 		}
 		tx.tagAborts = 0
+		tx.runHooks(true)
 	}()
 	fn(tx)
 	tx.commit()
 	return true
+}
+
+// OnCommit registers f to run once, outside the transaction, if this
+// attempt commits. Hooks are discarded when the attempt aborts.
+func (tx *Tx) OnCommit(f func()) { tx.commitHooks = append(tx.commitHooks, f) }
+
+// OnAbort registers f to run once, outside the transaction, if this attempt
+// aborts (each retried attempt re-registers its own hooks).
+func (tx *Tx) OnAbort(f func()) { tx.abortHooks = append(tx.abortHooks, f) }
+
+// runHooks fires the attempt's hooks after its bracket has closed.
+func (tx *Tx) runHooks(committed bool) {
+	hooks := tx.abortHooks
+	if committed {
+		hooks = tx.commitHooks
+	}
+	for _, f := range hooks {
+		f()
+	}
+	tx.commitHooks = tx.commitHooks[:0]
+	tx.abortHooks = tx.abortHooks[:0]
 }
 
 // begin is TXBegin: record the sequence number at which we start. The
@@ -151,6 +210,8 @@ func (tx *Tx) begin() {
 	tx.reads = tx.reads[:0]
 	tx.writes = tx.writes[:0]
 	tx.wIndex = nil
+	tx.commitHooks = tx.commitHooks[:0]
+	tx.abortHooks = tx.abortHooks[:0]
 	tx.useTags = tx.tm.tagged && tx.tagAborts < tagAbortLimit
 	tx.th.ClearTagSet()
 	tx.v = tx.spinSeq()

@@ -25,6 +25,13 @@ type Core struct {
 	ValidateStreak Histogram
 	VASStreak      Histogram
 	IASStreak      Histogram
+	// RetireToFree is the reclamation pipeline's latency: backend clock
+	// units (machine cycles / vtags ticks) between an object's retire and
+	// the scan pass that freed it, observed on the retiring thread.
+	RetireToFree Histogram
+	// FreeListLines is free-list occupancy in lines, sampled after each
+	// free — how much recycled capacity the pool is sitting on.
+	FreeListLines Histogram
 
 	valRun, vasRun, iasRun uint64 // open (unobserved) failure streaks
 }
@@ -60,6 +67,13 @@ func observeStreak(h *Histogram, n uint64) { h.Observe(n) }
 // NoteTagOccupancy records the tag-set size after a successful tag insert.
 func (c *Core) NoteTagOccupancy(n int) { c.TagOccupancy.Observe(uint64(n)) }
 
+// NoteRetireToFree records one reclaimed object's retire-to-free latency
+// in backend clock units.
+func (c *Core) NoteRetireToFree(d uint64) { c.RetireToFree.Observe(d) }
+
+// NoteFreeListLines records the free-list occupancy after a free.
+func (c *Core) NoteFreeListLines(n uint64) { c.FreeListLines.Observe(n) }
+
 // Flush closes any open failure streaks so that histogram sums match the
 // backend failure counters. Call once, at quiescence, before reading.
 func (c *Core) Flush() {
@@ -86,6 +100,8 @@ func (c *Core) Merge(o *Core) {
 	c.ValidateStreak.Merge(&o.ValidateStreak)
 	c.VASStreak.Merge(&o.VASStreak)
 	c.IASStreak.Merge(&o.IASStreak)
+	c.RetireToFree.Merge(&o.RetireToFree)
+	c.FreeListLines.Merge(&o.FreeListLines)
 }
 
 // Set is a fixed family of per-core telemetry structs, one per simulated

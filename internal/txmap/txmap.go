@@ -11,6 +11,7 @@ package txmap
 
 import (
 	"repro/internal/core"
+	"repro/internal/reclaim"
 	"repro/internal/stm"
 )
 
@@ -25,6 +26,9 @@ const (
 	nWords  = 6
 )
 
+// NodeWords is the reclamation pool object size for SetReclaim.
+const NodeWords = nWords
+
 const (
 	red   uint64 = 0
 	black uint64 = 1
@@ -35,7 +39,15 @@ type Map struct {
 	mem  core.Memory
 	root core.Addr // one word holding the root node address
 	nil_ core.Addr // shared NIL sentinel (black)
+	pool *reclaim.Pool
 }
+
+// SetReclaim wires a reclamation pool (object size nWords): Put allocates
+// nodes from it (freed back on abort, when the node was never published)
+// and a committed Delete retires the unlinked node. The TM must have the
+// pool's domain attached (stm.TM.SetReclaim) so attempts are bracketed.
+// Only call while quiescent, before operations.
+func (m *Map) SetReclaim(p *reclaim.Pool) { m.pool = p }
 
 // New creates an empty map. The creating thread performs the (non-
 // transactional) initialization.
@@ -92,7 +104,15 @@ func (m *Map) Put(tx *stm.Tx, key, val uint64, th core.Thread) bool {
 			return false
 		}
 	}
-	z := th.Alloc(nWords)
+	var z core.Addr
+	if m.pool != nil {
+		z = m.pool.Alloc(th)
+		// Writes are buffered, so an aborted attempt never published z:
+		// hand it straight back to the free list.
+		tx.OnAbort(func() { m.pool.FreePrivate(th, z) })
+	} else {
+		z = th.Alloc(nWords)
+	}
 	// Fresh node: initialize through the transaction so an abort is
 	// harmless (the node is simply garbage) and the commit publishes it.
 	m.set(tx, z, nKey, key)
@@ -209,6 +229,13 @@ func (m *Map) Delete(tx *stm.Tx, key uint64) bool {
 			z = m.right(tx, z)
 		default:
 			m.deleteNode(tx, z)
+			if m.pool != nil {
+				// The commit's writeBack unlinks z atomically under the
+				// global sequence lock, making the committing deleter the
+				// unique unlinker.
+				th := tx.Thread()
+				tx.OnCommit(func() { m.pool.Retire(th, z) })
+			}
 			return true
 		}
 	}

@@ -10,6 +10,7 @@ package txset
 import (
 	"repro/internal/core"
 	"repro/internal/intset"
+	"repro/internal/reclaim"
 	"repro/internal/stm"
 	"repro/internal/txmap"
 )
@@ -30,6 +31,12 @@ func New(mem core.Memory, tm *stm.TM) *Set {
 
 // TM returns the underlying STM (for abort statistics).
 func (s *Set) TM() *stm.TM { return s.tm }
+
+// SetReclaim wires a reclamation pool (object size txmap.NodeWords) into
+// the underlying map. The STM must have the pool's domain attached
+// (stm.TM.SetReclaim) so every transaction attempt is bracketed. Only call
+// while quiescent, before operations.
+func (s *Set) SetReclaim(p *reclaim.Pool) { s.m.SetReclaim(p) }
 
 // Insert adds key, reporting whether it was absent.
 func (s *Set) Insert(th core.Thread, key uint64) bool {

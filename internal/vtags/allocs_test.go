@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/reclaim"
 	"repro/internal/telemetry"
 )
 
@@ -95,6 +96,51 @@ func TestHotPathAllocFreeWithTelemetry(t *testing.T) {
 		th.ClearTagSet()
 	})
 	assertZeroAllocs(t, "IAS+telemetry", func() {
+		th.AddTag(a, core.LineSize)
+		v := th.Load(a)
+		if !th.IAS(a, v+1) {
+			t.Fatal("uncontended IAS failed")
+		}
+		th.ClearTagSet()
+	})
+}
+
+// TestHotPathAllocFreeWithReclaim re-runs the tag-op budget with a
+// reclamation domain attached: announcing and retracting tag lines uses the
+// handle's preallocated slot table, so wiring reclamation must not cost the
+// hot path an allocation.
+func TestHotPathAllocFreeWithReclaim(t *testing.T) {
+	m := New(1<<20, 2)
+	m.SetReclaim(reclaim.NewDomainFor(m))
+	th := m.threads[0]
+	a := m.Alloc(core.WordsPerLine * 4)
+	for i := 0; i < 4; i++ {
+		th.Store(a+core.Addr(i*core.LineSize), uint64(i))
+	}
+
+	assertZeroAllocs(t, "AddTag+Validate+ClearTagSet+reclaim", func() {
+		if !th.AddTag(a, core.LineSize*2) {
+			t.Fatal("AddTag failed")
+		}
+		if !th.Validate() {
+			t.Fatal("Validate failed")
+		}
+		th.ClearTagSet()
+	})
+	assertZeroAllocs(t, "RemoveTag+reclaim", func() {
+		th.AddTag(a, core.LineSize)
+		th.RemoveTag(a, core.LineSize)
+		th.ClearTagSet()
+	})
+	assertZeroAllocs(t, "VAS+reclaim", func() {
+		th.AddTag(a, core.LineSize)
+		v := th.Load(a)
+		if !th.VAS(a, v+1) {
+			t.Fatal("uncontended VAS failed")
+		}
+		th.ClearTagSet()
+	})
+	assertZeroAllocs(t, "IAS+reclaim", func() {
 		th.AddTag(a, core.LineSize)
 		v := th.Load(a)
 		if !th.IAS(a, v+1) {

@@ -26,6 +26,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/mem"
+	"repro/internal/reclaim"
 	"repro/internal/telemetry"
 )
 
@@ -130,6 +131,17 @@ func (m *Memory) Alloc(words int) core.Addr { return m.space.Alloc(words) }
 // MaxTags returns the per-thread tag budget.
 func (m *Memory) MaxTags() int { return m.maxTags }
 
+// SetReclaim attaches a reclamation domain: from here on each thread
+// announces its tagged lines into its domain handle (AddTag/RemoveTag/
+// ClearTagSet), which is what lets reclaim.Pool scans see which retired
+// lines a reader could still validate. Only call while quiescent. Spare
+// threads are not registered and must not run reclaiming structures.
+func (m *Memory) SetReclaim(d *reclaim.Domain) {
+	for i, t := range m.threads {
+		t.rec = d.Handle(i)
+	}
+}
+
 // lineVersion reads a line's version with acquire semantics.
 func (m *Memory) lineVersion(l core.Line) uint64 {
 	return atomic.LoadUint64(&m.lineAt(l).version)
@@ -164,6 +176,9 @@ type Thread struct {
 	// tel, when non-nil, receives emulation-side telemetry from this
 	// goroutine only. See Memory.SetTelemetry.
 	tel *telemetry.Core
+	// rec, when non-nil, is this thread's reclamation-domain handle; tag
+	// operations mirror the tag set into it. See Memory.SetReclaim.
+	rec *reclaim.Handle
 }
 
 type tagEntry struct {
@@ -227,6 +242,9 @@ func (t *Thread) AddTag(a core.Addr, size int) bool {
 			return false
 		}
 		t.tags = append(t.tags, tagEntry{line: l, version: t.m.lineVersion(l)})
+		if t.rec != nil {
+			t.rec.Announce(l)
+		}
 		if t.tel != nil {
 			t.tel.NoteTagOccupancy(len(t.tags))
 		}
@@ -251,6 +269,9 @@ func (t *Thread) RemoveTag(a core.Addr, size int) {
 					t.evicted = true // latch failure like an eviction
 				}
 				t.tags = append(t.tags[:i], t.tags[i+1:]...)
+				if t.rec != nil {
+					t.rec.Retract(l)
+				}
 				t.emit(machine.EvTagRemove, -1, l)
 				break
 			}
@@ -284,12 +305,24 @@ func (t *Thread) Validate() bool {
 		t.tel.NoteValidate(ok)
 	}
 	if ok {
+		t.noteValidatedTags()
 		t.emit(machine.EvValidateOK, -1, 0)
 	} else {
 		t.fails++
 		t.emit(machine.EvValidateFail, -1, 0)
 	}
 	return ok
+}
+
+// noteValidatedTags reports a successful validation of the whole tag set
+// to the reclamation guard (use-after-free detection on freed lines).
+func (t *Thread) noteValidatedTags() {
+	if t.rec == nil || !t.rec.GuardActive() {
+		return
+	}
+	for _, e := range t.tags {
+		t.rec.NoteValidatedTag(e.line)
+	}
 }
 
 // TagCount returns the number of tagged lines.
@@ -323,6 +356,9 @@ func (t *Thread) ClearTagSet() {
 	t.tags = t.tags[:0]
 	t.overflow = false
 	t.evicted = false
+	if t.rec != nil {
+		t.rec.RetractAll()
+	}
 }
 
 // VAS validates under the tagged lines' locks and stores v at a.
@@ -362,6 +398,7 @@ func (t *Thread) commit(a core.Addr, v uint64, invalidateTags bool) bool {
 		}
 	}
 	if ok {
+		t.noteValidatedTags()
 		t.m.space.AtomicWrite(a, v)
 		if invalidateTags {
 			for i := range t.tags {
