@@ -92,6 +92,33 @@ func BenchmarkFig7_ABTree15(b *testing.B) {
 	benchSetExperiment(b, harness.Fig7(benchScale()), "hoh-tag", "llxscx")
 }
 
+// BenchmarkFigNUMA_ABTree35 runs a reduced beyond-the-paper sweep (64 and
+// 128 simulated cores on 64-core sockets, both backends) and reports the
+// tagged tree's metrics at 128 cores: simulated throughput, cross-socket
+// traffic, and the simulated p99 op latency (numaP99cycles) that CI gates
+// — a regression here means the CoreSet directory, the sharded clock, or
+// the socket pricing got slower or skewed at scale.
+func BenchmarkFigNUMA_ABTree35(b *testing.B) {
+	var mops, hops, p99 float64
+	for i := 0; i < b.N; i++ {
+		e := harness.NUMASweep(true)
+		e.Workers = runtime.GOMAXPROCS(0)
+		e.Cores = []int{64, 128}
+		e.OpsPerThread = 40
+		for _, p := range e.Run() {
+			if p.Backend == "machine" && p.Variant == "hoh-tag" && p.Cores == 128 {
+				mops += p.ThroughputMops
+				hops += p.SocketHopsPerOp
+				p99 += p.OpLatP99
+			}
+		}
+	}
+	n := float64(b.N)
+	b.ReportMetric(mops/n, "simMops")
+	b.ReportMetric(hops/n, "hopsPerOp")
+	b.ReportMetric(p99/n, "numaP99cycles")
+}
+
 // BenchmarkFig8_VacationNOrec regenerates Figure 8: STAMP Vacation on
 // NOrec vs tagged NOrec (-n4 -q60 -u90, tables scaled down per iteration).
 func BenchmarkFig8_VacationNOrec(b *testing.B) {

@@ -11,6 +11,8 @@
 //	memtag-bench -fig all -parallel 0 -json .   # fan cells over host CPUs,
 //	                                            # write BENCH_fig*.json
 //	memtag-bench -fig 6 -telemetry              # + latency quantiles per cell
+//	memtag-bench -fig numa -cores 64,256 -sockets 4 -dist hotset -json .
+//	                                            # beyond-the-paper NUMA sweep
 //	memtag-bench -fig 2 -trace-out trace.json   # Perfetto trace of one cell
 //	memtag-bench -fig 6 -cpuprofile cpu.pb.gz   # profile the run
 package main
@@ -27,7 +29,9 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/workload"
 )
 
 // workers is the resolved -parallel value: 1 = serial (default),
@@ -48,10 +52,22 @@ var sampleEvery = uint64(0)
 // figures the last one wins, so pair it with a single -fig.
 var traceOut = ""
 
+// numaCores/numaSockets/numaDist are the resolved -cores/-sockets/-dist
+// overrides for the -fig numa sweep.
+var numaCores []int
+var numaSockets = 0
+var numaDist = workload.DistUniform
+
+// opsOverride is the explicit -ops value (0: figure defaults).
+var opsOverride = 0
+
 func main() {
-	fig := flag.String("fig", "all", "figure to run: 2, 4, 5, 6, 7, 8, skip, bst, chromatic, stmset, elision, reclaim, or all")
-	full := flag.Bool("full", false, "paper scale (1-64 simulated cores, more ops, 3 trials)")
+	fig := flag.String("fig", "all", "figure to run: 2, 4, 5, 6, 7, 8, skip, bst, chromatic, stmset, elision, reclaim, numa, or all")
+	full := flag.Bool("full", false, "paper scale (1-64 simulated cores, more ops, 3 trials; numa adds 512 cores)")
 	threads := flag.String("threads", "", "override thread counts, e.g. 1,2,4,8")
+	coresFlag := flag.String("cores", "", "override the -fig numa core counts, e.g. 64,128,256,512")
+	socketsFlag := flag.Int("sockets", 0, "override the -fig numa socket count (0: one socket per 64 cores)")
+	dist := flag.String("dist", "uniform", "key distribution for -fig numa: uniform, zipfian or hotset")
 	ops := flag.Int("ops", 0, "override operations per thread")
 	trials := flag.Int("trials", 0, "override trial count")
 	parallel := flag.Int("parallel", 1, "host workers for experiment cells: 1 serial, 0 one per host CPU, N a fixed pool (results identical for any value)")
@@ -76,6 +92,15 @@ func main() {
 	telemetryOn = *telemetry
 	sampleEvery = *sample
 	traceOut = *trace
+	if *coresFlag != "" {
+		numaCores = parseThreads(*coresFlag)
+	}
+	numaSockets = *socketsFlag
+	var err error
+	if numaDist, err = workload.ParseKeyDist(*dist); err != nil {
+		fmt.Fprintf(os.Stderr, "memtag-bench: %v\n", err)
+		os.Exit(2)
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -102,6 +127,7 @@ func main() {
 	}
 	if *ops > 0 {
 		sc.OpsPerThread = *ops
+		opsOverride = *ops
 	}
 	if *trials > 0 {
 		sc.Trials = *trials
@@ -109,7 +135,7 @@ func main() {
 
 	figs := strings.Split(*fig, ",")
 	if *fig == "all" {
-		figs = []string{"2", "4", "5", "6", "7", "8", "skip", "bst", "chromatic", "stmset", "elision", "reclaim"}
+		figs = []string{"2", "4", "5", "6", "7", "8", "skip", "bst", "chromatic", "stmset", "elision", "reclaim", "numa"}
 	}
 	for _, f := range figs {
 		run(strings.TrimSpace(f), sc, *full)
@@ -134,7 +160,7 @@ func parseThreads(s string) []int {
 	var out []int
 	for _, part := range strings.Split(s, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil || n < 1 || n > 64 {
+		if err != nil || n < 1 || n > core.MaxCores {
 			fmt.Fprintf(os.Stderr, "memtag-bench: bad thread count %q\n", part)
 			os.Exit(2)
 		}
@@ -172,6 +198,25 @@ func run(fig string, sc harness.Scale, full bool) {
 		start := time.Now()
 		points := e.Run()
 		harness.PrintElision(os.Stdout, e.Title, points)
+		writeJSON(e.Name, e.Title, time.Since(start), points)
+		fmt.Println()
+	case "numa":
+		e := harness.NUMASweep(!full)
+		e.Workers = workers
+		if len(numaCores) > 0 {
+			e.Cores = numaCores
+		}
+		if numaSockets > 0 {
+			e.SocketsFor = func(int) int { return numaSockets }
+		}
+		e.Dist = numaDist
+		if opsOverride > 0 {
+			e.OpsPerThread = opsOverride
+		}
+		fmt.Printf("# %s — beyond the paper (%s keys)\n", e.Name, e.Dist)
+		start := time.Now()
+		points := e.Run()
+		harness.PrintNUMA(os.Stdout, e.Title, points)
 		writeJSON(e.Name, e.Title, time.Since(start), points)
 		fmt.Println()
 	case "8":

@@ -1,5 +1,7 @@
 package machine
 
+import "repro/internal/core"
+
 // Protocol selects the coherence-protocol pricing model. MemTags semantics
 // are identical under all three (the paper: "this mechanism can be
 // extended to MOESI/MESIF-style cache coherent implementations"); what
@@ -37,9 +39,17 @@ func (p Protocol) String() string {
 // paper's Graphite setup: 1 GHz in-order tiles, private 32 KB L1 and 256 KB
 // inclusive L2 per core, MESI coherence, 64 B lines.
 type Config struct {
-	// Cores is the number of simulated cores (1..64; the directory uses a
-	// 64-bit sharer mask).
+	// Cores is the number of simulated cores (1..core.MaxCores; the
+	// directory tracks sharers in a core.CoreSet, so the machine scales
+	// past the paper's 64-core ceiling).
 	Cores int
+	// Sockets splits the cores contiguously across that many sockets for
+	// the two-level (NUMA) cost model: cross-socket cache-to-cache
+	// transfers and invalidation messages pay SocketHopCycles, and DRAM
+	// fills homed on a remote socket (lines are interleaved across sockets)
+	// pay MemHopCycles. 0 or 1 means a flat machine with no NUMA charges.
+	// Sockets must divide Cores.
+	Sockets int
 	// MemBytes is the size of the simulated address space.
 	MemBytes int
 
@@ -69,6 +79,8 @@ type Config struct {
 	ValidateCycles  uint64 // local tag-set check (no coherence traffic)
 	CASExtraCycles  uint64 // extra cost of an atomic RMW over a plain store
 	WritebackCycles uint64 // dirty-line writeback on downgrade (MESI/MESIF) or eviction
+	SocketHopCycles uint64 // extra cost of a cross-socket cache transfer or invalidation message (Sockets > 1)
+	MemHopCycles    uint64 // extra cost of a DRAM fill homed on a remote socket (Sockets > 1)
 	// ComputeCycles models the non-memory instructions (compares, branches,
 	// pointer arithmetic) surrounding each program load/store/CAS, as a
 	// full-mode simulator like Graphite would execute. It is charged per
@@ -82,6 +94,7 @@ type Config struct {
 	EnergyMem       float64
 	EnergyInvMsg    float64
 	EnergyWriteback float64
+	EnergySocketHop float64
 
 	// SyncWindowCycles bounds the simulated-clock skew between active
 	// cores (Graphite-style lax synchronization); 0 disables throttling.
@@ -96,6 +109,7 @@ type Config struct {
 func DefaultConfig(cores int) Config {
 	return Config{
 		Cores:    cores,
+		Sockets:  1,
 		MemBytes: 64 << 20, // 64 MiB simulated space
 
 		L1Bytes: 32 << 10,
@@ -115,6 +129,8 @@ func DefaultConfig(cores int) Config {
 		ValidateCycles:  1,
 		CASExtraCycles:  4,
 		WritebackCycles: 10,
+		SocketHopCycles: 60,
+		MemHopCycles:    80,
 		ComputeCycles:   2,
 
 		EnergyL1:        1,
@@ -123,6 +139,7 @@ func DefaultConfig(cores int) Config {
 		EnergyMem:       120,
 		EnergyInvMsg:    12,
 		EnergyWriteback: 30,
+		EnergySocketHop: 20,
 
 		SyncWindowCycles: 2000,
 
@@ -130,10 +147,23 @@ func DefaultConfig(cores int) Config {
 	}
 }
 
+// NUMAConfig returns the paper's configuration scaled out to a two-level
+// topology: cores split contiguously across sockets, with cross-socket
+// transfers and remote-homed DRAM fills priced by the hop fields.
+func NUMAConfig(cores, sockets int) Config {
+	c := DefaultConfig(cores)
+	c.Sockets = sockets
+	return c
+}
+
 func (c *Config) validate() error {
 	switch {
-	case c.Cores < 1 || c.Cores > 64:
-		return errConfig("Cores must be in [1, 64]")
+	case c.Cores < 1 || c.Cores > core.MaxCores:
+		return errConfig("Cores must be in [1, core.MaxCores]")
+	case c.Sockets < 0 || c.Sockets > c.Cores:
+		return errConfig("Sockets must be in [0, Cores]")
+	case c.Sockets > 1 && c.Cores%c.Sockets != 0:
+		return errConfig("Sockets must divide Cores")
 	case c.MemBytes <= 0:
 		return errConfig("MemBytes must be positive")
 	case c.L1Bytes <= 0 || c.L1Ways <= 0:

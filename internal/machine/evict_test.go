@@ -81,8 +81,8 @@ func TestSpareThreadGhost(t *testing.T) {
 	if th.Validate() {
 		t.Fatal("ghost store did not evict the core's tag")
 	}
-	if sharers, _, taggers := m.DebugLine(a.Line()); sharers != 0 || taggers != 0 {
-		t.Fatalf("ghost store left sharers=%b taggers=%b", sharers, taggers)
+	if sharers, _, taggers := m.DebugLine(a.Line()); !sharers.Empty() || !taggers.Empty() {
+		t.Fatalf("ghost store left sharers=%v taggers=%v", sharers, taggers)
 	}
 	if v := th.Load(a); v != 8 {
 		t.Fatalf("core read %d after ghost store, want 8", v)

@@ -70,13 +70,10 @@ func (g *ghost) CAS(a core.Addr, old, new uint64) bool {
 // -1 in the trace; no core is charged (the agent is outside the cost
 // model).
 func (g *ghost) invalidateAllLocked(d *dirEntry, l core.Line) {
-	for d.sharers != 0 {
-		c := trailingCore(d.sharers)
-		cbit := uint64(1) << uint(c)
-		d.sharers &^= cbit
+	for c := d.sharers.Next(0); c >= 0; c = d.sharers.Next(c + 1) {
 		other := g.m.threads[c]
-		if d.taggers&cbit != 0 {
-			d.taggers &^= cbit
+		if d.taggers.Contains(c) {
+			d.taggers.Remove(c)
 			other.evicted.Store(true)
 			other.stats.RemoteTagEvictions.Add(1)
 			g.emit(EvTagEvicted, c, l)
@@ -84,6 +81,7 @@ func (g *ghost) invalidateAllLocked(d *dirEntry, l core.Line) {
 		other.stats.InvalidationsReceived.Add(1)
 		g.emit(EvInvalidation, c, l)
 	}
+	d.sharers.Clear()
 	d.owner = -1
 }
 

@@ -11,22 +11,21 @@ import (
 // checkDirectoryInvariants validates, while quiescent, the coherence
 // authority's structural invariants for the given lines:
 //
-//   - owner >= 0 implies sharers == 1<<owner (exclusivity);
+//   - owner >= 0 implies sharers == {owner} (exclusivity);
 //   - every tagger is a sharer (a tag rides on a resident line);
 //   - sharer sets only contain existing cores.
 func checkDirectoryInvariants(t *testing.T, m *Machine, lines []uint64) {
 	t.Helper()
-	coreMask := uint64(1)<<uint(len(m.threads)) - 1
 	for _, l := range lines {
 		sharers, owner, taggers := m.DebugLine(core.Line(l))
-		if owner >= 0 && sharers != 1<<uint(owner) {
-			t.Fatalf("line %d: owner %d but sharers %b", l, owner, sharers)
+		if owner >= 0 && (sharers.Count() != 1 || !sharers.Contains(owner)) {
+			t.Fatalf("line %d: owner %d but sharers %v", l, owner, sharers)
 		}
-		if taggers&^sharers != 0 {
-			t.Fatalf("line %d: taggers %b not a subset of sharers %b", l, taggers, sharers)
+		if !sharers.ContainsAll(&taggers) {
+			t.Fatalf("line %d: taggers %v not a subset of sharers %v", l, taggers, sharers)
 		}
-		if sharers&^coreMask != 0 {
-			t.Fatalf("line %d: sharer bits beyond core count: %b", l, sharers)
+		for c := sharers.Next(len(m.threads)); c >= 0; {
+			t.Fatalf("line %d: sharer %d beyond core count %d", l, c, len(m.threads))
 		}
 	}
 }

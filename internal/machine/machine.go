@@ -31,14 +31,15 @@ import (
 // dirEntry is the coherence authority for one cache line.
 type dirEntry struct {
 	mu sync.Mutex
-	// sharers is the bitmask of cores holding the line anywhere in their
-	// private hierarchy (L1 or L2).
-	sharers uint64
+	// sharers is the set of cores holding the line anywhere in their
+	// private hierarchy (L1 or L2). A core.CoreSet rather than a uint64
+	// mask, so the directory scales past 64 cores.
+	sharers core.CoreSet
 	// owner is the core holding the line in Modified/Exclusive state, or
-	// -1. Invariant: owner >= 0 implies sharers == 1<<owner.
-	owner int8
-	// taggers is the bitmask of cores currently tagging this line.
-	taggers uint64
+	// -1. Invariant: owner >= 0 implies sharers == {owner}.
+	owner int16
+	// taggers is the set of cores currently tagging this line.
+	taggers core.CoreSet
 }
 
 // dirChunk mirrors one mem.Space chunk's worth of directory entries.
@@ -50,13 +51,19 @@ type dirChunk [mem.ChunkLines]dirEntry
 
 // Machine is a simulated multicore with memory tagging.
 type Machine struct {
-	cfg     Config
-	space   *mem.Space
-	dir     []atomic.Pointer[dirChunk]
-	threads []*Thread
-	clock   clockSync
-	tracer  Tracer
-	gate    Gate
+	cfg   Config
+	space *mem.Space
+	dir   []atomic.Pointer[dirChunk]
+	// sockets/coresPerSocket realize Config.Sockets (1 when flat); sockMask
+	// holds each socket's core membership, precomputed so the coherence
+	// pricing can test "any sharer on my socket?" with a word-wise AND.
+	sockets        int
+	coresPerSocket int
+	sockMask       []core.CoreSet
+	threads        []*Thread
+	clock          clockSync
+	tracer         Tracer
+	gate           Gate
 	// issuing counts in-flight memory/tag operations when the memtagcheck
 	// build tag enables the quiescence guard (see guard_on.go); Snapshot
 	// panics when it is non-zero. In default builds the counter is never
@@ -78,12 +85,31 @@ func New(cfg Config) *Machine {
 		space: space,
 		dir:   make([]atomic.Pointer[dirChunk], (space.NumLines()+mem.ChunkLines-1)/mem.ChunkLines),
 	}
+	m.sockets = cfg.Sockets
+	if m.sockets < 1 {
+		m.sockets = 1
+	}
+	m.coresPerSocket = cfg.Cores / m.sockets
+	m.sockMask = make([]core.CoreSet, m.sockets)
+	for c := 0; c < cfg.Cores; c++ {
+		m.sockMask[c/m.coresPerSocket].Add(c)
+	}
+	m.clock.shards = make([]clockShard, (cfg.Cores+clockShardCores-1)/clockShardCores)
 	m.threads = make([]*Thread, cfg.Cores)
 	for i := range m.threads {
 		m.threads[i] = newThread(m, i)
 	}
 	return m
 }
+
+// socketOf returns the socket that core c belongs to. Cores are split
+// contiguously: socket s owns cores [s*coresPerSocket, (s+1)*coresPerSocket).
+func (m *Machine) socketOf(c int) int { return c / m.coresPerSocket }
+
+// homeSocket returns the socket whose memory controller serves line l.
+// Lines are interleaved across sockets at cache-line granularity, the
+// usual default for a first-touch-free simulator.
+func (m *Machine) homeSocket(l core.Line) int { return int(uint64(l) % uint64(m.sockets)) }
 
 // Config returns the machine's configuration.
 func (m *Machine) Config() Config { return m.cfg }
@@ -129,8 +155,9 @@ func (m *Machine) installDirChunk(ci uint64) *dirChunk {
 }
 
 // DebugLine returns the directory state of a line for tests: the sharer
-// mask, owner core (or -1), and tagger mask.
-func (m *Machine) DebugLine(l core.Line) (sharers uint64, owner int, taggers uint64) {
+// set, owner core (or -1), and tagger set. The sets are copies; mutating
+// them does not touch the directory.
+func (m *Machine) DebugLine(l core.Line) (sharers core.CoreSet, owner int, taggers core.CoreSet) {
 	d := m.dirAt(l)
 	d.mu.Lock()
 	defer d.mu.Unlock()

@@ -16,7 +16,10 @@ func testMachine(cores int) *Machine {
 func TestConfigValidation(t *testing.T) {
 	bad := []func(*Config){
 		func(c *Config) { c.Cores = 0 },
-		func(c *Config) { c.Cores = 65 },
+		func(c *Config) { c.Cores = core.MaxCores + 1 },
+		func(c *Config) { c.Sockets = -1 },
+		func(c *Config) { c.Sockets = 3 }, // must divide Cores (2)
+		func(c *Config) { c.Sockets = 2; c.Cores = 3 },
 		func(c *Config) { c.MemBytes = 0 },
 		func(c *Config) { c.L1Bytes = 0 },
 		func(c *Config) { c.L2Bytes = c.L1Bytes / 2 },
@@ -88,14 +91,14 @@ func TestStoreInvalidatesSharers(t *testing.T) {
 	t1.Load(a) // both cores now share the line
 
 	sharers, _, _ := m.DebugLine(a.Line())
-	if sharers != 0b11 {
-		t.Fatalf("sharers = %b, want 11", sharers)
+	if sharers.Count() != 2 || !sharers.Contains(0) || !sharers.Contains(1) {
+		t.Fatalf("sharers = %v, want {0,1}", sharers)
 	}
 
 	t0.Store(a, 2)
 	sharers, owner, _ := m.DebugLine(a.Line())
-	if sharers != 0b01 || owner != 0 {
-		t.Fatalf("after store: sharers=%b owner=%d, want 01/0", sharers, owner)
+	if sharers.Count() != 1 || !sharers.Contains(0) || owner != 0 {
+		t.Fatalf("after store: sharers=%v owner=%d, want {0}/0", sharers, owner)
 	}
 	if m.CoreStatsOf(1).InvalidationsReceived.Load() == 0 {
 		t.Fatal("core 1 received no invalidation")

@@ -21,6 +21,7 @@ type CoreStats struct {
 
 	InvalidationsSent uint64 // invalidation messages this core caused
 	Writebacks        uint64 // dirty lines displaced from this core
+	SocketHops        uint64 // cross-socket messages/transfers this core paid for (Sockets > 1)
 
 	TagAdds           uint64
 	TagRemoves        uint64
@@ -51,6 +52,7 @@ type Stats struct {
 
 	InvalidationsSent, InvalidationsReceived uint64
 	Writebacks                               uint64
+	SocketHops                               uint64
 
 	TagAdds, TagRemoves, TagOverflows     uint64
 	Validates, ValidateFails              uint64
@@ -109,6 +111,7 @@ func (m *Machine) Snapshot() Stats {
 		s.InvalidationsSent += cs.InvalidationsSent
 		s.InvalidationsReceived += cs.InvalidationsReceived.Load()
 		s.Writebacks += cs.Writebacks
+		s.SocketHops += cs.SocketHops
 		s.TagAdds += cs.TagAdds
 		s.TagRemoves += cs.TagRemoves
 		s.TagOverflows += cs.TagOverflows

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cachemodel"
 	"repro/internal/core"
+	"repro/internal/mem"
 	"repro/internal/reclaim"
 	"repro/internal/telemetry"
 )
@@ -14,9 +15,15 @@ import (
 // goroutine; cross-core effects (invalidations, tag evictions) are applied
 // by other cores under the relevant directory locks.
 type Thread struct {
-	m   *Machine
-	id  int
-	bit uint64
+	m  *Machine
+	id int
+	// socket is the core's socket under the two-level topology (0 when
+	// flat); cshard is its lax-clock shard index (see sync.go).
+	socket int
+	cshard int
+	// arena is the core's private allocation extent over the shared space;
+	// the Alloc fast path touches no shared state.
+	arena *mem.Arena
 
 	l1 *cachemodel.Cache
 	l2 *cachemodel.Cache
@@ -68,11 +75,13 @@ var _ core.Thread = (*Thread)(nil)
 
 func newThread(m *Machine, id int) *Thread {
 	t := &Thread{
-		m:   m,
-		id:  id,
-		bit: 1 << uint(id),
-		l1:  cachemodel.New(m.cfg.L1Bytes, m.cfg.L1Ways),
-		l2:  cachemodel.New(m.cfg.L2Bytes, m.cfg.L2Ways),
+		m:      m,
+		id:     id,
+		socket: m.socketOf(id),
+		cshard: id / clockShardCores,
+		arena:  mem.NewArena(m.space),
+		l1:     cachemodel.New(m.cfg.L1Bytes, m.cfg.L1Ways),
+		l2:     cachemodel.New(m.cfg.L2Bytes, m.cfg.L2Ways),
 		// The tag set is bounded by MaxTags and the VAS/IAS lock set by
 		// MaxTags+1; sizing the reused buffers up front keeps every
 		// memory/tag operation allocation-free.
@@ -87,13 +96,14 @@ func newThread(m *Machine, id int) *Thread {
 // ID returns the simulated core id.
 func (t *Thread) ID() int { return t.id }
 
-// Alloc allocates line-aligned words from the shared space. Under a
-// schedule-explorer gate the allocation is recorded against the shared
-// allocator pseudo-resource: bump allocation is order-sensitive, so two
-// allocating segments must never be treated as independent.
+// Alloc allocates line-aligned words from this core's private arena over
+// the shared space (extent refills are the only shared-cursor touches).
+// Under a schedule-explorer gate the allocation is recorded against the
+// shared allocator pseudo-resource: bump allocation is order-sensitive, so
+// two allocating segments must never be treated as independent.
 func (t *Thread) Alloc(words int) core.Addr {
 	t.recAccess(AllocLine, true)
-	return t.m.space.Alloc(words)
+	return t.arena.Alloc(words)
 }
 
 func (t *Thread) charge(cycles uint64, energy float64) {
@@ -103,15 +113,16 @@ func (t *Thread) charge(cycles uint64, energy float64) {
 
 // sendInvalidationLocked removes core c from the line's sharers, evicting
 // any tag c holds on it. The caller holds d.mu and charges message costs.
+// Under a two-level topology a message to a core on another socket pays
+// the socket hop on top of the per-sharer fan-out cost.
 func (t *Thread) sendInvalidationLocked(d *dirEntry, c int, l core.Line) {
-	cbit := uint64(1) << uint(c)
-	d.sharers &^= cbit
+	d.sharers.Remove(c)
 	if int(d.owner) == c {
 		d.owner = -1
 	}
 	other := t.m.threads[c]
-	if d.taggers&cbit != 0 {
-		d.taggers &^= cbit
+	if d.taggers.Contains(c) {
+		d.taggers.Remove(c)
 		other.evicted.Store(true)
 		other.stats.RemoteTagEvictions.Add(1)
 		t.emit(EvTagEvicted, c, l)
@@ -119,7 +130,51 @@ func (t *Thread) sendInvalidationLocked(d *dirEntry, c int, l core.Line) {
 	other.stats.InvalidationsReceived.Add(1)
 	t.stats.InvalidationsSent++
 	t.charge(t.m.cfg.InvMsgCycles, t.m.cfg.EnergyInvMsg)
+	if t.m.sockets > 1 && other.socket != t.socket {
+		t.chargeSocketHop()
+	}
 	t.emit(EvInvalidation, c, l)
+}
+
+// chargeSocketHop prices one cross-socket message or transfer.
+func (t *Thread) chargeSocketHop() {
+	t.stats.SocketHops++
+	t.charge(t.m.cfg.SocketHopCycles, t.m.cfg.EnergySocketHop)
+}
+
+// chargeRemoteFill prices a miss served cache-to-cache. sameSocket reports
+// whether a cache on this core's socket could serve it; a fill from
+// another socket pays the hop.
+func (t *Thread) chargeRemoteFill(sameSocket bool) {
+	cfg := &t.m.cfg
+	t.stats.RemoteFills++
+	t.charge(cfg.RemoteCycles, cfg.EnergyRemote)
+	if t.m.sockets > 1 && !sameSocket {
+		t.chargeSocketHop()
+	}
+}
+
+// chargeMemFill prices a miss served by DRAM; a line homed on a remote
+// socket's memory controller pays the memory hop.
+func (t *Thread) chargeMemFill(l core.Line) {
+	cfg := &t.m.cfg
+	t.stats.MemFills++
+	t.charge(cfg.MemCycles, cfg.EnergyMem)
+	if t.m.sockets > 1 && t.m.homeSocket(l) != t.socket {
+		t.stats.SocketHops++
+		t.charge(cfg.MemHopCycles, cfg.EnergySocketHop)
+	}
+}
+
+// sharerOnMySocket reports whether any core of set other than this one is
+// on this core's socket (i.e. could serve a fill without a hop). The set
+// is passed by value: the local copy is mutated, never the directory's.
+func (t *Thread) sharerOnMySocket(set core.CoreSet) bool {
+	if t.m.sockets == 1 {
+		return true
+	}
+	set.Remove(t.id)
+	return set.Intersects(&t.m.sockMask[t.socket])
 }
 
 // chargeInvRound prices one invalidation round's base latency; the
@@ -134,25 +189,14 @@ func (t *Thread) chargeInvRound(hadSharers bool) {
 // invalidateOthersLocked makes this core the exclusive owner of the line,
 // invalidating every other sharer. The caller holds d.mu.
 func (t *Thread) invalidateOthersLocked(d *dirEntry, l core.Line) {
-	others := d.sharers &^ t.bit
-	t.chargeInvRound(others != 0)
-	for others != 0 {
-		c := trailingCore(others)
-		others &^= 1 << uint(c)
+	others := d.sharers
+	others.Remove(t.id)
+	t.chargeInvRound(!others.Empty())
+	for c := others.Next(0); c >= 0; c = others.Next(c + 1) {
 		t.sendInvalidationLocked(d, c, l)
 	}
-	d.sharers = t.bit
-	d.owner = int8(t.id)
-}
-
-func trailingCore(mask uint64) int {
-	// mask is non-zero.
-	n := 0
-	for mask&1 == 0 {
-		mask >>= 1
-		n++
-	}
-	return n
+	d.sharers.Only(t.id)
+	d.owner = int16(t.id)
 }
 
 // fillLocal inserts line l into the private hierarchy models, recording L2
@@ -220,17 +264,17 @@ func (t *Thread) drainEvictions() {
 		t.pendingEvicts = t.pendingEvicts[:len(t.pendingEvicts)-1]
 		d := t.m.dirAt(l)
 		d.mu.Lock()
-		if d.sharers&t.bit != 0 {
-			d.sharers &^= t.bit
+		if d.sharers.Contains(t.id) {
+			d.sharers.Remove(t.id)
 			if int(d.owner) == t.id {
 				d.owner = -1
 				t.stats.Writebacks++
 			}
 		}
-		if d.taggers&t.bit != 0 {
+		if d.taggers.Contains(t.id) {
 			// The local tag check already failed validation; just keep the
 			// directory consistent.
-			d.taggers &^= t.bit
+			d.taggers.Remove(t.id)
 		}
 		d.mu.Unlock()
 	}
@@ -241,15 +285,20 @@ func (t *Thread) drainEvictions() {
 func (t *Thread) touchLineLocked(l core.Line, d *dirEntry, write bool) {
 	t.recAccess(l, write)
 	cfg := &t.m.cfg
-	present := d.sharers&t.bit != 0
+	present := d.sharers.Contains(t.id)
 
 	if write {
 		if int(d.owner) == t.id {
 			t.chargeLocalHit(l)
 			return
 		}
-		// Need exclusivity: invalidate every other sharer.
-		othersHadIt := d.sharers&^t.bit != 0
+		// Need exclusivity: invalidate every other sharer. Whether the fill
+		// (if any) can be served on-socket is decided by the pre-invalidation
+		// sharer set.
+		others := d.sharers
+		others.Remove(t.id)
+		othersHadIt := !others.Empty()
+		served := t.m.sockets == 1 || others.Intersects(&t.m.sockMask[t.socket])
 		t.invalidateOthersLocked(d, l)
 		if present {
 			// Upgrade from Shared: data already local.
@@ -257,13 +306,11 @@ func (t *Thread) touchLineLocked(l core.Line, d *dirEntry, write bool) {
 		} else if othersHadIt {
 			// Write miss served by a remote cache (plus the invalidations
 			// already charged).
-			t.stats.RemoteFills++
-			t.charge(cfg.RemoteCycles, cfg.EnergyRemote)
+			t.chargeRemoteFill(served)
 			t.emit(EvRemoteFill, -1, l)
 			t.fillLocal(l)
 		} else {
-			t.stats.MemFills++
-			t.charge(cfg.MemCycles, cfg.EnergyMem)
+			t.chargeMemFill(l)
 			t.emit(EvMemFill, -1, l)
 			t.fillLocal(l)
 		}
@@ -280,24 +327,23 @@ func (t *Thread) touchLineLocked(l core.Line, d *dirEntry, write bool) {
 		// Under MESI/MESIF the downgrade writes the dirty data back; under
 		// MOESI the owner moves to Owned and the writeback is deferred to
 		// eviction (modeled as: no downgrade writeback).
+		sameSocket := t.m.sockets == 1 || t.m.threads[d.owner].socket == t.socket
 		d.owner = -1
-		t.stats.RemoteFills++
-		t.charge(cfg.RemoteCycles, cfg.EnergyRemote)
+		t.chargeRemoteFill(sameSocket)
 		if cfg.Protocol != MOESI {
 			t.stats.Writebacks++
 			t.charge(cfg.WritebackCycles, cfg.EnergyWriteback)
 		}
-	} else if d.sharers != 0 && cfg.Protocol != MESI {
+	} else if !d.sharers.Empty() && cfg.Protocol != MESI {
 		// Clean cache-to-cache transfer from the Forward-state sharer
-		// (MESIF) or the Owned sharer (MOESI).
-		t.stats.RemoteFills++
-		t.charge(cfg.RemoteCycles, cfg.EnergyRemote)
+		// (MESIF) or the Owned sharer (MOESI); served on-socket when any
+		// sharer is local.
+		t.chargeRemoteFill(t.sharerOnMySocket(d.sharers))
 	} else {
 		// Strict MESI serves clean lines from memory.
-		t.stats.MemFills++
-		t.charge(cfg.MemCycles, cfg.EnergyMem)
+		t.chargeMemFill(l)
 	}
-	d.sharers |= t.bit
+	d.sharers.Add(t.id)
 	t.fillLocal(l)
 }
 
@@ -310,7 +356,7 @@ func (t *Thread) touchLineLocked(l core.Line, d *dirEntry, write bool) {
 func (t *Thread) touchForTagLocked(l core.Line, d *dirEntry) {
 	t.recAccess(l, false)
 	cfg := &t.m.cfg
-	if d.sharers&t.bit != 0 {
+	if d.sharers.Contains(t.id) {
 		if t.l1.Lookup(l) {
 			return // resident in L1: tagging is free
 		}
@@ -322,21 +368,19 @@ func (t *Thread) touchForTagLocked(l core.Line, d *dirEntry) {
 		return
 	}
 	if d.owner >= 0 {
+		sameSocket := t.m.sockets == 1 || t.m.threads[d.owner].socket == t.socket
 		d.owner = -1
-		t.stats.RemoteFills++
-		t.charge(cfg.RemoteCycles, cfg.EnergyRemote)
+		t.chargeRemoteFill(sameSocket)
 		if cfg.Protocol != MOESI {
 			t.stats.Writebacks++
 			t.charge(cfg.WritebackCycles, cfg.EnergyWriteback)
 		}
-	} else if d.sharers != 0 && cfg.Protocol != MESI {
-		t.stats.RemoteFills++
-		t.charge(cfg.RemoteCycles, cfg.EnergyRemote)
+	} else if !d.sharers.Empty() && cfg.Protocol != MESI {
+		t.chargeRemoteFill(t.sharerOnMySocket(d.sharers))
 	} else {
-		t.stats.MemFills++
-		t.charge(cfg.MemCycles, cfg.EnergyMem)
+		t.chargeMemFill(l)
 	}
-	d.sharers |= t.bit
+	d.sharers.Add(t.id)
 	t.fillLocal(l)
 }
 

@@ -1,0 +1,54 @@
+package mem
+
+import "repro/internal/core"
+
+// ArenaExtentLines is the number of cache lines an Arena grabs from the
+// shared cursor per refill. Small enough that a 512-core machine parks at
+// most ~2 MiB of simulated memory in partially used extents, large enough
+// that a thread allocating tree nodes (1-3 lines each) touches the shared
+// cursor once per ~30 allocations.
+const ArenaExtentLines = 64
+
+// Arena is a per-thread bump allocator over a Space: a private extent
+// refilled from the shared cursor. The fast path (allocation fits the
+// current extent) touches no shared state at all, so 512 simulated cores
+// allocating concurrently do not contend. An Arena must only be used from
+// one goroutine at a time, like the Thread handle that owns it.
+//
+// Layout determinism: a single thread allocating alone sees a fixed
+// address sequence for a fixed allocation sequence (extent grabs are just
+// cursor bumps), which is what the parallel harness's bit-identical
+// replay of single-threaded cells relies on. Multi-threaded layout depends
+// on extent-grab interleaving, exactly as the old mutex allocator's did.
+type Arena struct {
+	space *Space
+	cur   core.Addr // next free byte in the current extent, line-aligned
+	end   core.Addr // one past the current extent
+}
+
+// NewArena returns an empty arena over s; the first allocation grabs an
+// extent.
+func NewArena(s *Space) *Arena { return &Arena{space: s} }
+
+// Alloc allocates nWords words aligned to a cache-line boundary, like
+// Space.Alloc. Requests larger than half an extent bypass the arena and go
+// straight to the shared cursor, so oversized objects do not flush a
+// mostly-empty extent.
+func (ar *Arena) Alloc(nWords int) core.Addr {
+	if nWords <= 0 {
+		panic("mem: Alloc of non-positive size")
+	}
+	bytes := nWords * core.WordSize
+	lines := (bytes + core.LineSize - 1) / core.LineSize
+	if lines > ArenaExtentLines/2 {
+		return ar.space.grabLines(lines)
+	}
+	sz := core.Addr(lines * core.LineSize)
+	if ar.cur+sz > ar.end {
+		ar.cur = ar.space.grabLines(ArenaExtentLines)
+		ar.end = ar.cur + ArenaExtentLines*core.LineSize
+	}
+	a := ar.cur
+	ar.cur += sz
+	return a
+}

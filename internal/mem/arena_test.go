@@ -1,0 +1,109 @@
+package mem
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestArenaLineAlignedDistinct(t *testing.T) {
+	s := NewSpace(1 << 20)
+	ar := NewArena(s)
+	seen := map[core.Line]bool{}
+	for i := 0; i < 300; i++ {
+		a := ar.Alloc(1 + i%20)
+		if uint64(a)%core.LineSize != 0 {
+			t.Fatalf("allocation %d at %#x not line-aligned", i, uint64(a))
+		}
+		if a == core.NilAddr {
+			t.Fatal("arena handed out the nil line")
+		}
+		if seen[a.Line()] {
+			t.Fatalf("line %d allocated twice", a.Line())
+		}
+		seen[a.Line()] = true
+	}
+}
+
+// A single thread allocating alone must see a fixed address sequence for a
+// fixed allocation sequence — the parallel harness's bit-identical replay
+// of single-threaded cells depends on it.
+func TestArenaDeterministicLayout(t *testing.T) {
+	seq := func() []core.Addr {
+		s := NewSpace(1 << 20)
+		ar := NewArena(s)
+		var out []core.Addr
+		for i := 0; i < 200; i++ {
+			out = append(out, ar.Alloc(1+(i*7)%40))
+		}
+		return out
+	}
+	a, b := seq(), seq()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("allocation %d differs between runs: %#x vs %#x", i, uint64(a[i]), uint64(b[i]))
+		}
+	}
+}
+
+// Oversized requests bypass the arena extent and must still be disjoint
+// from arena-served allocations.
+func TestArenaLargeAlloc(t *testing.T) {
+	s := NewSpace(1 << 22)
+	ar := NewArena(s)
+	small := ar.Alloc(1)
+	big := ar.Alloc(ArenaExtentLines * core.WordsPerLine) // way past the bypass threshold
+	small2 := ar.Alloc(1)
+	bigFirst, bigLast := big.Line(), big.Line()+core.Line(ArenaExtentLines-1)
+	for _, a := range []core.Addr{small, small2} {
+		if a.Line() >= bigFirst && a.Line() <= bigLast {
+			t.Fatalf("arena allocation at line %d overlaps large block [%d,%d]", a.Line(), bigFirst, bigLast)
+		}
+	}
+	if small2.Line() == small.Line() {
+		t.Fatal("distinct allocations share a line")
+	}
+}
+
+// Concurrent arenas over one space never hand out overlapping lines.
+func TestArenaConcurrentDisjoint(t *testing.T) {
+	s := NewSpace(1 << 22)
+	const workers, per = 16, 200
+	got := make([][]core.Addr, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ar := NewArena(s)
+			for i := 0; i < per; i++ {
+				got[w] = append(got[w], ar.Alloc(1+(w+i)%9))
+			}
+		}(w)
+	}
+	wg.Wait()
+	seen := map[core.Line]bool{}
+	for _, as := range got {
+		for _, a := range as {
+			if seen[a.Line()] {
+				t.Fatalf("line %d allocated twice", a.Line())
+			}
+			seen[a.Line()] = true
+		}
+	}
+}
+
+// Arena exhaustion must panic like Space.Alloc exhaustion.
+func TestArenaExhaustionPanics(t *testing.T) {
+	s := NewSpace(8 * core.LineSize)
+	ar := NewArena(s)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on exhaustion")
+		}
+	}()
+	for i := 0; i < 1000; i++ {
+		ar.Alloc(core.WordsPerLine)
+	}
+}

@@ -9,7 +9,6 @@ package mem
 
 import (
 	"fmt"
-	"sync"
 	"sync/atomic"
 
 	"repro/internal/core"
@@ -38,8 +37,12 @@ type Space struct {
 	chunks []atomic.Pointer[wordChunk]
 	lines  int // configured size in cache lines
 
-	mu   sync.Mutex
-	next core.Addr // next free byte, always line-aligned
+	// next is the bump cursor (next free byte, always line-aligned). It
+	// was a mutex-protected field; at 256+ simulated cores the allocation
+	// mutex was a machine-wide serialization point, so the cursor is now a
+	// single fetch-and-add. Per-thread Arenas amortize even that into one
+	// atomic per extent.
+	next atomic.Uint64
 }
 
 // NewSpace creates a space of the given size in bytes, rounded up to a
@@ -51,11 +54,12 @@ func NewSpace(bytes int) *Space {
 	}
 	lines := (bytes + core.LineSize - 1) / core.LineSize
 	nChunks := (lines + ChunkLines - 1) / ChunkLines
-	return &Space{
+	s := &Space{
 		chunks: make([]atomic.Pointer[wordChunk], nChunks),
 		lines:  lines,
-		next:   core.LineSize, // reserve line 0 (nil)
 	}
+	s.next.Store(core.LineSize) // reserve line 0 (nil)
+	return s
 }
 
 // SizeBytes returns the total size of the space in bytes.
@@ -75,25 +79,24 @@ func (s *Space) Alloc(nWords int) core.Addr {
 	}
 	bytes := nWords * core.WordSize
 	lines := (bytes + core.LineSize - 1) / core.LineSize
+	return s.grabLines(lines)
+}
 
-	s.mu.Lock()
-	a := s.next
-	s.next += core.Addr(lines * core.LineSize)
-	end := s.next
-	s.mu.Unlock()
-
+// grabLines advances the bump cursor by the given number of lines and
+// returns the start of the reserved range.
+func (s *Space) grabLines(lines int) core.Addr {
+	end := s.next.Add(uint64(lines * core.LineSize))
 	if int(end) > s.SizeBytes() {
 		panic(fmt.Sprintf("mem: address space exhausted (%d bytes)", s.SizeBytes()))
 	}
-	return a
+	return core.Addr(end) - core.Addr(lines*core.LineSize)
 }
 
 // AllocatedBytes returns the number of bytes handed out so far, including
-// the reserved nil line.
+// the reserved nil line and any lines granted to Arenas but not yet handed
+// to callers.
 func (s *Space) AllocatedBytes() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return int(s.next)
+	return int(s.next.Load())
 }
 
 // Word returns a pointer to the word at address a. a must be word-aligned

@@ -87,6 +87,7 @@ func newThread(m *Memory, id int) *Thread {
 	return &Thread{
 		m:       m,
 		id:      id,
+		arena:   mem.NewArena(m.space),
 		tags:    make([]tagEntry, 0, m.maxTags),
 		lockBuf: make([]core.Line, 0, m.maxTags+1),
 	}
@@ -156,6 +157,11 @@ func (m *Memory) bumpLineLocked(l core.Line) {
 type Thread struct {
 	m  *Memory
 	id int
+	// arena is the thread's private allocation extent over the shared
+	// space: the emulation's hottest global lock used to be the shared
+	// allocation mutex, and the arena stripes it away (extent refills are
+	// one shared atomic each).
+	arena *mem.Arena
 
 	tags []tagEntry
 	// lockBuf is scratch for the sorted line set locked by commit, reused
@@ -191,8 +197,8 @@ var _ core.Thread = (*Thread)(nil)
 // ID returns the thread id.
 func (t *Thread) ID() int { return t.id }
 
-// Alloc allocates line-aligned words.
-func (t *Thread) Alloc(words int) core.Addr { return t.m.space.Alloc(words) }
+// Alloc allocates line-aligned words from the thread's private arena.
+func (t *Thread) Alloc(words int) core.Addr { return t.arena.Alloc(words) }
 
 // Load reads the word at a.
 func (t *Thread) Load(a core.Addr) uint64 {

@@ -1,0 +1,194 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/rand"
+
+	"repro/internal/intset"
+)
+
+// KeyDist selects the key distribution for Run's operation key draws.
+// Prefill always draws uniformly: the structure's initial content should
+// cover the key range evenly regardless of how traffic is skewed.
+type KeyDist int
+
+const (
+	// DistUniform draws keys uniformly from [KeyMin, KeyMin+KeyRange).
+	// This is the paper's workload and the zero value; its draw sequence
+	// is bit-identical to the pre-KeyDist workload generator.
+	DistUniform KeyDist = iota
+	// DistZipfian draws ranks from the bounded Zipfian distribution of
+	// Gray et al. (SIGMOD '94, the YCSB generator) with theta defaulting
+	// to 0.99, then scatters ranks across the key range so the hot keys
+	// are not neighbours in key order.
+	DistZipfian
+	// DistHotSet sends HotTrafficPct of the draws to a hot set holding
+	// HotKeysPct of the keys (defaults: 90% of traffic to 10% of keys),
+	// scattered across the range like DistZipfian's ranks.
+	DistHotSet
+)
+
+func (d KeyDist) String() string {
+	switch d {
+	case DistZipfian:
+		return "zipfian"
+	case DistHotSet:
+		return "hotset"
+	default:
+		return "uniform"
+	}
+}
+
+// ParseKeyDist maps the CLI spellings onto a KeyDist.
+func ParseKeyDist(s string) (KeyDist, error) {
+	switch s {
+	case "uniform", "":
+		return DistUniform, nil
+	case "zipfian", "zipf":
+		return DistZipfian, nil
+	case "hotset", "hot-set":
+		return DistHotSet, nil
+	}
+	return DistUniform, fmt.Errorf("unknown key distribution %q (want uniform, zipfian or hotset)", s)
+}
+
+const (
+	defaultZipfTheta     = 0.99
+	defaultHotKeysPct    = 10
+	defaultHotTrafficPct = 90
+)
+
+// newKeyDraw precomputes the distribution's shared, read-only constants
+// once (the Zipfian zeta sum is O(KeyRange)) and returns a per-worker
+// constructor that binds a worker's private rng. Every sampler consumes
+// only that rng, so the draw sequence is a pure function of the seed.
+func newKeyDraw(cfg *Config) func(rng *rand.Rand) func() uint64 {
+	n := cfg.KeyRange
+	switch cfg.Dist {
+	case DistZipfian:
+		theta := cfg.ZipfTheta
+		if theta == 0 {
+			theta = defaultZipfTheta
+		}
+		z := newZipf(n, theta)
+		scatter := scatterFor(n)
+		return func(rng *rand.Rand) func() uint64 {
+			return func() uint64 {
+				return intset.KeyMin + scatter(z.next(rng))
+			}
+		}
+	case DistHotSet:
+		if n < 2 {
+			break // a one-key range has no hot/cold split
+		}
+		hotKeys, hotTraffic := cfg.HotKeysPct, cfg.HotTrafficPct
+		if hotKeys <= 0 {
+			hotKeys = defaultHotKeysPct
+		}
+		if hotTraffic <= 0 {
+			hotTraffic = defaultHotTrafficPct
+		}
+		hk := n * uint64(hotKeys) / 100
+		if hk == 0 {
+			hk = 1
+		}
+		if hk >= n {
+			hk = n - 1
+		}
+		scatter := scatterFor(n)
+		return func(rng *rand.Rand) func() uint64 {
+			return func() uint64 {
+				var r uint64
+				if rng.Intn(100) < hotTraffic {
+					r = uint64(rng.Int63n(int64(hk)))
+				} else {
+					r = hk + uint64(rng.Int63n(int64(n-hk)))
+				}
+				return intset.KeyMin + scatter(r)
+			}
+		}
+	}
+	return func(rng *rand.Rand) func() uint64 {
+		return func() uint64 {
+			return intset.KeyMin + uint64(rng.Int63n(int64(n)))
+		}
+	}
+}
+
+// scatterFor returns a bijection on [0, n) that spreads consecutive ranks
+// across the range: rank * m mod n for an odd multiplier m coprime to n.
+// A bijection (rather than a hash) keeps the rank distribution exact —
+// rank 0 stays the single hottest key, merely relocated.
+func scatterFor(n uint64) func(uint64) uint64 {
+	if n < 3 {
+		return func(r uint64) uint64 { return r }
+	}
+	m := (n*2/3 - 1) | 1
+	for gcd(m, n) != 1 {
+		m += 2
+	}
+	return func(r uint64) uint64 {
+		hi, lo := bits.Mul64(r, m)
+		_, rem := bits.Div64(hi%n, lo, n)
+		return rem
+	}
+}
+
+func gcd(a, b uint64) uint64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// zipf is the bounded Zipfian generator of Gray et al.: rank r in [0, n)
+// is drawn with probability proportional to 1/(r+1)^theta. The constants
+// are shared read-only across workers; next consumes one Float64 from the
+// caller's rng per draw.
+type zipf struct {
+	n                uint64
+	theta, alpha     float64
+	zetan, eta, half float64
+}
+
+func newZipf(n uint64, theta float64) *zipf {
+	if n == 0 {
+		n = 1
+	}
+	zetan := zetaSum(n, theta)
+	z := &zipf{
+		n:     n,
+		theta: theta,
+		alpha: 1 / (1 - theta),
+		zetan: zetan,
+		half:  math.Pow(0.5, theta),
+	}
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zetaSum(2, theta)/zetan)
+	return z
+}
+
+func zetaSum(n uint64, theta float64) float64 {
+	sum := 0.0
+	for i := uint64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+func (z *zipf) next(rng *rand.Rand) uint64 {
+	u := rng.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if z.n > 1 && uz < 1+z.half {
+		return 1
+	}
+	r := uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if r >= z.n {
+		r = z.n - 1
+	}
+	return r
+}

@@ -1,0 +1,158 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/intset"
+)
+
+func drawSeq(t *testing.T, cfg Config, seed int64, n int) []uint64 {
+	t.Helper()
+	cfg.Seed = seed
+	make1 := newKeyDraw(&cfg)
+	draw := make1(rand.New(rand.NewSource(seed)))
+	seq := make([]uint64, n)
+	for i := range seq {
+		seq[i] = draw()
+		if seq[i] < intset.KeyMin || seq[i] >= intset.KeyMin+cfg.KeyRange {
+			t.Fatalf("%v draw %d = %d outside [%d, %d)",
+				cfg.Dist, i, seq[i], intset.KeyMin, intset.KeyMin+cfg.KeyRange)
+		}
+	}
+	return seq
+}
+
+// TestKeyDistUniformMatchesLegacy pins the compatibility contract: the
+// uniform sampler must reproduce the pre-KeyDist draw expression bit for
+// bit from the same rng, so every recorded baseline and golden history
+// stays valid.
+func TestKeyDistUniformMatchesLegacy(t *testing.T) {
+	const keyRange, n, seed = 2048, 4096, 99
+	got := drawSeq(t, Config{KeyRange: keyRange}, seed, n)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		want := intset.KeyMin + uint64(rng.Int63n(int64(keyRange)))
+		if got[i] != want {
+			t.Fatalf("uniform draw %d = %d, legacy expression yields %d", i, got[i], want)
+		}
+	}
+}
+
+// TestKeyDistDeterminism checks, for every distribution, that the same
+// seed reproduces the same draw sequence and a different seed does not.
+func TestKeyDistDeterminism(t *testing.T) {
+	for _, d := range []KeyDist{DistUniform, DistZipfian, DistHotSet} {
+		cfg := Config{KeyRange: 1 << 12, Dist: d}
+		a := drawSeq(t, cfg, 7, 2000)
+		b := drawSeq(t, cfg, 7, 2000)
+		c := drawSeq(t, cfg, 8, 2000)
+		same, diff := true, false
+		for i := range a {
+			same = same && a[i] == b[i]
+			diff = diff || a[i] != c[i]
+		}
+		if !same {
+			t.Fatalf("%v: identical seeds produced different sequences", d)
+		}
+		if !diff {
+			t.Fatalf("%v: distinct seeds produced identical sequences", d)
+		}
+	}
+}
+
+// TestScatterIsBijection checks the rank scatterer really permutes
+// [0, n): the rank distribution must be relocated exactly, not hashed
+// with collisions.
+func TestScatterIsBijection(t *testing.T) {
+	for _, n := range []uint64{2, 3, 64, 100, 2048, 3000} {
+		scatter := scatterFor(n)
+		seen := make(map[uint64]bool, n)
+		for r := uint64(0); r < n; r++ {
+			k := scatter(r)
+			if k >= n {
+				t.Fatalf("n=%d: scatter(%d) = %d out of range", n, r, k)
+			}
+			if seen[k] {
+				t.Fatalf("n=%d: scatter collision at %d", n, k)
+			}
+			seen[k] = true
+		}
+	}
+}
+
+// TestZipfianSkew checks the Zipfian sampler is heavily skewed: with
+// theta 0.99 the hottest 1% of keys should draw far more than their
+// uniform share (empirically ~35% at this range; uniform would give 1%).
+func TestZipfianSkew(t *testing.T) {
+	const keyRange, n = 1000, 200_000
+	seq := drawSeq(t, Config{KeyRange: keyRange, Dist: DistZipfian}, 5, n)
+	counts := map[uint64]int{}
+	for _, k := range seq {
+		counts[k]++
+	}
+	// Take the top 1% of keys by observed traffic.
+	top := 0
+	for i := 0; i < keyRange/100; i++ {
+		var bestK uint64
+		best := -1
+		for k, c := range counts {
+			if c > best {
+				bestK, best = k, c
+			}
+		}
+		top += best
+		delete(counts, bestK)
+	}
+	if frac := float64(top) / n; frac < 0.15 {
+		t.Fatalf("top 1%% of keys drew only %.1f%% of Zipfian traffic, want >= 15%%", frac*100)
+	}
+}
+
+// TestHotSetSkew checks the hot-set sampler's contract directly: with the
+// 10/90 defaults the 10% hottest keys must carry about 90% of the draws.
+func TestHotSetSkew(t *testing.T) {
+	const keyRange, n = 1000, 200_000
+	seq := drawSeq(t, Config{KeyRange: keyRange, Dist: DistHotSet}, 5, n)
+	counts := map[uint64]int{}
+	for _, k := range seq {
+		counts[k]++
+	}
+	hot := 0
+	for i := 0; i < keyRange/10; i++ {
+		var bestK uint64
+		best := -1
+		for k, c := range counts {
+			if c > best {
+				bestK, best = k, c
+			}
+		}
+		hot += best
+		delete(counts, bestK)
+	}
+	frac := float64(hot) / n
+	if frac < 0.85 || frac > 0.95 {
+		t.Fatalf("hot 10%% of keys drew %.1f%% of traffic, want ~90%%", frac*100)
+	}
+}
+
+// TestParseKeyDist covers the CLI spellings and the error path.
+func TestParseKeyDist(t *testing.T) {
+	cases := map[string]KeyDist{
+		"uniform": DistUniform, "": DistUniform,
+		"zipfian": DistZipfian, "zipf": DistZipfian,
+		"hotset": DistHotSet, "hot-set": DistHotSet,
+	}
+	for s, want := range cases {
+		got, err := ParseKeyDist(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseKeyDist(%q) = %v, %v; want %v", s, got, err, want)
+		}
+		if got.String() == "" {
+			t.Fatalf("%v has empty String()", got)
+		}
+	}
+	if _, err := ParseKeyDist("gaussian"); err == nil {
+		t.Fatal("ParseKeyDist accepted an unknown distribution")
+	}
+}

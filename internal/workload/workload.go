@@ -1,8 +1,10 @@
 // Package workload generates the paper's standard search-data-structure
-// workloads (Section 6): every thread draws uniform random keys from a
-// fixed range and performs a mix of inserts, deletes and searches; the
+// workloads (Section 6): every thread draws random keys from a fixed
+// range and performs a mix of inserts, deletes and searches; the
 // structure is prefilled to half the key range so its size stays roughly
-// constant and about half of the updates return false.
+// constant and about half of the updates return false. Keys are uniform
+// by default; Config.Dist switches the measured phase to a Zipfian or
+// hot-set distribution for skewed-traffic experiments.
 package workload
 
 import (
@@ -37,6 +39,16 @@ type Config struct {
 	OpsPerThread int
 	Mix          Mix
 	Seed         int64
+
+	// Dist selects the key distribution for the measured phase's draws
+	// (Prefill stays uniform). The zero value, DistUniform, reproduces
+	// the paper's workload bit for bit. HotKeysPct/HotTrafficPct shape
+	// DistHotSet (defaults 10/90); ZipfTheta shapes DistZipfian
+	// (default 0.99).
+	Dist          KeyDist
+	HotKeysPct    int
+	HotTrafficPct int
+	ZipfTheta     float64
 
 	// History, when non-nil, records every operation's invocation and
 	// response (worker w uses shard w; Prefill records on shard 0) so the
@@ -133,6 +145,7 @@ func Run(mem core.Memory, s intset.Set, cfg Config) Counts {
 	var ready, wg sync.WaitGroup
 	start := make(chan struct{})
 	ready.Add(cfg.Threads)
+	makeDraw := newKeyDraw(&cfg)
 	for w := 0; w < cfg.Threads; w++ {
 		wg.Add(1)
 		go func(w int) {
@@ -145,6 +158,7 @@ func Run(mem core.Memory, s intset.Set, cfg Config) Counts {
 			ready.Done()
 			<-start
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*7919 + 1))
+			draw := makeDraw(rng)
 			var sh *history.Shard
 			if cfg.History != nil {
 				sh = cfg.History.Shard(w)
@@ -194,7 +208,7 @@ func Run(mem core.Memory, s intset.Set, cfg Config) Counts {
 			}
 			c := &results[w]
 			for i := 0; i < cfg.OpsPerThread; i++ {
-				k := intset.KeyMin + uint64(rng.Int63n(int64(cfg.KeyRange)))
+				k := draw()
 				op := rng.Intn(100)
 				switch {
 				case op < cfg.Mix.InsertPct:
