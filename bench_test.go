@@ -18,7 +18,11 @@ package repro
 // Run `go run ./cmd/memtag-bench -full` for the paper-scale sweeps.
 
 import (
+	"bufio"
+	"context"
+	"net"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -28,6 +32,7 @@ import (
 	"repro/internal/kcas"
 	"repro/internal/list"
 	"repro/internal/machine"
+	"repro/internal/serve"
 	"repro/internal/vtags"
 	"repro/internal/workload"
 )
@@ -512,3 +517,111 @@ func BenchmarkAblation_FallbackThreshold(b *testing.B) {
 
 // newVtags constructs the software-emulation backend.
 func newVtags(bytes, threads int) core.Memory { return vtags.New(bytes, threads) }
+
+// BenchmarkServe_Pipelined measures the served request path end to end —
+// TCP, decode, STM op, encode — with one pipelined client connection per
+// engine worker, and reports the service-time p99 (servedP99ns) that CI
+// gates: a regression here means the protocol codec, the worker hot path,
+// or the streaming telemetry got slower.
+func BenchmarkServe_Pipelined(b *testing.B) {
+	for _, tagged := range []bool{true, false} {
+		b.Run(map[bool]string{true: "tagged", false: "norec"}[tagged], func(b *testing.B) {
+			benchServe(b, tagged)
+		})
+	}
+}
+
+func benchServe(b *testing.B, tagged bool) {
+	const (
+		workers  = 4
+		batch    = 1024
+		keyRange = 4096
+	)
+	srv, err := serve.New(serve.Config{
+		Addr:        "127.0.0.1:0",
+		StreamEvery: 10 * time.Millisecond,
+		Engine: serve.EngineConfig{
+			Workers: workers, MemBytes: 256 << 20, Tagged: tagged, Relations: 256,
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		b.Fatal(err)
+	}
+
+	type cl struct {
+		conn net.Conn
+		bw   *bufio.Writer
+		br   *bufio.Reader
+	}
+	clients := make([]cl, workers)
+	for i := range clients {
+		conn, err := net.Dial("tcp", srv.Addr().String())
+		if err != nil {
+			b.Fatal(err)
+		}
+		clients[i] = cl{conn, bufio.NewWriterSize(conn, 64<<10), bufio.NewReaderSize(conn, 64<<10)}
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for c := range clients {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				cli := &clients[c]
+				rng := uint64(c)*0x9e3779b97f4a7c15 + uint64(i) + 1
+				var buf []byte
+				for j := 0; j < batch; j++ {
+					rng ^= rng << 13
+					rng ^= rng >> 7
+					rng ^= rng << 17
+					key := rng % keyRange
+					var req serve.Request
+					switch j % 5 {
+					case 0:
+						req = serve.Request{Op: serve.CmdPut, A: key, B: rng%999 + 1}
+					case 1, 2:
+						req = serve.Request{Op: serve.CmdGet, A: key}
+					case 3:
+						req = serve.Request{Op: serve.CmdSAdd, A: key}
+					default:
+						req = serve.Request{Op: serve.CmdSHas, A: key}
+					}
+					buf = serve.AppendRequest(buf[:0], &req)
+					if _, err := cli.bw.Write(buf); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+				if err := cli.bw.Flush(); err != nil {
+					b.Error(err)
+					return
+				}
+				for j := 0; j < batch; j++ {
+					if _, err := cli.br.ReadBytes('\n'); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+	}
+	b.StopTimer()
+
+	for i := range clients {
+		clients[i].conn.Close()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		b.Fatal(err)
+	}
+	sum := srv.Summarize()
+	b.ReportMetric(sum.P99NS, "servedP99ns")
+	b.ReportMetric(float64(sum.Requests)/b.Elapsed().Seconds(), "servedReqs/s")
+}

@@ -1,0 +1,478 @@
+// Command memtag-load drives traffic at a memtag-serve instance and
+// reports SLO statistics. It reuses the experiment suite's key
+// distributions (uniform / zipfian / hotset via workload.NewKeyDraw), so a
+// served run is skew-comparable with the in-process benchmarks.
+//
+// Closed loop (default): each connection keeps -pipeline requests in
+// flight and latency is measured write-to-response. Open loop (-rate):
+// sends are scheduled at a fixed aggregate rate and latency is measured
+// from the *scheduled* send time, so queueing delay from a saturated
+// server is charged to the server rather than silently absorbed (no
+// coordinated omission).
+//
+//	memtag-load -addr 127.0.0.1:7070 -conns 8 -duration 10s
+//	memtag-load -dist zipfian -theta 0.99 -rate 50000 -json slo.json
+//	memtag-load -storm-every 2s -storm-duration 200ms -churn-every 500ms
+//
+// -min-rate makes the process exit nonzero if achieved throughput falls
+// short — the CI smoke gate.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/telemetry"
+	"repro/internal/vacation"
+	"repro/internal/workload"
+)
+
+// opClass is one entry of the -mix: a wire op and its traffic share.
+type opClass struct {
+	name string
+	op   uint8
+	pct  int
+}
+
+var classTable = map[string]uint8{
+	"get": serve.CmdGet, "put": serve.CmdPut, "del": serve.CmdDel,
+	"sadd": serve.CmdSAdd, "srem": serve.CmdSRem, "shas": serve.CmdSHas,
+	"resv": serve.CmdResv, "bill": serve.CmdBill, "cancel": serve.CmdCancel,
+	"ping": serve.CmdPing,
+}
+
+func parseMix(s string) ([]opClass, error) {
+	var mix []opClass
+	total := 0
+	for _, part := range strings.Split(s, ",") {
+		name, pctStr, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return nil, fmt.Errorf("mix entry %q: want op:pct", part)
+		}
+		op, ok := classTable[name]
+		if !ok {
+			return nil, fmt.Errorf("mix entry %q: unknown op", part)
+		}
+		pct, err := strconv.Atoi(pctStr)
+		if err != nil || pct <= 0 {
+			return nil, fmt.Errorf("mix entry %q: bad percentage", part)
+		}
+		mix = append(mix, opClass{name: name, op: op, pct: pct})
+		total += pct
+	}
+	if total != 100 {
+		return nil, fmt.Errorf("mix percentages sum to %d, want 100", total)
+	}
+	return mix, nil
+}
+
+// classSLO is the per-op-class section of the -json report.
+type classSLO struct {
+	Name  string  `json:"name"`
+	Count uint64  `json:"count"`
+	P50NS float64 `json:"p50_ns"`
+	P95NS float64 `json:"p95_ns"`
+	P99NS float64 `json:"p99_ns"`
+	MaxNS uint64  `json:"max_ns"`
+}
+
+type report struct {
+	Addr      string     `json:"addr"`
+	Conns     int        `json:"conns"`
+	Pipeline  int        `json:"pipeline"`
+	Dist      string     `json:"dist"`
+	RateRPS   float64    `json:"rate_rps"`
+	TargetRPS float64    `json:"target_rps,omitempty"`
+	ElapsedNS int64      `json:"elapsed_ns"`
+	Requests  uint64     `json:"requests"`
+	Errors    uint64     `json:"errors"`
+	Churns    uint64     `json:"churns"`
+	Classes   []classSLO `json:"classes"`
+}
+
+type loadCfg struct {
+	addr          string
+	conns         int
+	pipeline      int
+	requests      uint64 // 0 = duration-bound
+	deadline      time.Time
+	rate          float64 // aggregate target rps; 0 = closed loop
+	mix           []opClass
+	keyRange      uint64
+	resRange      uint64
+	draw          func(*rand.Rand) func() uint64
+	stormEvery    time.Duration
+	stormDuration time.Duration
+	churnEvery    time.Duration
+	seed          int64
+
+	sent     atomic.Uint64 // request-budget allocator when requests > 0
+	storming atomic.Bool
+}
+
+// connStats is one connection's tally: latency histograms indexed by mix
+// position, plus error/churn/completion counts. No locks — each belongs
+// to a single goroutine until the final merge.
+type connStats struct {
+	lat    []telemetry.Histogram
+	errors uint64
+	churns uint64
+	done   uint64
+}
+
+// budget returns how many of the `want` requests this conn may still send
+// (0 ends the run). Count-bound runs claim slots from the shared counter;
+// duration-bound runs check the deadline.
+func (cfg *loadCfg) budget(want int) int {
+	if cfg.requests > 0 {
+		claimed := cfg.sent.Add(uint64(want))
+		if claimed <= cfg.requests {
+			return want
+		}
+		over := claimed - cfg.requests
+		if uint64(want) <= over {
+			return 0
+		}
+		return want - int(over)
+	}
+	if time.Now().After(cfg.deadline) {
+		return 0
+	}
+	return want
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7070", "memtag-serve address")
+		conns    = flag.Int("conns", 8, "concurrent connections")
+		pipeline = flag.Int("pipeline", 32, "in-flight requests per connection")
+		requests = flag.Uint64("requests", 0, "stop after this many total requests (0 = use -duration)")
+		duration = flag.Duration("duration", 10*time.Second, "run length when -requests is 0")
+		rate     = flag.Float64("rate", 0, "aggregate open-loop send rate in req/s (0 = closed loop)")
+		mixFlag  = flag.String("mix", "get:40,put:25,del:10,sadd:10,srem:5,shas:5,resv:3,bill:1,cancel:1", "op mix, percentages summing to 100")
+		keyRange = flag.Uint64("range", 16384, "KV/set key range")
+		resRange = flag.Uint64("res-range", 1024, "reservation resource-id range")
+		dist     = flag.String("dist", "uniform", "key distribution: uniform, zipfian or hotset")
+		theta    = flag.Float64("theta", 0, "zipfian theta (0 = default 0.99)")
+		hotKeys  = flag.Int("hot-keys", 0, "hotset: percent of keys that are hot (0 = default 10)")
+		hotTraf  = flag.Int("hot-traffic", 0, "hotset: percent of traffic to hot keys (0 = default 90)")
+		stormEv  = flag.Duration("storm-every", 0, "hot-key storm interval (0 = no storms)")
+		stormDur = flag.Duration("storm-duration", 100*time.Millisecond, "hot-key storm length")
+		churnEv  = flag.Duration("churn-every", 0, "re-dial each connection this often (0 = never)")
+		jsonOut  = flag.String("json", "", "write the SLO report as JSON to this file (\"-\" = stdout)")
+		minRate  = flag.Float64("min-rate", 0, "exit nonzero if achieved req/s falls below this")
+		seed     = flag.Int64("seed", 1, "rng seed")
+	)
+	flag.Parse()
+
+	mix, err := parseMix(*mixFlag)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	kd, err := workload.ParseKeyDist(*dist)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if *conns <= 0 || *pipeline <= 0 || *keyRange == 0 {
+		fatalf("-conns, -pipeline and -range must be positive")
+	}
+	wcfg := workload.Config{
+		KeyRange:      *keyRange,
+		Dist:          kd,
+		ZipfTheta:     *theta,
+		HotKeysPct:    *hotKeys,
+		HotTrafficPct: *hotTraf,
+	}
+	dl := time.Now().Add(*duration)
+	if *requests > 0 {
+		dl = time.Now().Add(24 * time.Hour) // count-bound: the budget governs
+	}
+	cfg := &loadCfg{
+		addr: *addr, conns: *conns, pipeline: *pipeline,
+		requests: *requests, deadline: dl, rate: *rate, mix: mix,
+		keyRange: *keyRange, resRange: *resRange,
+		draw:       workload.NewKeyDraw(&wcfg),
+		stormEvery: *stormEv, stormDuration: *stormDur,
+		churnEvery: *churnEv, seed: *seed,
+	}
+
+	// Storm clock: while storming, every key draw collapses onto two
+	// scorching keys, serializing the whole fleet on them.
+	stopStorm := make(chan struct{})
+	if cfg.stormEvery > 0 {
+		go func() {
+			tick := time.NewTicker(cfg.stormEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopStorm:
+					return
+				case <-tick.C:
+					cfg.storming.Store(true)
+					select {
+					case <-stopStorm:
+						return
+					case <-time.After(cfg.stormDuration):
+						cfg.storming.Store(false)
+					}
+				}
+			}
+		}()
+	}
+
+	stats := make([]connStats, cfg.conns)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < cfg.conns; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			runConn(cfg, id, &stats[id])
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(stopStorm)
+
+	rep := report{
+		Addr: cfg.addr, Conns: cfg.conns, Pipeline: cfg.pipeline,
+		Dist: kd.String(), TargetRPS: cfg.rate, ElapsedNS: int64(elapsed),
+	}
+	merged := make([]telemetry.Histogram, len(mix))
+	for i := range stats {
+		rep.Errors += stats[i].errors
+		rep.Churns += stats[i].churns
+		rep.Requests += stats[i].done
+		for j := range merged {
+			merged[j].Merge(&stats[i].lat[j])
+		}
+	}
+	rep.RateRPS = float64(rep.Requests) / elapsed.Seconds()
+	for j, m := range mix {
+		h := &merged[j]
+		if h.Count() == 0 {
+			continue
+		}
+		rep.Classes = append(rep.Classes, classSLO{
+			Name: m.name, Count: h.Count(),
+			P50NS: h.Quantile(0.50), P95NS: h.Quantile(0.95),
+			P99NS: h.Quantile(0.99), MaxNS: h.Max(),
+		})
+	}
+	sort.Slice(rep.Classes, func(a, b int) bool { return rep.Classes[a].Count > rep.Classes[b].Count })
+
+	fmt.Fprintf(os.Stderr, "memtag-load: %d requests in %v = %.0f req/s (%d errors, %d churns)\n",
+		rep.Requests, elapsed.Round(time.Millisecond), rep.RateRPS, rep.Errors, rep.Churns)
+	for _, c := range rep.Classes {
+		fmt.Fprintf(os.Stderr, "  %-6s n=%-9d p50=%8.0fns p95=%8.0fns p99=%8.0fns max=%dns\n",
+			c.Name, c.Count, c.P50NS, c.P95NS, c.P99NS, c.MaxNS)
+	}
+	if *jsonOut != "" {
+		w := os.Stdout
+		if *jsonOut != "-" {
+			w, err = os.Create(*jsonOut)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			defer w.Close()
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(&rep); err != nil {
+			fatalf("writing report: %v", err)
+		}
+	}
+	if rep.Errors > 0 {
+		fatalf("%d error responses", rep.Errors)
+	}
+	if *minRate > 0 && rep.RateRPS < *minRate {
+		fatalf("achieved %.0f req/s < -min-rate %.0f", rep.RateRPS, *minRate)
+	}
+}
+
+// session exit reasons.
+const (
+	exitBudget = iota // global run is over
+	exitChurn         // churn boundary: re-dial and continue
+)
+
+// runConn drives one connection until the run ends, re-dialing every
+// churnEvery (connection churn exercises the server's accept / register /
+// unregister path under load).
+func runConn(cfg *loadCfg, id int, st *connStats) {
+	rng := rand.New(rand.NewSource(cfg.seed + int64(id)*7919))
+	drawKey := cfg.draw(rng)
+	st.lat = make([]telemetry.Histogram, len(cfg.mix))
+
+	// nextReq fills req in place and returns the mix index, honouring
+	// storms.
+	nextReq := func(req *serve.Request) int {
+		p := rng.Intn(100)
+		j := 0
+		for acc := cfg.mix[0].pct; p >= acc; acc += cfg.mix[j].pct {
+			j++
+		}
+		key := drawKey()
+		if cfg.storming.Load() {
+			key %= 2
+		}
+		*req = serve.Request{Op: cfg.mix[j].op}
+		switch req.Op {
+		case serve.CmdGet, serve.CmdDel, serve.CmdSAdd, serve.CmdSRem, serve.CmdSHas:
+			req.A = key
+		case serve.CmdPut:
+			req.A, req.B = key, uint64(rng.Int63n(1_000_000))+1
+		case serve.CmdResv:
+			req.A = key % cfg.keyRange
+			req.B = uint64(rng.Intn(vacation.NumKinds))
+			req.C = uint64(rng.Int63n(int64(cfg.resRange))) + 1
+		case serve.CmdBill, serve.CmdCancel:
+			req.A = key % cfg.keyRange
+		}
+		return j
+	}
+
+	for {
+		conn, err := net.Dial("tcp", cfg.addr)
+		if err != nil {
+			fatalf("conn %d: dial: %v", id, err)
+		}
+		sessionEnd := cfg.deadline
+		if cfg.churnEvery > 0 {
+			if end := time.Now().Add(cfg.churnEvery); end.Before(sessionEnd) {
+				sessionEnd = end
+			}
+		}
+		reason := runSession(cfg, conn, sessionEnd, nextReq, st)
+		conn.Close()
+		if reason == exitBudget || time.Now().After(cfg.deadline) {
+			return
+		}
+		st.churns++
+	}
+}
+
+// runSession pumps requests on one dialed connection until the session
+// deadline (churn boundary) or the global budget ends.
+func runSession(cfg *loadCfg, conn net.Conn, sessionEnd time.Time,
+	nextReq func(*serve.Request) int, st *connStats) int {
+
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	br := bufio.NewReaderSize(conn, 64<<10)
+	classOf := make([]int, cfg.pipeline)
+	stamp := make([]time.Time, cfg.pipeline)
+	var buf []byte
+	var req serve.Request
+
+	readOne := func(i int) {
+		line, err := br.ReadBytes('\n')
+		if err != nil {
+			fatalf("read: %v", err)
+		}
+		resp, err := serve.ParseResponse(line)
+		if err != nil {
+			fatalf("bad response %q: %v", line, err)
+		}
+		if resp.Kind == serve.RespErr {
+			st.errors++
+		}
+		st.lat[classOf[i]].Observe(uint64(time.Since(stamp[i])))
+		st.done++
+	}
+
+	if cfg.rate == 0 {
+		// Closed loop: batches of `pipeline` in flight.
+		for {
+			// Session check first: budget() claims slots from the shared
+			// counter, and a claimed-then-unsent batch would leak them.
+			if time.Now().After(sessionEnd) {
+				return exitChurn
+			}
+			n := cfg.budget(cfg.pipeline)
+			if n == 0 {
+				return exitBudget
+			}
+			for i := 0; i < n; i++ {
+				classOf[i] = nextReq(&req)
+				stamp[i] = time.Now()
+				buf = serve.AppendRequest(buf[:0], &req)
+				if _, err := bw.Write(buf); err != nil {
+					fatalf("write: %v", err)
+				}
+			}
+			if err := bw.Flush(); err != nil {
+				fatalf("flush: %v", err)
+			}
+			for i := 0; i < n; i++ {
+				readOne(i)
+			}
+		}
+	}
+
+	// Open loop: sends are paced on the schedule; a FIFO ring of scheduled
+	// stamps (capacity = pipeline) backpressures when the server falls too
+	// far behind.
+	interval := time.Duration(float64(time.Second) * float64(cfg.conns) / cfg.rate)
+	next := time.Now()
+	head, tail, inflight := 0, 0, 0
+	drain := func() {
+		for inflight > 0 {
+			readOne(head)
+			head = (head + 1) % cfg.pipeline
+			inflight--
+		}
+	}
+	for {
+		if time.Now().After(sessionEnd) {
+			drain()
+			return exitChurn
+		}
+		if cfg.budget(1) == 0 {
+			drain()
+			return exitBudget
+		}
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		for inflight >= cfg.pipeline {
+			readOne(head)
+			head = (head + 1) % cfg.pipeline
+			inflight--
+		}
+		classOf[tail] = nextReq(&req)
+		stamp[tail] = next // scheduled time, not send time: no coordinated omission
+		buf = serve.AppendRequest(buf[:0], &req)
+		if _, err := bw.Write(buf); err != nil {
+			fatalf("write: %v", err)
+		}
+		if err := bw.Flush(); err != nil {
+			fatalf("flush: %v", err)
+		}
+		tail = (tail + 1) % cfg.pipeline
+		inflight++
+		next = next.Add(interval)
+		// Opportunistically drain whatever responses already arrived.
+		for inflight > 0 && br.Buffered() > 0 {
+			readOne(head)
+			head = (head + 1) % cfg.pipeline
+			inflight--
+		}
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "memtag-load: "+format+"\n", args...)
+	os.Exit(1)
+}

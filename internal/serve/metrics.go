@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// metricsPayload is the /metrics JSON document: cumulative totals that are
+// valid at any instant, plus the time-resolved windows merged across
+// workers from the streaming telemetry rings. Scrapes run mid-traffic;
+// nothing here touches the quiescence-only telemetry.Set.
+type metricsPayload struct {
+	UptimeNS      int64                    `json:"uptime_ns"`
+	Workers       int                      `json:"workers"`
+	Requests      uint64                   `json:"requests"`
+	Errors        uint64                   `json:"errors"`
+	ConnsAccepted uint64                   `json:"conns_accepted"`
+	ConnsActive   int64                    `json:"conns_active"`
+	Ops           uint64                   `json:"ops"`
+	Fails         uint64                   `json:"fails"`
+	WindowNS      uint64                   `json:"window_ns"`
+	StreamRetries int                      `json:"stream_retries"`
+	Windows       []telemetry.StreamWindow `json:"windows"`
+}
+
+func (s *Server) metricsMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.serveMetrics)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	// Go runtime defaults (memstats, cmdline) — a private mux rather than
+	// expvar.Publish keeps multiple in-process servers (tests) from
+	// fighting over the global registry.
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}
+
+func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
+	windows, retries := s.stream.ReadMergedWindows()
+	ops, fails := s.stream.Totals()
+	p := metricsPayload{
+		UptimeNS:      int64(time.Since(s.start)),
+		Workers:       len(s.eng.workers),
+		Requests:      s.requests.Load(),
+		Errors:        s.errors.Load(),
+		ConnsAccepted: s.accepted.Load(),
+		ConnsActive:   s.active.Load(),
+		Ops:           ops,
+		Fails:         fails,
+		WindowNS:      s.stream.Every(),
+		StreamRetries: retries,
+		Windows:       windows,
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.Encode(&p)
+}

@@ -1,0 +1,348 @@
+// Package serve is the network-facing layer over the tagged structures: a
+// line-oriented TCP protocol exposing a transactional key-value plane
+// (txmap over tagged NOrec), a set plane (VAS skiplist), and the STAMP
+// Vacation reservation engine (vacation.Manager), plus an HTTP endpoint
+// streaming mid-run telemetry windows (telemetry.Stream).
+//
+// The protocol is deliberately minimal — one ASCII line per request, one
+// per response — so the hot path (decode → structure op → encode) stays
+// allocation-free and the wire format is trivial to drive from tests and
+// the memtag-load generator:
+//
+//	GET k            → OK v | NF          KV lookup
+//	PUT k v          → T | F              KV upsert (T = newly inserted); v must be > 0
+//	DEL k            → T | F              KV delete
+//	SADD k           → T | F              set insert
+//	SREM k           → T | F              set delete
+//	SHAS k           → T | F              set membership
+//	RESV c kind id   → OK price | F       reserve one unit for customer c
+//	                                      (customer auto-created, as in STAMP)
+//	BILL c           → OK bill | NF       customer's total bill
+//	CANCEL c         → T | F              delete customer, releasing capacity
+//	ADDCUST c        → T | F              add customer
+//	ADDRES kind id n p → OK               add n units of capacity at price p
+//	DELRES kind id n → T | F              remove n unreserved units
+//	QPRICE kind id   → OK price | NF      price if free capacity remains
+//	PING             → PONG
+//
+// Malformed requests get "ERR <reason>" and the connection stays open.
+package serve
+
+import "fmt"
+
+// Wire op codes. They double as history.Event op codes when tests record
+// served traffic, so they start above the structure-level codes
+// (history.OpInsert..OpTx occupy 0..8).
+const (
+	CmdGet uint8 = 16 + iota
+	CmdPut
+	CmdDel
+	CmdSAdd
+	CmdSRem
+	CmdSHas
+	CmdResv
+	CmdBill
+	CmdCancel
+	CmdAddCust
+	CmdAddRes
+	CmdDelRes
+	CmdQPrice
+	CmdPing
+)
+
+// Request is one decoded wire request. A..D are the positional numeric
+// arguments (meaning depends on Op).
+type Request struct {
+	Op         uint8
+	A, B, C, D uint64
+}
+
+// Response kinds, as returned by ParseResponse (client side).
+const (
+	RespOK    = 'O' // OK, possibly with a value
+	RespTrue  = 'T'
+	RespFalse = 'F'
+	RespNF    = 'N' // not found
+	RespPong  = 'P'
+	RespErr   = 'E'
+)
+
+// Response is one decoded wire response.
+type Response struct {
+	Kind   byte
+	Val    uint64 // for RespOK with a value
+	HasVal bool
+}
+
+// errMalformed values are returned by ParseRequest; they are static so the
+// parse path does not allocate.
+var (
+	errEmpty    = fmt.Errorf("serve: empty request")
+	errUnknown  = fmt.Errorf("serve: unknown command")
+	errArgCount = fmt.Errorf("serve: wrong argument count")
+	errBadNum   = fmt.Errorf("serve: malformed number")
+	errBadKind  = fmt.Errorf("serve: resource kind out of range")
+	errZeroVal  = fmt.Errorf("serve: PUT value must be > 0")
+)
+
+// nArgs is the positional argument count per command.
+func nArgs(op uint8) int {
+	switch op {
+	case CmdPing:
+		return 0
+	case CmdGet, CmdDel, CmdSAdd, CmdSRem, CmdSHas, CmdBill, CmdCancel, CmdAddCust:
+		return 1
+	case CmdPut, CmdQPrice:
+		return 2
+	case CmdResv, CmdDelRes:
+		return 3
+	case CmdAddRes:
+		return 4
+	}
+	return -1
+}
+
+// parseUint is strconv.ParseUint(string(b), 10, 64) without the string
+// conversion, so request decode does not allocate.
+func parseUint(b []byte) (uint64, bool) {
+	if len(b) == 0 {
+		return 0, false
+	}
+	var v uint64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		if v > (1<<64-1)/10 {
+			return 0, false
+		}
+		v = v*10 + uint64(c-'0')
+		if v < uint64(c-'0') {
+			return 0, false
+		}
+	}
+	return v, true
+}
+
+// matchCmd maps a command token to its op code (allocation-free; commands
+// are uppercase ASCII).
+func matchCmd(tok []byte) (uint8, bool) {
+	switch len(tok) {
+	case 3:
+		switch {
+		case tok[0] == 'G' && tok[1] == 'E' && tok[2] == 'T':
+			return CmdGet, true
+		case tok[0] == 'P' && tok[1] == 'U' && tok[2] == 'T':
+			return CmdPut, true
+		case tok[0] == 'D' && tok[1] == 'E' && tok[2] == 'L':
+			return CmdDel, true
+		}
+	case 4:
+		switch {
+		case tok[0] == 'S' && tok[1] == 'A' && tok[2] == 'D' && tok[3] == 'D':
+			return CmdSAdd, true
+		case tok[0] == 'S' && tok[1] == 'R' && tok[2] == 'E' && tok[3] == 'M':
+			return CmdSRem, true
+		case tok[0] == 'S' && tok[1] == 'H' && tok[2] == 'A' && tok[3] == 'S':
+			return CmdSHas, true
+		case tok[0] == 'R' && tok[1] == 'E' && tok[2] == 'S' && tok[3] == 'V':
+			return CmdResv, true
+		case tok[0] == 'B' && tok[1] == 'I' && tok[2] == 'L' && tok[3] == 'L':
+			return CmdBill, true
+		case tok[0] == 'P' && tok[1] == 'I' && tok[2] == 'N' && tok[3] == 'G':
+			return CmdPing, true
+		}
+	case 6:
+		switch {
+		case tok[0] == 'C' && string(tok) == "CANCEL":
+			return CmdCancel, true
+		case tok[0] == 'A' && string(tok) == "ADDRES":
+			return CmdAddRes, true
+		case tok[0] == 'D' && string(tok) == "DELRES":
+			return CmdDelRes, true
+		case tok[0] == 'Q' && string(tok) == "QPRICE":
+			return CmdQPrice, true
+		}
+	case 7:
+		if tok[0] == 'A' && string(tok) == "ADDCUST" {
+			return CmdAddCust, true
+		}
+	}
+	return 0, false
+}
+
+// ParseRequest decodes one request line (as returned by bufio.ReadSlice,
+// trailing '\n' included or not). Allocation-free.
+func ParseRequest(line []byte) (Request, error) {
+	// Trim trailing \n / \r\n.
+	for len(line) > 0 && (line[len(line)-1] == '\n' || line[len(line)-1] == '\r') {
+		line = line[:len(line)-1]
+	}
+	if len(line) == 0 {
+		return Request{}, errEmpty
+	}
+	// Split off the command token.
+	sp := -1
+	for i, c := range line {
+		if c == ' ' {
+			sp = i
+			break
+		}
+	}
+	var tok, rest []byte
+	if sp < 0 {
+		tok, rest = line, nil
+	} else {
+		tok, rest = line[:sp], line[sp+1:]
+	}
+	op, ok := matchCmd(tok)
+	if !ok {
+		return Request{}, errUnknown
+	}
+	var req Request
+	req.Op = op
+	want := nArgs(op)
+	args := [...]*uint64{&req.A, &req.B, &req.C, &req.D}
+	got := 0
+	for len(rest) > 0 {
+		sp = -1
+		for i, c := range rest {
+			if c == ' ' {
+				sp = i
+				break
+			}
+		}
+		var f []byte
+		if sp < 0 {
+			f, rest = rest, nil
+		} else {
+			f, rest = rest[:sp], rest[sp+1:]
+		}
+		if got >= want {
+			return Request{}, errArgCount
+		}
+		v, ok := parseUint(f)
+		if !ok {
+			return Request{}, errBadNum
+		}
+		*args[got] = v
+		got++
+	}
+	if got != want {
+		return Request{}, errArgCount
+	}
+	return req, nil
+}
+
+// ParseResponse decodes one response line (client side: tests and the
+// load generator).
+func ParseResponse(line []byte) (Response, error) {
+	for len(line) > 0 && (line[len(line)-1] == '\n' || line[len(line)-1] == '\r') {
+		line = line[:len(line)-1]
+	}
+	if len(line) == 0 {
+		return Response{}, errEmpty
+	}
+	switch line[0] {
+	case 'O':
+		r := Response{Kind: RespOK}
+		if len(line) > 3 && line[1] == 'K' && line[2] == ' ' {
+			v, ok := parseUint(line[3:])
+			if !ok {
+				return Response{}, errBadNum
+			}
+			r.Val, r.HasVal = v, true
+		}
+		return r, nil
+	case 'T':
+		return Response{Kind: RespTrue}, nil
+	case 'F':
+		return Response{Kind: RespFalse}, nil
+	case 'N':
+		return Response{Kind: RespNF}, nil
+	case 'P':
+		return Response{Kind: RespPong}, nil
+	case 'E':
+		return Response{Kind: RespErr}, nil
+	}
+	return Response{}, errUnknown
+}
+
+// Response encoders: append-style so the per-connection output buffer is
+// reused without allocation.
+
+func appendUint(b []byte, v uint64) []byte {
+	if v == 0 {
+		return append(b, '0')
+	}
+	var tmp [20]byte
+	i := len(tmp)
+	for v > 0 {
+		i--
+		tmp[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return append(b, tmp[i:]...)
+}
+
+// AppendRequest encodes req as a wire line (client side).
+func AppendRequest(b []byte, req *Request) []byte {
+	switch req.Op {
+	case CmdGet:
+		b = append(b, "GET "...)
+	case CmdPut:
+		b = append(b, "PUT "...)
+	case CmdDel:
+		b = append(b, "DEL "...)
+	case CmdSAdd:
+		b = append(b, "SADD "...)
+	case CmdSRem:
+		b = append(b, "SREM "...)
+	case CmdSHas:
+		b = append(b, "SHAS "...)
+	case CmdResv:
+		b = append(b, "RESV "...)
+	case CmdBill:
+		b = append(b, "BILL "...)
+	case CmdCancel:
+		b = append(b, "CANCEL "...)
+	case CmdAddCust:
+		b = append(b, "ADDCUST "...)
+	case CmdAddRes:
+		b = append(b, "ADDRES "...)
+	case CmdDelRes:
+		b = append(b, "DELRES "...)
+	case CmdQPrice:
+		b = append(b, "QPRICE "...)
+	case CmdPing:
+		return append(b, "PING\n"...)
+	}
+	args := [...]uint64{req.A, req.B, req.C, req.D}
+	for i := 0; i < nArgs(req.Op); i++ {
+		if i > 0 {
+			b = append(b, ' ')
+		}
+		b = appendUint(b, args[i])
+	}
+	return append(b, '\n')
+}
+
+func appendOK(b []byte) []byte            { return append(b, "OK\n"...) }
+func appendOKVal(b []byte, v uint64) []byte {
+	b = append(b, "OK "...)
+	b = appendUint(b, v)
+	return append(b, '\n')
+}
+func appendBool(b []byte, ok bool) []byte {
+	if ok {
+		return append(b, "T\n"...)
+	}
+	return append(b, "F\n"...)
+}
+func appendNF(b []byte) []byte   { return append(b, "NF\n"...) }
+func appendPong(b []byte) []byte { return append(b, "PONG\n"...) }
+func appendErr(b []byte, err error) []byte {
+	b = append(b, "ERR "...)
+	b = append(b, err.Error()...)
+	return append(b, '\n')
+}

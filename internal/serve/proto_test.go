@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestParseRequestRoundTrip(t *testing.T) {
+	cases := []struct {
+		line string
+		want Request
+	}{
+		{"GET 5\n", Request{Op: CmdGet, A: 5}},
+		{"PUT 5 77\n", Request{Op: CmdPut, A: 5, B: 77}},
+		{"DEL 18446744073709551615\n", Request{Op: CmdDel, A: ^uint64(0)}},
+		{"SADD 9\r\n", Request{Op: CmdSAdd, A: 9}},
+		{"SREM 9\n", Request{Op: CmdSRem, A: 9}},
+		{"SHAS 0\n", Request{Op: CmdSHas, A: 0}},
+		{"RESV 3 1 42\n", Request{Op: CmdResv, A: 3, B: 1, C: 42}},
+		{"BILL 3\n", Request{Op: CmdBill, A: 3}},
+		{"CANCEL 3\n", Request{Op: CmdCancel, A: 3}},
+		{"ADDCUST 12\n", Request{Op: CmdAddCust, A: 12}},
+		{"ADDRES 2 7 100 60\n", Request{Op: CmdAddRes, A: 2, B: 7, C: 100, D: 60}},
+		{"DELRES 2 7 100\n", Request{Op: CmdDelRes, A: 2, B: 7, C: 100}},
+		{"QPRICE 0 7\n", Request{Op: CmdQPrice, A: 0, B: 7}},
+		{"PING\n", Request{Op: CmdPing}},
+	}
+	for _, c := range cases {
+		got, err := ParseRequest([]byte(c.line))
+		if err != nil {
+			t.Fatalf("ParseRequest(%q): %v", c.line, err)
+		}
+		if got != c.want {
+			t.Fatalf("ParseRequest(%q) = %+v, want %+v", c.line, got, c.want)
+		}
+		// AppendRequest must re-encode to a line ParseRequest accepts
+		// identically (the \r\n case normalizes to \n).
+		enc := AppendRequest(nil, &got)
+		back, err := ParseRequest(enc)
+		if err != nil || back != c.want {
+			t.Fatalf("re-encode of %q = %q parsed to %+v (%v)", c.line, enc, back, err)
+		}
+	}
+}
+
+func TestParseRequestErrors(t *testing.T) {
+	for _, line := range []string{
+		"\n", "NOPE 1\n", "GET\n", "GET 1 2\n", "GET x\n", "PUT 1\n",
+		"ADDRES 1 2 3\n", "GET 99999999999999999999999\n", "get 1\n",
+	} {
+		if _, err := ParseRequest([]byte(line)); err == nil {
+			t.Fatalf("ParseRequest(%q) succeeded, want error", line)
+		}
+	}
+}
+
+func TestParseResponse(t *testing.T) {
+	cases := []struct {
+		line string
+		want Response
+	}{
+		{"OK\n", Response{Kind: RespOK}},
+		{"OK 42\n", Response{Kind: RespOK, Val: 42, HasVal: true}},
+		{"T\n", Response{Kind: RespTrue}},
+		{"F\n", Response{Kind: RespFalse}},
+		{"NF\n", Response{Kind: RespNF}},
+		{"PONG\n", Response{Kind: RespPong}},
+		{"ERR serve: unknown command\n", Response{Kind: RespErr}},
+	}
+	for _, c := range cases {
+		got, err := ParseResponse([]byte(c.line))
+		if err != nil || got != c.want {
+			t.Fatalf("ParseResponse(%q) = %+v (%v), want %+v", c.line, got, err, c.want)
+		}
+	}
+}
+
+func TestAppendEncoders(t *testing.T) {
+	if got := appendOKVal(nil, 0); !bytes.Equal(got, []byte("OK 0\n")) {
+		t.Fatalf("appendOKVal(0) = %q", got)
+	}
+	if got := appendUint(nil, 18446744073709551615); string(got) != "18446744073709551615" {
+		t.Fatalf("appendUint(max) = %q", got)
+	}
+}

@@ -1,0 +1,396 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/history"
+	"repro/internal/linearizability"
+)
+
+func startServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	if cfg.Engine.Workers == 0 {
+		cfg.Engine.Workers = 4
+	}
+	if cfg.Engine.MemBytes == 0 {
+		cfg.Engine.MemBytes = 64 << 20
+	}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	return srv
+}
+
+// testClient is one unpipelined request/response wire client.
+type testClient struct {
+	t    *testing.T
+	conn net.Conn
+	br   *bufio.Reader
+	buf  []byte
+}
+
+func dialClient(t *testing.T, addr string) *testClient {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial %s: %v", addr, err)
+	}
+	return &testClient{t: t, conn: conn, br: bufio.NewReader(conn)}
+}
+
+func (c *testClient) close() { c.conn.Close() }
+
+func (c *testClient) do(req Request) Response {
+	c.buf = AppendRequest(c.buf[:0], &req)
+	if _, err := c.conn.Write(c.buf); err != nil {
+		c.t.Fatalf("write: %v", err)
+	}
+	line, err := c.br.ReadBytes('\n')
+	if err != nil {
+		c.t.Fatalf("read: %v", err)
+	}
+	resp, err := ParseResponse(line)
+	if err != nil {
+		c.t.Fatalf("bad response %q: %v", line, err)
+	}
+	return resp
+}
+
+func shutdown(t *testing.T, srv *Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+}
+
+func TestServeRoundTrip(t *testing.T) {
+	srv := startServer(t, Config{Engine: EngineConfig{Workers: 2, Tagged: true, Relations: 8}})
+	defer shutdown(t, srv)
+	c := dialClient(t, srv.Addr().String())
+	defer c.close()
+
+	if r := c.do(Request{Op: CmdPing}); r.Kind != RespPong {
+		t.Fatalf("PING = %+v", r)
+	}
+	if r := c.do(Request{Op: CmdGet, A: 5}); r.Kind != RespNF {
+		t.Fatalf("GET missing = %+v", r)
+	}
+	if r := c.do(Request{Op: CmdPut, A: 5, B: 70}); r.Kind != RespTrue {
+		t.Fatalf("PUT new = %+v", r)
+	}
+	if r := c.do(Request{Op: CmdPut, A: 5, B: 71}); r.Kind != RespFalse {
+		t.Fatalf("PUT existing = %+v", r)
+	}
+	if r := c.do(Request{Op: CmdGet, A: 5}); r.Kind != RespOK || r.Val != 71 {
+		t.Fatalf("GET = %+v, want OK 71", r)
+	}
+	if r := c.do(Request{Op: CmdDel, A: 5}); r.Kind != RespTrue {
+		t.Fatalf("DEL = %+v", r)
+	}
+	if r := c.do(Request{Op: CmdSAdd, A: 9}); r.Kind != RespTrue {
+		t.Fatalf("SADD = %+v", r)
+	}
+	if r := c.do(Request{Op: CmdSHas, A: 9}); r.Kind != RespTrue {
+		t.Fatalf("SHAS = %+v", r)
+	}
+	if r := c.do(Request{Op: CmdSRem, A: 9}); r.Kind != RespTrue {
+		t.Fatalf("SREM = %+v", r)
+	}
+	// Reservation plane: populate created resources 1..8 with capacity.
+	if r := c.do(Request{Op: CmdQPrice, A: 0, B: 3}); r.Kind != RespOK || !r.HasVal {
+		t.Fatalf("QPRICE = %+v", r)
+	}
+	r := c.do(Request{Op: CmdResv, A: 1, B: 0, C: 3})
+	if r.Kind != RespOK || !r.HasVal {
+		t.Fatalf("RESV = %+v", r)
+	}
+	price := r.Val
+	if r := c.do(Request{Op: CmdBill, A: 1}); r.Kind != RespOK || r.Val != price {
+		t.Fatalf("BILL = %+v, want OK %d", r, price)
+	}
+	if r := c.do(Request{Op: CmdCancel, A: 1}); r.Kind != RespTrue {
+		t.Fatalf("CANCEL = %+v", r)
+	}
+	if r := c.do(Request{Op: CmdBill, A: 1}); r.Kind != RespNF {
+		t.Fatalf("BILL after cancel = %+v", r)
+	}
+	// Malformed request answers ERR and keeps the connection.
+	if _, err := c.conn.Write([]byte("BOGUS 1\n")); err != nil {
+		t.Fatal(err)
+	}
+	line, err := c.br.ReadBytes('\n')
+	if err != nil || line[0] != 'E' {
+		t.Fatalf("bogus request answered %q (%v)", line, err)
+	}
+	if r := c.do(Request{Op: CmdPing}); r.Kind != RespPong {
+		t.Fatalf("PING after ERR = %+v", r)
+	}
+}
+
+// TestServeE2EWireHistory is the end-to-end satellite: concurrent clients
+// drive mixed KV + set + reservation traffic over real TCP, recording KV
+// and set operations at the wire (invocation when the request is written,
+// response when the reply is read) and reservation transactions
+// server-side as history.OpTx footprints. The served history must be
+// linearizable at the wire (Wing-Gong over the KV and set models) and the
+// reservation history strictly serializable with intact table invariants.
+func TestServeE2EWireHistory(t *testing.T) {
+	const (
+		clients    = 6
+		opsPerConn = 400
+		workers    = 4
+		kvKeys     = 24
+		relations  = 64
+	)
+	recTx := history.NewRecorder(workers+1, 4096)
+	srv := startServer(t, Config{
+		Engine: EngineConfig{
+			Workers:   workers,
+			Tagged:    true,
+			Relations: relations,
+			Seed:      1,
+			RecordTx:  recTx,
+		},
+		StreamEvery: 5 * time.Millisecond,
+	})
+	recWire := history.NewRecorder(clients, clients*opsPerConn)
+
+	var wg sync.WaitGroup
+	for cl := 0; cl < clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			c := dialClient(t, srv.Addr().String())
+			defer c.close()
+			sh := recWire.Shard(cl)
+			rng := rand.New(rand.NewSource(int64(cl)*997 + 13))
+			for i := 0; i < opsPerConn; i++ {
+				k := uint64(rng.Intn(kvKeys)) + 1
+				switch draw := rng.Intn(100); {
+				case draw < 20: // PUT
+					v := uint64(rng.Intn(999)) + 1
+					idx := sh.Begin(CmdPut, k, v)
+					r := c.do(Request{Op: CmdPut, A: k, B: v})
+					sh.End(idx, r.Kind == RespTrue, 0)
+				case draw < 30: // DEL
+					idx := sh.Begin(CmdDel, k, 0)
+					r := c.do(Request{Op: CmdDel, A: k})
+					sh.End(idx, r.Kind == RespTrue, 0)
+				case draw < 50: // GET
+					idx := sh.Begin(CmdGet, k, 0)
+					r := c.do(Request{Op: CmdGet, A: k})
+					sh.End(idx, r.Kind == RespOK, r.Val)
+				case draw < 62: // SADD
+					idx := sh.Begin(CmdSAdd, k, 0)
+					r := c.do(Request{Op: CmdSAdd, A: k})
+					sh.End(idx, r.Kind == RespTrue, 0)
+				case draw < 70: // SREM
+					idx := sh.Begin(CmdSRem, k, 0)
+					r := c.do(Request{Op: CmdSRem, A: k})
+					sh.End(idx, r.Kind == RespTrue, 0)
+				case draw < 80: // SHAS
+					idx := sh.Begin(CmdSHas, k, 0)
+					r := c.do(Request{Op: CmdSHas, A: k})
+					sh.End(idx, r.Kind == RespTrue, 0)
+				case draw < 90: // RESV (recorded server-side as OpTx)
+					cust := uint64(rng.Intn(8)) + 1
+					kind := uint64(rng.Intn(3))
+					id := uint64(rng.Intn(relations)) + 1
+					c.do(Request{Op: CmdResv, A: cust, B: kind, C: id})
+				case draw < 95: // BILL
+					c.do(Request{Op: CmdBill, A: uint64(rng.Intn(8)) + 1})
+				default: // CANCEL
+					c.do(Request{Op: CmdCancel, A: uint64(rng.Intn(8)) + 1})
+				}
+			}
+		}(cl)
+	}
+	wg.Wait()
+	shutdown(t, srv)
+
+	// Split the wire history into its two planes and check each against
+	// its model, partitioned by key.
+	var kvEvents, setEvents []history.Event
+	for _, e := range recWire.Events() {
+		switch e.Op {
+		case CmdGet, CmdPut, CmdDel:
+			kvEvents = append(kvEvents, e)
+		case CmdSAdd, CmdSRem, CmdSHas:
+			setEvents = append(setEvents, e)
+		}
+	}
+	if len(kvEvents) == 0 || len(setEvents) == 0 {
+		t.Fatal("vacuous e2e: a plane recorded no events")
+	}
+	if out := linearizability.CheckPartitioned(KVWireModel(), kvEvents); !out.OK {
+		t.Fatalf("served KV history not linearizable:\n%s", out.Explain())
+	}
+	if out := linearizability.CheckPartitioned(SetWireModel(), setEvents); !out.OK {
+		t.Fatalf("served set history not linearizable:\n%s", out.Explain())
+	}
+
+	// Reservation plane: strict serializability of the recorded OpTx
+	// footprints (populate + init included) and table conservation.
+	txCount := 0
+	for _, e := range recTx.Events() {
+		if e.Op == history.OpTx {
+			txCount++
+		}
+	}
+	if txCount <= relations*4 {
+		t.Fatalf("vacuous e2e: only %d recorded transactions (populate alone is %d)", txCount, relations*4)
+	}
+	if out := (linearizability.SerializableMapModel{}).Check(recTx); !out.OK {
+		t.Fatalf("served reservation history not strictly serializable:\n%s", out.Explain())
+	}
+	if ok, detail := srv.Engine().CheckTables(); !ok {
+		t.Fatalf("reservation tables corrupt after served traffic: %s", detail)
+	}
+}
+
+// TestServeMetricsMidRun scrapes /metrics while traffic is flowing and
+// checks the streamed windows and monotonic totals.
+func TestServeMetricsMidRun(t *testing.T) {
+	srv := startServer(t, Config{
+		MetricsAddr: "127.0.0.1:0",
+		Engine:      EngineConfig{Workers: 2, Tagged: true, Relations: 8},
+		StreamEvery: 2 * time.Millisecond,
+	})
+	defer shutdown(t, srv)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c := dialClient(t, srv.Addr().String())
+		defer c.close()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			c.do(Request{Op: CmdPut, A: uint64(i%50 + 1), B: uint64(i + 1)})
+			c.do(Request{Op: CmdGet, A: uint64(i%50 + 1)})
+		}
+	}()
+
+	scrape := func() metricsPayload {
+		resp, err := http.Get("http://" + srv.MetricsAddr().String() + "/metrics")
+		if err != nil {
+			t.Fatalf("GET /metrics: %v", err)
+		}
+		defer resp.Body.Close()
+		var p metricsPayload
+		if err := json.NewDecoder(resp.Body).Decode(&p); err != nil {
+			t.Fatalf("decode /metrics: %v", err)
+		}
+		return p
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	var first metricsPayload
+	for {
+		first = scrape()
+		if len(first.Windows) > 0 && first.Ops > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no mid-run windows appeared: %+v", first)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond)
+	second := scrape()
+	if second.Ops < first.Ops {
+		t.Fatalf("streamed ops regressed mid-run: %d then %d", first.Ops, second.Ops)
+	}
+	for _, w := range second.Windows {
+		if w.End != w.Start+second.WindowNS {
+			t.Fatalf("window [%d,%d) width != %d", w.Start, w.End, second.WindowNS)
+		}
+		if w.Ops > 0 && (w.P99 < w.P50 || float64(w.Max) < w.P99*0.5) {
+			t.Fatalf("window quantiles implausible: %+v", w)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if resp, err := http.Get("http://" + srv.MetricsAddr().String() + "/healthz"); err != nil || resp.StatusCode != 200 {
+		t.Fatalf("healthz: %v %v", resp, err)
+	} else {
+		resp.Body.Close()
+	}
+}
+
+// TestServePipelinedBatch drives a deep pipelined batch on one connection
+// and checks every response arrives in order.
+func TestServePipelinedBatch(t *testing.T) {
+	srv := startServer(t, Config{Engine: EngineConfig{Workers: 2, Tagged: true}})
+	defer shutdown(t, srv)
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	const n = 500
+	var out []byte
+	for i := 0; i < n; i++ {
+		req := Request{Op: CmdPut, A: uint64(i + 1), B: uint64(i + 1)}
+		out = AppendRequest(out, &req)
+	}
+	if _, err := conn.Write(out); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(conn)
+	for i := 0; i < n; i++ {
+		line, err := br.ReadBytes('\n')
+		if err != nil {
+			t.Fatalf("response %d: %v", i, err)
+		}
+		if line[0] != 'T' {
+			t.Fatalf("response %d = %q, want T (distinct fresh keys)", i, line)
+		}
+	}
+	sum := srv.Summarize()
+	if sum.Requests < n {
+		t.Fatalf("requests counter = %d, want >= %d", sum.Requests, n)
+	}
+}
+
+func TestServeShutdownRejectsNewConns(t *testing.T) {
+	srv := startServer(t, Config{Engine: EngineConfig{Workers: 1, Tagged: true}})
+	c := dialClient(t, srv.Addr().String())
+	if r := c.do(Request{Op: CmdPing}); r.Kind != RespPong {
+		t.Fatalf("PING = %+v", r)
+	}
+	shutdown(t, srv)
+	// The open connection is drained and closed...
+	c.conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := c.br.ReadByte(); err == nil {
+		t.Fatal("connection still open after shutdown")
+	}
+	c.close()
+	// ...and new connections are refused.
+	if conn, err := net.DialTimeout("tcp", srv.Addr().String(), 500*time.Millisecond); err == nil {
+		conn.Close()
+		t.Fatal("dial succeeded after shutdown")
+	}
+}

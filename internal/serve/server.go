@@ -1,0 +1,273 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Config describes one server.
+type Config struct {
+	// Addr is the TCP data-plane listen address (e.g. "127.0.0.1:7070";
+	// port 0 picks a free port).
+	Addr string
+	// MetricsAddr is the HTTP telemetry listen address ("" disables the
+	// endpoint).
+	MetricsAddr string
+
+	Engine EngineConfig
+
+	// StreamEvery is the streaming-telemetry window width (default
+	// 100ms); StreamDepth the per-core ring capacity in windows (default
+	// 120, i.e. 12s of history at the default width).
+	StreamEvery time.Duration
+	StreamDepth int
+}
+
+// Server is one running memtag-serve instance.
+type Server struct {
+	cfg    Config
+	eng    *Engine
+	stream *telemetry.Stream
+	start  time.Time
+
+	ln      net.Listener
+	httpLn  net.Listener
+	httpSrv *http.Server
+
+	closing  atomic.Bool
+	mu       sync.Mutex
+	conns    map[net.Conn]struct{}
+	wg       sync.WaitGroup
+	nextConn atomic.Uint64
+
+	requests atomic.Uint64 // requests decoded (including errored ones)
+	errors   atomic.Uint64 // protocol errors answered with ERR
+	accepted atomic.Uint64
+	active   atomic.Int64
+}
+
+// flushLimit bounds the per-connection output buffer before a forced
+// flush, so a deeply pipelined client cannot balloon it.
+const flushLimit = 64 << 10
+
+// New builds the engine (including the vacation populate, which runs
+// before any traffic) but does not listen yet.
+func New(cfg Config) (*Server, error) {
+	if cfg.StreamEvery <= 0 {
+		cfg.StreamEvery = 100 * time.Millisecond
+	}
+	if cfg.StreamDepth <= 0 {
+		cfg.StreamDepth = 120
+	}
+	eng, err := newEngine(cfg.Engine)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		cfg:    cfg,
+		eng:    eng,
+		stream: telemetry.NewStream(cfg.Engine.Workers, uint64(cfg.StreamEvery.Nanoseconds()), cfg.StreamDepth),
+		conns:  map[net.Conn]struct{}{},
+	}, nil
+}
+
+// Engine exposes the storage planes for quiescent inspection (tests, the
+// final CLI summary).
+func (s *Server) Engine() *Engine { return s.eng }
+
+// Stream exposes the streaming telemetry (safe to read at any time).
+func (s *Server) Stream() *telemetry.Stream { return s.stream }
+
+// Start listens and begins serving. The returned server must be stopped
+// with Shutdown.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	s.start = time.Now()
+	if s.cfg.MetricsAddr != "" {
+		hl, err := net.Listen("tcp", s.cfg.MetricsAddr)
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		s.httpLn = hl
+		s.httpSrv = &http.Server{Handler: s.metricsMux()}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			if err := s.httpSrv.Serve(hl); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				// Shutdown closes the listener; anything else is fatal to
+				// the metrics plane only.
+				_ = err
+			}
+		}()
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return nil
+}
+
+// Addr returns the data-plane address (valid after Start).
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// MetricsAddr returns the HTTP address, or nil when disabled.
+func (s *Server) MetricsAddr() net.Addr {
+	if s.httpLn == nil {
+		return nil
+	}
+	return s.httpLn.Addr()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed by Shutdown
+		}
+		if s.closing.Load() {
+			conn.Close()
+			continue
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.accepted.Add(1)
+		s.active.Add(1)
+		id := s.nextConn.Add(1) - 1
+		w := s.eng.workers[int(id)%len(s.eng.workers)]
+		s.wg.Add(1)
+		go s.handleConn(conn, w)
+	}
+}
+
+// handleConn serves one connection bound to one worker. Responses to
+// pipelined requests are batched: the output buffer flushes when no more
+// input is buffered or when it crosses flushLimit.
+func (s *Server) handleConn(conn net.Conn, w *Worker) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		s.active.Add(-1)
+		conn.Close()
+	}()
+	br := bufio.NewReaderSize(conn, 32<<10)
+	out := make([]byte, 0, 16<<10)
+	for {
+		line, err := br.ReadSlice('\n')
+		if err != nil {
+			// EOF, read deadline (shutdown), oversized line: flush what we
+			// owe and drop the connection.
+			if len(out) > 0 {
+				conn.Write(out)
+			}
+			return
+		}
+		s.requests.Add(1)
+		req, perr := ParseRequest(line)
+		if perr != nil {
+			s.errors.Add(1)
+			out = appendErr(out, perr)
+		} else {
+			t0 := time.Since(s.start)
+			w.mu.Lock()
+			var f0 uint64
+			if w.oc != nil {
+				_, f0 = w.oc.OpClock()
+			}
+			out = w.Exec(&req, out)
+			var fails uint64
+			if w.oc != nil {
+				_, f1 := w.oc.OpClock()
+				fails = f1 - f0
+			}
+			t1 := time.Since(s.start)
+			d := uint64(t1 - t0)
+			w.lat.Observe(d)
+			s.stream.Tick(w.id, uint64(t1), d, fails)
+			w.mu.Unlock()
+		}
+		if br.Buffered() == 0 || len(out) >= flushLimit {
+			if _, err := conn.Write(out); err != nil {
+				return
+			}
+			out = out[:0]
+		}
+	}
+}
+
+// Shutdown stops accepting, unblocks every connection's pending read (so
+// in-flight pipelined batches finish and flush), and waits for all
+// connection goroutines and the HTTP plane to drain. After it returns the
+// engine is quiescent: final telemetry windows are flushed and
+// CheckTables/PoolStats are safe.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.closing.Store(true)
+	s.ln.Close()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+	if s.httpSrv != nil {
+		s.httpSrv.Shutdown(ctx)
+	}
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return fmt.Errorf("serve: shutdown timed out: %w", ctx.Err())
+	}
+	// Quiescent now: publish the partial tail windows.
+	for _, w := range s.eng.workers {
+		s.stream.Flush(w.id)
+	}
+	return nil
+}
+
+// Summary is the quiescent end-of-run report.
+type Summary struct {
+	Requests uint64  `json:"requests"`
+	Errors   uint64  `json:"errors"`
+	Accepted uint64  `json:"conns_accepted"`
+	Ops      uint64  `json:"ops"`
+	Fails    uint64  `json:"fails"`
+	P50NS    float64 `json:"p50_ns"`
+	P99NS    float64 `json:"p99_ns"`
+	MaxNS    uint64  `json:"max_ns"`
+}
+
+// Summarize merges the per-worker service-time histograms. Quiescent only
+// (call after Shutdown).
+func (s *Server) Summarize() Summary {
+	var h telemetry.Histogram
+	for _, w := range s.eng.workers {
+		h.Merge(&w.lat)
+	}
+	ops, fails := s.stream.Totals()
+	return Summary{
+		Requests: s.requests.Load(),
+		Errors:   s.errors.Load(),
+		Accepted: s.accepted.Load(),
+		Ops:      ops,
+		Fails:    fails,
+		P50NS:    h.Quantile(0.50),
+		P99NS:    h.Quantile(0.99),
+		MaxNS:    h.Max(),
+	}
+}

@@ -1,0 +1,15 @@
+//go:build soak
+
+package serve
+
+import "testing"
+
+// Nightly-scale soak: ten million served requests through the immediate
+// reclamation path. Run with `go test -tags soak -run ServeSoakNightly
+// -timeout 30m ./internal/serve/`.
+func TestServeSoakNightly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("nightly soak is not a -short test")
+	}
+	runServeSoak(t, 10_000_000)
+}

@@ -1,0 +1,101 @@
+package stm
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/vtags"
+)
+
+// TestRunCachedTransfer is TestAtomicTransfer on the cached path: same
+// semantics, reusable per-thread transactions.
+func TestRunCachedTransfer(t *testing.T) {
+	forAllTMs(t, 4, func(t *testing.T, mem core.Memory, tm *TM) {
+		tm.Prepare(4)
+		const accounts = 8
+		const perThread = 150
+		addrs := make([]core.Addr, accounts)
+		th0 := mem.Thread(0)
+		for i := range addrs {
+			addrs[i] = mem.Alloc(1)
+			th0.Store(addrs[i], 1000)
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				th := mem.Thread(w)
+				for i := 0; i < perThread; i++ {
+					src := (w + i) % accounts
+					dst := (w + i + 1 + i%3) % accounts
+					if src == dst {
+						continue
+					}
+					tm.RunCached(th, func(tx *Tx) {
+						s := tx.Read(addrs[src])
+						d := tx.Read(addrs[dst])
+						tx.Write(addrs[src], s-10)
+						tx.Write(addrs[dst], d+10)
+					})
+				}
+			}(w)
+		}
+		wg.Wait()
+		var sum uint64
+		for _, a := range addrs {
+			sum += th0.Load(a)
+		}
+		if sum != accounts*1000 {
+			t.Fatalf("total = %d, want %d (lost or duplicated money)", sum, accounts*1000)
+		}
+	})
+}
+
+// TestRunCachedMixesWithRun checks a cached transaction sees writes from
+// plain Run and vice versa (they share the same TM protocol state).
+func TestRunCachedMixesWithRun(t *testing.T) {
+	mem := vtags.New(1<<20, 1)
+	tm := NewTagged(mem)
+	tm.Prepare(1)
+	th := mem.Thread(0)
+	a := mem.Alloc(1)
+	tm.Run(th, func(tx *Tx) { tx.Write(a, 3) })
+	var got uint64
+	tm.RunCached(th, func(tx *Tx) {
+		got = tx.Read(a)
+		tx.Write(a, got+4)
+	})
+	if got != 3 {
+		t.Fatalf("cached tx read %d, want 3", got)
+	}
+	tm.Run(th, func(tx *Tx) { got = tx.Read(a) })
+	if got != 7 {
+		t.Fatalf("plain tx read %d, want 7", got)
+	}
+}
+
+// TestRunCachedAllocFree pins the point of the cached path: a steady-state
+// read-modify-write transaction allocates nothing on the vtags backend.
+func TestRunCachedAllocFree(t *testing.T) {
+	for _, variant := range tmVariants {
+		t.Run(variant.name, func(t *testing.T) {
+			mem := vtags.New(1<<20, 1)
+			tm := variant.mk(mem)
+			tm.Prepare(1)
+			th := mem.Thread(0)
+			a := mem.Alloc(1)
+			fn := func(tx *Tx) {
+				v := tx.Read(a)
+				tx.Write(a, v+1)
+			}
+			tm.RunCached(th, fn) // warm the write index and sets
+			if n := testing.AllocsPerRun(200, func() {
+				tm.RunCached(th, fn)
+			}); n != 0 {
+				t.Fatalf("RunCached allocates %.1f/op, want 0", n)
+			}
+		})
+	}
+}

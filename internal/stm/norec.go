@@ -64,6 +64,10 @@ type TM struct {
 	// validation, but the bracket keeps such nodes from being recycled
 	// under a still-running attempt at all.
 	dom *reclaim.Domain
+
+	// cached holds one reusable Tx per thread id for RunCached; see
+	// Prepare.
+	cached []*Tx
 }
 
 // SetReclaim attaches a reclamation domain: every transaction attempt runs
@@ -152,6 +156,33 @@ func (tm *TM) Run(th core.Thread, fn func(tx *Tx)) {
 	}
 }
 
+// Prepare preallocates one reusable transaction per thread id for
+// RunCached. Call once, while quiescent, before any RunCached call.
+func (tm *TM) Prepare(threads int) {
+	tm.cached = make([]*Tx, threads)
+	for i := range tm.cached {
+		tm.cached[i] = &Tx{tm: tm, wIndex: make(map[core.Addr]int, 8)}
+	}
+}
+
+// RunCached is Run on the calling thread's preallocated transaction: the
+// read/write sets, the write index, and the Tx itself are reused across
+// calls, so steady-state transactions allocate nothing. Requires a prior
+// Prepare(threads) with threads > th.ID(); at most one goroutine may use a
+// given thread id at a time (the same ownership rule as the thread handle
+// itself). Semantics are identical to Run.
+func (tm *TM) RunCached(th core.Thread, fn func(tx *Tx)) {
+	tx := tm.cached[th.ID()]
+	tx.th = th
+	for {
+		if tm.runOnce(tx, fn) {
+			tm.Commits.Add(1)
+			return
+		}
+		tm.Aborts.Add(1)
+	}
+}
+
 // runOnce runs a single attempt, reporting whether it committed.
 func (tm *TM) runOnce(tx *Tx, fn func(tx *Tx)) (committed bool) {
 	tm.enter(tx.th)
@@ -209,7 +240,7 @@ func (tx *Tx) runHooks(committed bool) {
 func (tx *Tx) begin() {
 	tx.reads = tx.reads[:0]
 	tx.writes = tx.writes[:0]
-	tx.wIndex = nil
+	clear(tx.wIndex) // keep the map: reattempts and cached txs reuse it
 	tx.commitHooks = tx.commitHooks[:0]
 	tx.abortHooks = tx.abortHooks[:0]
 	tx.useTags = tx.tm.tagged && tx.tagAborts < tagAbortLimit

@@ -1,0 +1,27 @@
+package telemetry
+
+// Test hooks for deterministic seqlock-failure injection: tear the most
+// recently published slot of a core (leave its sequence odd, as if a
+// publish parked mid-flight) and heal it again. Only the stream tests use
+// these; production code never leaves a slot odd.
+
+// StreamRetryLimit exposes the reader's per-slot retry budget.
+const StreamRetryLimit = streamRetryLimit
+
+// BeginTornPublishForTest makes core i's latest published slot appear
+// mid-publish. Panics if the core has not published yet.
+func (s *Stream) BeginTornPublishForTest(i int) {
+	c := &s.cores[i]
+	head := c.published.Load()
+	if head == 0 {
+		panic("telemetry: no published window to tear")
+	}
+	c.ring[int((head-1)%uint64(s.depth))].seq.Add(1)
+}
+
+// EndTornPublishForTest heals the slot torn by BeginTornPublishForTest.
+func (s *Stream) EndTornPublishForTest(i int) {
+	c := &s.cores[i]
+	head := c.published.Load()
+	c.ring[int((head-1)%uint64(s.depth))].seq.Add(1)
+}

@@ -1,0 +1,333 @@
+package telemetry
+
+import "sync/atomic"
+
+// Stream is the mid-run view: per-core time-resolved windows (ops, fails
+// and a latency histogram each) that concurrent readers may snapshot WHILE
+// the cores are writing. It exists because Core/Sampler are quiescence-only
+// by contract — their plain fields are single-writer and merging them
+// mid-run is a data race — which is fine for experiment sweeps but useless
+// for a network service whose /metrics endpoint must report p99s during
+// the run.
+//
+// The reader-writer protocol is a per-slot seqlock over a bounded ring of
+// published windows:
+//
+//   - Each core accumulates the live window in writer-private plain fields
+//     (never read by anyone else), so the per-op cost stays a histogram
+//     observe plus two uncontended atomic adds for the cumulative totals.
+//   - When the clock crosses a window boundary the writer publishes the
+//     window into its ring: bump the slot's sequence to odd, store every
+//     field with atomic stores, bump back to even. Publishing is the only
+//     place the shared slots are written, and it is allocation-free.
+//   - A reader copies a slot with atomic loads bracketed by two sequence
+//     reads, retrying on a mismatch (a publish raced the copy) and giving
+//     up on a slot after streamRetryLimit attempts. Every escaped snapshot
+//     is therefore a consistent window — the torn-read stress test pins
+//     exactly that — and because all shared accesses are atomic the
+//     protocol is clean under the race detector, not just in theory.
+//
+// Cumulative per-core op/fail totals are plain atomic counters readable at
+// any instant; they are monotonic, which the soak tests assert across
+// scrapes. The quiescent Core/Sampler contract is untouched: a Stream is an
+// additional sink, not a replacement, and attaching one keeps the hot path
+// at 0 allocs/op (pinned by budget tests here and in internal/serve).
+type Stream struct {
+	every uint64
+	depth int
+	cores []streamCore
+}
+
+// streamRetryLimit bounds seqlock retries per slot before the reader skips
+// it: a slot that stays odd means its writer is mid-publish (or parked by a
+// test hook), and a metrics scrape must not spin on it.
+const streamRetryLimit = 8
+
+// StreamWindow is one consistent published window of one core (or, from
+// ReadMergedWindows, of all cores folded together).
+type StreamWindow struct {
+	// Start/End bound the window in the writer's clock units (the serve
+	// layer feeds host nanoseconds since server start; workload.Run feeds
+	// the backend op clock).
+	Start uint64 `json:"start"`
+	End   uint64 `json:"end"`
+	// Ops/Fails are the operations completed and validation/commit
+	// failures burned in the window.
+	Ops   uint64 `json:"ops"`
+	Fails uint64 `json:"fails"`
+	// Count/Sum/Max mirror the window latency histogram's aggregates
+	// (Count == Ops whenever every op ticks exactly once — the torn-read
+	// oracle relies on that).
+	Count uint64 `json:"count"`
+	Sum   uint64 `json:"sum"`
+	Max   uint64 `json:"max"`
+	// P50/P99 are quantiles of the window's latency histogram.
+	P50 float64 `json:"p50"`
+	P99 float64 `json:"p99"`
+}
+
+// streamSlot is one published window. All fields are atomics so concurrent
+// snapshot copies are race-clean; seq is the slot's seqlock (odd while a
+// publish is in flight).
+type streamSlot struct {
+	seq        atomic.Uint64
+	start, end atomic.Uint64
+	ops, fails atomic.Uint64
+	count, sum atomic.Uint64
+	max, min   atomic.Uint64
+	buckets    [histBuckets]atomic.Uint64
+}
+
+// streamCore is one core's streaming state: a writer-private live window
+// plus the shared ring and cumulative totals.
+type streamCore struct {
+	// Writer-private accumulation; only the owning goroutine touches these.
+	enrolled           bool
+	winStart           uint64
+	liveOps, liveFails uint64
+	live               Histogram
+
+	// Shared with readers.
+	ops, fails atomic.Uint64 // cumulative, monotonic
+	published  atomic.Uint64 // windows published so far (ring head)
+	ring       []streamSlot
+
+	_ [64]byte // keep adjacent cores' hot atomics off one line
+}
+
+// NewStream creates streaming telemetry for n cores with the given clock
+// interval per window and a ring of depth published windows per core.
+// every must be > 0; depth < 2 is raised to 2.
+func NewStream(n int, every uint64, depth int) *Stream {
+	if every == 0 {
+		panic("telemetry: stream interval must be > 0")
+	}
+	if depth < 2 {
+		depth = 2
+	}
+	s := &Stream{every: every, depth: depth, cores: make([]streamCore, n)}
+	for i := range s.cores {
+		s.cores[i].ring = make([]streamSlot, depth)
+	}
+	return s
+}
+
+// Every returns the window width in clock units.
+func (s *Stream) Every() uint64 { return s.every }
+
+// Depth returns the per-core ring capacity in windows.
+func (s *Stream) Depth() int { return s.depth }
+
+// NumCores returns the number of per-core streams.
+func (s *Stream) NumCores() int { return len(s.cores) }
+
+// Tick records one completed operation for core i: the clock at completion,
+// the op's latency, and the failures it burned. It must only be called by
+// core i's owning goroutine (or under the same lock serializing that
+// core's ops). Allocation-free, including window publication.
+func (s *Stream) Tick(i int, clock, latency, fails uint64) {
+	c := &s.cores[i]
+	if !c.enrolled {
+		c.enrolled = true
+		// Align the window origin to a multiple of the interval so every
+		// core's windows share boundaries and merge by Start.
+		c.winStart = clock - clock%s.every
+	}
+	for clock-c.winStart >= s.every {
+		if c.liveOps == 0 && c.liveFails == 0 {
+			// Fast-forward an idle gap: anything older than the ring can
+			// hold would be overwritten unread, so publish at most depth
+			// empty windows.
+			gap := (clock - c.winStart) / s.every
+			if gap > uint64(s.depth) {
+				c.winStart += (gap - uint64(s.depth)) * s.every
+			}
+		}
+		c.publish(s)
+	}
+	c.liveOps++
+	c.liveFails += fails
+	c.live.Observe(latency)
+	c.ops.Add(1)
+	if fails != 0 {
+		c.fails.Add(fails)
+	}
+}
+
+// Flush publishes core i's live window even though its interval has not
+// elapsed, so a final scrape after shutdown sees the run's tail. Writer-
+// side: same ownership rule as Tick.
+func (s *Stream) Flush(i int) {
+	c := &s.cores[i]
+	if !c.enrolled || (c.liveOps == 0 && c.liveFails == 0) {
+		return
+	}
+	c.publish(s)
+}
+
+// publish moves the live window into the ring under the slot's seqlock.
+func (c *streamCore) publish(s *Stream) {
+	slot := &c.ring[int(c.published.Load()%uint64(s.depth))]
+	slot.seq.Add(1) // odd: publish in flight
+	slot.start.Store(c.winStart)
+	slot.end.Store(c.winStart + s.every)
+	slot.ops.Store(c.liveOps)
+	slot.fails.Store(c.liveFails)
+	slot.count.Store(c.live.count)
+	slot.sum.Store(c.live.sum)
+	slot.max.Store(c.live.max)
+	slot.min.Store(c.live.Min())
+	for b := range slot.buckets {
+		slot.buckets[b].Store(c.live.buckets[b])
+	}
+	slot.seq.Add(1) // even: consistent
+	c.published.Add(1)
+	c.winStart += s.every
+	c.liveOps, c.liveFails = 0, 0
+	c.live.Reset()
+}
+
+// slotCopy is a reader's consistent copy of one slot.
+type slotCopy struct {
+	start, end, ops, fails uint64
+	hist                   Histogram
+}
+
+// copySlot snapshots a slot under its seqlock. It reports whether a
+// consistent copy was obtained within the retry budget and how many
+// retries were burned.
+func copySlot(slot *streamSlot, out *slotCopy) (ok bool, retries int) {
+	for attempt := 0; attempt < streamRetryLimit; attempt++ {
+		s1 := slot.seq.Load()
+		if s1%2 != 0 {
+			retries++
+			continue
+		}
+		out.start = slot.start.Load()
+		out.end = slot.end.Load()
+		out.ops = slot.ops.Load()
+		out.fails = slot.fails.Load()
+		out.hist.count = slot.count.Load()
+		out.hist.sum = slot.sum.Load()
+		out.hist.max = slot.max.Load()
+		out.hist.min = slot.min.Load()
+		for b := range out.hist.buckets {
+			out.hist.buckets[b] = slot.buckets[b].Load()
+		}
+		if slot.seq.Load() == s1 {
+			return true, retries
+		}
+		retries++
+	}
+	return false, retries
+}
+
+// window renders a slot copy as a StreamWindow.
+func (sc *slotCopy) window() StreamWindow {
+	return StreamWindow{
+		Start: sc.start,
+		End:   sc.end,
+		Ops:   sc.ops,
+		Fails: sc.fails,
+		Count: sc.hist.Count(),
+		Sum:   sc.hist.Sum(),
+		Max:   sc.hist.Max(),
+		P50:   sc.hist.Quantile(0.50),
+		P99:   sc.hist.Quantile(0.99),
+	}
+}
+
+// ReadCore snapshots core i's published windows, oldest first, into
+// buf[:0] (allocation-free when cap(buf) >= Depth()). It returns the
+// windows and the seqlock retries burned; slots that stayed inconsistent
+// past the retry budget are skipped, so every returned window is
+// internally consistent. Safe to call from any goroutine at any time.
+func (s *Stream) ReadCore(i int, buf []StreamWindow) ([]StreamWindow, int) {
+	c := &s.cores[i]
+	buf = buf[:0]
+	retries := 0
+	head := c.published.Load()
+	lo := uint64(0)
+	if head > uint64(s.depth) {
+		lo = head - uint64(s.depth)
+	}
+	var sc slotCopy
+	for w := lo; w < head; w++ {
+		ok, r := copySlot(&c.ring[int(w%uint64(s.depth))], &sc)
+		retries += r
+		if ok {
+			buf = append(buf, sc.window())
+		}
+	}
+	return buf, retries
+}
+
+// Totals returns the cumulative operation and failure counts over all
+// cores. Each per-core counter is monotonic, so so is the sum — the soak
+// tests assert it never regresses across scrapes. Safe at any time.
+func (s *Stream) Totals() (ops, fails uint64) {
+	for i := range s.cores {
+		ops += s.cores[i].ops.Load()
+		fails += s.cores[i].fails.Load()
+	}
+	return ops, fails
+}
+
+// ReadMergedWindows snapshots every core's ring and folds windows with the
+// same Start together (cores align their window origins, so equal Start
+// means the same clock span), merging the latency histograms bucket-wise
+// before computing quantiles. Windows come back sorted by Start. This is
+// the /metrics scrape path; unlike ReadCore it allocates.
+func (s *Stream) ReadMergedWindows() ([]StreamWindow, int) {
+	type agg struct {
+		ops, fails uint64
+		end        uint64
+		hist       Histogram
+	}
+	merged := map[uint64]*agg{}
+	retries := 0
+	var sc slotCopy
+	for i := range s.cores {
+		c := &s.cores[i]
+		head := c.published.Load()
+		lo := uint64(0)
+		if head > uint64(s.depth) {
+			lo = head - uint64(s.depth)
+		}
+		for w := lo; w < head; w++ {
+			ok, r := copySlot(&c.ring[int(w%uint64(s.depth))], &sc)
+			retries += r
+			if !ok {
+				continue
+			}
+			a := merged[sc.start]
+			if a == nil {
+				a = &agg{end: sc.end}
+				merged[sc.start] = a
+			}
+			a.ops += sc.ops
+			a.fails += sc.fails
+			a.hist.Merge(&sc.hist)
+		}
+	}
+	out := make([]StreamWindow, 0, len(merged))
+	for start, a := range merged {
+		out = append(out, StreamWindow{
+			Start: start,
+			End:   a.end,
+			Ops:   a.ops,
+			Fails: a.fails,
+			Count: a.hist.Count(),
+			Sum:   a.hist.Sum(),
+			Max:   a.hist.Max(),
+			P50:   a.hist.Quantile(0.50),
+			P99:   a.hist.Quantile(0.99),
+		})
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1].Start > out[j].Start; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out, retries
+}

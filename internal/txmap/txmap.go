@@ -232,9 +232,12 @@ func (m *Map) Delete(tx *stm.Tx, key uint64) bool {
 			if m.pool != nil {
 				// The commit's writeBack unlinks z atomically under the
 				// global sequence lock, making the committing deleter the
-				// unique unlinker.
+				// unique unlinker. Capture a branch-local copy of z: the
+				// loop variable would otherwise be heap-allocated on every
+				// call, including misses.
 				th := tx.Thread()
-				tx.OnCommit(func() { m.pool.Retire(th, z) })
+				victim := z
+				tx.OnCommit(func() { m.pool.Retire(th, victim) })
 			}
 			return true
 		}

@@ -96,6 +96,26 @@ func (t *initThread) Store(a core.Addr, v uint64) {
 	t.Thread.Store(a, v)
 }
 
+// NewRecordedManager builds a Manager whose construction-time plain
+// stores (txmap.New writes NIL sentinels and root pointers outside any
+// transaction) are captured and emitted into s as a synthetic first
+// committed transaction. Any serializability check over transactions run
+// against the returned manager needs that initial transaction — without
+// it the checker's zero-initialized word map rejects the first root read.
+// The given shard must real-time-precede all recorded client work (i.e.
+// call this before any client starts, which construction order gives you
+// for free).
+func NewRecordedManager(mem core.Memory, tm *stm.TM, s *history.Shard) *Manager {
+	ir := &initRecorder{Memory: mem}
+	m := NewManager(ir, tm)
+	idx := s.BeginTx()
+	for _, w := range ir.writes {
+		s.TxWrite(idx, w.Addr, w.Val)
+	}
+	s.End(idx, true, 0)
+	return m
+}
+
 // RunSerializeSuite runs a recorded Vacation workload — a sequential
 // populate followed by `workers` concurrent recorded clients — on the
 // given memory and STM, then checks strict serializability of the
@@ -103,18 +123,12 @@ func (t *initThread) Store(a core.Addr, v uint64) {
 // any core.Memory backend; threads exposing SetActive (the machine
 // backend's lax clock sync) are enrolled for the measured region.
 func RunSerializeSuite(mem core.Memory, tm *stm.TM, p Params, workers int, seed int64) SerializeReport {
-	ir := &initRecorder{Memory: mem}
-	m := NewManager(ir, tm)
 	// Shard w records client w; the extra shard records the init tx and
 	// populate (they run alone before the clients start, so their events
 	// real-time-precede all client transactions and pin the initial table
 	// state).
 	rec := history.NewRecorder(workers+1, p.Relations*(numKinds+1)+p.Transactions)
-	init := rec.Shard(workers).BeginTx()
-	for _, w := range ir.writes {
-		rec.Shard(workers).TxWrite(init, w.Addr, w.Val)
-	}
-	rec.Shard(workers).End(init, true, 0)
+	m := NewRecordedManager(mem, tm, rec.Shard(workers))
 	RecordedPopulate(m, mem.Thread(0), rec.Shard(workers), p, seed)
 
 	done := make(chan struct{})

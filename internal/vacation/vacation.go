@@ -28,6 +28,10 @@ const (
 	numKinds
 )
 
+// NumKinds is the number of resource kinds (for request validation in
+// serving layers).
+const NumKinds = numKinds
+
 // Reservation record layout (words): the value stored in a resource table.
 const (
 	rNumUsed  = 0
@@ -143,30 +147,39 @@ func (m *Manager) AddCustomer(tx *stm.Tx, th core.Thread, id uint64) bool {
 // Reserve books one unit of kind/id for the customer, prepending it to the
 // customer's reservation list (manager_reserve{Car,Flight,Room}).
 func (m *Manager) Reserve(tx *stm.Tx, th core.Thread, customerID uint64, kind int, id uint64) bool {
+	_, ok := m.ReservePriced(tx, th, customerID, kind, id)
+	return ok
+}
+
+// ReservePriced is Reserve returning the booked unit's price, so a serving
+// layer can answer a reservation request with what it will cost without a
+// second transaction.
+func (m *Manager) ReservePriced(tx *stm.Tx, th core.Thread, customerID uint64, kind int, id uint64) (price uint64, ok bool) {
 	cust, ok := m.customers.Get(tx, customerID)
 	if !ok {
-		return false
+		return 0, false
 	}
 	rec, ok := m.resources[kind].Get(tx, id)
 	if !ok {
-		return false
+		return 0, false
 	}
 	r := core.Addr(rec)
 	free := tx.Read(r.Plus(rNumFree))
 	if free == 0 {
-		return false
+		return 0, false
 	}
 	tx.Write(r.Plus(rNumFree), free-1)
 	tx.Write(r.Plus(rNumUsed), tx.Read(r.Plus(rNumUsed))+1)
 
 	c := core.Addr(cust)
 	n := th.Alloc(lWords)
+	price = tx.Read(r.Plus(rPrice))
 	tx.Write(n.Plus(lKind), uint64(kind))
 	tx.Write(n.Plus(lID), id)
-	tx.Write(n.Plus(lPrice), tx.Read(r.Plus(rPrice)))
+	tx.Write(n.Plus(lPrice), price)
 	tx.Write(n.Plus(lNext), tx.Read(c.Plus(cListHead)))
 	tx.Write(c.Plus(cListHead), uint64(n))
-	return true
+	return price, true
 }
 
 // QueryCustomerBill sums the customer's reservation prices; ok=false when

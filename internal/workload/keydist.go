@@ -117,6 +117,16 @@ func newKeyDraw(cfg *Config) func(rng *rand.Rand) func() uint64 {
 	}
 }
 
+// NewKeyDraw exposes the distribution sampler to external drivers (the
+// memtag-load generator reuses the exact uniform/zipfian/hotset draws the
+// experiments run): it precomputes the shared read-only constants for
+// cfg's Dist/KeyRange/skew fields and returns a constructor that binds
+// each worker's private rng. Keys are drawn from [intset.KeyMin,
+// KeyMin+KeyRange); the sequence is a pure function of the rng's seed.
+func NewKeyDraw(cfg *Config) func(rng *rand.Rand) func() uint64 {
+	return newKeyDraw(cfg)
+}
+
 // scatterFor returns a bijection on [0, n) that spreads consecutive ranks
 // across the range: rank * m mod n for an odd multiplier m coprime to n.
 // A bijection (rather than a hash) keeps the rank distribution exact —
