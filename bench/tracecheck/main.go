@@ -1,7 +1,8 @@
 // Command tracecheck validates a Chrome/Perfetto trace-event JSON file as
-// produced by memtag-bench -trace-out or memtag-stress -trace-out. It is
-// the CI backstop for the exporter: a trace that fails here would render
-// wrong (or not at all) in ui.perfetto.dev.
+// produced by memtag-bench -trace-out, memtag-stress -trace-out, or a
+// memtag-serve flight-recorder dump. It is the CI backstop for the
+// exporters: a trace that fails here would render wrong (or not at all) in
+// ui.perfetto.dev.
 //
 // Checks:
 //   - the file is a JSON object with a non-empty traceEvents array
@@ -11,10 +12,17 @@
 //   - duration events (ph=X) have a non-negative dur
 //   - every flow start (ph=s) has a matching finish (ph=f) with the same
 //     id, and vice versa
+//   - async begin/end events (ph=b/e) pair up per (cat, id): no end
+//     without an open begin, and nothing left open at EOF
+//   - request-span flow finishes (cat=req, ph=f) land on a track that has
+//     a thread_name metadata entry — i.e. the flow arrow resolves into a
+//     named machine track, not a dangling (pid, tid)
+//   - with -require-spans N, each file must contain at least N request
+//     spans (ph=b, cat=req)
 //
 // Usage:
 //
-//	tracecheck trace.json [more.json ...]
+//	tracecheck [-require-spans N] trace.json [more.json ...]
 package main
 
 import (
@@ -26,6 +34,7 @@ import (
 
 type traceEvent struct {
 	Name string   `json:"name"`
+	Cat  string   `json:"cat"`
 	Ph   string   `json:"ph"`
 	Pid  int      `json:"pid"`
 	Tid  int      `json:"tid"`
@@ -38,9 +47,12 @@ type traceFile struct {
 	TraceEvents []traceEvent `json:"traceEvents"`
 }
 
+var requireSpans = flag.Int("require-spans", 0,
+	"fail unless each file contains at least N request spans (ph=b, cat=req)")
+
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: tracecheck trace.json [more.json ...]")
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-require-spans N] trace.json [more.json ...]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -74,10 +86,25 @@ func check(path string) error {
 	}
 
 	type track struct{ pid, tid int }
+	// First pass: collect named tracks, so flow-target checks don't depend
+	// on metadata preceding the flow in file order.
+	named := map[track]bool{}
+	for _, ev := range tf.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "thread_name" {
+			named[track{ev.Pid, ev.Tid}] = true
+		}
+	}
+
+	type asyncKey struct {
+		cat string
+		id  int64
+	}
 	lastTs := map[track]float64{}
 	phases := map[string]int{}
 	flowStart := map[int64]int{}
 	flowEnd := map[int64]int{}
+	asyncOpen := map[asyncKey]int{}
+	reqSpans := 0
 	for i, ev := range tf.TraceEvents {
 		if ev.Ph == "" {
 			return fmt.Errorf("event %d: missing phase", i)
@@ -100,6 +127,27 @@ func check(path string) error {
 				flowStart[*ev.ID]++
 			} else {
 				flowEnd[*ev.ID]++
+				if ev.Cat == "req" && !named[track{ev.Pid, ev.Tid}] {
+					return fmt.Errorf("event %d (%s): request flow finish lands on unnamed track pid=%d tid=%d",
+						i, ev.Name, ev.Pid, ev.Tid)
+				}
+			}
+		case "b", "e":
+			if ev.ID == nil {
+				return fmt.Errorf("event %d (%s, ph=%s): async event without id", i, ev.Name, ev.Ph)
+			}
+			k := asyncKey{ev.Cat, *ev.ID}
+			if ev.Ph == "b" {
+				asyncOpen[k]++
+				if ev.Cat == "req" {
+					reqSpans++
+				}
+			} else {
+				if asyncOpen[k] == 0 {
+					return fmt.Errorf("event %d (%s): async end with no open begin (cat=%q id=%d)",
+						i, ev.Name, ev.Cat, *ev.ID)
+				}
+				asyncOpen[k]--
 			}
 		}
 		if ev.Ts == nil || *ev.Ts < 0 {
@@ -128,7 +176,15 @@ func check(path string) error {
 			return fmt.Errorf("flow id %d: %d finishes but %d starts", id, n, flowStart[id])
 		}
 	}
-	fmt.Printf("tracecheck: %s ok — %d events on %d tracks (spans=%d instants=%d flows=%d)\n",
-		path, len(tf.TraceEvents), len(lastTs), phases["X"], phases["i"], phases["s"])
+	for k, n := range asyncOpen {
+		if n != 0 {
+			return fmt.Errorf("async span cat=%q id=%d: %d begin(s) never ended", k.cat, k.id, n)
+		}
+	}
+	if *requireSpans > 0 && reqSpans < *requireSpans {
+		return fmt.Errorf("found %d request spans, want at least %d", reqSpans, *requireSpans)
+	}
+	fmt.Printf("tracecheck: %s ok — %d events on %d tracks (spans=%d asyncs=%d instants=%d flows=%d reqSpans=%d)\n",
+		path, len(tf.TraceEvents), len(lastTs), phases["X"], phases["b"], phases["i"], phases["s"], reqSpans)
 	return nil
 }

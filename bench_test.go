@@ -526,24 +526,38 @@ func newVtags(bytes, threads int) core.Memory { return vtags.New(bytes, threads)
 func BenchmarkServe_Pipelined(b *testing.B) {
 	for _, tagged := range []bool{true, false} {
 		b.Run(map[bool]string{true: "tagged", false: "norec"}[tagged], func(b *testing.B) {
-			benchServe(b, tagged)
+			benchServe(b, tagged, false)
 		})
 	}
 }
 
-func benchServe(b *testing.B, tagged bool) {
+// BenchmarkServe_PipelinedSpans is the same served path with the flight
+// recorder armed (request spans + tail sampling at the production default
+// thresholds). CI gates its p99 as tracedP99ns against servedP99ns: the
+// tracing tax on the hot path must stay within the 1.10x budget.
+func BenchmarkServe_PipelinedSpans(b *testing.B) {
+	benchServe(b, true, true)
+}
+
+func benchServe(b *testing.B, tagged, spans bool) {
 	const (
 		workers  = 4
 		batch    = 1024
 		keyRange = 4096
 	)
-	srv, err := serve.New(serve.Config{
+	cfg := serve.Config{
 		Addr:        "127.0.0.1:0",
 		StreamEvery: 10 * time.Millisecond,
 		Engine: serve.EngineConfig{
 			Workers: workers, MemBytes: 256 << 20, Tagged: tagged, Relations: 256,
 		},
-	})
+	}
+	if spans {
+		cfg.Flight = serve.FlightConfig{
+			Spans: true, TailLatency: time.Millisecond, TailAttempts: 4,
+		}
+	}
+	srv, err := serve.New(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -622,6 +636,14 @@ func benchServe(b *testing.B, tagged bool) {
 		b.Fatal(err)
 	}
 	sum := srv.Summarize()
-	b.ReportMetric(sum.P99NS, "servedP99ns")
+	if spans {
+		b.ReportMetric(sum.P99NS, "tracedP99ns")
+		if fr := srv.FlightRecorder(); fr != nil {
+			recorded, _ := fr.Totals()
+			b.ReportMetric(float64(recorded)/float64(b.N), "spans/iter")
+		}
+	} else {
+		b.ReportMetric(sum.P99NS, "servedP99ns")
+	}
 	b.ReportMetric(float64(sum.Requests)/b.Elapsed().Seconds(), "servedReqs/s")
 }

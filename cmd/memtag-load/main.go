@@ -23,8 +23,10 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"net"
+	"net/http"
 	"os"
 	"sort"
 	"strconv"
@@ -78,28 +80,47 @@ func parseMix(s string) ([]opClass, error) {
 	return mix, nil
 }
 
-// classSLO is the per-op-class section of the -json report.
+// classSLO is the per-op-class section of the -json report. Errors counts
+// both ERR responses and requests lost in flight when a session died, so a
+// partial run still accounts for every request it sent.
 type classSLO struct {
-	Name  string  `json:"name"`
-	Count uint64  `json:"count"`
-	P50NS float64 `json:"p50_ns"`
-	P95NS float64 `json:"p95_ns"`
-	P99NS float64 `json:"p99_ns"`
-	MaxNS uint64  `json:"max_ns"`
+	Name   string  `json:"name"`
+	Count  uint64  `json:"count"`
+	Errors uint64  `json:"errors"`
+	P50NS  float64 `json:"p50_ns"`
+	P95NS  float64 `json:"p95_ns"`
+	P99NS  float64 `json:"p99_ns"`
+	MaxNS  uint64  `json:"max_ns"`
 }
 
+// metricsReport is the -metrics-url section of the report: the scrape
+// count, whether the cumulative counters stayed monotonic across scrapes,
+// and the last exemplar trace ID seen in the exposition.
+type metricsReport struct {
+	URL          string `json:"url"`
+	Scrapes      uint64 `json:"scrapes"`
+	Monotonic    bool   `json:"monotonic"`
+	LastExemplar string `json:"last_exemplar,omitempty"`
+	Error        string `json:"error,omitempty"`
+}
+
+// report always carries both the achieved rate (RateRPS) and the target
+// (TargetRPS, 0 for closed loop), and is assembled from whatever tallies
+// survived — connections that died mid-run keep their partial counts.
 type report struct {
-	Addr      string     `json:"addr"`
-	Conns     int        `json:"conns"`
-	Pipeline  int        `json:"pipeline"`
-	Dist      string     `json:"dist"`
-	RateRPS   float64    `json:"rate_rps"`
-	TargetRPS float64    `json:"target_rps,omitempty"`
-	ElapsedNS int64      `json:"elapsed_ns"`
-	Requests  uint64     `json:"requests"`
-	Errors    uint64     `json:"errors"`
-	Churns    uint64     `json:"churns"`
-	Classes   []classSLO `json:"classes"`
+	Addr      string         `json:"addr"`
+	Conns     int            `json:"conns"`
+	Pipeline  int            `json:"pipeline"`
+	Dist      string         `json:"dist"`
+	RateRPS   float64        `json:"rate_rps"`
+	TargetRPS float64        `json:"target_rps"`
+	ElapsedNS int64          `json:"elapsed_ns"`
+	Requests  uint64         `json:"requests"`
+	Errors    uint64         `json:"errors"`
+	Churns    uint64         `json:"churns"`
+	Deaths    uint64         `json:"deaths"`
+	Classes   []classSLO     `json:"classes"`
+	Metrics   *metricsReport `json:"metrics,omitempty"`
 }
 
 type loadCfg struct {
@@ -117,18 +138,22 @@ type loadCfg struct {
 	stormDuration time.Duration
 	churnEvery    time.Duration
 	seed          int64
+	metricsURL    string
+	distName      string
 
 	sent     atomic.Uint64 // request-budget allocator when requests > 0
 	storming atomic.Bool
 }
 
-// connStats is one connection's tally: latency histograms indexed by mix
-// position, plus error/churn/completion counts. No locks — each belongs
-// to a single goroutine until the final merge.
+// connStats is one connection's tally: latency histograms and error counts
+// indexed by mix position, plus churn/death/completion counts. No locks —
+// each belongs to a single goroutine until the final merge.
 type connStats struct {
 	lat    []telemetry.Histogram
+	errs   []uint64 // per-class: ERR responses + in-flight losses
 	errors uint64
 	churns uint64
+	deaths uint64 // sessions that died mid-run (read/write/dial failure)
 	done   uint64
 }
 
@@ -171,9 +196,10 @@ func main() {
 		stormEv  = flag.Duration("storm-every", 0, "hot-key storm interval (0 = no storms)")
 		stormDur = flag.Duration("storm-duration", 100*time.Millisecond, "hot-key storm length")
 		churnEv  = flag.Duration("churn-every", 0, "re-dial each connection this often (0 = never)")
-		jsonOut  = flag.String("json", "", "write the SLO report as JSON to this file (\"-\" = stdout)")
-		minRate  = flag.Float64("min-rate", 0, "exit nonzero if achieved req/s falls below this")
-		seed     = flag.Int64("seed", 1, "rng seed")
+		jsonOut    = flag.String("json", "", "write the SLO report as JSON to this file (\"-\" = stdout)")
+		minRate    = flag.Float64("min-rate", 0, "exit nonzero if achieved req/s falls below this")
+		seed       = flag.Int64("seed", 1, "rng seed")
+		metricsURL = flag.String("metrics-url", "", "scrape this Prometheus /metrics URL during the run and assert counter monotonicity")
 	)
 	flag.Parse()
 
@@ -206,8 +232,55 @@ func main() {
 		draw:       workload.NewKeyDraw(&wcfg),
 		stormEvery: *stormEv, stormDuration: *stormDur,
 		churnEvery: *churnEv, seed: *seed,
+		metricsURL: *metricsURL, distName: kd.String(),
 	}
 
+	rep := runLoad(cfg)
+
+	fmt.Fprintf(os.Stderr, "memtag-load: %d requests in %v = %.0f req/s (%d errors, %d churns, %d deaths)\n",
+		rep.Requests, time.Duration(rep.ElapsedNS).Round(time.Millisecond), rep.RateRPS,
+		rep.Errors, rep.Churns, rep.Deaths)
+	for _, c := range rep.Classes {
+		fmt.Fprintf(os.Stderr, "  %-6s n=%-9d p50=%8.0fns p95=%8.0fns p99=%8.0fns max=%dns\n",
+			c.Name, c.Count, c.P50NS, c.P95NS, c.P99NS, c.MaxNS)
+	}
+	if *jsonOut != "" {
+		w := os.Stdout
+		if *jsonOut != "-" {
+			w, err = os.Create(*jsonOut)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			defer w.Close()
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(&rep); err != nil {
+			fatalf("writing report: %v", err)
+		}
+	}
+	if rep.Metrics != nil && rep.Metrics.Error != "" {
+		fatalf("metrics scrape: %s", rep.Metrics.Error)
+	}
+	if rep.Metrics != nil && !rep.Metrics.Monotonic {
+		fatalf("metrics counters regressed between scrapes")
+	}
+	if rep.Errors > 0 {
+		fatalf("%d error responses", rep.Errors)
+	}
+	if rep.Deaths > 0 {
+		fatalf("%d sessions died", rep.Deaths)
+	}
+	if *minRate > 0 && rep.RateRPS < *minRate {
+		fatalf("achieved %.0f req/s < -min-rate %.0f", rep.RateRPS, *minRate)
+	}
+}
+
+// runLoad runs the whole load: the storm clock, the optional metrics
+// scraper, one goroutine per connection, and the final merge. It always
+// returns a complete report — sessions that died keep their partial
+// tallies, with in-flight requests charged to their op class's errors.
+func runLoad(cfg *loadCfg) report {
 	// Storm clock: while storming, every key draw collapses onto two
 	// scorching keys, serializing the whole fleet on them.
 	stopStorm := make(chan struct{})
@@ -232,6 +305,18 @@ func main() {
 		}()
 	}
 
+	var mrep *metricsReport
+	stopScrape := make(chan struct{})
+	var scrapeWG sync.WaitGroup
+	if cfg.metricsURL != "" {
+		mrep = &metricsReport{URL: cfg.metricsURL, Monotonic: true}
+		scrapeWG.Add(1)
+		go func() {
+			defer scrapeWG.Done()
+			scrapeLoop(cfg.metricsURL, mrep, stopScrape)
+		}()
+	}
+
 	stats := make([]connStats, cfg.conns)
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -245,76 +330,63 @@ func main() {
 	wg.Wait()
 	elapsed := time.Since(start)
 	close(stopStorm)
+	close(stopScrape)
+	scrapeWG.Wait()
 
 	rep := report{
 		Addr: cfg.addr, Conns: cfg.conns, Pipeline: cfg.pipeline,
-		Dist: kd.String(), TargetRPS: cfg.rate, ElapsedNS: int64(elapsed),
+		Dist: cfg.distName, TargetRPS: cfg.rate, ElapsedNS: int64(elapsed),
+		Metrics: mrep,
 	}
-	merged := make([]telemetry.Histogram, len(mix))
+	merged := make([]telemetry.Histogram, len(cfg.mix))
+	mergedErrs := make([]uint64, len(cfg.mix))
 	for i := range stats {
 		rep.Errors += stats[i].errors
 		rep.Churns += stats[i].churns
+		rep.Deaths += stats[i].deaths
 		rep.Requests += stats[i].done
 		for j := range merged {
 			merged[j].Merge(&stats[i].lat[j])
+			mergedErrs[j] += stats[i].errs[j]
 		}
 	}
 	rep.RateRPS = float64(rep.Requests) / elapsed.Seconds()
-	for j, m := range mix {
+	for j, m := range cfg.mix {
 		h := &merged[j]
-		if h.Count() == 0 {
+		if h.Count() == 0 && mergedErrs[j] == 0 {
 			continue
 		}
 		rep.Classes = append(rep.Classes, classSLO{
-			Name: m.name, Count: h.Count(),
+			Name: m.name, Count: h.Count(), Errors: mergedErrs[j],
 			P50NS: h.Quantile(0.50), P95NS: h.Quantile(0.95),
 			P99NS: h.Quantile(0.99), MaxNS: h.Max(),
 		})
 	}
 	sort.Slice(rep.Classes, func(a, b int) bool { return rep.Classes[a].Count > rep.Classes[b].Count })
-
-	fmt.Fprintf(os.Stderr, "memtag-load: %d requests in %v = %.0f req/s (%d errors, %d churns)\n",
-		rep.Requests, elapsed.Round(time.Millisecond), rep.RateRPS, rep.Errors, rep.Churns)
-	for _, c := range rep.Classes {
-		fmt.Fprintf(os.Stderr, "  %-6s n=%-9d p50=%8.0fns p95=%8.0fns p99=%8.0fns max=%dns\n",
-			c.Name, c.Count, c.P50NS, c.P95NS, c.P99NS, c.MaxNS)
-	}
-	if *jsonOut != "" {
-		w := os.Stdout
-		if *jsonOut != "-" {
-			w, err = os.Create(*jsonOut)
-			if err != nil {
-				fatalf("%v", err)
-			}
-			defer w.Close()
-		}
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(&rep); err != nil {
-			fatalf("writing report: %v", err)
-		}
-	}
-	if rep.Errors > 0 {
-		fatalf("%d error responses", rep.Errors)
-	}
-	if *minRate > 0 && rep.RateRPS < *minRate {
-		fatalf("achieved %.0f req/s < -min-rate %.0f", rep.RateRPS, *minRate)
-	}
+	return rep
 }
 
 // session exit reasons.
 const (
 	exitBudget = iota // global run is over
 	exitChurn         // churn boundary: re-dial and continue
+	exitDead          // the session died (read/write failure); tallies kept
 )
+
+// maxDialRetries bounds consecutive dial failures before a connection
+// gives up for the rest of the run.
+const maxDialRetries = 5
 
 // runConn drives one connection until the run ends, re-dialing every
 // churnEvery (connection churn exercises the server's accept / register /
-// unregister path under load).
+// unregister path under load). A session that dies mid-run keeps its
+// partial tallies, records a death, and re-dials; only a run-ending budget
+// or repeated dial failures stop the loop.
 func runConn(cfg *loadCfg, id int, st *connStats) {
 	rng := rand.New(rand.NewSource(cfg.seed + int64(id)*7919))
 	drawKey := cfg.draw(rng)
 	st.lat = make([]telemetry.Histogram, len(cfg.mix))
+	st.errs = make([]uint64, len(cfg.mix))
 
 	// nextReq fills req in place and returns the mix index, honouring
 	// storms.
@@ -344,30 +416,54 @@ func runConn(cfg *loadCfg, id int, st *connStats) {
 		return j
 	}
 
+	dialFails := 0
 	for {
 		conn, err := net.Dial("tcp", cfg.addr)
 		if err != nil {
-			fatalf("conn %d: dial: %v", id, err)
+			dialFails++
+			if dialFails > maxDialRetries {
+				fmt.Fprintf(os.Stderr, "memtag-load: conn %d: giving up after %d dial failures: %v\n",
+					id, dialFails, err)
+				st.deaths++
+				return
+			}
+			if time.Now().After(cfg.deadline) {
+				return
+			}
+			time.Sleep(time.Duration(dialFails) * 50 * time.Millisecond)
+			continue
 		}
+		dialFails = 0
 		sessionEnd := cfg.deadline
 		if cfg.churnEvery > 0 {
 			if end := time.Now().Add(cfg.churnEvery); end.Before(sessionEnd) {
 				sessionEnd = end
 			}
 		}
-		reason := runSession(cfg, conn, sessionEnd, nextReq, st)
+		reason, serr := runSession(cfg, conn, sessionEnd, nextReq, st)
 		conn.Close()
-		if reason == exitBudget || time.Now().After(cfg.deadline) {
+		switch {
+		case reason == exitDead:
+			st.deaths++
+			fmt.Fprintf(os.Stderr, "memtag-load: conn %d: session died: %v\n", id, serr)
+			if time.Now().After(cfg.deadline) {
+				return
+			}
+		case reason == exitBudget || time.Now().After(cfg.deadline):
 			return
+		default:
+			st.churns++
 		}
-		st.churns++
 	}
 }
 
 // runSession pumps requests on one dialed connection until the session
-// deadline (churn boundary) or the global budget ends.
+// deadline (churn boundary), the global budget, or a connection failure
+// ends it. On failure it returns exitDead with the cause — requests still
+// in flight are charged to their op class's error count, and everything
+// already tallied survives.
 func runSession(cfg *loadCfg, conn net.Conn, sessionEnd time.Time,
-	nextReq func(*serve.Request) int, st *connStats) int {
+	nextReq func(*serve.Request) int, st *connStats) (int, error) {
 
 	bw := bufio.NewWriterSize(conn, 64<<10)
 	br := bufio.NewReaderSize(conn, 64<<10)
@@ -376,20 +472,22 @@ func runSession(cfg *loadCfg, conn net.Conn, sessionEnd time.Time,
 	var buf []byte
 	var req serve.Request
 
-	readOne := func(i int) {
+	readOne := func(i int) error {
 		line, err := br.ReadBytes('\n')
 		if err != nil {
-			fatalf("read: %v", err)
+			return fmt.Errorf("read: %w", err)
 		}
 		resp, err := serve.ParseResponse(line)
 		if err != nil {
-			fatalf("bad response %q: %v", line, err)
+			return fmt.Errorf("bad response %q: %v", line, err)
 		}
 		if resp.Kind == serve.RespErr {
 			st.errors++
+			st.errs[classOf[i]]++
 		}
 		st.lat[classOf[i]].Observe(uint64(time.Since(stamp[i])))
 		st.done++
+		return nil
 	}
 
 	if cfg.rate == 0 {
@@ -398,25 +496,44 @@ func runSession(cfg *loadCfg, conn net.Conn, sessionEnd time.Time,
 			// Session check first: budget() claims slots from the shared
 			// counter, and a claimed-then-unsent batch would leak them.
 			if time.Now().After(sessionEnd) {
-				return exitChurn
+				return exitChurn, nil
 			}
 			n := cfg.budget(cfg.pipeline)
 			if n == 0 {
-				return exitBudget
+				return exitBudget, nil
 			}
+			sent := 0
+			var ferr error
 			for i := 0; i < n; i++ {
 				classOf[i] = nextReq(&req)
 				stamp[i] = time.Now()
 				buf = serve.AppendRequest(buf[:0], &req)
 				if _, err := bw.Write(buf); err != nil {
-					fatalf("write: %v", err)
+					ferr = fmt.Errorf("write: %w", err)
+					break
+				}
+				sent++
+			}
+			if ferr == nil {
+				if err := bw.Flush(); err != nil {
+					ferr = fmt.Errorf("flush: %w", err)
 				}
 			}
-			if err := bw.Flush(); err != nil {
-				fatalf("flush: %v", err)
+			read := 0
+			for ferr == nil && read < n {
+				if err := readOne(read); err != nil {
+					ferr = err
+					break
+				}
+				read++
 			}
-			for i := 0; i < n; i++ {
-				readOne(i)
+			if ferr != nil {
+				// The batch died: requests written but unanswered are lost.
+				for k := read; k < sent; k++ {
+					st.errors++
+					st.errs[classOf[k]]++
+				}
+				return exitDead, ferr
 			}
 		}
 	}
@@ -427,49 +544,155 @@ func runSession(cfg *loadCfg, conn net.Conn, sessionEnd time.Time,
 	interval := time.Duration(float64(time.Second) * float64(cfg.conns) / cfg.rate)
 	next := time.Now()
 	head, tail, inflight := 0, 0, 0
-	drain := func() {
+	// die charges every in-flight request as an error and ends the session.
+	die := func(err error) (int, error) {
+		for ; inflight > 0; inflight-- {
+			st.errors++
+			st.errs[classOf[head]]++
+			head = (head + 1) % cfg.pipeline
+		}
+		return exitDead, err
+	}
+	drain := func() error {
 		for inflight > 0 {
-			readOne(head)
+			if err := readOne(head); err != nil {
+				return err
+			}
 			head = (head + 1) % cfg.pipeline
 			inflight--
 		}
+		return nil
 	}
 	for {
 		if time.Now().After(sessionEnd) {
-			drain()
-			return exitChurn
+			if err := drain(); err != nil {
+				return die(err)
+			}
+			return exitChurn, nil
 		}
 		if cfg.budget(1) == 0 {
-			drain()
-			return exitBudget
+			if err := drain(); err != nil {
+				return die(err)
+			}
+			return exitBudget, nil
 		}
 		if d := time.Until(next); d > 0 {
 			time.Sleep(d)
 		}
 		for inflight >= cfg.pipeline {
-			readOne(head)
+			if err := readOne(head); err != nil {
+				return die(err)
+			}
 			head = (head + 1) % cfg.pipeline
 			inflight--
 		}
 		classOf[tail] = nextReq(&req)
 		stamp[tail] = next // scheduled time, not send time: no coordinated omission
-		buf = serve.AppendRequest(buf[:0], &req)
-		if _, err := bw.Write(buf); err != nil {
-			fatalf("write: %v", err)
-		}
-		if err := bw.Flush(); err != nil {
-			fatalf("flush: %v", err)
-		}
 		tail = (tail + 1) % cfg.pipeline
 		inflight++
+		buf = serve.AppendRequest(buf[:0], &req)
+		if _, err := bw.Write(buf); err != nil {
+			return die(fmt.Errorf("write: %w", err))
+		}
+		if err := bw.Flush(); err != nil {
+			return die(fmt.Errorf("flush: %w", err))
+		}
 		next = next.Add(interval)
 		// Opportunistically drain whatever responses already arrived.
 		for inflight > 0 && br.Buffered() > 0 {
-			readOne(head)
+			if err := readOne(head); err != nil {
+				return die(err)
+			}
 			head = (head + 1) % cfg.pipeline
 			inflight--
 		}
 	}
+}
+
+// scrapeLoop polls the server's Prometheus exposition for the run's
+// duration, asserting the cumulative request counter never regresses
+// between scrapes and capturing the last exemplar trace ID it sees. One
+// final scrape runs at stop, so even a short run records at least one.
+func scrapeLoop(url string, rep *metricsReport, stop <-chan struct{}) {
+	t := time.NewTicker(500 * time.Millisecond)
+	defer t.Stop()
+	var lastRequests float64
+	scrape := func() {
+		hreq, err := http.NewRequest("GET", url, nil)
+		if err != nil {
+			rep.Error = err.Error()
+			return
+		}
+		hreq.Header.Set("Accept", "text/plain")
+		resp, err := http.DefaultClient.Do(hreq)
+		if err != nil {
+			rep.Error = err.Error()
+			return
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			rep.Error = err.Error()
+			return
+		}
+		if resp.StatusCode != http.StatusOK {
+			rep.Error = fmt.Sprintf("scrape status %d", resp.StatusCode)
+			return
+		}
+		text := string(body)
+		v, ok := promValue(text, "memtag_requests_total")
+		if !ok {
+			rep.Error = "memtag_requests_total missing from exposition"
+			return
+		}
+		rep.Scrapes++
+		if v < lastRequests {
+			rep.Monotonic = false
+		}
+		lastRequests = v
+		if ex := lastExemplarID(text); ex != "" {
+			rep.LastExemplar = ex
+		}
+	}
+	for {
+		select {
+		case <-stop:
+			scrape()
+			return
+		case <-t.C:
+			scrape()
+		}
+	}
+}
+
+// promValue finds an unlabelled sample line ("name value") in a Prometheus
+// text exposition.
+func promValue(text, name string) (float64, bool) {
+	for _, line := range strings.Split(text, "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			if err == nil {
+				return v, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// lastExemplarID extracts the trace ID of the last exemplar in the
+// exposition (`... # {trace_id="<id>"} <value>`).
+func lastExemplarID(text string) string {
+	const marker = `# {trace_id="`
+	i := strings.LastIndex(text, marker)
+	if i < 0 {
+		return ""
+	}
+	rest := text[i+len(marker):]
+	j := strings.IndexByte(rest, '"')
+	if j < 0 {
+		return ""
+	}
+	return rest[:j]
 }
 
 func fatalf(format string, args ...any) {

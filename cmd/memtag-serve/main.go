@@ -40,6 +40,15 @@ func main() {
 		streamEvery = flag.Duration("stream-every", 100*time.Millisecond, "telemetry window width")
 		streamDepth = flag.Int("stream-depth", 120, "telemetry windows retained per worker")
 		drain       = flag.Duration("drain", 10*time.Second, "shutdown drain budget")
+
+		spans       = flag.Bool("spans", false, "record per-request spans into the flight recorder")
+		tailLatency = flag.Duration("tail-latency", time.Millisecond, "tail-sample spans at least this slow (0 = off)")
+		tailRetries = flag.Int("tail-attempts", 4, "tail-sample spans burning at least this many STM attempts (0 = off)")
+		flightDepth = flag.Int("flight-depth", 256, "flight-ring spans retained per worker")
+		sloP99      = flag.Duration("slo-p99", 0, "p99 budget arming the auto-dump (0 = off)")
+		sloWindows  = flag.Int("slo-windows", 3, "consecutive breached windows that trigger a dump")
+		flightDump  = flag.String("flight-dump", "flight-dump", "post-mortem bundle directory")
+		pprofOn     = flag.Bool("pprof", false, "expose net/http/pprof on the metrics mux")
 	)
 	flag.Parse()
 
@@ -48,6 +57,7 @@ func main() {
 		MetricsAddr: *metrics,
 		StreamEvery: *streamEvery,
 		StreamDepth: *streamDepth,
+		Pprof:       *pprofOn,
 		Engine: serve.EngineConfig{
 			Workers:   *workers,
 			MemBytes:  *memBytes,
@@ -55,6 +65,25 @@ func main() {
 			Relations: *relations,
 			Seed:      *seed,
 		},
+	}
+	if *spans {
+		cfg.Flight = serve.FlightConfig{
+			Spans:      true,
+			Depth:      *flightDepth,
+			SLOP99:     *sloP99,
+			SLOWindows: *sloWindows,
+			DumpDir:    *flightDump,
+		}
+		// Flag zero means "criterion off"; FlightConfig uses negative for
+		// that (its zero value means "default").
+		cfg.Flight.TailLatency = *tailLatency
+		if *tailLatency == 0 {
+			cfg.Flight.TailLatency = -1
+		}
+		cfg.Flight.TailAttempts = *tailRetries
+		if *tailRetries == 0 {
+			cfg.Flight.TailAttempts = -1
+		}
 	}
 	switch *tm {
 	case "tagged":
@@ -88,9 +117,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "memtag-serve: metrics on http://%s/metrics\n", srv.MetricsAddr())
 	}
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-	s := <-sig
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM, syscall.SIGQUIT)
+	var s os.Signal
+	for s = <-sig; s == syscall.SIGQUIT; s = <-sig {
+		// SIGQUIT is the operator's black-box pull: dump the flight
+		// recorder and keep serving.
+		if dir, err := srv.TriggerDump("sigquit"); err != nil {
+			fmt.Fprintf(os.Stderr, "memtag-serve: flight dump: %v\n", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "memtag-serve: flight dump written to %s\n", dir)
+		}
+	}
 	fmt.Fprintf(os.Stderr, "memtag-serve: %v, draining\n", s)
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)

@@ -3,6 +3,7 @@ package serve
 import (
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/telemetry"
 )
@@ -123,5 +124,101 @@ func TestServeHotPathAllocFreeWithStreaming(t *testing.T) {
 	<-readerDone
 	if ops, _ := stream.Totals(); ops < 200 {
 		t.Fatalf("streamed ops = %d, pin was vacuous", ops)
+	}
+}
+
+// TestSpanRecordAllocFree pins the tracing hot path with sampling armed:
+// span begin/end (kept and unkept), the tail-sample decision, and the
+// flight-recorder publish must all be allocation-free.
+func TestSpanRecordAllocFree(t *testing.T) {
+	fr := telemetry.NewFlightRecorder(1, 64)
+	rec := telemetry.NewSpanRecorder(fr, 0, time.Now(), telemetry.TailPolicy{LatencyNS: 1000, Attempts: 4})
+
+	id := uint64(0)
+	// Unkept path: fast span, one committed attempt.
+	assertZeroAllocs(t, "span record (not kept)", func() {
+		id++
+		rec.Begin(id, 1, 10, 1, 1, 99)
+		rec.TxAttemptStart()
+		rec.TxAttemptEnd(true, false)
+		if rec.End(20, false) {
+			t.Fatal("fast span was kept")
+		}
+	})
+	// Kept path: latency breach + retries + overflow, exemplar publish.
+	assertZeroAllocs(t, "span record (tail-kept)", func() {
+		id++
+		rec.Begin(id, 1, 10, 1, 1, 99)
+		for a := 0; a < 5; a++ {
+			rec.TxAttemptStart()
+			rec.TxTagOverflow()
+			rec.TxAttemptEnd(a == 4, false)
+		}
+		if !rec.End(5000, false) {
+			t.Fatal("slow span was not kept")
+		}
+	})
+	if recorded, kept := fr.Totals(); recorded == 0 || kept == 0 {
+		t.Fatalf("pin was vacuous: recorded=%d kept=%d", recorded, kept)
+	}
+}
+
+// TestServeHotPathAllocFreeWithSpans is the full served hot path with the
+// flight recorder armed: decode, span begin (with STM attempt observation
+// wired into both TMs), exec, span end + flight publish, latency +
+// stream tick — 0 allocs/op, while a snapshot reader runs.
+func TestServeHotPathAllocFreeWithSpans(t *testing.T) {
+	eng, err := newEngine(EngineConfig{Workers: 1, MemBytes: 64 << 20, Tagged: true, Relations: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := telemetry.NewFlightRecorder(1, 64)
+	eng.armSpans(fr, time.Now(), telemetry.TailPolicy{LatencyNS: 1, Attempts: 4})
+	w := eng.workers[0]
+	stream := telemetry.NewStream(1, 1000, 16)
+	out := make([]byte, 0, 4096)
+	line := []byte("PUT 42 7\n")
+
+	var stop atomic.Bool
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for !stop.Load() {
+			fr.Snapshot()
+			fr.Exemplar(0)
+			fr.Totals()
+		}
+	}()
+
+	clock := uint64(0)
+	id := uint64(0)
+	serveOne := func() {
+		r, err := ParseRequest(line)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var f0, tick uint64
+		if w.oc != nil {
+			tick, f0 = w.oc.OpClock()
+		}
+		id++
+		w.sr.Begin(id, r.Op, clock, 1, 1, tick)
+		out = w.Exec(&r, out[:0])
+		var fails uint64
+		if w.oc != nil {
+			_, f1 := w.oc.OpClock()
+			fails = f1 - f0
+		}
+		clock += 130
+		w.sr.End(clock, false)
+		w.lat.Observe(130)
+		stream.Tick(0, clock, 130, fails)
+	}
+	serveOne() // warm
+	assertZeroAllocs(t, "serve+spans+flight with snapshot reader", serveOne)
+	stop.Store(true)
+	<-readerDone
+	if recorded, kept := fr.Totals(); recorded < 200 || kept == 0 {
+		t.Fatalf("pin was vacuous: recorded=%d kept=%d (TailLatency=1 keeps everything)", recorded, kept)
 	}
 }

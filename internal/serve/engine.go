@@ -3,6 +3,7 @@ package serve
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/history"
@@ -74,6 +75,10 @@ type Worker struct {
 	// at quiescence for the final summary; the Stream carries the mid-run
 	// view.
 	lat telemetry.Histogram
+
+	// sr, when spans are armed, records this worker's request spans.
+	// Single-writer under mu, like lat.
+	sr *telemetry.SpanRecorder
 }
 
 // EngineConfig selects the engine's storage configuration.
@@ -165,6 +170,53 @@ func newEngine(cfg EngineConfig) (*Engine, error) {
 		e.workers[i] = w
 	}
 	return e, nil
+}
+
+// armSpans installs a span recorder on every worker and registers it as
+// the STM attempt observer on both TMs, so request spans carry per-attempt
+// records with abort causes. Quiescent only (run before traffic).
+func (e *Engine) armSpans(fr *telemetry.FlightRecorder, epoch time.Time, pol telemetry.TailPolicy) {
+	for _, w := range e.workers {
+		w.sr = telemetry.NewSpanRecorder(fr, w.id, epoch, pol)
+		e.kvTM.SetTxObserver(w.th.ID(), w.sr)
+		e.resTM.SetTxObserver(w.th.ID(), w.sr)
+	}
+}
+
+// TMStats is one TM's cumulative attempt counters.
+type TMStats struct {
+	Commits   uint64 `json:"commits"`
+	Aborts    uint64 `json:"aborts"`
+	TagAborts uint64 `json:"tag_aborts"`
+}
+
+// EngineStats is the engine-wide counter snapshot. Every source is an
+// atomic, so it is safe to take mid-run (the flight-recorder dump and the
+// metrics plane both do).
+type EngineStats struct {
+	KV           TMStats `json:"kv_tm"`
+	Res          TMStats `json:"res_tm"`
+	TagOverflows uint64  `json:"tag_overflows"`
+	TagEvictions uint64  `json:"tag_evictions"`
+}
+
+// Stats snapshots the engine counters. Safe at any time.
+func (e *Engine) Stats() EngineStats {
+	ov, ev := e.mem.TagStats()
+	return EngineStats{
+		KV: TMStats{
+			Commits:   e.kvTM.Commits.Load(),
+			Aborts:    e.kvTM.Aborts.Load(),
+			TagAborts: e.kvTM.TagAborts.Load(),
+		},
+		Res: TMStats{
+			Commits:   e.resTM.Commits.Load(),
+			Aborts:    e.resTM.Aborts.Load(),
+			TagAborts: e.resTM.TagAborts.Load(),
+		},
+		TagOverflows: ov,
+		TagEvictions: ev,
+	}
 }
 
 // bindClosures builds the per-worker transaction bodies once; they read

@@ -3,7 +3,10 @@ package serve
 import (
 	"encoding/json"
 	"expvar"
+	"fmt"
 	"net/http"
+	"net/http/pprof"
+	"strings"
 	"time"
 
 	"repro/internal/telemetry"
@@ -22,6 +25,9 @@ type metricsPayload struct {
 	ConnsActive   int64                    `json:"conns_active"`
 	Ops           uint64                   `json:"ops"`
 	Fails         uint64                   `json:"fails"`
+	SpansRecorded uint64                   `json:"spans_recorded"`
+	SpansKept     uint64                   `json:"spans_kept"`
+	FlightDumps   uint64                   `json:"flight_dumps"`
 	WindowNS      uint64                   `json:"window_ns"`
 	StreamRetries int                      `json:"stream_retries"`
 	Windows       []telemetry.StreamWindow `json:"windows"`
@@ -37,10 +43,26 @@ func (s *Server) metricsMux() *http.ServeMux {
 	// expvar.Publish keeps multiple in-process servers (tests) from
 	// fighting over the global registry.
 	mux.Handle("/debug/vars", expvar.Handler())
+	if s.cfg.Pprof {
+		// Profiling surface, opt-in only: with Pprof off these paths 404
+		// (and a test pins that absence).
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
+// serveMetrics negotiates the exposition: Prometheus text when asked for
+// (Accept: text/plain / openmetrics, or ?format=prometheus), the original
+// JSON document otherwise — existing JSON consumers see no change.
 func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
+	if wantsPrometheus(r) {
+		s.servePrometheus(w)
+		return
+	}
 	windows, retries := s.stream.ReadMergedWindows()
 	ops, fails := s.stream.Totals()
 	p := metricsPayload{
@@ -52,11 +74,132 @@ func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
 		ConnsActive:   s.active.Load(),
 		Ops:           ops,
 		Fails:         fails,
+		FlightDumps:   s.dumps.Load(),
 		WindowNS:      s.stream.Every(),
 		StreamRetries: retries,
 		Windows:       windows,
 	}
+	if s.flight != nil {
+		p.SpansRecorded, p.SpansKept = s.flight.Totals()
+	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.Encode(&p)
+}
+
+func wantsPrometheus(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prometheus", "prom":
+		return true
+	case "json":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") ||
+		strings.Contains(accept, "openmetrics")
+}
+
+// servePrometheus writes the Prometheus text exposition: cumulative
+// counters (every source monotonic atomics, so successive scrapes never
+// regress), the request-latency histogram with power-of-two le buckets,
+// and — when the flight recorder is armed — OpenMetrics-style exemplars on
+// the buckets holding each worker's most recent tail-sampled span, carrying
+// that request's trace ID. That ID is the join key into a flight-recorder
+// dump's trace.json.
+func (s *Server) servePrometheus(w http.ResponseWriter) {
+	var b strings.Builder
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+
+	gauge("memtag_uptime_seconds", "Seconds since the server started.",
+		time.Since(s.start).Seconds())
+	gauge("memtag_workers", "Engine worker count.", float64(len(s.eng.workers)))
+	counter("memtag_requests_total", "Requests decoded (including errored ones).",
+		s.requests.Load())
+	counter("memtag_errors_total", "Requests answered with a protocol error.",
+		s.errors.Load())
+	counter("memtag_conns_accepted_total", "Connections accepted.", s.accepted.Load())
+	gauge("memtag_conns_active", "Connections currently open.", float64(s.active.Load()))
+	ops, fails := s.stream.Totals()
+	counter("memtag_ops_total", "Backend operations completed.", ops)
+	counter("memtag_fails_total", "Backend validation/commit failures burned.", fails)
+
+	st := s.eng.Stats()
+	counter("memtag_stm_commits_total", "STM transactions committed (both TMs).",
+		st.KV.Commits+st.Res.Commits)
+	counter("memtag_stm_aborts_total", "STM attempt aborts (both TMs).",
+		st.KV.Aborts+st.Res.Aborts)
+	counter("memtag_stm_tag_aborts_total", "STM aborts from failed tag validation.",
+		st.KV.TagAborts+st.Res.TagAborts)
+	counter("memtag_tag_overflows_total", "Tag-set overflows (attempts degraded to value-based mode).",
+		st.TagOverflows)
+	counter("memtag_tag_evictions_total", "Tagged lines evicted under readers.",
+		st.TagEvictions)
+
+	if s.flight != nil {
+		recorded, kept := s.flight.Totals()
+		counter("memtag_spans_recorded_total", "Request spans published into the flight recorder.",
+			recorded)
+		counter("memtag_spans_kept_total", "Request spans tail-sampled (latency/retries/overflow/error).",
+			kept)
+		counter("memtag_flight_dumps_total", "Post-mortem flight-recorder bundles written.",
+			s.dumps.Load())
+	}
+
+	s.promLatencyHistogram(&b)
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write([]byte(b.String()))
+}
+
+// promLatencyHistogram renders the cumulative service-time histogram.
+// Buckets are the telemetry layer's power-of-two buckets: le = 2^b - 1
+// inclusive upper bounds, cumulative counts from the stream's monotonic
+// per-core atomics.
+func (s *Server) promLatencyHistogram(b *strings.Builder) {
+	const name = "memtag_request_duration_ns"
+	var buckets [telemetry.NumBuckets]uint64
+	count, sum := s.stream.CumulativeLatency(&buckets)
+
+	// One exemplar per flight core: worker's most recent tail-sampled
+	// span, attached to the bucket its latency lands in. When several
+	// workers' exemplars share a bucket the slowest wins.
+	type exemplar struct {
+		id, lat uint64
+	}
+	var ex map[int]exemplar
+	if s.flight != nil {
+		for i := 0; i < s.flight.NumCores(); i++ {
+			id, lat, ok := s.flight.Exemplar(i)
+			if !ok {
+				continue
+			}
+			if ex == nil {
+				ex = make(map[int]exemplar)
+			}
+			bkt := telemetry.BucketIndex(lat)
+			if cur, have := ex[bkt]; !have || lat > cur.lat {
+				ex[bkt] = exemplar{id: id, lat: lat}
+			}
+		}
+	}
+
+	fmt.Fprintf(b, "# HELP %s Request service time (host ns), power-of-two buckets.\n", name)
+	fmt.Fprintf(b, "# TYPE %s histogram\n", name)
+	var cum uint64
+	for i := 0; i < telemetry.NumBuckets; i++ {
+		cum += buckets[i]
+		fmt.Fprintf(b, "%s_bucket{le=\"%d\"} %d", name, telemetry.BucketUpper(i), cum)
+		if e, ok := ex[i]; ok {
+			fmt.Fprintf(b, " # {trace_id=\"%s\"} %d", traceID(e.id), e.lat)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, count)
+	fmt.Fprintf(b, "%s_sum %d\n", name, sum)
+	fmt.Fprintf(b, "%s_count %d\n", name, count)
 }

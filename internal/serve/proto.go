@@ -85,6 +85,42 @@ var (
 	errZeroVal  = fmt.Errorf("serve: PUT value must be > 0")
 )
 
+// CmdName renders a wire op code for traces and logs ("?" for an unknown
+// code, including 0 — the span op of a request that failed to parse).
+func CmdName(op uint8) string {
+	switch op {
+	case CmdGet:
+		return "GET"
+	case CmdPut:
+		return "PUT"
+	case CmdDel:
+		return "DEL"
+	case CmdSAdd:
+		return "SADD"
+	case CmdSRem:
+		return "SREM"
+	case CmdSHas:
+		return "SHAS"
+	case CmdResv:
+		return "RESV"
+	case CmdBill:
+		return "BILL"
+	case CmdCancel:
+		return "CANCEL"
+	case CmdAddCust:
+		return "ADDCUST"
+	case CmdAddRes:
+		return "ADDRES"
+	case CmdDelRes:
+		return "DELRES"
+	case CmdQPrice:
+		return "QPRICE"
+	case CmdPing:
+		return "PING"
+	}
+	return "?"
+}
+
 // nArgs is the positional argument count per command.
 func nArgs(op uint8) int {
 	switch op {

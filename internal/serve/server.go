@@ -30,6 +30,14 @@ type Config struct {
 	// 120, i.e. 12s of history at the default width).
 	StreamEvery time.Duration
 	StreamDepth int
+
+	// Flight arms request-scoped tracing, tail-based sampling, and the
+	// post-mortem flight recorder (see FlightConfig).
+	Flight FlightConfig
+
+	// Pprof exposes net/http/pprof on the private metrics mux. Off by
+	// default: the profiling surface stays absent unless asked for.
+	Pprof bool
 }
 
 // Server is one running memtag-serve instance.
@@ -53,6 +61,14 @@ type Server struct {
 	errors   atomic.Uint64 // protocol errors answered with ERR
 	accepted atomic.Uint64
 	active   atomic.Int64
+
+	// Flight-recorder plane (nil/zero when Config.Flight.Spans is off).
+	flight  *telemetry.FlightRecorder
+	monStop chan struct{} // stops the SLO monitor
+	dumpMu  sync.Mutex    // serializes post-mortem dumps
+	dumps   atomic.Uint64 // bundles written
+	vioMsg  atomic.Pointer[string]
+	vioOnce sync.Once
 }
 
 // flushLimit bounds the per-connection output buffer before a forced
@@ -68,17 +84,40 @@ func New(cfg Config) (*Server, error) {
 	if cfg.StreamDepth <= 0 {
 		cfg.StreamDepth = 120
 	}
+	cfg.Flight.setDefaults()
 	eng, err := newEngine(cfg.Engine)
 	if err != nil {
 		return nil, err
 	}
-	return &Server{
+	s := &Server{
 		cfg:    cfg,
 		eng:    eng,
 		stream: telemetry.NewStream(cfg.Engine.Workers, uint64(cfg.StreamEvery.Nanoseconds()), cfg.StreamDepth),
 		conns:  map[net.Conn]struct{}{},
-	}, nil
+	}
+	if cfg.Flight.Spans {
+		s.flight = telemetry.NewFlightRecorder(cfg.Engine.Workers, cfg.Flight.Depth)
+		if eng.dom != nil {
+			// With the flight recorder armed, a checked-mode reclaim
+			// violation produces a post-mortem bundle instead of the
+			// domain's default panic; the violation error is retained
+			// (Domain.Violation) and lands in stats.json.
+			eng.dom.OnViolation(func(err error) {
+				msg := err.Error()
+				s.vioMsg.CompareAndSwap(nil, &msg)
+				s.vioOnce.Do(func() { s.TriggerDump("reclaim-violation") })
+			})
+		}
+	}
+	return s, nil
 }
+
+// FlightRecorder exposes the span flight recorder (nil when spans are not
+// armed). Safe to read at any time.
+func (s *Server) FlightRecorder() *telemetry.FlightRecorder { return s.flight }
+
+// Dumps returns the number of post-mortem bundles written so far.
+func (s *Server) Dumps() uint64 { return s.dumps.Load() }
 
 // Engine exposes the storage planes for quiescent inspection (tests, the
 // final CLI summary).
@@ -96,6 +135,16 @@ func (s *Server) Start() error {
 	}
 	s.ln = ln
 	s.start = time.Now()
+	if s.flight != nil {
+		// Arm span recorders now that the epoch (s.start) exists; traffic
+		// has not begun, so the quiescent-only observer install is safe.
+		s.eng.armSpans(s.flight, s.start, s.cfg.Flight.tailPolicy())
+		s.monStop = make(chan struct{})
+		if s.cfg.Flight.SLOP99 > 0 {
+			s.wg.Add(1)
+			go s.sloMonitor()
+		}
+	}
 	if s.cfg.MetricsAddr != "" {
 		hl, err := net.Listen("tcp", s.cfg.MetricsAddr)
 		if err != nil {
@@ -149,14 +198,19 @@ func (s *Server) acceptLoop() {
 		id := s.nextConn.Add(1) - 1
 		w := s.eng.workers[int(id)%len(s.eng.workers)]
 		s.wg.Add(1)
-		go s.handleConn(conn, w)
+		go s.handleConn(conn, w, id)
 	}
 }
 
 // handleConn serves one connection bound to one worker. Responses to
 // pipelined requests are batched: the output buffer flushes when no more
 // input is buffered or when it crosses flushLimit.
-func (s *Server) handleConn(conn net.Conn, w *Worker) {
+//
+// connID is the accept-time connection sequence number; with spans armed
+// it seeds the request IDs: connID in the top 24 bits, a per-connection
+// sequence in the low 28 — 52 bits total, so the ID survives a float64
+// round-trip through JSON tooling.
+func (s *Server) handleConn(conn net.Conn, w *Worker, connID uint64) {
 	defer s.wg.Done()
 	defer func() {
 		s.mu.Lock()
@@ -167,6 +221,9 @@ func (s *Server) handleConn(conn net.Conn, w *Worker) {
 	}()
 	br := bufio.NewReaderSize(conn, 32<<10)
 	out := make([]byte, 0, 16<<10)
+	armed := s.flight != nil
+	spanBase := (connID & 0xFFFFFF) << 28
+	var reqSeq uint64
 	for {
 		line, err := br.ReadSlice('\n')
 		if err != nil {
@@ -178,17 +235,39 @@ func (s *Server) handleConn(conn net.Conn, w *Worker) {
 			return
 		}
 		s.requests.Add(1)
+		var tRead, tParse uint64
+		if armed {
+			tRead = uint64(time.Since(s.start))
+		}
 		req, perr := ParseRequest(line)
+		if armed {
+			tParse = uint64(time.Since(s.start))
+		}
+		reqID := spanBase | (reqSeq & (1<<28 - 1))
+		reqSeq++
 		if perr != nil {
 			s.errors.Add(1)
 			out = appendErr(out, perr)
+			if armed {
+				// A parse failure still gets a span (op 0): errored
+				// requests are always tail-kept.
+				w.mu.Lock()
+				w.sr.Begin(reqID, 0, tRead, tParse-tRead, 0, 0)
+				w.sr.End(uint64(time.Since(s.start)), true)
+				w.mu.Unlock()
+			}
 		} else {
 			t0 := time.Since(s.start)
 			w.mu.Lock()
-			var f0 uint64
+			var f0, tick uint64
 			if w.oc != nil {
-				_, f0 = w.oc.OpClock()
+				tick, f0 = w.oc.OpClock()
 			}
+			if armed {
+				tLock := uint64(time.Since(s.start))
+				w.sr.Begin(reqID, req.Op, tRead, tParse-tRead, tLock-tParse, tick)
+			}
+			errStart := len(out)
 			out = w.Exec(&req, out)
 			var fails uint64
 			if w.oc != nil {
@@ -197,6 +276,10 @@ func (s *Server) handleConn(conn net.Conn, w *Worker) {
 			}
 			t1 := time.Since(s.start)
 			d := uint64(t1 - t0)
+			if armed {
+				errResp := len(out) > errStart && out[errStart] == 'E'
+				w.sr.End(uint64(t1), errResp)
+			}
 			w.lat.Observe(d)
 			s.stream.Tick(w.id, uint64(t1), d, fails)
 			w.mu.Unlock()
@@ -216,7 +299,9 @@ func (s *Server) handleConn(conn net.Conn, w *Worker) {
 // engine is quiescent: final telemetry windows are flushed and
 // CheckTables/PoolStats are safe.
 func (s *Server) Shutdown(ctx context.Context) error {
-	s.closing.Store(true)
+	if first := !s.closing.Swap(true); first && s.monStop != nil {
+		close(s.monStop)
+	}
 	s.ln.Close()
 	s.mu.Lock()
 	for c := range s.conns {

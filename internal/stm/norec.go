@@ -68,6 +68,45 @@ type TM struct {
 	// cached holds one reusable Tx per thread id for RunCached; see
 	// Prepare.
 	cached []*Tx
+
+	// obs holds per-thread attempt observers; see SetTxObserver.
+	obs []TxObserver
+}
+
+// TxObserver receives per-attempt lifecycle events from transactions run by
+// one thread: attempt begin, attempt outcome (committed, or aborted — with
+// the tag-validation aborts distinguished from value-based ones), and
+// tag-set overflow (the attempt degraded to value-based mode). The serve
+// layer's span recorder implements it to attribute a slow request to its
+// retry loop. Hooks run on the transaction's thread, inside the attempt's
+// dynamic extent; they must not start transactions themselves.
+type TxObserver interface {
+	TxAttemptStart()
+	TxAttemptEnd(committed, fromTags bool)
+	TxTagOverflow()
+}
+
+// SetTxObserver installs o as thread id's attempt observer (nil removes
+// it). Only call while the thread is quiescent. The hot path cost when no
+// observer is installed is one nil check per attempt.
+func (tm *TM) SetTxObserver(id int, o TxObserver) {
+	if id < 0 {
+		return
+	}
+	if id >= len(tm.obs) {
+		grown := make([]TxObserver, id+1)
+		copy(grown, tm.obs)
+		tm.obs = grown
+	}
+	tm.obs[id] = o
+}
+
+// observer returns thread id's observer, or nil.
+func (tm *TM) observer(id int) TxObserver {
+	if id < 0 || id >= len(tm.obs) {
+		return nil
+	}
+	return tm.obs[id]
 }
 
 // SetReclaim attaches a reclamation domain: every transaction attempt runs
@@ -133,6 +172,10 @@ type Tx struct {
 	// consecutive tag-validation aborts; survives across attempts so a
 	// pathological tag set degrades to value-based mode.
 	tagAborts int
+
+	// obs is the attempt's observer (set by runOnce from the TM's
+	// per-thread table), reachable from dropTags.
+	obs TxObserver
 }
 
 // abortSentinel unwinds an aborted transaction attempt back to Run.
@@ -185,6 +228,10 @@ func (tm *TM) RunCached(th core.Thread, fn func(tx *Tx)) {
 
 // runOnce runs a single attempt, reporting whether it committed.
 func (tm *TM) runOnce(tx *Tx, fn func(tx *Tx)) (committed bool) {
+	tx.obs = tm.observer(tx.th.ID())
+	if tx.obs != nil {
+		tx.obs.TxAttemptStart()
+	}
 	tm.enter(tx.th)
 	tx.begin()
 	defer func() {
@@ -199,12 +246,18 @@ func (tm *TM) runOnce(tx *Tx, fn func(tx *Tx)) (committed bool) {
 					tx.tagAborts = 0
 				}
 				committed = false
+				if tx.obs != nil {
+					tx.obs.TxAttemptEnd(false, a.fromTags)
+				}
 				tx.runHooks(false)
 				return
 			}
 			panic(r)
 		}
 		tx.tagAborts = 0
+		if tx.obs != nil {
+			tx.obs.TxAttemptEnd(true, false)
+		}
 		tx.runHooks(true)
 	}()
 	fn(tx)
@@ -251,6 +304,9 @@ func (tx *Tx) begin() {
 // dropTags downgrades the attempt to value-based validation only
 // (tag-set overflow: the hardware's graceful degradation path).
 func (tx *Tx) dropTags() {
+	if tx.obs != nil {
+		tx.obs.TxTagOverflow()
+	}
 	tx.th.ClearTagSet()
 	tx.useTags = false
 	// The sequence lock may have moved while tags covered consistency;

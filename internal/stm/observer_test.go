@@ -1,0 +1,154 @@
+package stm
+
+import (
+	"testing"
+
+	"repro/internal/vtags"
+)
+
+// attemptEnd is one TxAttemptEnd record.
+type attemptEnd struct {
+	committed, fromTags bool
+}
+
+// recObs records every observer callback, for asserting attempt shapes.
+type recObs struct {
+	starts    int
+	ends      []attemptEnd
+	overflows int
+}
+
+func (o *recObs) TxAttemptStart()                 { o.starts++ }
+func (o *recObs) TxAttemptEnd(committed, ft bool) { o.ends = append(o.ends, attemptEnd{committed, ft}) }
+func (o *recObs) TxTagOverflow()                  { o.overflows++ }
+
+// TestObserverCommit: a conflict-free transaction yields exactly one
+// attempt, ending committed, on both the Run and RunCached paths.
+func TestObserverCommit(t *testing.T) {
+	for _, cached := range []bool{false, true} {
+		mem := vtags.New(1<<20, 1)
+		tm := NewTagged(mem)
+		tm.Prepare(1)
+		th := mem.Thread(0)
+		obs := &recObs{}
+		tm.SetTxObserver(th.ID(), obs)
+		a := mem.Alloc(1)
+		body := func(tx *Tx) { tx.Write(a, tx.Read(a)+1) }
+		if cached {
+			tm.RunCached(th, body)
+		} else {
+			tm.Run(th, body)
+		}
+		if obs.starts != 1 || len(obs.ends) != 1 {
+			t.Fatalf("cached=%v: starts=%d ends=%v, want one committed attempt", cached, obs.starts, obs.ends)
+		}
+		if e := obs.ends[0]; !e.committed || e.fromTags {
+			t.Fatalf("cached=%v: attempt end %+v, want committed", cached, e)
+		}
+		if obs.overflows != 0 {
+			t.Fatalf("cached=%v: unexpected overflow callbacks: %d", cached, obs.overflows)
+		}
+	}
+}
+
+// TestObserverValueAbort: under baseline NOrec a conflicting commit
+// mid-transaction produces a value-based abort (fromTags=false) followed
+// by a committing retry.
+func TestObserverValueAbort(t *testing.T) {
+	mem := vtags.New(1<<20, 2)
+	tm := NewNOrec(mem)
+	t0, t1 := mem.Thread(0), mem.Thread(1)
+	obs := &recObs{}
+	tm.SetTxObserver(t0.ID(), obs)
+	a, b := mem.Alloc(1), mem.Alloc(1)
+
+	first := true
+	tm.Run(t0, func(tx *Tx) {
+		_ = tx.Read(a)
+		if first {
+			first = false
+			tm.Run(t1, func(tx2 *Tx) { tx2.Write(a, 9) })
+		}
+		tx.Write(b, tx.Read(a)+1)
+	})
+	if obs.starts < 2 {
+		t.Fatalf("starts=%d, want >= 2 (abort + retry)", obs.starts)
+	}
+	if obs.starts != len(obs.ends) {
+		t.Fatalf("starts=%d ends=%d: every attempt must end", obs.starts, len(obs.ends))
+	}
+	sawAbort := false
+	for _, e := range obs.ends[:len(obs.ends)-1] {
+		if !e.committed {
+			sawAbort = true
+			if e.fromTags {
+				t.Fatalf("baseline NOrec abort flagged fromTags: %+v", obs.ends)
+			}
+		}
+	}
+	if !sawAbort {
+		t.Fatalf("no aborted attempt observed: %+v", obs.ends)
+	}
+	if last := obs.ends[len(obs.ends)-1]; !last.committed {
+		t.Fatalf("final attempt did not commit: %+v", obs.ends)
+	}
+}
+
+// TestObserverTagAbort: the tagged variant's fail-fast abort surfaces as
+// fromTags=true.
+func TestObserverTagAbort(t *testing.T) {
+	mem := vtags.New(1<<20, 2)
+	tm := NewTagged(mem)
+	t0, t1 := mem.Thread(0), mem.Thread(1)
+	obs := &recObs{}
+	tm.SetTxObserver(t0.ID(), obs)
+	a, b := mem.Alloc(1), mem.Alloc(1)
+
+	first := true
+	tm.Run(t0, func(tx *Tx) {
+		_ = tx.Read(a)
+		if first {
+			first = false
+			tm.Run(t1, func(tx2 *Tx) { tx2.Write(a, 9) })
+		}
+		_ = tx.Read(b)
+		tx.Write(b, tx.Read(a)+1)
+	})
+	sawTagAbort := false
+	for _, e := range obs.ends {
+		if !e.committed && e.fromTags {
+			sawTagAbort = true
+		}
+	}
+	if !sawTagAbort {
+		t.Fatalf("no tag abort observed: %+v", obs.ends)
+	}
+}
+
+// TestObserverTagOverflow: with a one-entry tag set, a transaction
+// touching two lines fires TxTagOverflow and still commits (value-based
+// fallback).
+func TestObserverTagOverflow(t *testing.T) {
+	mem := vtags.New(1<<20, 1, vtags.WithMaxTags(1))
+	tm := NewTagged(mem)
+	th := mem.Thread(0)
+	obs := &recObs{}
+	tm.SetTxObserver(th.ID(), obs)
+	// Two reads a full line apart: the second AddTag overflows the
+	// one-entry tag set.
+	a := mem.Alloc(16)
+	tm.Run(th, func(tx *Tx) {
+		_ = tx.Read(a)
+		_ = tx.Read(a.Plus(8))
+	})
+	if obs.overflows == 0 {
+		t.Fatal("no TxTagOverflow callback despite a one-entry tag set")
+	}
+	if last := obs.ends[len(obs.ends)-1]; !last.committed {
+		t.Fatalf("overflowed transaction did not commit: %+v", obs.ends)
+	}
+	ov, _ := mem.TagStats()
+	if ov == 0 {
+		t.Fatal("vtags TagStats did not count the overflow")
+	}
+}

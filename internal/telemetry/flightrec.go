@@ -1,0 +1,233 @@
+package telemetry
+
+import "sync/atomic"
+
+// FlightRecorder is the always-on black box for the served path: a
+// lock-free per-core ring of the most recent request spans (tail-sampled
+// ones marked), readable by any goroutine at any time. Workers publish
+// every finished span; a post-mortem dump (SLO breach, checked-mode reclaim
+// violation, SIGQUIT) snapshots the rings into a trace without stopping
+// traffic.
+//
+// The protocol is the Stream's per-slot seqlock, reused wholesale: spans
+// are packed into fixed arrays of atomic words, the writer brackets each
+// publish with an odd/even sequence bump, and readers retry a torn copy.
+// Publication is allocation-free (the serve allocs tests pin the whole
+// span-record + flight-tick path at 0 allocs/op); only Snapshot allocates.
+//
+// Each core additionally exposes its most recent *tail-sampled* span as an
+// exemplar (request/trace ID + latency), which the Prometheus exposition
+// attaches to the matching latency bucket — the link that lets a scrape's
+// p99 outlier be joined to its span in the dump.
+
+// flightSlotWords is the packed span size: a fixed header plus two words
+// per recorded attempt.
+//
+//	w0  ID
+//	w1  Start
+//	w2  End
+//	w3  Decode
+//	w4  Queue
+//	w5  Tick
+//	w6  Op | Err<<8 | Kept<<16 | Worker<<32
+//	w7  Fails | Overflows<<32
+//	w8  NAttempts
+//	w9+2i  attempt i Start
+//	w10+2i attempt i (End-Start)&^(3<<62) | Cause<<62-ish packing below
+//
+// Attempt durations are clipped to 2^56-1 ns (~2.3 years), leaving the top
+// byte for the cause and overflow flag.
+const flightSlotWords = 9 + 2*spanMaxAttempts
+
+const attemptDurMask = (uint64(1) << 56) - 1
+
+type flightSlot struct {
+	seq   atomic.Uint64
+	words [flightSlotWords]atomic.Uint64
+}
+
+type flightCore struct {
+	published atomic.Uint64 // spans published so far (ring head); cumulative
+	kept      atomic.Uint64 // tail-sampled spans published
+
+	// Exemplar: the most recent tail-sampled span, seqlock-published.
+	exSeq atomic.Uint64
+	exID  atomic.Uint64
+	exLat atomic.Uint64
+
+	ring []flightSlot
+
+	_ [64]byte // keep adjacent cores' hot atomics off one line
+}
+
+// FlightRecorder is created with NewFlightRecorder; see the package-level
+// discussion above.
+type FlightRecorder struct {
+	depth int
+	cores []flightCore
+}
+
+// NewFlightRecorder creates a recorder for n cores retaining depth spans
+// per core (depth < 2 is raised to 2).
+func NewFlightRecorder(n, depth int) *FlightRecorder {
+	if depth < 2 {
+		depth = 2
+	}
+	f := &FlightRecorder{depth: depth, cores: make([]flightCore, n)}
+	for i := range f.cores {
+		f.cores[i].ring = make([]flightSlot, depth)
+	}
+	return f
+}
+
+// Depth returns the per-core ring capacity in spans.
+func (f *FlightRecorder) Depth() int { return f.depth }
+
+// NumCores returns the number of per-core rings.
+func (f *FlightRecorder) NumCores() int { return len(f.cores) }
+
+// Record publishes sp into core i's ring. It must only be called by core
+// i's owning goroutine (or under the lock serializing that core's
+// requests). Allocation-free.
+func (f *FlightRecorder) Record(i int, sp *Span) {
+	c := &f.cores[i]
+	slot := &c.ring[int(c.published.Load()%uint64(f.depth))]
+	slot.seq.Add(1) // odd: publish in flight
+	w := &slot.words
+	w[0].Store(sp.ID)
+	w[1].Store(sp.Start)
+	w[2].Store(sp.End)
+	w[3].Store(sp.Decode)
+	w[4].Store(sp.Queue)
+	w[5].Store(sp.Tick)
+	flags := uint64(sp.Op) | uint64(b2u(sp.Err))<<8 | uint64(sp.Kept)<<16 | uint64(uint32(sp.Worker))<<32
+	w[6].Store(flags)
+	w[7].Store(uint64(sp.Fails) | uint64(sp.Overflows)<<32)
+	w[8].Store(uint64(sp.NAttempts))
+	n := int(sp.NAttempts)
+	if n > spanMaxAttempts {
+		n = spanMaxAttempts
+	}
+	for j := 0; j < n; j++ {
+		a := &sp.Attempts[j]
+		dur := a.End - a.Start
+		if a.End < a.Start {
+			dur = 0
+		}
+		if dur > attemptDurMask {
+			dur = attemptDurMask
+		}
+		packed := dur | uint64(a.Cause)<<56 | uint64(b2u(a.Overflow))<<58
+		w[9+2*j].Store(a.Start)
+		w[10+2*j].Store(packed)
+	}
+	slot.seq.Add(1) // even: consistent
+	c.published.Add(1)
+	if sp.Kept != 0 {
+		c.kept.Add(1)
+		c.exSeq.Add(1)
+		c.exID.Store(sp.ID)
+		c.exLat.Store(sp.Latency())
+		c.exSeq.Add(1)
+	}
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// copyFlightSlot snapshots one slot under its seqlock into sp, reporting
+// whether a consistent copy was obtained within the retry budget.
+func copyFlightSlot(slot *flightSlot, sp *Span) bool {
+	for attempt := 0; attempt < streamRetryLimit; attempt++ {
+		s1 := slot.seq.Load()
+		if s1%2 != 0 {
+			continue
+		}
+		var w [flightSlotWords]uint64
+		for k := range w {
+			w[k] = slot.words[k].Load()
+		}
+		if slot.seq.Load() != s1 {
+			continue
+		}
+		*sp = Span{
+			ID: w[0], Start: w[1], End: w[2], Decode: w[3], Queue: w[4], Tick: w[5],
+			Op: uint8(w[6]), Err: w[6]>>8&1 != 0, Kept: uint8(w[6] >> 16),
+			Worker:    int32(uint32(w[6] >> 32)),
+			Fails:     uint32(w[7]), Overflows: uint32(w[7] >> 32),
+			NAttempts: uint32(w[8]),
+		}
+		n := int(sp.NAttempts)
+		if n > spanMaxAttempts {
+			n = spanMaxAttempts
+		}
+		for j := 0; j < n; j++ {
+			packed := w[10+2*j]
+			sp.Attempts[j] = AttemptRec{
+				Start:    w[9+2*j],
+				End:      w[9+2*j] + packed&attemptDurMask,
+				Cause:    uint8(packed >> 56 & 3),
+				Overflow: packed>>58&1 != 0,
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// Snapshot reads every core's retained spans, oldest first per core, cores
+// concatenated in order. Safe from any goroutine mid-run; torn slots past
+// the retry budget are skipped, so every returned span is internally
+// consistent. The dump path — it allocates.
+func (f *FlightRecorder) Snapshot() []Span {
+	var out []Span
+	var sp Span
+	for i := range f.cores {
+		c := &f.cores[i]
+		head := c.published.Load()
+		lo := uint64(0)
+		if head > uint64(f.depth) {
+			lo = head - uint64(f.depth)
+		}
+		for w := lo; w < head; w++ {
+			if copyFlightSlot(&c.ring[int(w%uint64(f.depth))], &sp) {
+				out = append(out, sp)
+			}
+		}
+	}
+	return out
+}
+
+// Exemplar returns core i's most recent tail-sampled span's request ID and
+// latency, and whether the core has one. Safe at any time.
+func (f *FlightRecorder) Exemplar(i int) (id, latencyNS uint64, ok bool) {
+	c := &f.cores[i]
+	for attempt := 0; attempt < streamRetryLimit; attempt++ {
+		s1 := c.exSeq.Load()
+		if s1 == 0 {
+			return 0, 0, false
+		}
+		if s1%2 != 0 {
+			continue
+		}
+		id, latencyNS = c.exID.Load(), c.exLat.Load()
+		if c.exSeq.Load() == s1 {
+			return id, latencyNS, true
+		}
+	}
+	return 0, 0, false
+}
+
+// Totals returns the cumulative spans recorded and tail-sampled across all
+// cores; both are monotonic. Safe at any time.
+func (f *FlightRecorder) Totals() (recorded, kept uint64) {
+	for i := range f.cores {
+		recorded += f.cores[i].published.Load()
+		kept += f.cores[i].kept.Load()
+	}
+	return recorded, kept
+}

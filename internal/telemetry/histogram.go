@@ -53,7 +53,32 @@ func (h *Histogram) Observe(v uint64) {
 	}
 	h.count++
 	h.sum += v
-	h.buckets[bits.Len64(v)]++
+	h.buckets[bucketOf(v)]++
+}
+
+// bucketOf returns the bucket index holding v: bits.Len64(v), i.e. bucket 0
+// holds 0 and bucket b>0 holds [2^(b-1), 2^b).
+func bucketOf(v uint64) int { return bits.Len64(v) }
+
+// NumBuckets is the histogram bucket count (the size callers need for
+// cumulative-bucket output arrays).
+const NumBuckets = histBuckets
+
+// BucketIndex is the exported bucketOf: the bucket index holding v. The
+// Prometheus exposition uses it to place exemplars.
+func BucketIndex(v uint64) int { return bucketOf(v) }
+
+// BucketUpper returns bucket b's inclusive upper value bound (2^b - 1;
+// bucket 0 holds only the value 0). The Prometheus exposition uses it as
+// the le label.
+func BucketUpper(b int) uint64 {
+	if b <= 0 {
+		return 0
+	}
+	if b >= 64 {
+		return ^uint64(0)
+	}
+	return uint64(1)<<b - 1
 }
 
 // Count returns the number of observations.

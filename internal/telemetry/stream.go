@@ -92,6 +92,12 @@ type streamCore struct {
 	published  atomic.Uint64 // windows published so far (ring head)
 	ring       []streamSlot
 
+	// Cumulative latency histogram (count, sum, power-of-two buckets), all
+	// monotonic atomics: the Prometheus le-bucket exposition reads these
+	// mid-run, where the quiescence-only plain histograms would race.
+	cumCount, cumSum atomic.Uint64
+	cumBuckets       [histBuckets]atomic.Uint64
+
 	_ [64]byte // keep adjacent cores' hot atomics off one line
 }
 
@@ -152,6 +158,9 @@ func (s *Stream) Tick(i int, clock, latency, fails uint64) {
 	if fails != 0 {
 		c.fails.Add(fails)
 	}
+	c.cumCount.Add(1)
+	c.cumSum.Add(latency)
+	c.cumBuckets[bucketOf(latency)].Add(1)
 }
 
 // Flush publishes core i's live window even though its interval has not
@@ -260,6 +269,24 @@ func (s *Stream) ReadCore(i int, buf []StreamWindow) ([]StreamWindow, int) {
 		}
 	}
 	return buf, retries
+}
+
+// CumulativeLatency sums the cores' cumulative latency histograms into
+// buckets (power-of-two, index = bits.Len64(latency)) and returns the total
+// count and sum. Every counter read is an atomic load of a monotonic
+// counter, so repeated scrapes never see a bucket, the count, or the sum
+// regress — exactly the contract a Prometheus counter histogram needs.
+// Safe at any time; buckets must have NumBuckets entries.
+func (s *Stream) CumulativeLatency(buckets *[NumBuckets]uint64) (count, sum uint64) {
+	for i := range s.cores {
+		c := &s.cores[i]
+		count += c.cumCount.Load()
+		sum += c.cumSum.Load()
+		for b := range buckets {
+			buckets[b] += c.cumBuckets[b].Load()
+		}
+	}
+	return count, sum
 }
 
 // Totals returns the cumulative operation and failure counts over all

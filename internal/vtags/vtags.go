@@ -50,6 +50,21 @@ type Memory struct {
 	// tracer, when non-nil, receives the tag-relevant subset of the
 	// machine backend's events (see telemetry.go).
 	tracer machine.Tracer
+
+	// tagOverflows counts tag-set overflow latches (AddTag past maxTags);
+	// tagEvictions counts eviction latches (ForceTagEviction plus RemoveTag
+	// observing a moved version). Both are cumulative and readable mid-run
+	// (the serve flight recorder's stats snapshot); overflow and eviction
+	// are rare, so the shared atomics cost nothing on the common path.
+	tagOverflows atomic.Uint64
+	tagEvictions atomic.Uint64
+}
+
+// TagStats returns the cumulative tag-set overflow and eviction latch
+// counts across all threads. Safe to call at any time; both counters are
+// monotonic.
+func (m *Memory) TagStats() (overflows, evictions uint64) {
+	return m.tagOverflows.Load(), m.tagEvictions.Load()
 }
 
 var _ core.Memory = (*Memory)(nil)
@@ -244,6 +259,9 @@ func (t *Thread) AddTag(a core.Addr, size int) bool {
 			continue
 		}
 		if len(t.tags) >= t.m.maxTags {
+			if !t.overflow {
+				t.m.tagOverflows.Add(1)
+			}
 			t.overflow = true
 			return false
 		}
@@ -272,6 +290,9 @@ func (t *Thread) RemoveTag(a core.Addr, size int) {
 		for i, e := range t.tags {
 			if e.line == l {
 				if t.m.lineVersion(l) != e.version {
+					if !t.evicted {
+						t.m.tagEvictions.Add(1)
+					}
 					t.evicted = true // latch failure like an eviction
 				}
 				t.tags = append(t.tags[:i], t.tags[i+1:]...)
@@ -347,6 +368,9 @@ func (t *Thread) TagCount() int { return len(t.tags) }
 func (t *Thread) ForceTagEviction(l core.Line) bool {
 	if !t.tagged(l) {
 		return false
+	}
+	if !t.evicted {
+		t.m.tagEvictions.Add(1)
 	}
 	t.evicted = true // latch failure, like a recorded eviction
 	t.emit(machine.EvTagEvicted, -1, l)
